@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Each benchmark regenerates one table or figure of the paper at the
+standard reduced configuration (DESIGN.md Sec. 5), prints the
+reproduction next to the paper's values, and records the key measured
+numbers in ``benchmark.extra_info`` so the JSON artifact carries them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import BenchConfig, cached_rates, sequence_for
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> BenchConfig:
+    """The benchmark-grade configuration (larger than the test quick one)."""
+    return BenchConfig.full()
+
+
+@pytest.fixture(scope="session")
+def optimization_sequence(bench_config):
+    """The four-stage live run shared by Tables III/IV/V."""
+    return sequence_for(bench_config)
+
+
+@pytest.fixture(scope="session")
+def work_rates(bench_config):
+    """Projection work rates shared by Fig. 4 / Table VII."""
+    return cached_rates(
+        bench_config.scale, bench_config.num_ranks, bench_config.num_steps
+    )
+
+
+def run_once(benchmark, fn):
+    """Time one expensive experiment exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

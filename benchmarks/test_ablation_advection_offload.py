@@ -1,0 +1,65 @@
+"""Ablation: offloading the scalar-advection loops (Sec. VIII).
+
+After the collision and condensation fixes, ``rk_scalar_tend`` is the
+next hotspot (Table I's second row). This bench stacks the three
+offloads and reports the whole-program trajectory, ending with nearly
+all of the per-step work on the device.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.env import PAPER_ENV
+from repro.optim.pipeline import timings_from_result
+from repro.optim.stages import Stage
+from repro.wrf.model import WrfModel
+from repro.wrf.namelist import conus12km_namelist
+
+VARIANTS = (
+    ("baseline (CPU)", Stage.BASELINE, False, False),
+    ("coal offload", Stage.OFFLOAD_COLLAPSE3, False, False),
+    ("+ condensation", Stage.OFFLOAD_COLLAPSE3, True, False),
+    ("+ advection", Stage.OFFLOAD_COLLAPSE3, True, True),
+)
+
+
+def test_offload_stacking(benchmark, bench_config):
+    def sweep():
+        out = {}
+        for label, stage, cond, adv in VARIANTS:
+            kw = dict(
+                scale=bench_config.scale,
+                num_ranks=bench_config.num_ranks,
+                stage=stage,
+            )
+            if stage.uses_gpu:
+                kw.update(
+                    num_gpus=bench_config.num_ranks,
+                    env=PAPER_ENV,
+                    offload_condensation=cond,
+                    offload_advection=adv,
+                )
+            model = WrfModel(conus12km_namelist(**kw))
+            try:
+                result = model.run(num_steps=bench_config.num_steps)
+                out[label] = timings_from_result(result)
+            finally:
+                model.close()
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    print("Offload stacking (whole-program per-step, simulated):")
+    base = results["baseline (CPU)"].overall
+    print(f"{'version':<18} {'per-step (ms)':>14} {'speedup':>9}")
+    for label, *_ in VARIANTS:
+        t = results[label].overall
+        print(f"{label:<18} {t * 1e3:>14.2f} {base / t:>8.2f}x")
+        benchmark.extra_info[label] = base / t
+
+    # Each added offload improves the whole program further.
+    seq = [results[label].overall for label, *_ in VARIANTS]
+    assert seq[0] > seq[1] > seq[2] > seq[3]
+    # Advection offload is a meaningful additional win (rk_scalar_tend
+    # was the second hotspot of Table I).
+    assert seq[2] / seq[3] > 1.2

@@ -1,0 +1,74 @@
+"""Ablation: O(b^2) cost scaling with the number of mass bins.
+
+Sec. I motivates the GPU port with exactly this: refining FSBM from 33
+toward hundreds of bins scales the collision cost quadratically. The
+sweep measures real wall-clock of the collision step at growing bin
+counts and checks the quadratic shape.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.fsbm.coal_bott import predict_coal_work
+from repro.fsbm.collision_kernels import get_tables
+from repro.fsbm.species import INTERACTIONS, Species
+
+BIN_COUNTS = (17, 33, 66, 132)
+
+
+def _synthetic_tables(nkr):
+    """Kernel tables resized to nkr bins (nearest-sample upsampling)."""
+    import dataclasses
+
+    base = get_tables()
+    idx = np.minimum(
+        (np.arange(nkr) * base.nkr // nkr), base.nkr - 1
+    )
+    t750 = {n: k[np.ix_(idx, idx)] for n, k in base.tables_750.items()}
+    t500 = {n: k[np.ix_(idx, idx)] for n, k in base.tables_500.items()}
+    return dataclasses.replace(base, tables_750=t750, tables_500=t500, nkr=nkr)
+
+
+def test_bin_count_scaling(benchmark):
+    import time
+
+    from repro.fsbm.coal_bott import coal_bott_step
+
+    npts = 400
+
+    def sweep():
+        out = {}
+        for nkr in BIN_COUNTS:
+            tables = _synthetic_tables(nkr)
+            rng = np.random.default_rng(0)
+            dists = {sp: np.zeros((npts, nkr)) for sp in Species}
+            dists[Species.LIQUID][:, nkr // 6 : nkr // 2] = rng.uniform(
+                0, 5, (npts, nkr // 2 - nkr // 6)
+            )
+            t = np.full(npts, 280.0)
+            p = np.full(npts, 700.0)
+            start = time.perf_counter()
+            stats = coal_bott_step(
+                dists, t, p, 5.0, tables, INTERACTIONS, on_demand=True
+            )
+            wall = time.perf_counter() - start
+            out[nkr] = (wall, stats.pair_entries)
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    print("Bin-count scaling of the collision step (O(b^2) expected):")
+    print(f"{'bins':>6} {'wall (ms)':>10} {'pair entries':>14}")
+    for nkr, (wall, entries) in results.items():
+        print(f"{nkr:>6} {wall * 1e3:>10.2f} {entries:>14.0f}")
+        benchmark.extra_info[f"wall_ms_{nkr}_bins"] = wall * 1e3
+
+    # The counted work scales quadratically with bin count.
+    e33 = results[33][1]
+    e66 = results[66][1]
+    e132 = results[132][1]
+    assert e66 / e33 == pytest.approx(4.0, rel=0.3)
+    assert e132 / e66 == pytest.approx(4.0, rel=0.3)
+    # Wall time grows superlinearly too (allowing vectorization slack).
+    assert results[132][0] > 2.0 * results[33][0]

@@ -1,0 +1,49 @@
+"""Ablation: MPI ranks sharing one GPU (Sec. VII-A).
+
+Sweeps 1-6 ranks per GPU at fixed total GPUs. Elapsed time keeps
+improving through 4 ranks/GPU (underutilized devices absorb the extra
+kernels while the CPU share shrinks), and the 6th rank cannot even
+open a context — the paper's hard memory limit.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.optim.projection import project_run
+from repro.optim.stages import Stage
+from repro.wrf.namelist import conus12km_namelist
+
+RANKS_PER_GPU = (1, 2, 4, 5, 6)
+NUM_GPUS = 8
+
+
+def test_ranks_per_gpu_sweep(benchmark, work_rates):
+    def sweep():
+        out = {}
+        for rpg in RANKS_PER_GPU:
+            nl = conus12km_namelist(
+                num_ranks=rpg * NUM_GPUS,
+                stage=Stage.OFFLOAD_COLLAPSE3,
+                num_gpus=NUM_GPUS,
+            )
+            out[rpg] = project_run(nl, work_rates)
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(f"Ranks-per-GPU sweep ({NUM_GPUS} GPUs, final GPU code):")
+    print(f"{'ranks/GPU':>10} {'ranks':>6} {'elapsed (s)':>12}")
+    for rpg, pr in results.items():
+        status = f"{pr.total_seconds:12.1f}" if not pr.failed else "  OOM"
+        print(f"{rpg:>10} {rpg * NUM_GPUS:>6} {status}")
+        if not pr.failed:
+            benchmark.extra_info[f"elapsed_s_{rpg}rpg"] = pr.total_seconds
+
+    # More ranks per GPU keep helping through 4 (paper's Fig. 4 trend).
+    assert results[2].total_seconds < results[1].total_seconds
+    assert results[4].total_seconds < results[2].total_seconds
+    # 5 ranks/GPU still runs (the paper's observed maximum)...
+    assert not results[5].failed
+    # ...and the 6th hits the device-memory wall.
+    assert results[6].failed
+    assert "CudaOutOfMemory" in results[6].error

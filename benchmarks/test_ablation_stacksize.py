@@ -1,0 +1,84 @@
+"""Ablation: NV_ACC_CUDA_STACKSIZE and the automatic-array failure.
+
+Reproduces Sec. VI-B/C as a sweep: with coal_bott_new's automatic
+arrays in place, collapse(3) launches fail until the stack setting
+accommodates the frame; removing the automatic arrays (stage 3) makes
+every setting work. Also shows the cost of the bigger setting: the
+per-context stack reservation that later limits ranks per GPU.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.clock import SimClock
+from repro.core.device import Device
+from repro.core.directives import TargetTeamsDistributeParallelDo
+from repro.core.engine import OffloadEngine
+from repro.core.env import OffloadEnv
+from repro.core.kernel import Kernel, KernelResources
+from repro.errors import CudaStackOverflow
+from repro.fsbm.temp_arrays import automatic_frame_bytes
+
+STACK_SIZES = (1024, 2048, 8192, 65536)
+
+
+def _kernel(frame):
+    return Kernel(
+        name="coal_bott_new_loop",
+        loop_extents=(75, 50, 107),
+        resources=KernelResources(
+            registers_per_thread=234,
+            automatic_array_bytes=frame,
+            working_set_per_thread=4752.0,
+            flops=1e8,
+            traffic=(),
+            active_iterations=10_000,
+        ),
+    )
+
+
+def test_stacksize_sweep(benchmark):
+    frame = automatic_frame_bytes()
+
+    def sweep():
+        out = {}
+        for stack in STACK_SIZES:
+            for autos, label in ((frame, "automatic"), (0, "temp_arrays")):
+                device = Device()
+                engine = OffloadEngine(
+                    device=device, env=OffloadEnv(stack_bytes=stack), clock=SimClock()
+                )
+                try:
+                    engine.launch(
+                        _kernel(autos), TargetTeamsDistributeParallelDo(collapse=3)
+                    )
+                    out[(stack, label)] = "ok"
+                except CudaStackOverflow:
+                    out[(stack, label)] = "stack overflow"
+                finally:
+                    engine.close()
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    print("NV_ACC_CUDA_STACKSIZE sweep (collapse(3) launch):")
+    print(f"{'stack':>8} {'automatic arrays':>18} {'temp_arrays ptrs':>18}")
+    for stack in STACK_SIZES:
+        print(
+            f"{stack:>8} {results[(stack, 'automatic')]:>18} "
+            f"{results[(stack, 'temp_arrays')]:>18}"
+        )
+
+    # The paper's failure: default stack + automatic arrays.
+    assert results[(1024, "automatic")] == "stack overflow"
+    # Remedy 1: raise NV_ACC_CUDA_STACKSIZE to 65536.
+    assert results[(65536, "automatic")] == "ok"
+    # Remedy 2: the pointer rewrite works at every setting.
+    assert all(results[(s, "temp_arrays")] == "ok" for s in STACK_SIZES)
+
+    # The hidden cost of remedy 1: a 64x larger per-rank reservation.
+    small = Device().stack_reservation(OffloadEnv(stack_bytes=1024))
+    large = Device().stack_reservation(OffloadEnv(stack_bytes=65536))
+    benchmark.extra_info["reservation_1k_mb"] = small / 2**20
+    benchmark.extra_info["reservation_64k_mb"] = large / 2**20
+    assert large == 64 * small

@@ -1,0 +1,28 @@
+"""Regenerates Figure 3: roofline placement of the offloaded kernels."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure3
+
+
+def test_figure3_roofline(benchmark, bench_config):
+    result = run_once(benchmark, lambda: figure3.run(config=bench_config))
+    print()
+    print(result.format_table())
+    print()
+    print(result.compare_to_paper())
+
+    c2 = result.point("collapse(2) fp32")
+    c3 = result.point("collapse(3) fp32")
+    benchmark.extra_info["c2_gflops"] = c2.performance / 1e9
+    benchmark.extra_info["c3_gflops"] = c3.performance / 1e9
+    benchmark.extra_info["c3_fraction_of_ceiling"] = result.model.efficiency(c3)
+
+    # The paper's qualitative picture: the full collapse lifts the
+    # kernel toward the memory roofline while the added DRAM traffic
+    # lowers its arithmetic intensity.
+    assert "MISS" not in result.compare_to_paper()
+    assert c3.performance > 5 * c2.performance
+    assert c3.arithmetic_intensity < c2.arithmetic_intensity
+    # fp64 points sit at roughly half the fp32 rate (compute-bound side).
+    c2_64 = result.point("collapse(2) fp64")
+    assert 0.3 < c2_64.performance / c2.performance < 0.8

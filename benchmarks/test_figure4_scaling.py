@@ -1,0 +1,41 @@
+"""Regenerates Figure 4: elapsed times across versions and rank counts."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure4
+
+
+def test_figure4_scaling(benchmark, bench_config, work_rates):
+    result = run_once(
+        benchmark,
+        lambda: figure4.run(config=bench_config, rates=work_rates),
+    )
+    print()
+    print(result.format_table())
+    print()
+    print(result.compare_to_paper())
+
+    for label, cpu_ranks, gpu_ranks, _ in figure4.GROUPS:
+        benchmark.extra_info[f"{label}/baseline_s"] = result.seconds(
+            label, "baseline"
+        )
+        benchmark.extra_info[f"{label}/gpu_s"] = result.seconds(label, "gpu")
+
+    # Ordering within each fixed-GPU group: baseline > lookup > gpu.
+    for group in ("16 ranks", "32 ranks", "64 ranks"):
+        assert (
+            result.seconds(group, "baseline")
+            > result.seconds(group, "lookup")
+            > result.seconds(group, "gpu")
+        )
+    # Elapsed decreases as CPU ranks grow with GPUs fixed.
+    assert (
+        result.seconds("16 ranks", "gpu")
+        > result.seconds("32 ranks", "gpu")
+        > result.seconds("64 ranks", "gpu")
+    )
+    # Equal-resource comparison collapses toward parity (paper: 0.956x).
+    ratio = result.seconds("2 nodes", "baseline") / result.seconds("2 nodes", "gpu")
+    assert 0.7 < ratio < 1.6
+    # Absolute 16-rank times land near the paper's (1211 s / 581 s).
+    assert 900 < result.seconds("16 ranks", "baseline") < 1600
+    assert 450 < result.seconds("16 ranks", "gpu") < 800

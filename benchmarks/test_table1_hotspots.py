@@ -1,0 +1,25 @@
+"""Regenerates Table I: hotspot time contribution, gprof vs Nsight."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1
+
+
+def test_table1_hotspots(benchmark, bench_config):
+    result = run_once(benchmark, lambda: table1.run(config=bench_config))
+    print()
+    print(result.format_table())
+    print()
+    print(result.compare_to_paper())
+
+    benchmark.extra_info["fast_sbm_gprof_pct"] = result.gprof.percent_of("fast_sbm")
+    benchmark.extra_info["fast_sbm_nsys_pct"] = result.nsys.percent_of("fast_sbm")
+    benchmark.extra_info["paper_fast_sbm_gprof_pct"] = 51.39
+    benchmark.extra_info["paper_fast_sbm_nsys_pct"] = 77.07
+
+    # Shape assertions: fast_sbm dominates, and the single-task view
+    # exceeds the cross-rank aggregate (load imbalance).
+    assert result.gprof.percent_of("fast_sbm") > 30.0
+    assert result.nsys.percent_of("fast_sbm") > result.gprof.percent_of("fast_sbm")
+    assert result.gprof.percent_of("rk_scalar_tend") > result.gprof.percent_of(
+        "rk_update_scalar"
+    )

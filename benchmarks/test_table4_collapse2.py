@@ -1,0 +1,24 @@
+"""Regenerates Table IV: collapse(2) offload of the collision loop."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table4
+
+
+def test_table4_collapse2_offload(benchmark, bench_config):
+    result = run_once(benchmark, lambda: table4.run(config=bench_config))
+    print()
+    print(result.format_table())
+    print()
+    print(result.compare_to_paper())
+
+    coal = result.row("coal_bott_new loop")
+    overall = result.row("Overall")
+    benchmark.extra_info["coal_loop_speedup"] = coal.current_speedup
+    benchmark.extra_info["overall_cumulative"] = overall.cumulative_speedup
+    benchmark.extra_info["paper_coal_loop_speedup"] = 6.47
+    benchmark.extra_info["paper_overall_cumulative"] = 2.09
+
+    # Paper: loop 6.47x, overall cumulative 2.09x.
+    assert 4.0 < coal.current_speedup < 11.0
+    assert 1.5 < overall.cumulative_speedup < 2.6
+    assert result.row("fast_sbm").cumulative_speedup > 2.0

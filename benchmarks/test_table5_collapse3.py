@@ -1,0 +1,28 @@
+"""Regenerates Table V: full collapse(3) via temp_arrays pointers."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table5
+
+
+def test_table5_full_collapse(benchmark, bench_config):
+    result = run_once(benchmark, lambda: table5.run(config=bench_config))
+    print()
+    print(result.format_table())
+    print()
+    print(result.compare_to_paper())
+
+    coal = result.row("coal_bott_new loop")
+    overall = result.row("Overall")
+    benchmark.extra_info["coal_loop_speedup"] = coal.current_speedup
+    benchmark.extra_info["coal_loop_cumulative"] = coal.cumulative_speedup
+    benchmark.extra_info["overall_cumulative"] = overall.cumulative_speedup
+    benchmark.extra_info["paper_coal_loop_speedup"] = 10.3
+    benchmark.extra_info["paper_coal_loop_cumulative"] = 66.6
+    benchmark.extra_info["paper_overall_cumulative"] = 2.20
+
+    # Paper: loop 10.3x (66.6x cumulative), overall cumulative 2.20x.
+    assert 6.0 < coal.current_speedup < 16.0
+    assert coal.cumulative_speedup > 30.0
+    assert 1.6 < overall.cumulative_speedup < 2.8
+    # The whole-program gain saturates (Amdahl): current speedup small.
+    assert overall.current_speedup < 1.3

@@ -1,0 +1,29 @@
+"""Regenerates Table VI: Nsight Compute metrics of the two kernels."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table6
+
+
+def test_table6_kernel_metrics(benchmark, bench_config):
+    result = run_once(benchmark, lambda: table6.run(config=bench_config))
+    print()
+    print(result.format_table())
+    print()
+    print(result.compare_to_paper())
+
+    c2, c3 = result.collapse2, result.collapse3
+    benchmark.extra_info["time_ms_c2"] = c2.time_ms
+    benchmark.extra_info["time_ms_c3"] = c3.time_ms
+    benchmark.extra_info["occupancy_c2_pct"] = c2.achieved_occupancy_pct
+    benchmark.extra_info["occupancy_c3_pct"] = c3.achieved_occupancy_pct
+    benchmark.extra_info["paper_occupancy_c2_pct"] = 4.63
+    benchmark.extra_info["paper_occupancy_c3_pct"] = 35.67
+
+    # Every direction of the paper's table must hold.
+    assert c3.time_ms < c2.time_ms / 4  # paper: 11.5x
+    assert c2.achieved_occupancy_pct < 6.0  # paper: 4.63
+    assert 25.0 < c3.achieved_occupancy_pct < 50.0  # paper: 35.67
+    assert c3.l1_hit_rate_pct < c2.l1_hit_rate_pct  # paper: 61 < 85
+    assert c3.l2_hit_rate_pct < c2.l2_hit_rate_pct  # paper: 69 < 96
+    assert c3.dram_write_gb > 3 * c2.dram_write_gb  # paper: 5.5x
+    assert c3.dram_read_gb > 3 * c2.dram_read_gb  # paper: 15.7x

@@ -1,0 +1,24 @@
+"""Regenerates Table VII: total speedups, baseline vs final version."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table7
+
+PAPER = {"16 ranks": 2.08, "32 ranks": 1.82, "64 ranks": 1.56, "2 nodes": 0.956}
+
+
+def test_table7_total_speedups(benchmark, bench_config):
+    result = run_once(benchmark, lambda: table7.run(config=bench_config))
+    print()
+    print(result.format_table())
+    print()
+    print(result.compare_to_paper())
+
+    for label, paper in PAPER.items():
+        benchmark.extra_info[label.replace(" ", "_")] = result.speedup(label)
+        benchmark.extra_info["paper_" + label.replace(" ", "_")] = paper
+
+    # Headline: ~2x at 16 ranks (paper 2.08x).
+    assert 1.8 < result.speedup("16 ranks") < 2.5
+    # The GPU advantage shrinks (or vanishes) at equal resources.
+    assert result.speedup("2 nodes") < result.speedup("16 ranks") - 0.5
+    assert result.speedup("2 nodes") < 1.4

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""The Codee workflow of Listing 2, end to end.
+
+1. Load the ``bear``-captured compilation database,
+2. ``screening`` the WRF sources,
+3. ``checks`` on the microphysics module,
+4. dependence analysis of the ``kernals_ks`` loops (the step that told
+   the paper's authors the 20 collision arrays carry no state), and
+5. ``rewrite --offload omp`` producing Listing 4's directives.
+
+Run:  python examples/codee_workflow.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.codee import sources
+from repro.codee.checks import format_checks_report, run_checks
+from repro.codee.compile_commands import fortran_units, load_compile_commands
+from repro.codee.dependence import analyze_loop
+from repro.codee.fparser import parse_source
+from repro.codee.rewrite import offload_rewrite
+from repro.codee.screening import screening_report
+
+WRF_SOURCES = {
+    "phys/module_mp_fast_sbm.f90": sources.KERNALS_KS_SOURCE,
+    "phys/fast_sbm_driver.f90": sources.MAIN_LOOP_SOURCE,
+    "phys/coal_bott_new.f90": sources.COAL_BOTT_ORIGINAL_SOURCE,
+    "phys/onecond.f90": sources.legacy_onecond_source(),
+}
+
+
+def main() -> None:
+    # --- bear capture -> compile_commands.json -----------------------------
+    db = [
+        {
+            "file": path,
+            "directory": "/build/WRF",
+            "arguments": ["ftn", "-O2", "-mp=gpu", "-c", path],
+        }
+        for path in WRF_SOURCES
+    ]
+    with tempfile.TemporaryDirectory() as tmp:
+        db_path = Path(tmp) / "compile_commands.json"
+        db_path.write_text(json.dumps(db))
+        commands = load_compile_commands(db_path)
+    units = fortran_units(commands)
+    print(f"compilation database: {len(units)} Fortran units captured by bear\n")
+
+    # --- codee screening ----------------------------------------------------
+    report = screening_report(WRF_SOURCES)
+    print(report.format_table())
+
+    # --- codee checks on the microphysics module ----------------------------
+    print("\n--- codee checks phys/onecond.f90 ---")
+    sf = parse_source(WRF_SOURCES["phys/onecond.f90"], "phys/onecond.f90")
+    print(format_checks_report(run_checks(sf)))
+
+    # --- dependence analysis of kernals_ks ----------------------------------
+    print("\n--- dependence analysis: kernals_ks ---")
+    sf = parse_source(
+        WRF_SOURCES["phys/module_mp_fast_sbm.f90"], "phys/module_mp_fast_sbm.f90"
+    )
+    module = sf.modules[0]
+    routine = module.routine("kernals_ks")
+    loop = routine.loops()[0]
+    dep = analyze_loop(loop, routine, module)
+    print(f"loop nest over ({', '.join(loop.nest_vars())}):")
+    print(f"  parallelizable:      {dep.parallelizable}")
+    print(f"  private scalars:     {', '.join(dep.private_scalars)}")
+    print(f"  fully overwritten:   {', '.join(dep.globals_overwritten)}")
+    print("  -> the collision arrays carry no state between grid points;")
+    print("     they can be computed on demand (the paper's stage 1).")
+
+    # --- codee rewrite --offload omp (Listing 4) -----------------------------
+    print("\n--- codee rewrite --offload omp --in-place ---")
+    result = offload_rewrite(
+        WRF_SOURCES["phys/module_mp_fast_sbm.f90"],
+        line=loop.line,
+        path="phys/module_mp_fast_sbm.f90",
+    )
+    lines = result.source.splitlines()
+    lo = result.loop_line - 1
+    print("\n".join(lines[lo : lo + 14]))
+    print("  ...")
+
+
+if __name__ == "__main__":
+    main()

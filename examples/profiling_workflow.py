@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""The paper's profiling workflow: gprof -> NVTX/Nsight -> ncu -> roofline.
+
+Runs the baseline to find the hotspot (Table I), then profiles the two
+offloaded collision kernels with the Nsight-Compute-style collector
+(Table VI) and places them on the A100 roofline (Fig. 3).
+
+Run:  python examples/profiling_workflow.py
+"""
+
+from repro.experiments.common import BenchConfig
+from repro.experiments.table6 import collect_kernel_metrics
+from repro.hardware.roofline import RooflineModel
+from repro.hardware.specs import A100_40GB
+from repro.optim.stages import Stage
+from repro.profiling.gprof import TABLE1_ROUTINES, GprofReport
+from repro.profiling.nsight_compute import format_table6
+from repro.profiling.nsight_systems import NsysReport
+from repro.wrf.model import WrfModel
+from repro.wrf.namelist import conus12km_namelist
+
+
+def main() -> None:
+    cfg = BenchConfig(scale=0.1, num_ranks=4, num_steps=3)
+
+    print("Step 1 — gprof over all ranks (cheap, imbalance-blind):\n")
+    model = WrfModel(conus12km_namelist(scale=cfg.scale, num_ranks=cfg.num_ranks))
+    result = model.run(num_steps=cfg.num_steps)
+    gprof = GprofReport.from_run(result, TABLE1_ROUTINES)
+    print(gprof.format_table())
+
+    print("\nStep 2 — NVTX ranges on one loaded task (Nsight Systems):\n")
+    nsys = NsysReport.from_run(result)
+    print(nsys.format_table())
+    print(
+        f"\n  note the imbalance: fast_sbm is {nsys.percent_of('fast_sbm'):.0f}% "
+        f"of rank {nsys.rank} but {gprof.percent_of('fast_sbm'):.0f}% in the "
+        "aggregate — exactly the Table I gprof/Nsight spread."
+    )
+
+    print("\nStep 3 — ncu on the offloaded collision kernel (Table VI):\n")
+    c2 = collect_kernel_metrics(Stage.OFFLOAD_COLLAPSE2, cfg)
+    c3 = collect_kernel_metrics(Stage.OFFLOAD_COLLAPSE3, cfg)
+    print(format_table6(c2, c3))
+
+    print("\nStep 4 — roofline placement (Fig. 3):\n")
+    roofline = RooflineModel(gpu=A100_40GB)
+    points = [c2.roofline_point("collapse(2)"), c3.roofline_point("collapse(3)")]
+    print(roofline.render_ascii(points))
+
+
+if __name__ == "__main__":
+    main()

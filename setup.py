@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs fail; ``pip install -e . --no-use-pep517``
+(or plain ``pip install -e .`` with modern setuptools) uses this shim.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Reproduction of "Optimizing the Weather Research and Forecasting
+Model with OpenMP Offload and Codee" (SC 2024).
+
+Top-level subpackages:
+
+- :mod:`repro.grid` — WRF's domain/patch/tile decomposition (Fig. 1).
+- :mod:`repro.hardware` — simulated A100/Milan specs, occupancy, caches,
+  roofline.
+- :mod:`repro.core` — the OpenMP-offload execution engine and cost
+  models.
+- :mod:`repro.mpi` — the in-process MPI simulator and GPU sharing.
+- :mod:`repro.fsbm` — the Fast Spectral-Bin Microphysics scheme (and a
+  bulk-scheme comparator).
+- :mod:`repro.wrf` — the WRF-shaped model driver, synthetic CONUS-12km
+  case, wrfout I/O, diffwrf.
+- :mod:`repro.codee` — the static-analysis workflow (parser, dependence
+  analysis, checks, offload rewriter, CLI).
+- :mod:`repro.profiling` — gprof/NVTX/Nsight shims.
+- :mod:`repro.optim` — the four optimization stages, live pipeline, and
+  full-size cost projection.
+- :mod:`repro.experiments` — one module per paper table/figure.
+
+See README.md for a tour, DESIGN.md for the substitution map, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+#: The paper this repository reproduces.
+PAPER = (
+    "Optimizing the Weather Research and Forecasting Model with "
+    "OpenMP Offload and Codee (SC 2024)"
+)

@@ -1,0 +1,138 @@
+"""Top-level command line: run the model, stages, or experiments.
+
+::
+
+    python -m repro run --stage baseline --scale 0.1 --ranks 4 --steps 4
+    python -m repro stages --scale 0.1 --ranks 4 --steps 4
+    python -m repro experiments [--quick]
+    python -m repro scaling
+
+``run`` executes one configuration and prints the profile; ``stages``
+walks the four optimization stages and prints Tables III-V;
+``experiments`` regenerates every table/figure; ``scaling`` projects
+the Fig. 4 / Table VII configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.optim.stages import Stage
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.env import PAPER_ENV
+    from repro.profiling.gprof import TABLE1_ROUTINES, GprofReport
+    from repro.profiling.nsight_systems import NsysReport
+    from repro.wrf.model import WrfModel
+    from repro.wrf.namelist import conus12km_namelist
+
+    stage = Stage(args.stage)
+    kw = dict(scale=args.scale, num_ranks=args.ranks, stage=stage)
+    if stage.uses_gpu:
+        kw.update(num_gpus=args.gpus or args.ranks, env=PAPER_ENV)
+        if args.offload_condensation:
+            kw["offload_condensation"] = True
+        if args.offload_advection:
+            kw["offload_advection"] = True
+    nl = conus12km_namelist(**kw)
+    print(
+        f"running {stage.value} on a {nl.domain.nx}x{nl.domain.ny}x"
+        f"{nl.domain.nz} grid, {nl.num_ranks} ranks, {args.steps} steps"
+    )
+    model = WrfModel(nl)
+    try:
+        result = model.run(num_steps=args.steps)
+    finally:
+        model.close()
+    print(f"\nsimulated per-step elapsed: {result.per_step_elapsed * 1e3:.2f} ms")
+    print(
+        f"projected 10-minute run:    {result.projected_total():.1f} s "
+        "(paper's Fig. 4 axis)"
+    )
+    print()
+    print(GprofReport.from_run(result, TABLE1_ROUTINES).format_table())
+    print()
+    print(NsysReport.from_run(result).format_table())
+    return 0
+
+
+def cmd_stages(args: argparse.Namespace) -> int:
+    from repro.optim.pipeline import run_optimization_sequence
+    from repro.optim.speedup import format_speedup_table
+    from repro.wrf.namelist import conus12km_namelist
+
+    nl = conus12km_namelist(scale=args.scale, num_ranks=args.ranks)
+    sequence = run_optimization_sequence(nl, num_steps=args.steps)
+    print(format_speedup_table(sequence.table3(), "Table III (lookup):"))
+    print()
+    print(format_speedup_table(sequence.table4(), "Table IV (collapse(2)):"))
+    print()
+    print(format_speedup_table(sequence.table5(), "Table V (collapse(3)):"))
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all
+
+    for outcome in run_all(quick=args.quick):
+        print(outcome.render())
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.experiments import figure4, table7
+
+    result = table7.run(quick=args.quick)
+    print(result.figure4_result.format_table())
+    print()
+    print(result.format_table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=sys.modules["repro"].PAPER
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one configuration")
+    p_run.add_argument(
+        "--stage",
+        default="baseline",
+        choices=[s.value for s in Stage],
+    )
+    p_run.add_argument("--scale", type=float, default=0.1)
+    p_run.add_argument("--ranks", type=int, default=4)
+    p_run.add_argument("--gpus", type=int, default=0)
+    p_run.add_argument("--steps", type=int, default=4)
+    p_run.add_argument("--offload-condensation", action="store_true")
+    p_run.add_argument("--offload-advection", action="store_true")
+    p_run.set_defaults(func=cmd_run)
+
+    p_st = sub.add_parser("stages", help="walk the optimization sequence")
+    p_st.add_argument("--scale", type=float, default=0.1)
+    p_st.add_argument("--ranks", type=int, default=4)
+    p_st.add_argument("--steps", type=int, default=4)
+    p_st.set_defaults(func=cmd_stages)
+
+    p_ex = sub.add_parser("experiments", help="regenerate every table/figure")
+    p_ex.add_argument("--quick", action="store_true")
+    p_ex.set_defaults(func=cmd_experiments)
+
+    p_sc = sub.add_parser("scaling", help="Fig. 4 / Table VII projection")
+    p_sc.add_argument("--quick", action="store_true")
+    p_sc.set_defaults(func=cmd_scaling)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    import repro  # noqa: F401  (PAPER used in the parser description)
+
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""A Codee-like static analyzer for a Fortran subset.
+
+Reproduces the pieces of Codee's workflow the paper relies on
+(Sec. V-A, VI-A):
+
+* ``screening`` — an inventory of files/subroutines/loops and the
+  optimization opportunities in them (`repro.codee.screening`),
+* ``checks`` — Open-Catalog-style checkers (missing ``implicit none``,
+  assumed-size arrays, missing intents, non-contiguous access, global
+  state written inside parallelizable loops) (`repro.codee.checkers`),
+* dependence analysis — the capability the paper actually used: proving
+  the ``kernals_ks`` loops carry no cross-iteration dependencies and
+  that the 20 collision arrays are fully overwritten (hence
+  ``map(from:)``) (`repro.codee.dependence`),
+* ``rewrite --offload omp`` — the autofix that inserts
+  ``!$omp target teams distribute parallel do`` directives, emitting
+  Listing 4 from Listing 3 (`repro.codee.rewrite`).
+
+The front end handles the Fortran subset the FSBM sources use:
+modules, subroutines/functions, declarations with attributes, ``do``
+loops, ``if`` blocks, assignments, calls, and OpenMP sentinels.
+"""
+
+from repro.codee.lexer import tokenize, Token, TokenKind
+from repro.codee.fparser import parse_source
+from repro.codee.fast import (
+    Module,
+    Subroutine,
+    DoLoop,
+    Assignment,
+    VarRef,
+)
+from repro.codee.dependence import analyze_loop, DependenceReport
+from repro.codee.screening import screening_report, ScreeningReport
+from repro.codee.checks import run_checks, Finding
+from repro.codee.rewrite import offload_rewrite
+from repro.codee.compile_commands import CompileCommand, load_compile_commands
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenKind",
+    "parse_source",
+    "Module",
+    "Subroutine",
+    "DoLoop",
+    "Assignment",
+    "VarRef",
+    "analyze_loop",
+    "DependenceReport",
+    "screening_report",
+    "ScreeningReport",
+    "run_checks",
+    "Finding",
+    "offload_rewrite",
+    "CompileCommand",
+    "load_compile_commands",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.codee`` entry point (Listing 2 workflow)."""
+
+from repro.codee.cli import main
+
+raise SystemExit(main())

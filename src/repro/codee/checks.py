@@ -1,0 +1,301 @@
+"""Open-Catalog-style checkers (the ``codee checks`` report).
+
+Each checker inspects a parsed source file and emits findings with the
+catalog identifiers Codee's open catalog uses for the same smells. The
+paper specifically mentions using the modernization checks to find
+"legacy constructs such as assumed-shape arrays and dummy argument
+intents in other subroutines like onecond" (Sec. VIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.codee.dependence import analyze_loop
+from repro.codee.fast import (
+    Assignment,
+    DoLoop,
+    Module,
+    SourceFile,
+    Subroutine,
+    VarRef,
+    walk_stmts,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One checker hit."""
+
+    check_id: str
+    title: str
+    path: str
+    line: int
+    routine: str
+    detail: str
+    category: str  # "modernization" | "correctness" | "optimization"
+
+    def render(self) -> str:
+        return (
+            f"[{self.check_id}] {self.path}:{self.line} ({self.routine}): "
+            f"{self.title} — {self.detail}"
+        )
+
+
+Checker = Callable[[SourceFile], list[Finding]]
+
+
+def check_implicit_none(sf: SourceFile) -> list[Finding]:
+    """PWR007: add explicit 'implicit none' to every program unit."""
+    out = []
+    for routine in sf.all_routines():
+        if not routine.implicit_none:
+            out.append(
+                Finding(
+                    check_id="PWR007",
+                    title="missing 'implicit none'",
+                    path=sf.path,
+                    line=routine.line,
+                    routine=routine.name,
+                    detail="implicit typing hides declaration bugs; declare "
+                    "all variables explicitly",
+                    category="modernization",
+                )
+            )
+    return out
+
+
+def check_assumed_size(sf: SourceFile) -> list[Finding]:
+    """PWR008: declare the intent and shape of dummy arrays explicitly."""
+    out = []
+    for routine in sf.all_routines():
+        for d in routine.decls:
+            for e in d.entities:
+                if e.assumed_size:
+                    out.append(
+                        Finding(
+                            check_id="PWR008",
+                            title="assumed-size dummy array",
+                            path=sf.path,
+                            line=d.line,
+                            routine=routine.name,
+                            detail=f"array {e.name}(*) defeats shape checking "
+                            "and inlining; use an explicit or assumed shape",
+                            category="modernization",
+                        )
+                    )
+    return out
+
+
+def check_missing_intent(sf: SourceFile) -> list[Finding]:
+    """PWR001: declare intent for every dummy argument."""
+    out = []
+    for routine in sf.all_routines():
+        dummies = {a.lower() for a in routine.args}
+        with_intent: set[str] = set()
+        declared: set[str] = set()
+        for d in routine.decls:
+            for e in d.entities:
+                if e.lowered in dummies:
+                    declared.add(e.lowered)
+                    if d.intent is not None:
+                        with_intent.add(e.lowered)
+        for name in sorted(declared - with_intent):
+            out.append(
+                Finding(
+                    check_id="PWR001",
+                    title="dummy argument without intent",
+                    path=sf.path,
+                    line=routine.line,
+                    routine=routine.name,
+                    detail=f"argument {name} has no intent attribute; the "
+                    "compiler cannot diagnose accidental writes",
+                    category="modernization",
+                )
+            )
+    return out
+
+
+def check_global_writes_in_loops(sf: SourceFile) -> list[Finding]:
+    """PWR014-style: global variables written inside loops block parallelism.
+
+    This is exactly the situation of the original ``kernals_ks``: the 20
+    collision arrays are module globals, so the enclosing grid loops
+    cannot be parallelized without restructuring (Sec. VI-A).
+    """
+    out = []
+    for module in sf.modules:
+        globals_ = module.module_variable_names()
+        for routine in module.routines:
+            local = routine.declared_names()
+            for loop in routine.loops():
+                for stmt in walk_stmts(loop.body):
+                    if isinstance(stmt, Assignment):
+                        name = stmt.target.lowered
+                        if name in globals_ and name not in local:
+                            out.append(
+                                Finding(
+                                    check_id="PWR014",
+                                    title="module variable written inside a loop",
+                                    path=sf.path,
+                                    line=stmt.line or loop.line,
+                                    routine=routine.name,
+                                    detail=f"{stmt.target.name} is module "
+                                    "state; concurrent iterations would race "
+                                    "on it — privatize it or compute entries "
+                                    "on demand",
+                                    category="correctness",
+                                )
+                            )
+                            break
+    return out
+
+
+def check_noncontiguous_access(sf: SourceFile) -> list[Finding]:
+    """PWR010-style: innermost loop should move along the first subscript.
+
+    Fortran is column-major; an innermost loop variable appearing in a
+    trailing subscript position produces strided accesses (the effect
+    the paper's roofline discussion attributes the stage-3 DRAM traffic
+    to).
+    """
+    out = []
+    for routine in sf.all_routines():
+        for loop in routine.loops():
+            inner = loop.innermost()
+            var = inner.var.lower()
+            for stmt in walk_stmts(inner.body):
+                if isinstance(stmt, Assignment) and stmt.target.subscripts:
+                    subs = stmt.target.subscripts
+                    positions = [
+                        i
+                        for i, s in enumerate(subs)
+                        if isinstance(s, VarRef)
+                        and not s.subscripts
+                        and s.lowered == var
+                    ]
+                    if positions and 0 not in positions:
+                        out.append(
+                            Finding(
+                                check_id="PWR010",
+                                title="non-contiguous array access in inner loop",
+                                path=sf.path,
+                                line=stmt.line or inner.line,
+                                routine=routine.name,
+                                detail=f"{stmt.target.name}: inner index "
+                                f"{inner.var} is subscript "
+                                f"{positions[0] + 1} (column-major wants 1)",
+                                category="optimization",
+                            )
+                        )
+    return out
+
+
+def check_offload_opportunity(sf: SourceFile) -> list[Finding]:
+    """RMK015-style remark: loop nest is provably offloadable."""
+    out = []
+    for module_or_none, routine in _routines_with_module(sf):
+        for loop in routine.loops():
+            if loop.nest_depth() < 2:
+                continue
+            report = analyze_loop(loop, routine, module_or_none)
+            if report.parallelizable:
+                out.append(
+                    Finding(
+                        check_id="RMK015",
+                        title="loop nest is a GPU offload opportunity",
+                        path=sf.path,
+                        line=loop.line,
+                        routine=routine.name,
+                        detail=f"{loop.nest_depth()}-deep nest over "
+                        f"({', '.join(loop.nest_vars())}) has no "
+                        "loop-carried dependencies; see 'codee rewrite "
+                        "--offload omp'",
+                        category="optimization",
+                    )
+                )
+    return out
+
+
+def check_device_automatic_arrays(sf: SourceFile) -> list[Finding]:
+    """PWR020-style: automatic arrays in a ``declare target`` routine.
+
+    Exactly the paper's stage-2 -> stage-3 problem: each device thread
+    carries the arrays on its stack, overflowing the CUDA stack under a
+    full ``collapse``; the fix is pointers into preallocated module
+    arrays (Listing 8).
+    """
+    out = []
+    for routine in sf.all_routines():
+        on_device = any(
+            "declare target" in d.lowered for d in routine.directives
+        )
+        if not on_device:
+            continue
+        dummies = {a.lower() for a in routine.args}
+        for d in routine.decls:
+            if d.is_pointer or d.is_parameter:
+                continue
+            for e in d.entities:
+                if e.dims and e.lowered not in dummies:
+                    out.append(
+                        Finding(
+                            check_id="PWR020",
+                            title="automatic array in device routine",
+                            path=sf.path,
+                            line=d.line,
+                            routine=routine.name,
+                            detail=f"{e.name} lives on every device "
+                            "thread's stack; a full collapse will "
+                            "overflow NV_ACC_CUDA_STACKSIZE — point it "
+                            "at a preallocated module array instead",
+                            category="optimization",
+                        )
+                    )
+    return out
+
+
+def _routines_with_module(sf: SourceFile):
+    for m in sf.modules:
+        for r in m.routines:
+            yield m, r
+    for r in sf.routines:
+        yield None, r
+
+
+#: All registered checkers, in catalog order.
+ALL_CHECKERS: tuple[tuple[str, Checker], ...] = (
+    ("PWR001", check_missing_intent),
+    ("PWR007", check_implicit_none),
+    ("PWR008", check_assumed_size),
+    ("PWR010", check_noncontiguous_access),
+    ("PWR014", check_global_writes_in_loops),
+    ("PWR020", check_device_automatic_arrays),
+    ("RMK015", check_offload_opportunity),
+)
+
+
+def run_checks(sf: SourceFile) -> list[Finding]:
+    """Run every catalog checker over one parsed file."""
+    findings: list[Finding] = []
+    for _, checker in ALL_CHECKERS:
+        findings.extend(checker(sf))
+    findings.sort(key=lambda f: (f.path, f.line, f.check_id))
+    return findings
+
+
+def format_checks_report(findings: list[Finding]) -> str:
+    """The ``codee checks`` textual report."""
+    if not findings:
+        return "codee checks: no findings"
+    lines = [f"codee checks: {len(findings)} finding(s)"]
+    lines.extend(f.render() for f in findings)
+    by_cat: dict[str, int] = {}
+    for f in findings:
+        by_cat[f.category] = by_cat.get(f.category, 0) + 1
+    lines.append(
+        "summary: "
+        + ", ".join(f"{n} {cat}" for cat, n in sorted(by_cat.items()))
+    )
+    return "\n".join(lines)

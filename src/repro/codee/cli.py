@@ -1,0 +1,116 @@
+"""Command-line front end mirroring Listing 2 of the paper.
+
+::
+
+    python -m repro.codee screening --config compile_commands.json
+    python -m repro.codee checks --config compile_commands.json
+    python -m repro.codee checks file.f90
+    python -m repro.codee rewrite --offload omp --in-place file.f90:LINE:COL
+
+The ``rewrite`` target syntax (``file:line:col``) matches Codee's; the
+column is accepted and ignored (our loop locator works per line).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.codee.checks import format_checks_report, run_checks
+from repro.codee.compile_commands import fortran_units, load_compile_commands
+from repro.codee.fparser import parse_source
+from repro.codee.rewrite import offload_rewrite
+from repro.codee.screening import screening_report
+from repro.errors import CodeeError, FortranSyntaxError, RewriteError
+
+
+def _gather_sources(args: argparse.Namespace) -> dict[str, str]:
+    """Collect {path: text} from --config and/or positional files."""
+    sources: dict[str, str] = {}
+    if args.config:
+        for unit in fortran_units(load_compile_commands(args.config)):
+            path = unit.resolved_path()
+            if path.exists():
+                sources[str(path)] = path.read_text()
+    for name in getattr(args, "files", []) or []:
+        sources[name] = Path(name).read_text()
+    if not sources:
+        raise CodeeError(
+            "no Fortran sources found (pass files or --config with "
+            "entries whose paths exist)"
+        )
+    return sources
+
+
+def cmd_screening(args: argparse.Namespace) -> int:
+    report = screening_report(_gather_sources(args))
+    print(report.format_table())
+    return 0
+
+
+def cmd_checks(args: argparse.Namespace) -> int:
+    findings = []
+    for path, text in sorted(_gather_sources(args).items()):
+        findings.extend(run_checks(parse_source(text, path)))
+    print(format_checks_report(findings))
+    return 0 if not findings else 2
+
+
+def cmd_rewrite(args: argparse.Namespace) -> int:
+    parts = args.target.split(":")
+    if len(parts) not in (2, 3):
+        raise CodeeError("rewrite target must be file:line[:col]")
+    path = Path(parts[0])
+    line = int(parts[1])
+    if args.offload != "omp":
+        raise CodeeError(f"unsupported offload model {args.offload!r}")
+    result = offload_rewrite(path.read_text(), line=line, path=str(path))
+    if args.in_place:
+        path.write_text(result.source)
+        print(f"{path}: loop at line {result.loop_line} annotated in place")
+    else:
+        print(result.source)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="codee",
+        description="Codee-workflow reproduction (screening/checks/rewrite)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_scr = sub.add_parser("screening", help="rank files by opportunity")
+    p_scr.add_argument("files", nargs="*", help="Fortran source files")
+    p_scr.add_argument("--config", help="compile_commands.json from bear")
+    p_scr.set_defaults(func=cmd_screening)
+
+    p_chk = sub.add_parser("checks", help="run the Open-Catalog checkers")
+    p_chk.add_argument("files", nargs="*", help="Fortran source files")
+    p_chk.add_argument("--config", help="compile_commands.json from bear")
+    p_chk.set_defaults(func=cmd_checks)
+
+    p_rw = sub.add_parser("rewrite", help="insert OpenMP offload directives")
+    p_rw.add_argument("target", help="file.f90:line[:col] of the loop")
+    p_rw.add_argument("--offload", default="omp", help="offload model (omp)")
+    p_rw.add_argument(
+        "--in-place", action="store_true", help="modify the file in place"
+    )
+    p_rw.add_argument("--config", help="compile_commands.json (accepted)")
+    p_rw.set_defaults(func=cmd_rewrite)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (CodeeError, FortranSyntaxError, RewriteError, OSError) as exc:
+        print(f"codee: error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""``compile_commands.json`` support (the ``bear`` capture of Listing 2).
+
+The paper's setup intercepts WRF's build with ``bear`` and feeds the
+resulting compilation database to Codee. This module reads that format
+and selects the Fortran translation units with their include paths and
+macro definitions — what a source-level tool needs to reproduce each
+compile.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import CodeeError
+
+FORTRAN_SUFFIXES = (".f", ".f90", ".f95", ".f03", ".f08", ".F", ".F90")
+
+
+@dataclass(frozen=True)
+class CompileCommand:
+    """One entry of the compilation database."""
+
+    file: str
+    directory: str
+    arguments: tuple[str, ...]
+
+    @property
+    def is_fortran(self) -> bool:
+        return self.file.endswith(FORTRAN_SUFFIXES)
+
+    @property
+    def include_dirs(self) -> tuple[str, ...]:
+        out = []
+        args = list(self.arguments)
+        for i, a in enumerate(args):
+            if a == "-I" and i + 1 < len(args):
+                out.append(args[i + 1])
+            elif a.startswith("-I") and len(a) > 2:
+                out.append(a[2:])
+        return tuple(out)
+
+    @property
+    def defines(self) -> tuple[str, ...]:
+        return tuple(
+            a[2:] for a in self.arguments if a.startswith("-D") and len(a) > 2
+        )
+
+    @property
+    def compiler(self) -> str:
+        return self.arguments[0] if self.arguments else ""
+
+    def resolved_path(self) -> Path:
+        p = Path(self.file)
+        return p if p.is_absolute() else Path(self.directory) / p
+
+
+def load_compile_commands(path: str | Path) -> list[CompileCommand]:
+    """Parse a compile_commands.json file."""
+    try:
+        entries = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CodeeError(f"cannot read compilation database {path}: {exc}") from exc
+    if not isinstance(entries, list):
+        raise CodeeError("compilation database must be a JSON array")
+    out: list[CompileCommand] = []
+    for e in entries:
+        if "arguments" in e:
+            args = tuple(e["arguments"])
+        elif "command" in e:
+            args = tuple(shlex.split(e["command"]))
+        else:
+            raise CodeeError("entry needs 'arguments' or 'command'")
+        out.append(
+            CompileCommand(
+                file=e["file"], directory=e.get("directory", "."), arguments=args
+            )
+        )
+    return out
+
+
+def fortran_units(commands: list[CompileCommand]) -> list[CompileCommand]:
+    """The Fortran subset of a compilation database."""
+    return [c for c in commands if c.is_fortran]

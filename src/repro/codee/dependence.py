@@ -1,0 +1,294 @@
+"""Loop dependence and privatization analysis.
+
+This is the Codee capability the paper actually leaned on (Sec. VI-A):
+given the ``kernals_ks`` loops it must conclude that
+
+* no iteration reads what another iteration writes (parallelizable),
+* scalars like ``ckern_1`` are privatizable (written before read in
+  every iteration),
+* the global collision arrays are *fully overwritten* and never read,
+  so they map as ``map(from: ...)`` rather than ``tofrom``.
+
+The subscript tests are deliberately conservative (a sound subset of
+ZIV/SIV): an array write is independent across iterations only when
+its subscripts include every parallel loop variable as a plain index
+(possibly in different positions). Anything the analysis cannot prove
+is reported as a dependence, with a reason string — like the tool, the
+point is actionable diagnostics rather than maximal coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codee.fast import (
+    Assignment,
+    BinOp,
+    CallStmt,
+    Declaration,
+    DoLoop,
+    Expr,
+    IfBlock,
+    Literal,
+    Module,
+    RangeExpr,
+    Stmt,
+    Subroutine,
+    UnaryOp,
+    VarRef,
+    walk_expr,
+    walk_stmts,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayAccess:
+    """One subscripted reference inside the loop body."""
+
+    name: str
+    subscripts: tuple[Expr, ...]
+    is_write: bool
+    line: int
+    conditional: bool
+
+
+@dataclass
+class DependenceReport:
+    """Outcome of analyzing one loop nest."""
+
+    loop: DoLoop
+    parallelizable: bool
+    #: Scalars private to each iteration.
+    private_scalars: tuple[str, ...]
+    #: Arrays fully overwritten by the nest and never read: map(from:).
+    write_only_arrays: tuple[str, ...]
+    #: Arrays both read and written elementwise without cross-iteration
+    #: conflicts: map(tofrom:).
+    readwrite_arrays: tuple[str, ...]
+    #: Arrays only read: map(to:).
+    read_only_arrays: tuple[str, ...]
+    #: Human-readable reasons when not parallelizable.
+    reasons: tuple[str, ...]
+    #: Calls inside the nest (opaque to the analysis unless pure).
+    calls: tuple[str, ...]
+
+    @property
+    def globals_overwritten(self) -> tuple[str, ...]:
+        """Alias emphasising the paper's observation on kernals_ks."""
+        return self.write_only_arrays
+
+
+def _subscript_vars(expr: Expr) -> set[str]:
+    """Loop-variable candidates appearing in one subscript expression."""
+    out: set[str] = set()
+    for node in walk_expr(expr):
+        if isinstance(node, VarRef) and not node.subscripts:
+            out.add(node.lowered)
+    return out
+
+
+def _is_plain_index(expr: Expr, var: str) -> bool:
+    """True when the subscript is exactly the loop variable."""
+    return isinstance(expr, VarRef) and not expr.subscripts and expr.lowered == var
+
+
+def collect_accesses(
+    loop: DoLoop, known_arrays: set[str]
+) -> tuple[list[ArrayAccess], list[str], set[str], set[str]]:
+    """Accesses, call names, scalar writes, and scalar reads in a nest.
+
+    ``known_arrays`` disambiguates ``f(i)`` between array reference and
+    function call: subscripted names not in the set are treated as
+    function calls (opaque, pure-by-assumption is NOT made — they are
+    returned in the call list).
+    """
+    accesses: list[ArrayAccess] = []
+    calls: list[str] = []
+    scalar_writes: set[str] = set()
+    scalar_reads: set[str] = set()
+
+    def visit_expr(expr: Expr, conditional: bool) -> None:
+        for node in walk_expr(expr):
+            if isinstance(node, VarRef):
+                if node.subscripts:
+                    if node.lowered in known_arrays:
+                        accesses.append(
+                            ArrayAccess(
+                                name=node.lowered,
+                                subscripts=node.subscripts,
+                                is_write=False,
+                                line=0,
+                                conditional=conditional,
+                            )
+                        )
+                    else:
+                        calls.append(node.lowered)
+                else:
+                    scalar_reads.add(node.lowered)
+
+    def visit(stmts: list[Stmt], conditional: bool) -> None:
+        for s in stmts:
+            if isinstance(s, Assignment):
+                t = s.target
+                if t.subscripts:
+                    accesses.append(
+                        ArrayAccess(
+                            name=t.lowered,
+                            subscripts=t.subscripts,
+                            is_write=True,
+                            line=s.line,
+                            conditional=conditional,
+                        )
+                    )
+                    for sub in t.subscripts:
+                        visit_expr(sub, conditional)
+                else:
+                    scalar_writes.add(t.lowered)
+                visit_expr(s.value, conditional)
+            elif isinstance(s, CallStmt):
+                calls.append(s.name.lower())
+                for a in s.args:
+                    visit_expr(a, conditional)
+            elif isinstance(s, IfBlock):
+                visit_expr(s.condition, conditional)
+                visit(s.body, True)
+                for cond, body in s.elifs:
+                    visit_expr(cond, conditional)
+                    visit(body, True)
+                visit(s.orelse, True)
+            elif isinstance(s, DoLoop):
+                visit_expr(s.start, conditional)
+                visit_expr(s.stop, conditional)
+                visit(s.body, conditional)
+
+    visit(loop.body, False)
+    return accesses, calls, scalar_writes, scalar_reads
+
+
+def analyze_loop(
+    loop: DoLoop,
+    routine: Subroutine,
+    module: Module | None = None,
+) -> DependenceReport:
+    """Dependence analysis of one (possibly nested) loop."""
+    nest_vars = [v.lower() for v in loop.nest_vars()]
+    known_arrays: set[str] = set()
+    for d in routine.decls:
+        for e in d.entities:
+            if e.dims:
+                known_arrays.add(e.lowered)
+    if module is not None:
+        for d in module.decls:
+            for e in d.entities:
+                if e.dims:
+                    known_arrays.add(e.lowered)
+
+    accesses, calls, scalar_writes, scalar_reads = collect_accesses(
+        loop, known_arrays
+    )
+
+    reasons: list[str] = []
+
+    # Opaque calls block the proof unless the callee is pure.
+    unknown_calls = sorted(set(calls))
+    if unknown_calls:
+        pure_names = set()
+        if module is not None:
+            pure_names = {
+                r.name.lower() for r in module.routines if "pure" in r.prefixes
+            }
+        blocking = [c for c in unknown_calls if c not in pure_names]
+        if blocking:
+            reasons.append(
+                "calls with unknown side effects inside the nest: "
+                + ", ".join(blocking)
+            )
+
+    written = {a.name for a in accesses if a.is_write}
+    read = {a.name for a in accesses if not a.is_write}
+
+    # Scalars written each iteration are privatization candidates; a
+    # scalar read but never written inside the nest is loop-invariant.
+    private = sorted(
+        (scalar_writes - set(nest_vars)) & (scalar_writes | scalar_reads)
+    )
+
+    write_only: list[str] = []
+    readwrite: list[str] = []
+    for name in sorted(written):
+        w_accesses = [a for a in accesses if a.name == name and a.is_write]
+        r_accesses = [a for a in accesses if a.name == name and not a.is_write]
+        # Each write must be indexed by every parallel loop variable as a
+        # plain index (in any subscript position).
+        for acc in w_accesses:
+            plain_positions = {
+                v
+                for v in nest_vars
+                if any(_is_plain_index(s, v) for s in acc.subscripts)
+            }
+            missing = [v for v in nest_vars if v not in plain_positions]
+            if missing:
+                reasons.append(
+                    f"write to {name}({', '.join(_fmt(s) for s in acc.subscripts)}) "
+                    f"is not indexed by loop variable(s) {', '.join(missing)}: "
+                    "different iterations write the same element"
+                )
+        # Reads must use the same plain indices as writes (no offsets).
+        for acc in r_accesses:
+            offset_vars = {
+                v
+                for v in nest_vars
+                if any(
+                    v in _subscript_vars(s) and not _is_plain_index(s, v)
+                    for s in acc.subscripts
+                )
+            }
+            if offset_vars:
+                reasons.append(
+                    f"read of {name}({', '.join(_fmt(s) for s in acc.subscripts)}) "
+                    f"offsets loop variable(s) {', '.join(sorted(offset_vars))}: "
+                    "loop-carried flow dependence"
+                )
+        if r_accesses:
+            readwrite.append(name)
+        else:
+            # Written at every iteration and never read in the nest. If
+            # every write is unconditional the array is fully
+            # overwritten: map(from:). Conditional writes keep old
+            # elements: map(tofrom:).
+            if all(not a.conditional for a in w_accesses):
+                write_only.append(name)
+            else:
+                readwrite.append(name)
+
+    read_only = sorted(read - written)
+
+    return DependenceReport(
+        loop=loop,
+        parallelizable=not reasons,
+        private_scalars=tuple(private),
+        write_only_arrays=tuple(write_only),
+        readwrite_arrays=tuple(sorted(set(readwrite))),
+        read_only_arrays=tuple(read_only),
+        reasons=tuple(reasons),
+        calls=tuple(unknown_calls),
+    )
+
+
+def _fmt(expr: Expr) -> str:
+    """Compact textual form of an expression for diagnostics."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, VarRef):
+        if expr.subscripts:
+            return f"{expr.name}({', '.join(_fmt(s) for s in expr.subscripts)})"
+        return expr.name
+    if isinstance(expr, BinOp):
+        return f"{_fmt(expr.left)} {expr.op} {_fmt(expr.right)}"
+    if isinstance(expr, UnaryOp):
+        return f"{expr.op}{_fmt(expr.operand)}"
+    if isinstance(expr, RangeExpr):
+        lo = _fmt(expr.lo) if expr.lo is not None else ""
+        hi = _fmt(expr.hi) if expr.hi is not None else ""
+        return f"{lo}:{hi}"
+    return "?"

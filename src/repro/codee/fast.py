@@ -1,0 +1,328 @@
+"""AST nodes for the Fortran subset ("fast" = Fortran AST)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+# --- expressions ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    """Numeric/string/logical literal."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """A variable reference, possibly subscripted: ``a``, ``a(i, j)``.
+
+    In Fortran source, ``f(i)`` is syntactically identical for array
+    indexing and function calls; the parser produces VarRef and the
+    semantic passes disambiguate against declarations.
+    """
+
+    name: str
+    subscripts: tuple["Expr", ...] = ()
+
+    @property
+    def lowered(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class RangeExpr:
+    """Array-section bound ``lo:hi`` (either side may be None)."""
+
+    lo: "Expr | None"
+    hi: "Expr | None"
+
+
+Expr = Union[Literal, VarRef, BinOp, UnaryOp, RangeExpr]
+
+
+def walk_expr(expr: Expr) -> Iterator[Expr]:
+    """Preorder traversal of one expression."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, VarRef):
+        for s in expr.subscripts:
+            yield from walk_expr(s)
+    elif isinstance(expr, RangeExpr):
+        if expr.lo is not None:
+            yield from walk_expr(expr.lo)
+        if expr.hi is not None:
+            yield from walk_expr(expr.hi)
+
+
+# --- statements ------------------------------------------------------------
+
+
+@dataclass
+class Assignment:
+    target: VarRef
+    value: Expr
+    line: int = 0
+    #: True for pointer assignment ``p => q`` (Listing 8).
+    pointer: bool = False
+
+
+@dataclass
+class CallStmt:
+    name: str
+    args: tuple[Expr, ...]
+    line: int = 0
+
+
+@dataclass
+class AllocateStmt:
+    targets: tuple[VarRef, ...]
+    line: int = 0
+    deallocate: bool = False
+
+
+@dataclass
+class ExitStmt:
+    line: int = 0
+
+
+@dataclass
+class CycleStmt:
+    line: int = 0
+
+
+@dataclass
+class ReturnStmt:
+    line: int = 0
+
+
+@dataclass
+class Directive:
+    """An ``!$omp`` sentinel line attached where it appeared."""
+
+    text: str
+    line: int = 0
+
+    @property
+    def lowered(self) -> str:
+        return self.text.lower()
+
+
+@dataclass
+class IfBlock:
+    condition: Expr
+    body: list["Stmt"] = field(default_factory=list)
+    elifs: list[tuple[Expr, list["Stmt"]]] = field(default_factory=list)
+    orelse: list["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class DoLoop:
+    var: str
+    start: Expr
+    stop: Expr
+    step: Expr | None = None
+    body: list["Stmt"] = field(default_factory=list)
+    line: int = 0
+    #: Directives immediately preceding the loop.
+    directives: list[Directive] = field(default_factory=list)
+
+    def nest_depth(self) -> int:
+        """How many perfectly nested do-loops start here (>= 1)."""
+        depth = 1
+        body = [s for s in self.body if not isinstance(s, Directive)]
+        while len(body) == 1 and isinstance(body[0], DoLoop):
+            depth += 1
+            body = [s for s in body[0].body if not isinstance(s, Directive)]
+        return depth
+
+    def innermost(self) -> "DoLoop":
+        """The innermost loop of a perfect nest."""
+        loop = self
+        while True:
+            body = [s for s in loop.body if not isinstance(s, Directive)]
+            if len(body) == 1 and isinstance(body[0], DoLoop):
+                loop = body[0]
+            else:
+                return loop
+
+    def nest_vars(self) -> list[str]:
+        """Loop variables of the perfect nest, outermost first."""
+        out = [self.var]
+        body = [s for s in self.body if not isinstance(s, Directive)]
+        while len(body) == 1 and isinstance(body[0], DoLoop):
+            out.append(body[0].var)
+            body = [s for s in body[0].body if not isinstance(s, Directive)]
+        return out
+
+
+Stmt = Union[
+    Assignment,
+    CallStmt,
+    AllocateStmt,
+    IfBlock,
+    DoLoop,
+    Directive,
+    ExitStmt,
+    CycleStmt,
+    ReturnStmt,
+]
+
+
+def walk_stmts(stmts: list[Stmt]) -> Iterator[Stmt]:
+    """Preorder traversal of a statement list."""
+    for s in stmts:
+        yield s
+        if isinstance(s, IfBlock):
+            yield from walk_stmts(s.body)
+            for _, body in s.elifs:
+                yield from walk_stmts(body)
+            yield from walk_stmts(s.orelse)
+        elif isinstance(s, DoLoop):
+            yield from walk_stmts(s.body)
+
+
+# --- declarations and program units -------------------------------------------
+
+
+@dataclass
+class Entity:
+    """One declared name with optional dimensions/initializer."""
+
+    name: str
+    dims: tuple[Expr, ...] = ()
+    init: Expr | None = None
+
+    @property
+    def lowered(self) -> str:
+        return self.name.lower()
+
+    @property
+    def assumed_size(self) -> bool:
+        """True for ``a(*)``-style assumed-size declarations."""
+        return any(
+            isinstance(d, Literal) and d.value == "*" for d in self.dims
+        )
+
+
+@dataclass
+class Declaration:
+    """``real, pointer :: fl1(:), fl2(:)`` and friends."""
+
+    base_type: str
+    attrs: tuple[str, ...]
+    entities: tuple[Entity, ...]
+    line: int = 0
+    intent: str | None = None
+
+    @property
+    def is_pointer(self) -> bool:
+        return "pointer" in self.attrs
+
+    @property
+    def is_parameter(self) -> bool:
+        return "parameter" in self.attrs
+
+
+@dataclass
+class UseStmt:
+    module: str
+    line: int = 0
+
+
+@dataclass
+class Subroutine:
+    """A subroutine or function."""
+
+    name: str
+    args: tuple[str, ...]
+    decls: list[Declaration] = field(default_factory=list)
+    uses: list[UseStmt] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+    implicit_none: bool = False
+    is_function: bool = False
+    prefixes: tuple[str, ...] = ()  # pure, elemental
+    directives: list[Directive] = field(default_factory=list)
+    line: int = 0
+
+    def declared_names(self) -> set[str]:
+        """All locally declared (or dummy) names, lowercase."""
+        names = {a.lower() for a in self.args}
+        for d in self.decls:
+            names.update(e.lowered for e in d.entities)
+        return names
+
+    def declaration_of(self, name: str) -> tuple[Declaration, Entity] | None:
+        """Find the declaration for one name."""
+        low = name.lower()
+        for d in self.decls:
+            for e in d.entities:
+                if e.lowered == low:
+                    return d, e
+        return None
+
+    def loops(self) -> list[DoLoop]:
+        """Every do-loop in the body, preorder."""
+        return [s for s in walk_stmts(self.body) if isinstance(s, DoLoop)]
+
+
+@dataclass
+class Module:
+    """A Fortran module: module-level declarations plus routines."""
+
+    name: str
+    decls: list[Declaration] = field(default_factory=list)
+    routines: list[Subroutine] = field(default_factory=list)
+    implicit_none: bool = False
+    uses: list[UseStmt] = field(default_factory=list)
+    line: int = 0
+
+    def routine(self, name: str) -> Subroutine:
+        low = name.lower()
+        for r in self.routines:
+            if r.name.lower() == low:
+                return r
+        raise KeyError(name)
+
+    def module_variable_names(self) -> set[str]:
+        """Names of module-level (global) variables, lowercase."""
+        names: set[str] = set()
+        for d in self.decls:
+            if not d.is_parameter:
+                names.update(e.lowered for e in d.entities)
+        return names
+
+
+@dataclass
+class SourceFile:
+    """Parsed translation unit: modules plus bare routines."""
+
+    path: str
+    modules: list[Module] = field(default_factory=list)
+    routines: list[Subroutine] = field(default_factory=list)
+
+    def all_routines(self) -> list[Subroutine]:
+        out = list(self.routines)
+        for m in self.modules:
+            out.extend(m.routines)
+        return out

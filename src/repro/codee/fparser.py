@@ -1,0 +1,590 @@
+"""Recursive-descent parser for the Fortran subset."""
+
+from __future__ import annotations
+
+from repro.codee.fast import (
+    AllocateStmt,
+    Assignment,
+    BinOp,
+    CallStmt,
+    CycleStmt,
+    Declaration,
+    Directive,
+    DoLoop,
+    Entity,
+    ExitStmt,
+    Expr,
+    IfBlock,
+    Literal,
+    Module,
+    RangeExpr,
+    ReturnStmt,
+    SourceFile,
+    Stmt,
+    Subroutine,
+    UnaryOp,
+    UseStmt,
+    VarRef,
+)
+from repro.codee.lexer import Token, TokenKind, tokenize
+from repro.errors import FortranSyntaxError
+
+_TYPE_KEYWORDS = {"real", "integer", "logical", "character"}
+_ATTR_KEYWORDS = {
+    "parameter",
+    "dimension",
+    "allocatable",
+    "pointer",
+    "target",
+    "save",
+    "intent",
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], path: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.path = path
+
+    # --- token plumbing ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def at(self, kind: TokenKind, text: str | None = None, offset: int = 0) -> bool:
+        tok = self.peek(offset)
+        if tok.kind is not kind:
+            return False
+        return text is None or tok.lowered == text
+
+    def at_kw(self, *words: str) -> bool:
+        return self.peek().kind is TokenKind.KEYWORD and self.peek().lowered in words
+
+    def expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        tok = self.peek()
+        if not self.at(kind, text):
+            raise FortranSyntaxError(
+                f"expected {text or kind.value}, found {tok.text!r}",
+                tok.line,
+                tok.column,
+            )
+        return self.advance()
+
+    def skip_newlines(self) -> None:
+        while self.at(TokenKind.NEWLINE):
+            self.advance()
+
+    def end_of_statement(self) -> None:
+        if self.at(TokenKind.EOF):
+            return
+        self.expect(TokenKind.NEWLINE)
+
+    # --- program structure ---------------------------------------------------
+
+    def parse_file(self) -> SourceFile:
+        out = SourceFile(path=self.path)
+        self.skip_newlines()
+        while not self.at(TokenKind.EOF):
+            if self.at_kw("module"):
+                out.modules.append(self.parse_module())
+            elif self._at_routine_start():
+                out.routines.append(self.parse_routine())
+            else:
+                tok = self.peek()
+                raise FortranSyntaxError(
+                    f"expected module or subroutine, found {tok.text!r}",
+                    tok.line,
+                    tok.column,
+                )
+            self.skip_newlines()
+        return out
+
+    def _at_routine_start(self) -> bool:
+        i = 0
+        while self.peek(i).kind is TokenKind.KEYWORD and self.peek(i).lowered in (
+            "pure",
+            "elemental",
+            *_TYPE_KEYWORDS,
+        ):
+            i += 1
+        return self.peek(i).kind is TokenKind.KEYWORD and self.peek(i).lowered in (
+            "subroutine",
+            "function",
+        )
+
+    def parse_module(self) -> Module:
+        start = self.expect(TokenKind.KEYWORD, "module")
+        name = self.expect(TokenKind.IDENT).text
+        self.end_of_statement()
+        mod = Module(name=name, line=start.line)
+        self.skip_newlines()
+        # Specification part.
+        while True:
+            self.skip_newlines()
+            if self.at_kw("contains"):
+                self.advance()
+                self.end_of_statement()
+                break
+            if self.at_kw("end"):
+                break
+            if self.at_kw("use"):
+                mod.uses.append(self.parse_use())
+            elif self.at_kw("implicit"):
+                self.parse_implicit()
+                mod.implicit_none = True
+            elif self._at_declaration():
+                mod.decls.append(self.parse_declaration())
+            elif self.at(TokenKind.DIRECTIVE):
+                self.advance()
+                self.end_of_statement()
+            else:
+                tok = self.peek()
+                raise FortranSyntaxError(
+                    f"unexpected {tok.text!r} in module specification",
+                    tok.line,
+                    tok.column,
+                )
+        # Routines.
+        while True:
+            self.skip_newlines()
+            if self.at_kw("end"):
+                break
+            mod.routines.append(self.parse_routine())
+        self.parse_end("module", name)
+        return mod
+
+    def parse_end(self, unit: str, name: str | None = None) -> None:
+        self.expect(TokenKind.KEYWORD, "end")
+        if self.at_kw(unit):
+            self.advance()
+            if self.at(TokenKind.IDENT):
+                self.advance()
+        self.end_of_statement()
+
+    def parse_use(self) -> UseStmt:
+        tok = self.expect(TokenKind.KEYWORD, "use")
+        name = self.expect(TokenKind.IDENT).text
+        # Ignore only-lists: use mod, only: a, b
+        while not self.at(TokenKind.NEWLINE) and not self.at(TokenKind.EOF):
+            self.advance()
+        self.end_of_statement()
+        return UseStmt(module=name, line=tok.line)
+
+    def parse_implicit(self) -> None:
+        self.expect(TokenKind.KEYWORD, "implicit")
+        self.expect(TokenKind.KEYWORD, "none")
+        self.end_of_statement()
+
+    def parse_routine(self) -> Subroutine:
+        prefixes: list[str] = []
+        is_function = False
+        while self.at_kw("pure", "elemental", *_TYPE_KEYWORDS):
+            prefixes.append(self.advance().lowered)
+        if self.at_kw("function"):
+            is_function = True
+            self.advance()
+        else:
+            self.expect(TokenKind.KEYWORD, "subroutine")
+        name_tok = self.expect(TokenKind.IDENT)
+        args: list[str] = []
+        if self.at(TokenKind.LPAREN):
+            self.advance()
+            while not self.at(TokenKind.RPAREN):
+                if self.at(TokenKind.OP, "*"):
+                    args.append(self.advance().text)  # alternate return
+                else:
+                    args.append(self.expect(TokenKind.IDENT).text)
+                if self.at(TokenKind.COMMA):
+                    self.advance()
+            self.expect(TokenKind.RPAREN)
+        if self.at_kw("result"):
+            self.advance()
+            self.expect(TokenKind.LPAREN)
+            self.expect(TokenKind.IDENT)
+            self.expect(TokenKind.RPAREN)
+        self.end_of_statement()
+
+        sub = Subroutine(
+            name=name_tok.text,
+            args=tuple(args),
+            is_function=is_function,
+            prefixes=tuple(prefixes),
+            line=name_tok.line,
+        )
+        # Specification part.
+        while True:
+            self.skip_newlines()
+            if self.at_kw("use"):
+                sub.uses.append(self.parse_use())
+            elif self.at_kw("implicit"):
+                self.parse_implicit()
+                sub.implicit_none = True
+            elif self.at(TokenKind.DIRECTIVE) and any(
+                key in self.peek().lowered
+                for key in ("declare target", "enter data", "exit data")
+            ):
+                # Declaration-level directives belong to the routine;
+                # executable directives (e.g. the combined target
+                # construct) stay in the token stream for parse_block to
+                # attach to the loop they precede.
+                tok = self.advance()
+                sub.directives.append(Directive(text=tok.text, line=tok.line))
+                self.end_of_statement()
+            elif self._at_declaration():
+                sub.decls.append(self.parse_declaration())
+            else:
+                break
+        # Executable part.
+        sub.body = self.parse_block(until=("end",))
+        self.parse_end("function" if is_function else "subroutine", sub.name)
+        return sub
+
+    # --- declarations -------------------------------------------------------
+
+    def _at_declaration(self) -> bool:
+        if not self.at_kw(*_TYPE_KEYWORDS):
+            return False
+        # Distinguish 'real function f(...)' (routine) from 'real :: x'.
+        i = 1
+        if self.peek(i).kind is TokenKind.KEYWORD and self.peek(i).lowered in (
+            "function",
+            "subroutine",
+        ):
+            return False
+        return True
+
+    def parse_declaration(self) -> Declaration:
+        type_tok = self.advance()
+        attrs: list[str] = []
+        intent: str | None = None
+        dim_attr: tuple[Expr, ...] = ()
+        # Optional kind: real(8) / character(len=...)
+        if self.at(TokenKind.LPAREN):
+            depth = 0
+            while True:
+                tok = self.advance()
+                if tok.kind is TokenKind.LPAREN:
+                    depth += 1
+                elif tok.kind is TokenKind.RPAREN:
+                    depth -= 1
+                    if depth == 0:
+                        break
+        while self.at(TokenKind.COMMA):
+            self.advance()
+            attr = self.expect(TokenKind.KEYWORD)
+            if attr.lowered == "intent":
+                self.expect(TokenKind.LPAREN)
+                intent_tok = self.advance()
+                intent = intent_tok.lowered
+                if intent == "in" and self.at_kw("out"):
+                    self.advance()
+                    intent = "inout"
+                self.expect(TokenKind.RPAREN)
+                attrs.append("intent")
+            elif attr.lowered == "dimension":
+                self.expect(TokenKind.LPAREN)
+                dim_attr = self.parse_subscript_list()
+                self.expect(TokenKind.RPAREN)
+                attrs.append("dimension")
+            else:
+                attrs.append(attr.lowered)
+        if self.at(TokenKind.DCOLON):
+            self.advance()
+        entities: list[Entity] = []
+        while True:
+            name = self.expect(TokenKind.IDENT).text
+            dims: tuple[Expr, ...] = dim_attr
+            if self.at(TokenKind.LPAREN):
+                self.advance()
+                dims = self.parse_subscript_list()
+                self.expect(TokenKind.RPAREN)
+            init: Expr | None = None
+            if self.at(TokenKind.ASSIGN):
+                self.advance()
+                init = self.parse_expr()
+            entities.append(Entity(name=name, dims=dims, init=init))
+            if self.at(TokenKind.COMMA):
+                self.advance()
+                continue
+            break
+        self.end_of_statement()
+        return Declaration(
+            base_type=type_tok.lowered,
+            attrs=tuple(attrs),
+            entities=tuple(entities),
+            line=type_tok.line,
+            intent=intent,
+        )
+
+    def parse_subscript_list(self) -> tuple[Expr, ...]:
+        subs: list[Expr] = []
+        while True:
+            subs.append(self.parse_subscript())
+            if self.at(TokenKind.COMMA):
+                self.advance()
+                continue
+            return tuple(subs)
+
+    def parse_subscript(self) -> Expr:
+        """One subscript: expression, '*', ':', or 'lo:hi'."""
+        if self.at(TokenKind.OP, "*"):
+            tok = self.advance()
+            return Literal("*")
+        lo: Expr | None = None
+        if not self._at_colon():
+            lo = self.parse_expr()
+        if self._at_colon():
+            self.advance()  # ':'
+            hi: Expr | None = None
+            if not self.at(TokenKind.COMMA) and not self.at(TokenKind.RPAREN):
+                hi = self.parse_expr()
+            return RangeExpr(lo=lo, hi=hi)
+        assert lo is not None
+        return lo
+
+    def _at_colon(self) -> bool:
+        # ':' is not in our operator set; it only appears in subscripts.
+        tok = self.peek()
+        return tok.kind is TokenKind.OP and tok.text == ":"
+
+    # --- statements ------------------------------------------------------------
+
+    def parse_block(self, until: tuple[str, ...]) -> list[Stmt]:
+        body: list[Stmt] = []
+        pending_directives: list[Directive] = []
+        while True:
+            self.skip_newlines()
+            if self.at(TokenKind.EOF):
+                return body
+            if self.peek().kind is TokenKind.KEYWORD and self.peek().lowered in until:
+                if pending_directives:
+                    body.extend(pending_directives)
+                return body
+            if self.at(TokenKind.DIRECTIVE):
+                tok = self.advance()
+                pending_directives.append(Directive(text=tok.text, line=tok.line))
+                self.end_of_statement()
+                continue
+            stmt = self.parse_statement()
+            if isinstance(stmt, DoLoop) and pending_directives:
+                stmt.directives = pending_directives
+                pending_directives = []
+            elif pending_directives:
+                body.extend(pending_directives)
+                pending_directives = []
+            body.append(stmt)
+
+    def parse_statement(self) -> Stmt:
+        if self.at_kw("do"):
+            return self.parse_do()
+        if self.at_kw("if"):
+            return self.parse_if()
+        if self.at_kw("call"):
+            return self.parse_call()
+        if self.at_kw("allocate", "deallocate"):
+            return self.parse_allocate()
+        if self.at_kw("return"):
+            tok = self.advance()
+            self.end_of_statement()
+            return ReturnStmt(line=tok.line)
+        if self.at_kw("exit"):
+            tok = self.advance()
+            self.end_of_statement()
+            return ExitStmt(line=tok.line)
+        if self.at_kw("cycle"):
+            tok = self.advance()
+            self.end_of_statement()
+            return CycleStmt(line=tok.line)
+        return self.parse_assignment()
+
+    def parse_do(self) -> DoLoop:
+        start = self.expect(TokenKind.KEYWORD, "do")
+        var = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.ASSIGN)
+        lo = self.parse_expr()
+        self.expect(TokenKind.COMMA)
+        hi = self.parse_expr()
+        step: Expr | None = None
+        if self.at(TokenKind.COMMA):
+            self.advance()
+            step = self.parse_expr()
+        self.end_of_statement()
+        body = self.parse_block(until=("enddo", "end"))
+        if self.at_kw("enddo"):
+            self.advance()
+            self.end_of_statement()
+        else:
+            self.expect(TokenKind.KEYWORD, "end")
+            self.expect(TokenKind.KEYWORD, "do")
+            self.end_of_statement()
+        return DoLoop(var=var, start=lo, stop=hi, step=step, body=body, line=start.line)
+
+    def parse_if(self) -> Stmt:
+        start = self.expect(TokenKind.KEYWORD, "if")
+        self.expect(TokenKind.LPAREN)
+        cond = self.parse_expr()
+        self.expect(TokenKind.RPAREN)
+        if self.at_kw("then"):
+            self.advance()
+            self.end_of_statement()
+            block = IfBlock(condition=cond, line=start.line)
+            block.body = self.parse_block(until=("else", "elseif", "endif", "end"))
+            while True:
+                if self.at_kw("elseif"):
+                    self.advance()
+                    self.expect(TokenKind.LPAREN)
+                    c2 = self.parse_expr()
+                    self.expect(TokenKind.RPAREN)
+                    self.expect(TokenKind.KEYWORD, "then")
+                    self.end_of_statement()
+                    b2 = self.parse_block(until=("else", "elseif", "endif", "end"))
+                    block.elifs.append((c2, b2))
+                elif self.at_kw("else") and self.peek(1).lowered == "if":
+                    self.advance()
+                    self.advance()
+                    self.expect(TokenKind.LPAREN)
+                    c2 = self.parse_expr()
+                    self.expect(TokenKind.RPAREN)
+                    self.expect(TokenKind.KEYWORD, "then")
+                    self.end_of_statement()
+                    b2 = self.parse_block(until=("else", "elseif", "endif", "end"))
+                    block.elifs.append((c2, b2))
+                elif self.at_kw("else"):
+                    self.advance()
+                    self.end_of_statement()
+                    block.orelse = self.parse_block(until=("endif", "end"))
+                else:
+                    break
+            if self.at_kw("endif"):
+                self.advance()
+                self.end_of_statement()
+            else:
+                self.expect(TokenKind.KEYWORD, "end")
+                self.expect(TokenKind.KEYWORD, "if")
+                self.end_of_statement()
+            return block
+        # One-line if.
+        stmt = self.parse_statement()
+        block = IfBlock(condition=cond, body=[stmt], line=start.line)
+        return block
+
+    def parse_call(self) -> CallStmt:
+        start = self.expect(TokenKind.KEYWORD, "call")
+        name = self.expect(TokenKind.IDENT).text
+        args: list[Expr] = []
+        if self.at(TokenKind.LPAREN):
+            self.advance()
+            while not self.at(TokenKind.RPAREN):
+                args.append(self.parse_subscript())
+                if self.at(TokenKind.COMMA):
+                    self.advance()
+            self.expect(TokenKind.RPAREN)
+        self.end_of_statement()
+        return CallStmt(name=name, args=tuple(args), line=start.line)
+
+    def parse_allocate(self) -> AllocateStmt:
+        tok = self.advance()
+        dealloc = tok.lowered == "deallocate"
+        self.expect(TokenKind.LPAREN)
+        targets: list[VarRef] = []
+        while not self.at(TokenKind.RPAREN):
+            expr = self.parse_primary()
+            if isinstance(expr, VarRef):
+                targets.append(expr)
+            if self.at(TokenKind.COMMA):
+                self.advance()
+        self.expect(TokenKind.RPAREN)
+        self.end_of_statement()
+        return AllocateStmt(targets=tuple(targets), line=tok.line, deallocate=dealloc)
+
+    def parse_assignment(self) -> Assignment:
+        line = self.peek().line
+        target = self.parse_primary()
+        if not isinstance(target, VarRef):
+            tok = self.peek()
+            raise FortranSyntaxError(
+                "assignment target must be a variable", tok.line, tok.column
+            )
+        pointer = False
+        if self.at(TokenKind.POINT_TO):
+            self.advance()
+            pointer = True
+        else:
+            self.expect(TokenKind.ASSIGN)
+        value = self.parse_expr()
+        self.end_of_statement()
+        return Assignment(target=target, value=value, line=line, pointer=pointer)
+
+    # --- expressions ----------------------------------------------------------
+
+    _PRECEDENCE = [
+        (".or.",),
+        (".and.",),
+        ("==", "/=", "<", ">", "<=", ">=", ".eq.", ".ne.", ".lt.", ".gt.", ".le.", ".ge."),
+        ("+", "-"),
+        ("*", "/"),
+        ("**",),
+    ]
+
+    def parse_expr(self, level: int = 0) -> Expr:
+        if level >= len(self._PRECEDENCE):
+            return self.parse_unary()
+        ops = self._PRECEDENCE[level]
+        left = self.parse_expr(level + 1)
+        while self.at_op(*ops):
+            op = self.advance().lowered
+            right = self.parse_expr(level + 1)
+            left = BinOp(op=op, left=left, right=right)
+        return left
+
+    def at_op(self, *ops: str) -> bool:
+        tok = self.peek()
+        return tok.kind is TokenKind.OP and tok.lowered in ops
+
+    def parse_unary(self) -> Expr:
+        if self.at_op("-", "+", ".not."):
+            op = self.advance().lowered
+            return UnaryOp(op=op, operand=self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        tok = self.peek()
+        if tok.kind is TokenKind.NUMBER:
+            self.advance()
+            return Literal(tok.text)
+        if tok.kind is TokenKind.STRING:
+            self.advance()
+            return Literal(tok.text)
+        if tok.kind is TokenKind.OP and tok.lowered in (".true.", ".false."):
+            self.advance()
+            return Literal(tok.lowered)
+        if tok.kind is TokenKind.LPAREN:
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        if tok.kind in (TokenKind.IDENT, TokenKind.KEYWORD):
+            # Keywords like 'in' can appear as identifiers in expressions
+            # only rarely; accept identifiers primarily.
+            self.advance()
+            subs: tuple[Expr, ...] = ()
+            if self.at(TokenKind.LPAREN):
+                self.advance()
+                subs = self.parse_subscript_list() if not self.at(TokenKind.RPAREN) else ()
+                self.expect(TokenKind.RPAREN)
+            return VarRef(name=tok.text, subscripts=subs)
+        raise FortranSyntaxError(
+            f"unexpected token {tok.text!r} in expression", tok.line, tok.column
+        )
+
+
+def parse_source(source: str, path: str = "<memory>") -> SourceFile:
+    """Parse one Fortran source file into a :class:`SourceFile`."""
+    return _Parser(tokenize(source), path).parse_file()

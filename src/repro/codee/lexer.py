@@ -1,0 +1,222 @@
+"""Lexer for the Fortran subset.
+
+Free-form source: ``!`` comments (with ``!$omp`` sentinels preserved as
+directive tokens), ``&`` continuations (joined before tokenizing a
+statement), case-insensitive keywords, and the operator set the FSBM
+sources use. Tokens carry line/column for diagnostics and for the
+rewriter's line-targeted edits.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import FortranSyntaxError
+
+KEYWORDS = {
+    "module",
+    "end",
+    "contains",
+    "use",
+    "implicit",
+    "none",
+    "subroutine",
+    "function",
+    "pure",
+    "elemental",
+    "real",
+    "integer",
+    "logical",
+    "character",
+    "parameter",
+    "dimension",
+    "allocatable",
+    "pointer",
+    "target",
+    "intent",
+    "in",
+    "out",
+    "inout",
+    "do",
+    "enddo",
+    "if",
+    "then",
+    "else",
+    "elseif",
+    "endif",
+    "call",
+    "return",
+    "result",
+    "save",
+    "allocate",
+    "deallocate",
+    "while",
+    "exit",
+    "cycle",
+}
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DCOLON = "::"
+    ASSIGN = "="
+    POINT_TO = "=>"
+    PERCENT = "%"
+    DIRECTIVE = "directive"  # whole !$omp line
+    NEWLINE = "newline"
+    EOF = "eof"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    @property
+    def lowered(self) -> str:
+        return self.text.lower()
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>(\d+\.\d*|\.\d+|\d+)([edED][+-]?\d+)?(_\w+)?)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<point_to>=>)
+  | (?P<dcolon>::)
+  | (?P<op>\*\*|==|/=|<=|>=|\.\w+\.|[-+*/<>:])
+  | (?P<assign>=)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<percent>%)
+  | (?P<ws>[ \t]+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _logical_lines(source: str) -> list[tuple[int, str]]:
+    """Join continuation lines; strip comments; keep directives whole.
+
+    Returns ``(first_line_number, text)`` pairs. A line whose content is
+    an OpenMP sentinel is returned with its sentinel intact so the
+    parser can attach it to the following construct.
+    """
+    out: list[tuple[int, str]] = []
+    pending: str | None = None
+    pending_line = 0
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        stripped = raw.strip()
+        if stripped.lower().startswith("!$omp"):
+            # Directives may continue with a trailing '&'.
+            if pending is not None:
+                raise FortranSyntaxError(
+                    "directive inside a continued statement", lineno
+                )
+            text = stripped
+            if out and out[-1][1].lower().startswith("!$omp") and out[-1][1].endswith(
+                "&"
+            ):
+                prev_line, prev = out.pop()
+                body = text[len("!$omp") :].strip()
+                out.append((prev_line, prev[:-1].rstrip() + " " + body))
+            else:
+                out.append((lineno, text))
+            continue
+        # Strip trailing comment (not inside a string; FSBM sources keep
+        # strings simple so a conservative scan suffices).
+        in_str: str | None = None
+        cut = len(raw)
+        for i, ch in enumerate(raw):
+            if in_str:
+                if ch == in_str:
+                    in_str = None
+            elif ch in "'\"":
+                in_str = ch
+            elif ch == "!":
+                cut = i
+                break
+        code = raw[:cut].strip()
+        if not code:
+            continue
+        if pending is not None:
+            code = pending + " " + code
+            lineno_use = pending_line
+            pending = None
+        else:
+            lineno_use = lineno
+        if code.endswith("&"):
+            pending = code[:-1].rstrip()
+            pending_line = lineno_use
+            continue
+        out.append((lineno_use, code))
+    if pending is not None:
+        raise FortranSyntaxError("dangling continuation at end of file", pending_line)
+    return out
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a source file into a flat stream with NEWLINE separators."""
+    tokens: list[Token] = []
+    for lineno, text in _logical_lines(source):
+        if text.lower().startswith("!$omp"):
+            tokens.append(Token(TokenKind.DIRECTIVE, text, lineno, 1))
+            tokens.append(Token(TokenKind.NEWLINE, "\n", lineno, len(text) + 1))
+            continue
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if not m:
+                raise FortranSyntaxError(
+                    f"unexpected character {text[pos]!r}", lineno, pos + 1
+                )
+            pos = m.end()
+            kind = m.lastgroup
+            value = m.group()
+            if kind == "ws":
+                continue
+            col = m.start() + 1
+            if kind == "ident":
+                tk = (
+                    TokenKind.KEYWORD
+                    if value.lower() in KEYWORDS
+                    else TokenKind.IDENT
+                )
+                tokens.append(Token(tk, value, lineno, col))
+            elif kind == "number":
+                tokens.append(Token(TokenKind.NUMBER, value, lineno, col))
+            elif kind == "string":
+                tokens.append(Token(TokenKind.STRING, value, lineno, col))
+            elif kind == "op":
+                tokens.append(Token(TokenKind.OP, value, lineno, col))
+            elif kind == "assign":
+                tokens.append(Token(TokenKind.ASSIGN, value, lineno, col))
+            elif kind == "point_to":
+                tokens.append(Token(TokenKind.POINT_TO, value, lineno, col))
+            elif kind == "dcolon":
+                tokens.append(Token(TokenKind.DCOLON, value, lineno, col))
+            elif kind == "lparen":
+                tokens.append(Token(TokenKind.LPAREN, value, lineno, col))
+            elif kind == "rparen":
+                tokens.append(Token(TokenKind.RPAREN, value, lineno, col))
+            elif kind == "comma":
+                tokens.append(Token(TokenKind.COMMA, value, lineno, col))
+            elif kind == "percent":
+                tokens.append(Token(TokenKind.PERCENT, value, lineno, col))
+        tokens.append(Token(TokenKind.NEWLINE, "\n", lineno, len(text) + 1))
+    tokens.append(
+        Token(TokenKind.EOF, "", tokens[-1].line + 1 if tokens else 1, 1)
+    )
+    return tokens

@@ -1,0 +1,126 @@
+"""``codee rewrite --offload omp``: the directive-inserting autofix.
+
+Given a loop (located by file line, as in Listing 2's
+``module_mp_fast_sbm.f90:6293:4``), the rewriter runs the dependence
+analysis and, when the nest is provably parallel, inserts the combined
+``!$omp target teams distribute parallel do`` construct with the
+``private``/``map`` clauses the analysis derived, plus ``!$omp simd``
+on the innermost loop — reproducing Listing 4 from Listing 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codee.dependence import DependenceReport, analyze_loop
+from repro.codee.fast import DoLoop, Module, SourceFile, Subroutine, walk_stmts
+from repro.codee.fparser import parse_source
+from repro.core.directives import (
+    Map,
+    MapType,
+    TargetTeamsDistributeParallelDo,
+)
+from repro.errors import RewriteError
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """Outcome of one autofix."""
+
+    source: str
+    directive: TargetTeamsDistributeParallelDo
+    report: DependenceReport
+    loop_line: int
+
+    @property
+    def modified(self) -> bool:
+        return True
+
+
+def _locate_loop(
+    sf: SourceFile, line: int
+) -> tuple[DoLoop, Subroutine, Module | None]:
+    """Find the do-loop starting at (or closest above) ``line``."""
+    best: tuple[DoLoop, Subroutine, Module | None] | None = None
+    routines: list[tuple[Module | None, Subroutine]] = [
+        (None, r) for r in sf.routines
+    ] + [(m, r) for m in sf.modules for r in m.routines]
+    for mod, routine in routines:
+        for stmt in walk_stmts(routine.body):
+            if isinstance(stmt, DoLoop) and stmt.line <= line:
+                if best is None or stmt.line > best[0].line:
+                    best = (stmt, routine, mod)
+    if best is None:
+        raise RewriteError(f"no do-loop found at or before line {line}")
+    return best
+
+
+def directive_for_report(
+    report: DependenceReport, collapse: int | None = None
+) -> TargetTeamsDistributeParallelDo:
+    """Build the OpenMP construct the analysis justifies."""
+    maps = []
+    if report.read_only_arrays:
+        maps.append(Map(MapType.TO, report.read_only_arrays))
+    if report.write_only_arrays:
+        maps.append(Map(MapType.FROM, report.write_only_arrays))
+    if report.readwrite_arrays:
+        maps.append(Map(MapType.TOFROM, report.readwrite_arrays))
+    depth = report.loop.nest_depth()
+    return TargetTeamsDistributeParallelDo(
+        collapse=collapse if collapse is not None else max(1, depth - 1),
+        maps=tuple(maps),
+        private=report.private_scalars,
+    )
+
+
+def offload_rewrite(
+    source: str,
+    line: int,
+    path: str = "<memory>",
+    collapse: int | None = None,
+    simd_inner: bool = True,
+) -> RewriteResult:
+    """Annotate the loop at ``line`` with OpenMP offload directives.
+
+    Raises :class:`RewriteError` (with the analysis reasons) when the
+    dependence analysis cannot prove the nest parallel — the tool never
+    inserts an unsound directive.
+    """
+    sf = parse_source(source, path)
+    loop, routine, module = _locate_loop(sf, line)
+    report = analyze_loop(loop, routine, module)
+    if not report.parallelizable:
+        raise RewriteError(
+            f"{path}:{loop.line}: loop is not provably parallel:\n  "
+            + "\n  ".join(report.reasons)
+        )
+    directive = directive_for_report(report, collapse)
+
+    lines = source.splitlines()
+    indent = " " * (len(lines[loop.line - 1]) - len(lines[loop.line - 1].lstrip()))
+    block = ["! Codee: Loop modified"]
+    block.extend(directive.render().splitlines())
+    out_lines = list(lines[: loop.line - 1])
+    out_lines.extend(indent + l for l in block)
+    # Insert '!$omp simd' before the innermost loop, if requested and
+    # the nest is deeper than the collapsed levels.
+    inner = loop.innermost()
+    if simd_inner and inner is not loop and inner.line > loop.line:
+        for l in lines[loop.line - 1 : inner.line - 1]:
+            out_lines.append(l)
+        inner_indent = " " * (
+            len(lines[inner.line - 1]) - len(lines[inner.line - 1].lstrip())
+        )
+        out_lines.append(inner_indent + "! Codee: Loop modified")
+        out_lines.append(inner_indent + "!$omp simd")
+        out_lines.extend(lines[inner.line - 1 :])
+    else:
+        out_lines.extend(lines[loop.line - 1 :])
+
+    return RewriteResult(
+        source="\n".join(out_lines) + ("\n" if source.endswith("\n") else ""),
+        directive=directive,
+        report=report,
+        loop_line=loop.line,
+    )

@@ -1,0 +1,101 @@
+"""The ``codee screening`` report: a ranked inventory of opportunities.
+
+Screening is the first step of the paper's workflow (Listing 2): it
+sizes the codebase, counts loops and routines, and ranks files by the
+number of optimization opportunities so the engineer knows where to
+look before running the expensive per-file checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codee.checks import run_checks
+from repro.codee.fast import DoLoop, SourceFile, walk_stmts
+from repro.codee.fparser import parse_source
+
+
+@dataclass(frozen=True, slots=True)
+class FileScreening:
+    """Screening metrics for one source file."""
+
+    path: str
+    lines_of_code: int
+    num_modules: int
+    num_routines: int
+    num_loops: int
+    max_nest_depth: int
+    num_findings: int
+    num_offload_opportunities: int
+
+
+@dataclass(frozen=True)
+class ScreeningReport:
+    """Whole-project screening."""
+
+    files: tuple[FileScreening, ...]
+
+    @property
+    def total_loc(self) -> int:
+        return sum(f.lines_of_code for f in self.files)
+
+    @property
+    def total_opportunities(self) -> int:
+        return sum(f.num_offload_opportunities for f in self.files)
+
+    def ranked(self) -> list[FileScreening]:
+        """Files ordered by opportunity count (most promising first)."""
+        return sorted(
+            self.files,
+            key=lambda f: (f.num_offload_opportunities, f.num_findings),
+            reverse=True,
+        )
+
+    def format_table(self) -> str:
+        lines = [
+            "codee screening report",
+            f"{'file':<32} {'LoC':>6} {'routines':>9} {'loops':>6} "
+            f"{'findings':>9} {'offload':>8}",
+        ]
+        for f in self.ranked():
+            lines.append(
+                f"{f.path:<32} {f.lines_of_code:>6d} {f.num_routines:>9d} "
+                f"{f.num_loops:>6d} {f.num_findings:>9d} "
+                f"{f.num_offload_opportunities:>8d}"
+            )
+        lines.append(
+            f"total: {self.total_loc} LoC, "
+            f"{self.total_opportunities} offload opportunities"
+        )
+        return "\n".join(lines)
+
+
+def screen_file(source: str, path: str) -> FileScreening:
+    """Screen one source file."""
+    sf = parse_source(source, path)
+    loops = [
+        s
+        for r in sf.all_routines()
+        for s in walk_stmts(r.body)
+        if isinstance(s, DoLoop)
+    ]
+    findings = run_checks(sf)
+    return FileScreening(
+        path=path,
+        lines_of_code=sum(1 for l in source.splitlines() if l.strip()),
+        num_modules=len(sf.modules),
+        num_routines=len(sf.all_routines()),
+        num_loops=len(loops),
+        max_nest_depth=max((l.nest_depth() for l in loops), default=0),
+        num_findings=len(findings),
+        num_offload_opportunities=sum(
+            1 for f in findings if f.check_id == "RMK015"
+        ),
+    )
+
+
+def screening_report(sources: dict[str, str]) -> ScreeningReport:
+    """Screen a set of ``{path: source}`` files."""
+    return ScreeningReport(
+        files=tuple(screen_file(text, path) for path, text in sorted(sources.items()))
+    )

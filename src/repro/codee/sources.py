@@ -1,0 +1,331 @@
+"""Embedded Fortran sources: the FSBM fragments the paper analyzes.
+
+These reproduce the structure of ``module_mp_fast_sbm.f90`` at the
+points the paper's listings show: the ``kernals_ks`` collision-array
+precompute (Listing 3), the main grid loops (Listing 1), the original
+``coal_bott_new`` declarations with automatic arrays (Listing 7), and
+the pointer-based rewrite (Listing 8). Tests and the experiment harness
+parse these, run Codee-style analysis on them, and verify that the
+autofix reproduces Listing 4.
+"""
+
+from __future__ import annotations
+
+#: Listing 3 — the collision-kernel interpolation loops. All 20 arrays
+#: are written at every (i, j); no element is read.
+KERNALS_KS_SOURCE = """\
+module module_mp_fast_sbm
+  implicit none
+  integer, parameter :: nkr = 33
+  integer, parameter :: icemax = 3
+  real :: cwll(nkr,nkr), cwls(nkr,nkr), cwlg(nkr,nkr), cwlh(nkr,nkr)
+  real :: cwli1(nkr,nkr), cwli2(nkr,nkr), cwli3(nkr,nkr)
+  real :: cwi1i1(nkr,nkr), cwi2i2(nkr,nkr), cwi3i3(nkr,nkr)
+  real :: cwsi1(nkr,nkr), cwsi2(nkr,nkr), cwsi3(nkr,nkr)
+  real :: cwss(nkr,nkr), cwsg(nkr,nkr), cwsh(nkr,nkr)
+  real :: cwgg(nkr,nkr), cwgh(nkr,nkr), cwhh(nkr,nkr), cwgl(nkr,nkr)
+  real :: ywll_750mb(nkr,nkr,1), ywll_500mb(nkr,nkr,1)
+  real :: ywls_750mb(nkr,nkr,1), ywls_500mb(nkr,nkr,1)
+  real :: ywlg_750mb(nkr,nkr,1), ywlg_500mb(nkr,nkr,1)
+contains
+
+subroutine kernals_ks(dtime_coal, pressure)
+  implicit none
+  real, intent(in) :: dtime_coal
+  real, intent(in) :: pressure
+  integer :: i, j
+  real :: ckern_1, ckern_2, scale_p
+
+  scale_p = (pressure - 500.0) / 250.0
+  do j = 1, nkr
+    do i = 1, nkr
+      ckern_1 = ywll_750mb(i,j,1)
+      ckern_2 = ywll_500mb(i,j,1)
+      cwll(i,j) = (ckern_2 + (ckern_1 - ckern_2) * scale_p) * dtime_coal
+      ckern_1 = ywls_750mb(i,j,1)
+      ckern_2 = ywls_500mb(i,j,1)
+      cwls(i,j) = (ckern_2 + (ckern_1 - ckern_2) * scale_p) * dtime_coal
+      ckern_1 = ywlg_750mb(i,j,1)
+      ckern_2 = ywlg_500mb(i,j,1)
+      cwlg(i,j) = (ckern_2 + (ckern_1 - ckern_2) * scale_p) * dtime_coal
+    enddo
+  enddo
+end subroutine kernals_ks
+
+end module module_mp_fast_sbm
+"""
+
+#: Listing 1 — the grid loops calling the microphysics processes. The
+#: collision call is fenced by temperature conditionals and shares the
+#: loop with nucleation and condensation.
+MAIN_LOOP_SOURCE = """\
+subroutine fast_sbm(t_old, tt, qv, its, ite, kts, kte, jts, jte)
+  implicit none
+  integer, intent(in) :: its, ite, kts, kte, jts, jte
+  real, intent(inout) :: t_old(its:ite, kts:kte, jts:jte)
+  real, intent(inout) :: qv(its:ite, kts:kte, jts:jte)
+  real, intent(in) :: tt
+  integer :: i, k, j
+  real :: sup_w
+
+  do j = jts, jte
+    do k = kts, kte
+      do i = its, ite
+        if (t_old(i,k,j) > 193.15) then
+          call jernucl01_ks(i, k, j)
+          sup_w = qv(i,k,j) - 1.0
+          if (sup_w > 0.0) then
+            call onecond1(i, k, j)
+          else
+            call onecond2(i, k, j)
+          endif
+          if (tt > 223.15) then
+            call coal_bott_new(i, k, j)
+          endif
+        endif
+      enddo
+    enddo
+  enddo
+end subroutine fast_sbm
+"""
+
+#: Listing 6 — the fissioned collision loop with the predicate array.
+FISSIONED_LOOP_SOURCE = """\
+subroutine coal_bott_driver(call_coal_bott_new, its, ite, kts, kte, jts, jte)
+  implicit none
+  integer, intent(in) :: its, ite, kts, kte, jts, jte
+  logical, intent(in) :: call_coal_bott_new(its:ite, kts:kte, jts:jte)
+  integer :: i, k, j
+
+  do j = jts, jte
+    do k = kts, kte
+      do i = its, ite
+        if (call_coal_bott_new(i,k,j)) then
+          call coal_bott_new(i, k, j)
+        endif
+      enddo
+    enddo
+  enddo
+end subroutine coal_bott_driver
+"""
+
+#: Listing 7 — original coal_bott_new declarations (automatic arrays in
+#: a device-resident routine: the collapse(3) stack-overflow source).
+COAL_BOTT_ORIGINAL_SOURCE = """\
+subroutine coal_bott_new(iin, kin, jin)
+  implicit none
+!$omp declare target
+  integer, intent(in) :: iin, kin, jin
+  real :: fl1(33), fl2(33), fl3(33), fl4(33), fl5(33)
+  real :: ff1(33), ff2(33), ff3(33), ff4(33), ff5(33)
+  real :: g1(33), g2(33,3), g3(33), g4(33), g5(33)
+  real :: e1(33,3), e2(33,3)
+  real :: xl_d(33), xs_d(33), xg_d(33), xh_d(33)
+  real :: vrl(33), vrs(33), vrg(33), vrh(33)
+  real :: psi1(33), psi2(33), psi3(33)
+  real :: dropradii(33), conc_old(33)
+  integer :: i
+
+  do i = 1, 33
+    fl1(i) = 0.0
+    g1(i) = 0.0
+  enddo
+end subroutine coal_bott_new
+"""
+
+#: Listing 8 — the pointer-based rewrite against the temp_arrays module.
+COAL_BOTT_POINTER_SOURCE = """\
+module temp_arrays
+  implicit none
+  real, allocatable, target :: fl1_temp(:,:,:,:)
+  real, allocatable, target :: fl2_temp(:,:,:,:)
+  real, allocatable, target :: g1_temp(:,:,:,:)
+  real, allocatable, target :: g2_temp(:,:,:,:,:)
+end module temp_arrays
+
+subroutine coal_bott_new(iin, kin, jin)
+  use temp_arrays
+  implicit none
+!$omp declare target
+  integer, intent(in) :: iin, kin, jin
+  real, pointer :: fl1(:), fl2(:)
+  real, pointer :: g1(:), g2(:,:)
+  integer :: i
+
+  fl1 => fl1_temp(:, iin, kin, jin)
+  fl2 => fl2_temp(:, iin, kin, jin)
+  g1 => g1_temp(:, iin, kin, jin)
+  g2 => g2_temp(:, :, iin, kin, jin)
+
+  do i = 1, 33
+    fl1(i) = 0.0
+    g1(i) = 0.0
+  enddo
+end subroutine coal_bott_new
+"""
+
+#: A legacy-style routine with the modernization smells the paper says
+#: Codee's checks flagged in routines like onecond (assumed-size dummy
+#: arrays, missing intents, missing implicit none).
+LEGACY_ONECOND_SOURCE = """\
+subroutine onecond1(tps, qps, fl(*), nkr)
+  real tps, qps
+  real fl(*)
+  integer nkr
+  integer kr
+  do kr = 1, nkr
+    fl(kr) = fl(kr) + tps * 0.001
+  enddo
+end subroutine onecond1
+"""
+
+
+#: A fuller module in the shape of the original ``module_mp_fast_sbm``:
+#: global collision arrays, the main grid loop, the kernel precompute,
+#: the collision routine with automatic arrays, a legacy condensation
+#: routine, and a melting loop with a genuine vertical recurrence (which
+#: must NOT be reported as parallelizable in k).
+FULL_MODULE_SOURCE = """\
+module module_mp_fast_sbm
+  implicit none
+  integer, parameter :: nkr = 33
+  integer, parameter :: icemax = 3
+  real :: cwll(nkr,nkr), cwls(nkr,nkr), cwlg(nkr,nkr)
+  real :: ywll_750mb(nkr,nkr,1), ywll_500mb(nkr,nkr,1)
+  real :: ywls_750mb(nkr,nkr,1), ywls_500mb(nkr,nkr,1)
+  real :: ywlg_750mb(nkr,nkr,1), ywlg_500mb(nkr,nkr,1)
+contains
+
+subroutine fast_sbm(t_old, qv, pres, its, ite, kts, kte, jts, jte)
+  implicit none
+  integer, intent(in) :: its, ite, kts, kte, jts, jte
+  real, intent(inout) :: t_old(its:ite, kts:kte, jts:jte)
+  real, intent(inout) :: qv(its:ite, kts:kte, jts:jte)
+  real, intent(in) :: pres(its:ite, kts:kte, jts:jte)
+  integer :: i, k, j
+  real :: sup_w, tt
+
+  do j = jts, jte
+    do k = kts, kte
+      do i = its, ite
+        tt = t_old(i,k,j)
+        if (tt > 193.15) then
+          call jernucl01_ks(i, k, j)
+          sup_w = qv(i,k,j) - 1.0
+          if (sup_w > 0.0) then
+            call onecond1(i, k, j)
+          else
+            call onecond2(i, k, j)
+          endif
+          if (tt > 223.15) then
+            call kernals_ks(1.0, pres(i,k,j))
+            call coal_bott_new(i, k, j)
+          endif
+        endif
+      enddo
+    enddo
+  enddo
+end subroutine fast_sbm
+
+subroutine kernals_ks(dtime_coal, pressure)
+  implicit none
+  real, intent(in) :: dtime_coal
+  real, intent(in) :: pressure
+  integer :: i, j
+  real :: ckern_1, ckern_2, scale_p
+
+  scale_p = (pressure - 500.0) / 250.0
+  do j = 1, nkr
+    do i = 1, nkr
+      ckern_1 = ywll_750mb(i,j,1)
+      ckern_2 = ywll_500mb(i,j,1)
+      cwll(i,j) = (ckern_2 + (ckern_1 - ckern_2) * scale_p) * dtime_coal
+      ckern_1 = ywls_750mb(i,j,1)
+      ckern_2 = ywls_500mb(i,j,1)
+      cwls(i,j) = (ckern_2 + (ckern_1 - ckern_2) * scale_p) * dtime_coal
+      ckern_1 = ywlg_750mb(i,j,1)
+      ckern_2 = ywlg_500mb(i,j,1)
+      cwlg(i,j) = (ckern_2 + (ckern_1 - ckern_2) * scale_p) * dtime_coal
+    enddo
+  enddo
+end subroutine kernals_ks
+
+pure real function get_cwll(i, j, pressure)
+  integer, intent(in) :: i, j
+  real, intent(in) :: pressure
+  real :: scale_p
+  scale_p = (pressure - 500.0) / 250.0
+  get_cwll = ywll_500mb(i,j,1) + (ywll_750mb(i,j,1) - ywll_500mb(i,j,1)) * scale_p
+end function get_cwll
+
+subroutine coal_bott_new(iin, kin, jin)
+  implicit none
+  integer, intent(in) :: iin, kin, jin
+  real :: fl1(33), fl2(33), fl3(33)
+  real :: g1(33), g2(33,3), g3(33)
+  integer :: i, j
+  real :: events
+
+  do i = 1, 33
+    fl1(i) = 0.0
+    g1(i) = 0.0
+  enddo
+  do i = 1, 33
+    do j = 1, 33
+      events = cwll(i,j) * fl1(i) * fl1(j)
+      g1(i) = g1(i) + events
+    enddo
+  enddo
+end subroutine coal_bott_new
+
+subroutine onecond1(iin, kin, jin)
+  integer iin, kin, jin
+  real tps
+  tps = 0.0
+end subroutine onecond1
+
+subroutine onecond2(iin, kin, jin)
+  integer iin, kin, jin
+  real tps
+  tps = 0.0
+end subroutine onecond2
+
+subroutine jernucl01_ks(iin, kin, jin)
+  implicit none
+  integer, intent(in) :: iin, kin, jin
+end subroutine jernucl01_ks
+
+subroutine melt_column(fl, t_col, kts, kte)
+  implicit none
+  integer, intent(in) :: kts, kte
+  real, intent(inout) :: fl(kts:kte)
+  real, intent(in) :: t_col(kts:kte)
+  integer :: k
+  do k = kts + 1, kte
+    fl(k) = fl(k) + 0.5 * fl(k-1)
+  enddo
+end subroutine melt_column
+
+end module module_mp_fast_sbm
+"""
+
+
+def legacy_onecond_source() -> str:
+    """Fixed-up variant of the legacy routine that actually parses.
+
+    The raw ``LEGACY_ONECOND_SOURCE`` above intentionally mimics the
+    original's argument-list style; this variant is the syntactically
+    valid subset our parser accepts, preserving the smells the checkers
+    must flag (no ``implicit none``, assumed-size dummy, no intents).
+    """
+    return """\
+subroutine onecond1(tps, qps, fl, nkr)
+  real :: tps, qps
+  real :: fl(*)
+  integer :: nkr
+  integer :: kr
+  do kr = 1, nkr
+    fl(kr) = fl(kr) + tps * 0.001
+  enddo
+end subroutine onecond1
+"""

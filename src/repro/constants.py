@@ -1,0 +1,94 @@
+"""Physical and numerical constants shared across the reproduction.
+
+Values follow the WRF/FSBM conventions (CGS for microphysics internals,
+SI for the dynamical core), matching the unit split in the original
+``module_mp_fast_sbm`` Fortran.
+"""
+
+from __future__ import annotations
+
+# --- Thermodynamics (SI) ---------------------------------------------------
+
+#: Gas constant for dry air [J kg^-1 K^-1].
+R_D = 287.04
+
+#: Gas constant for water vapor [J kg^-1 K^-1].
+R_V = 461.6
+
+#: Specific heat of dry air at constant pressure [J kg^-1 K^-1].
+C_P = 1004.5
+
+#: Specific heat of dry air at constant volume [J kg^-1 K^-1].
+C_V = C_P - R_D
+
+#: Ratio of gas constants (epsilon) used in mixing-ratio conversions.
+EPS = R_D / R_V
+
+#: Latent heat of vaporization at 0 C [J kg^-1].
+L_V = 2.501e6
+
+#: Latent heat of fusion at 0 C [J kg^-1].
+L_F = 3.34e5
+
+#: Latent heat of sublimation at 0 C [J kg^-1].
+L_S = L_V + L_F
+
+#: Reference surface pressure [Pa].
+P_1000MB = 1.0e5
+
+#: Gravitational acceleration [m s^-2].
+GRAVITY = 9.81
+
+#: Triple-point temperature [K].
+T_0 = 273.15
+
+#: FSBM activity threshold: microphysics is skipped entirely below this
+#: temperature (Listing 1: ``if (T_OLD(i,k,j) > 193.15)``).
+T_FREEZE_CUTOFF = 193.15
+
+#: Collision processes are skipped below this temperature
+#: (Listing 1: ``if (TT > 223.15) call coal_bott_new``).
+T_COAL_CUTOFF = 223.15
+
+# --- Microphysics (CGS, as in the FSBM Fortran) -----------------------------
+
+#: Density of liquid water [g cm^-3].
+RHO_WATER_CGS = 1.0
+
+#: Density of bulk ice [g cm^-3].
+RHO_ICE_CGS = 0.9
+
+#: Air density at reference conditions [g cm^-3].
+RHO_AIR_CGS = 1.225e-3
+
+#: Number of mass-doubling bins used by FSBM (``nkr`` in the Fortran).
+NKR = 33
+
+#: Number of ice crystal habit categories (``icemax``).
+ICEMAX = 3
+
+#: Number of distinct collision-interaction arrays produced by
+#: ``kernals_ks`` (``cwls``, ``cwlg``, ... — 20 in the original code).
+N_COLLISION_ARRAYS = 20
+
+#: Smallest drop mass in the bin grid [g] (~2 um radius droplet).
+XL_MIN_G = 3.35e-11
+
+#: Reference pressure levels [mb] between which the collision-kernel
+#: lookup tables are interpolated (Listing 3: ``ywls_750mb``/``ywls_500mb``).
+KERNEL_P_HIGH_MB = 750.0
+KERNEL_P_LOW_MB = 500.0
+
+# --- CONUS-12km test case ----------------------------------------------------
+
+#: Full CONUS-12km horizontal/vertical extents (west-east, south-north, top).
+CONUS12KM_EXTENTS = (425, 300, 50)
+
+#: CONUS-12km horizontal grid spacing [m].
+CONUS12KM_DX = 12_000.0
+
+#: Model time step used in the paper's runs [s].
+CONUS12KM_DT = 5.0
+
+#: Simulated duration of the paper's timing runs [s] (10 minutes).
+CONUS12KM_RUN_SECONDS = 600.0

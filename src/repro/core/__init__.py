@@ -1,0 +1,58 @@
+"""The OpenMP-offload execution engine (the paper's porting substrate).
+
+This package models what the NVHPC OpenMP runtime did for the paper's
+Fortran: directive-driven kernel launches on a simulated A100 with data
+mapping, occupancy, per-thread stack/heap accounting, and a calibrated
+cost model that charges simulated time to per-rank clocks.
+
+The FSBM optimization stages (`repro.optim.stages`) differ only in the
+kernels and directives they hand to this engine, exactly as the paper's
+code versions differ only in their directives and array layout.
+"""
+
+from repro.core.clock import SimClock, TimeBucket
+from repro.core.env import OffloadEnv
+from repro.core.directives import (
+    MapType,
+    Map,
+    TargetTeamsDistributeParallelDo,
+    TargetEnterData,
+    TargetExitData,
+    DeclareTarget,
+)
+from repro.core.device import Device, DeviceArray, DeviceContext
+from repro.core.kernel import (
+    Kernel,
+    KernelResources,
+    estimate_registers,
+    warp_rounded,
+)
+from repro.core.launch import LaunchConfig, plan_launch
+from repro.core.costmodel import GpuCostModel, CpuCostModel, KernelTiming
+from repro.core.engine import OffloadEngine, KernelRecord
+
+__all__ = [
+    "SimClock",
+    "TimeBucket",
+    "OffloadEnv",
+    "MapType",
+    "Map",
+    "TargetTeamsDistributeParallelDo",
+    "TargetEnterData",
+    "TargetExitData",
+    "DeclareTarget",
+    "Device",
+    "DeviceArray",
+    "DeviceContext",
+    "Kernel",
+    "KernelResources",
+    "estimate_registers",
+    "warp_rounded",
+    "LaunchConfig",
+    "plan_launch",
+    "GpuCostModel",
+    "CpuCostModel",
+    "KernelTiming",
+    "OffloadEngine",
+    "KernelRecord",
+]

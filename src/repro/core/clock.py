@@ -1,0 +1,101 @@
+"""Simulated clocks.
+
+Every MPI rank owns a :class:`SimClock`. Engine operations charge time
+into named buckets (kernel, transfer, CPU compute, MPI, I/O); the
+profilers and the experiment harness read totals and per-bucket splits
+from here. Wall-clock (pytest-benchmark) timing is entirely separate —
+see DESIGN.md Sec. 5.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class TimeBucket(enum.Enum):
+    """Categories of simulated time."""
+
+    CPU_COMPUTE = "cpu_compute"
+    GPU_KERNEL = "gpu_kernel"
+    H2D = "h2d"
+    D2H = "d2h"
+    MPI = "mpi"
+    GPU_WAIT = "gpu_wait"  # waiting for a shared GPU's queue
+    IO = "io"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class SimClock:
+    """Accumulates simulated seconds into buckets and named regions."""
+
+    buckets: dict[TimeBucket, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    #: Time attributed to user-named regions (NVTX-style), nested names
+    #: joined with "/".
+    regions: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    _region_stack: list[str] = field(default_factory=list)
+
+    def advance(self, bucket: TimeBucket, seconds: float) -> None:
+        """Charge ``seconds`` of simulated time."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.buckets[bucket] += seconds
+        if self._region_stack:
+            self.regions["/".join(self._region_stack)] += seconds
+
+    @property
+    def total(self) -> float:
+        """Total simulated seconds across all buckets."""
+        return sum(self.buckets.values())
+
+    def bucket(self, bucket: TimeBucket) -> float:
+        """Seconds accumulated in one bucket."""
+        return self.buckets.get(bucket, 0.0)
+
+    @contextmanager
+    def region(self, name: str) -> Iterator[None]:
+        """Attribute time charged inside the block to region ``name``.
+
+        Regions nest; a charge inside ``a``/``b`` lands in region
+        ``"a/b"``. This is what the NVTX shim hooks into.
+        """
+        self._region_stack.append(name)
+        try:
+            yield
+        finally:
+            self._region_stack.pop()
+
+    def region_total(self, name: str) -> float:
+        """Seconds charged while ``name`` was anywhere on the region stack."""
+        return sum(
+            t
+            for full, t in self.regions.items()
+            if full == name
+            or full.startswith(name + "/")
+            or ("/" + name + "/") in ("/" + full + "/")
+        )
+
+    def merge(self, other: "SimClock") -> None:
+        """Fold another clock's accumulations into this one."""
+        for b, t in other.buckets.items():
+            self.buckets[b] += t
+        for r, t in other.regions.items():
+            self.regions[r] += t
+
+    def snapshot(self) -> dict[str, float]:
+        """Bucket totals keyed by bucket value (stable for reports)."""
+        return {b.value: self.buckets.get(b, 0.0) for b in TimeBucket}
+
+    def reset(self) -> None:
+        """Zero all accumulations."""
+        self.buckets.clear()
+        self.regions.clear()
+        self._region_stack.clear()

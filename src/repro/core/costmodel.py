@@ -1,0 +1,214 @@
+"""Calibrated timing models for simulated kernels and host loops.
+
+The GPU model charges ``launch_overhead + max(compute, memory)`` where
+both terms degrade at low occupancy: few resident warps can neither
+hide instruction latency nor keep HBM busy. This is the mechanism that
+makes the paper's ``collapse(2)`` kernel (a handful of blocks, serial
+inner ``i`` loop) an order of magnitude slower than ``collapse(3)``
+despite executing the same FLOPs.
+
+Free constants (``WARPS_HALF_*``) were calibrated once against the
+paper's stage-speedup ratios and are never touched by experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.kernel import Kernel, warp_rounded
+from repro.core.launch import LaunchConfig
+from repro.hardware.memory import (
+    AccessPattern,
+    CacheModel,
+    MemoryTraffic,
+    TrafficComponent,
+)
+from repro.hardware.occupancy import OccupancyCalculator, OccupancyResult
+from repro.hardware.specs import CpuSpec, GpuSpec
+
+#: Resident warps per SM at which latency hiding reaches 50 %. The
+#: FSBM collision kernel is a long dependency chain per thread, so it
+#: needs far more resident warps than a streaming kernel to stay busy.
+WARPS_HALF_COMPUTE = 12.0
+
+#: Resident warps per SM at which HBM bandwidth reaches 50 %.
+WARPS_HALF_MEMORY = 3.0
+
+#: Effective L2 bandwidth of the A100 [B/s].
+L2_BANDWIDTH = 4.0e12
+
+#: Host-side per-iteration loop overhead [s] (branches, index math of
+#: branchy Fortran physics loops).
+CPU_LOOP_OVERHEAD = 1.5e-9
+
+
+@dataclass(frozen=True, slots=True)
+class KernelTiming:
+    """Cost breakdown of one launch."""
+
+    compute_time: float
+    memory_time: float
+    launch_overhead: float
+    occupancy: OccupancyResult
+    traffic: MemoryTraffic
+    #: Warp-effective FLOPs actually issued (includes divergence waste).
+    effective_flops: float
+
+    @property
+    def total(self) -> float:
+        return self.launch_overhead + max(self.compute_time, self.memory_time)
+
+
+def _saturation(x: float, half: float) -> float:
+    """Monotone saturating curve in [0, 1): x / (x + half)."""
+    if x <= 0:
+        return 0.0
+    return x / (x + half)
+
+
+@dataclass
+class GpuCostModel:
+    """Timing for device kernels on one GPU spec."""
+
+    gpu: GpuSpec
+    cache: CacheModel = None  # type: ignore[assignment]
+    occupancy: OccupancyCalculator = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.cache is None:
+            self.cache = CacheModel(self.gpu)
+        if self.occupancy is None:
+            self.occupancy = OccupancyCalculator(self.gpu)
+
+    def _effective_flops(self, kernel: Kernel, launch: LaunchConfig) -> float:
+        """FLOPs the hardware pays for, including warp-divergence waste.
+
+        Active iterations are scattered among all iterations; inactive
+        lanes in a busy warp still occupy issue slots for the duration
+        of the slowest lane.
+        """
+        res = kernel.resources
+        total_iters = kernel.total_iterations
+        if res.active_iterations <= 0 or total_iters <= 0:
+            return res.flops
+        # Divergence is assessed over the *parallel* iteration space:
+        # with a serial inner loop (collapse(2)), a thread is busy if any
+        # of its serial trips is active, so coherence is higher but each
+        # busy thread is charged its full serial sweep.
+        par = max(1, launch.parallel_iterations)
+        serial = max(1, launch.serial_iterations_per_thread)
+        active_threads = min(
+            par, max(1.0, res.active_iterations / serial)
+        )
+        paid_threads = warp_rounded(int(round(active_threads)), par, self.gpu.warp_size)
+        if active_threads <= 0:
+            return res.flops
+        waste = paid_threads / active_threads
+        return res.flops * max(1.0, waste)
+
+    def time(self, kernel: Kernel, launch: LaunchConfig) -> KernelTiming:
+        """Full timing of one kernel launch."""
+        res = kernel.resources
+        occ = self.occupancy.occupancy(
+            registers_per_thread=launch.registers_per_thread,
+            block_size=launch.block_size,
+            grid_blocks=launch.grid_blocks,
+        )
+        warps_per_sm = occ.resident_threads / self.gpu.num_sms / self.gpu.warp_size
+
+        # --- compute term -------------------------------------------------
+        peak = (
+            self.gpu.peak_flops_fp32
+            if res.precision == "fp32"
+            else self.gpu.peak_flops_fp64
+        )
+        latency_hiding = _saturation(warps_per_sm, WARPS_HALF_COMPUTE)
+        eff_rate = peak * latency_hiding * res.compute_efficiency
+        eff_flops = self._effective_flops(kernel, launch)
+        compute_time = eff_flops / eff_rate if eff_rate > 0 else 0.0
+
+        # --- memory term --------------------------------------------------
+        components = list(res.traffic)
+        spill = launch.spill_traffic_bytes()
+        if spill > 0:
+            components.append(
+                TrafficComponent(
+                    name="register-spill",
+                    pattern=AccessPattern.THREAD_SEQUENTIAL,
+                    read_bytes=spill * 0.5,
+                    write_bytes=spill * 0.5,
+                )
+            )
+        traffic = self.cache.evaluate(
+            components,
+            resident_threads=occ.resident_threads,
+            working_set_per_thread=res.working_set_per_thread,
+        )
+        bw_eff = _saturation(warps_per_sm, WARPS_HALF_MEMORY)
+        dram_time = (
+            traffic.dram_bytes / (self.gpu.dram_bandwidth * bw_eff)
+            if bw_eff > 0
+            else 0.0
+        )
+        l2_time = traffic.l2_bytes / (L2_BANDWIDTH * max(bw_eff, 1e-9))
+        memory_time = max(dram_time, l2_time)
+
+        return KernelTiming(
+            compute_time=compute_time,
+            memory_time=memory_time,
+            launch_overhead=self.gpu.launch_overhead,
+            occupancy=occ,
+            traffic=traffic,
+            effective_flops=eff_flops,
+        )
+
+
+#: Parallel efficiency lost per doubling of OpenMP threads (tile-loop
+#: scheduling overhead and tile-boundary imbalance in WRF).
+TILE_EFFICIENCY_PER_DOUBLING = 0.94
+
+
+@dataclass
+class CpuCostModel:
+    """Timing for host-side (per-rank) loop execution.
+
+    ``threads`` models WRF's shared-memory tiling (Fig. 1): tile loops
+    split over OpenMP threads with imperfect efficiency; the paper runs
+    1 thread per rank, which is the default here.
+    """
+
+    cpu: CpuSpec
+    #: Cores concurrently active on the socket; per-core bandwidth
+    #: shrinks when the socket is saturated.
+    active_cores_on_socket: int = 1
+    #: OpenMP threads per rank (WRF tiles; numtiles in the namelist).
+    threads: int = 1
+
+    def thread_speedup(self) -> float:
+        """Effective speedup of the tile loops from ``threads`` threads."""
+        if self.threads <= 1:
+            return 1.0
+        import math
+
+        doublings = math.log2(self.threads)
+        return self.threads * TILE_EFFICIENCY_PER_DOUBLING**doublings
+
+    def time(
+        self,
+        flops: float,
+        bytes_moved: float,
+        iterations: int = 0,
+    ) -> float:
+        """Seconds for one rank's (possibly tiled) loop execution."""
+        compute = flops / (
+            self.cpu.sustained_flops_per_core * self.thread_speedup()
+        )
+        # A rank's threads share the socket's bandwidth alongside every
+        # other active core.
+        per_rank_bw = min(
+            self.cpu.mem_bandwidth_per_core * max(1, self.threads),
+            self.cpu.mem_bandwidth / max(1, self.active_cores_on_socket),
+        )
+        memory = bytes_moved / per_rank_bw
+        overhead = iterations * CPU_LOOP_OVERHEAD / self.thread_speedup()
+        return max(compute, memory) + overhead

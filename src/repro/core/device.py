@@ -1,0 +1,183 @@
+"""Simulated GPU device, per-rank contexts, and device arrays.
+
+A :class:`Device` is one A100 with finite memory; each MPI rank that
+uses it opens a :class:`DeviceContext`, which carves out a local-memory
+(stack) reservation sized by ``NV_ACC_CUDA_STACKSIZE`` — the mechanism
+that limited the paper to 5 MPI ranks per GPU (Sec. VII-A). Device
+arrays hold a real NumPy buffer in the device's working precision so
+host/device numerics genuinely differ (Sec. VII-B verification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.env import OffloadEnv
+from repro.errors import CudaOutOfMemory, MappingError
+from repro.hardware.specs import A100_40GB, GpuSpec
+
+#: Fraction of the worst-case per-thread stack carve-out
+#: (SMs x max threads x stack bytes) the driver actually reserves.
+#: Calibrated so a 65536-byte stack admits 5 contexts on a 40 GB A100
+#: and rejects the 6th, matching the paper's observed rank limit.
+STACK_RESERVATION_FACTOR = 0.5
+
+
+@dataclass
+class DeviceArray:
+    """A named allocation on the device holding real data.
+
+    The buffer is materialized in ``dtype`` (float32 by default — most
+    of WRF is single precision), so arithmetic performed "on device"
+    genuinely rounds differently from float64 host arithmetic.
+    """
+
+    name: str
+    data: np.ndarray
+    #: True once the device copy is newer than the host copy.
+    device_dirty: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+
+@dataclass
+class Device:
+    """One simulated GPU shared by any number of rank contexts."""
+
+    spec: GpuSpec = field(default_factory=lambda: A100_40GB)
+    device_id: int = 0
+    allocated_bytes: int = 0
+    #: Simulated timestamp at which the device's FIFO queue drains; used
+    #: by the MPI simulator to serialize kernels from co-resident ranks.
+    busy_until: float = 0.0
+    contexts: list["DeviceContext"] = field(default_factory=list)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.memory_bytes - self.allocated_bytes
+
+    def allocate(self, nbytes: int, what: str = "array") -> None:
+        """Account a device allocation, raising on exhaustion."""
+        if nbytes < 0:
+            raise MappingError("negative allocation")
+        if nbytes > self.free_bytes:
+            raise CudaOutOfMemory(
+                f"out of memory allocating {nbytes / 2**20:.1f} MiB for {what} "
+                f"on GPU {self.device_id} "
+                f"({self.allocated_bytes / 2**30:.2f} GiB in use of "
+                f"{self.spec.memory_bytes / 2**30:.0f} GiB; "
+                f"{len(self.contexts)} rank contexts resident)"
+            )
+        self.allocated_bytes += nbytes
+
+    def free(self, nbytes: int) -> None:
+        """Return memory to the pool."""
+        self.allocated_bytes = max(0, self.allocated_bytes - nbytes)
+
+    def open_context(self, env: OffloadEnv) -> "DeviceContext":
+        """Create a rank context, charging its stack reservation."""
+        ctx = DeviceContext(device=self, env=env)
+        self.contexts.append(ctx)
+        return ctx
+
+    def stack_reservation(self, env: OffloadEnv) -> int:
+        """Bytes the driver reserves for one context's thread stacks."""
+        spec = self.spec
+        worst_case = spec.num_sms * spec.max_threads_per_sm * env.stack_bytes
+        return int(worst_case * STACK_RESERVATION_FACTOR)
+
+
+@dataclass
+class DeviceContext:
+    """One rank's view of a device: its allocations and env settings."""
+
+    device: Device
+    env: OffloadEnv
+    arrays: dict[str, DeviceArray] = field(default_factory=dict)
+    _reserved: int = 0
+    closed: bool = False
+
+    def __post_init__(self) -> None:
+        self._reserved = self.device.stack_reservation(self.env)
+        self.device.allocate(self._reserved, what="thread-stack reservation")
+
+    def alloc_array(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype | type = np.float32,
+        init: np.ndarray | None = None,
+    ) -> DeviceArray:
+        """Allocate a named device array (``map(alloc:)`` semantics)."""
+        if name in self.arrays:
+            raise MappingError(f"device array {name!r} already mapped")
+        # Account against device capacity before materializing the host
+        # buffer, so a too-large request raises the CUDA-style OOM.
+        itemsize = np.dtype(dtype).itemsize
+        nbytes = itemsize * int(np.prod(shape, dtype=np.int64))
+        self.device.allocate(nbytes, what=name)
+        try:
+            if init is not None:
+                data = np.ascontiguousarray(init, dtype=dtype)
+                if data.shape != tuple(shape):
+                    raise MappingError(
+                        f"init shape {data.shape} != requested {tuple(shape)}"
+                    )
+            else:
+                data = np.zeros(shape, dtype=dtype)
+        except Exception:
+            self.device.free(nbytes)
+            raise
+        arr = DeviceArray(name=name, data=data)
+        self.arrays[name] = arr
+        return arr
+
+    def get(self, name: str) -> DeviceArray:
+        """Look up a mapped array, raising the CUDA-style error if absent."""
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise MappingError(
+                f"device array {name!r} used before being mapped "
+                "(missing map/enter-data clause)"
+            ) from None
+
+    def free_array(self, name: str) -> None:
+        """Release one named array (``map(release:)``/exit-data)."""
+        arr = self.arrays.pop(name, None)
+        if arr is None:
+            raise MappingError(f"cannot release unmapped array {name!r}")
+        self.device.free(arr.nbytes)
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Bytes held in named arrays (excluding the stack reservation)."""
+        return sum(a.nbytes for a in self.arrays.values())
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total device memory charged to this context."""
+        return self.mapped_bytes + self._reserved
+
+    def close(self) -> None:
+        """Release everything this context holds."""
+        if self.closed:
+            return
+        for name in list(self.arrays):
+            self.free_array(name)
+        self.device.free(self._reserved)
+        if self in self.device.contexts:
+            self.device.contexts.remove(self)
+        self.closed = True

@@ -1,0 +1,152 @@
+"""OpenMP device-offload directive objects.
+
+These are the programmatic equivalent of the ``!$omp`` lines in the
+paper's listings. The engine interprets them to plan launches and data
+movement; the Codee rewriter (`repro.codee.rewrite`) *emits* them as
+Fortran directive text, so both halves of the workflow share one
+vocabulary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+class MapType(enum.Enum):
+    """OpenMP ``map`` clause kinds."""
+
+    TO = "to"
+    FROM = "from"
+    TOFROM = "tofrom"
+    ALLOC = "alloc"
+    RELEASE = "release"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True, slots=True)
+class Map:
+    """One ``map(<type>: var, ...)`` clause."""
+
+    map_type: MapType
+    names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.names:
+            raise ConfigurationError("map clause needs at least one variable")
+
+    def render(self) -> str:
+        """OpenMP source text of the clause."""
+        return f"map({self.map_type.value}: {', '.join(self.names)})"
+
+
+def map_to(*names: str) -> Map:
+    """Shorthand for ``map(to: ...)``."""
+    return Map(MapType.TO, tuple(names))
+
+
+def map_from(*names: str) -> Map:
+    """Shorthand for ``map(from: ...)``."""
+    return Map(MapType.FROM, tuple(names))
+
+
+def map_tofrom(*names: str) -> Map:
+    """Shorthand for ``map(tofrom: ...)``."""
+    return Map(MapType.TOFROM, tuple(names))
+
+
+def map_alloc(*names: str) -> Map:
+    """Shorthand for ``map(alloc: ...)``."""
+    return Map(MapType.ALLOC, tuple(names))
+
+
+@dataclass(frozen=True, slots=True)
+class TargetTeamsDistributeParallelDo:
+    """``!$omp target teams distribute parallel do`` combined construct.
+
+    ``collapse`` merges the outermost ``collapse`` loops into the
+    parallel iteration space; any deeper loops run sequentially inside
+    each device thread (this is exactly the distinction between the
+    paper's Listing 6 ``collapse(2)`` and the final ``collapse(3)``).
+    """
+
+    collapse: int = 1
+    maps: tuple[Map, ...] = ()
+    private: tuple[str, ...] = ()
+    firstprivate: tuple[str, ...] = ()
+    #: Inner ``!$omp simd`` on the innermost loop (Codee adds this on
+    #: CPU targets; ignored for GPU launch planning).
+    simd_inner: bool = False
+    num_teams: int | None = None
+    thread_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.collapse < 1:
+            raise ConfigurationError("collapse level must be >= 1")
+
+    def render(self, width: int = 60) -> str:
+        """Fortran directive text (continuation-line style of Listing 4)."""
+        parts = ["!$omp target teams distribute", "!$omp parallel do"]
+        clauses: list[str] = []
+        if self.collapse > 1:
+            clauses.append(f"collapse({self.collapse})")
+        if self.num_teams:
+            clauses.append(f"num_teams({self.num_teams})")
+        if self.thread_limit:
+            clauses.append(f"thread_limit({self.thread_limit})")
+        if self.private:
+            clauses.append(f"private({', '.join(self.private)})")
+        if self.firstprivate:
+            clauses.append(f"firstprivate({', '.join(self.firstprivate)})")
+        clauses.extend(m.render() for m in self.maps)
+        lines = parts + [f"!$omp {c}" for c in clauses]
+        return " &\n".join(lines)
+
+    def maps_of(self, map_type: MapType) -> tuple[str, ...]:
+        """All variable names mapped with ``map_type``."""
+        names: list[str] = []
+        for m in self.maps:
+            if m.map_type is map_type:
+                names.extend(m.names)
+        return tuple(names)
+
+
+@dataclass(frozen=True, slots=True)
+class TargetEnterData:
+    """``!$omp target enter data`` — persistent device allocation.
+
+    The paper's ``temp_arrays`` module issues
+    ``map(alloc: fl1_temp, ...)`` once at model start (Listing 8
+    discussion).
+    """
+
+    maps: tuple[Map, ...]
+
+    def render(self) -> str:
+        clauses = " ".join(m.render() for m in self.maps)
+        return f"!$omp target enter data {clauses}"
+
+
+@dataclass(frozen=True, slots=True)
+class TargetExitData:
+    """``!$omp target exit data`` — release persistent device data."""
+
+    maps: tuple[Map, ...]
+
+    def render(self) -> str:
+        clauses = " ".join(m.render() for m in self.maps)
+        return f"!$omp target exit data {clauses}"
+
+
+@dataclass(frozen=True, slots=True)
+class DeclareTarget:
+    """``!$omp declare target`` on a device-callable routine or module var."""
+
+    names: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        if not self.names:
+            return "!$omp declare target"
+        return f"!$omp declare target ({', '.join(self.names)})"

@@ -1,0 +1,134 @@
+"""Kernel descriptors: what the engine needs to know about a loop nest.
+
+A kernel is the unit the OpenMP runtime launches for one ``target``
+region: its (possibly collapsed) iteration space, the real NumPy
+computation to perform, and the resource/work footprint the cost model
+charges for. Stage code counts FLOPs/bytes from actual array sizes and
+activity masks, so the work genuinely differs between optimization
+stages (see DESIGN.md Sec. 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.hardware.memory import TrafficComponent
+
+#: Bytes of stack every device frame consumes beyond its automatic
+#: arrays (spilled scalars, return addresses, ABI padding).
+BASE_FRAME_BYTES = 512
+
+
+def warp_rounded(active: int, total: int, warp: int = 32) -> float:
+    """Expected warp-effective iteration count for scattered activity.
+
+    A warp runs as long as any lane is active. For ``active`` busy
+    iterations scattered uniformly among ``total``, the expected number
+    of lanes the hardware *pays for* is ``warps_with_work * warp``
+    where a warp has work with probability ``1 - (1 - p)^warp``.
+    """
+    if total <= 0 or active <= 0:
+        return 0.0
+    active = min(active, total)
+    p = active / total
+    warps = total / warp
+    busy_warps = warps * (1.0 - (1.0 - p) ** warp)
+    return busy_warps * warp
+
+
+def estimate_registers(
+    n_scalars: int, n_array_vars: int, pointer_based: bool = False
+) -> int:
+    """Heuristic register estimate for a Fortran device routine.
+
+    Mirrors how nvfortran's register pressure scales with live scalars
+    and array descriptors: each live scalar costs ~1 register, each
+    array variable ~6 (base pointer, extents, strides), with a fixed
+    overhead for the ABI. Pointer-slice locals (the paper's Listing 8
+    rewrite) carry their descriptors in memory, costing only ~1 each.
+    """
+    per_array = 1 if pointer_based else 6
+    regs = 24 + n_scalars + per_array * n_array_vars
+    return max(32, min(255, regs))
+
+
+@dataclass(frozen=True, slots=True)
+class KernelResources:
+    """Resource and work footprint of one kernel launch."""
+
+    #: Registers per thread before any ``maxregcount`` cap.
+    registers_per_thread: int
+    #: Bytes of Fortran automatic arrays in one call frame (0 after the
+    #: Listing 8 rewrite).
+    automatic_array_bytes: int
+    #: Hot private bytes one thread keeps resident (cache model input).
+    working_set_per_thread: float
+    #: Total useful FLOPs this launch performs.
+    flops: float
+    #: Logical memory streams (pre-cache), see `repro.hardware.memory`.
+    traffic: tuple[TrafficComponent, ...]
+    #: Iterations that do heavy work (others fail the activity predicate
+    #: and exit immediately); drives the warp-divergence penalty.
+    active_iterations: int
+    #: Fraction of peak FLOP rate this kernel's instruction mix can
+    #: reach even at full occupancy (branchy, latency-bound bin physics
+    #: sits far below FMA peak). Fixed per kernel, shared by every
+    #: experiment.
+    compute_efficiency: float = 0.10
+    precision: str = "fp32"
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.registers_per_thread <= 255:
+            raise ConfigurationError("registers_per_thread must be in [1, 255]")
+        if self.automatic_array_bytes < 0 or self.flops < 0:
+            raise ConfigurationError("resource quantities must be non-negative")
+        if self.precision not in ("fp32", "fp64"):
+            raise ConfigurationError("precision must be fp32 or fp64")
+
+    @property
+    def frame_bytes(self) -> int:
+        """Per-thread stack demand of one device call frame."""
+        return self.automatic_array_bytes + BASE_FRAME_BYTES
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One offloadable loop nest.
+
+    ``loop_extents`` is ordered outermost-first, matching the Fortran
+    loop order (``j``, ``k``, ``i`` for the grid loops of Listing 1).
+    ``body`` performs the actual NumPy computation when the engine
+    executes the kernel; it runs exactly once per launch, regardless of
+    how the iteration space is decomposed, because the numerics are
+    vectorized over the whole space.
+    """
+
+    name: str
+    loop_extents: tuple[int, ...]
+    resources: KernelResources
+    body: Callable[[], None] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.loop_extents or any(e < 0 for e in self.loop_extents):
+            raise ConfigurationError("loop extents must be non-negative")
+
+    @property
+    def total_iterations(self) -> int:
+        return math.prod(self.loop_extents)
+
+    def parallel_iterations(self, collapse: int) -> int:
+        """Iterations exposed to the device when collapsing ``collapse`` loops."""
+        collapse = min(collapse, len(self.loop_extents))
+        return math.prod(self.loop_extents[:collapse])
+
+    def serial_iterations_per_thread(self, collapse: int) -> int:
+        """Loop trips each device thread executes sequentially inside."""
+        collapse = min(collapse, len(self.loop_extents))
+        return math.prod(self.loop_extents[collapse:])
+
+    def with_resources(self, **changes) -> "Kernel":
+        """Copy with modified resource fields (used by ablations)."""
+        return replace(self, resources=replace(self.resources, **changes))

@@ -1,0 +1,82 @@
+"""Launch planning: directives + kernel -> grid/block configuration.
+
+Reproduces how nvfortran maps
+``target teams distribute parallel do collapse(n)`` onto CUDA: the
+``n`` collapsed loops form the parallel iteration space, distributed
+over thread blocks of 128 threads (Sec. V-B of the paper); any deeper
+loops execute sequentially inside each thread.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.directives import TargetTeamsDistributeParallelDo
+from repro.core.env import OffloadEnv
+from repro.core.kernel import Kernel
+
+#: Bytes one spilled register re-reads/writes per serial iteration when
+#: ``maxregcount`` forces spills (drives the register-cap ablation).
+SPILL_BYTES_PER_REGISTER = 8.0
+
+
+@dataclass(frozen=True, slots=True)
+class LaunchConfig:
+    """Resolved CUDA launch parameters for one kernel."""
+
+    block_size: int
+    grid_blocks: int
+    parallel_iterations: int
+    serial_iterations_per_thread: int
+    #: Registers per thread after applying any ``maxregcount`` cap.
+    registers_per_thread: int
+    #: Registers the cap spilled to local memory (0 when uncapped).
+    spilled_registers: int
+
+    @property
+    def total_threads(self) -> int:
+        return self.block_size * self.grid_blocks
+
+    def spill_traffic_bytes(self) -> float:
+        """Extra local-memory bytes the spills cost over the launch."""
+        if not self.spilled_registers:
+            return 0.0
+        per_thread = (
+            self.spilled_registers
+            * SPILL_BYTES_PER_REGISTER
+            * max(1, self.serial_iterations_per_thread)
+        )
+        return per_thread * self.parallel_iterations
+
+
+def plan_launch(
+    kernel: Kernel,
+    directive: TargetTeamsDistributeParallelDo,
+    env: OffloadEnv,
+) -> LaunchConfig:
+    """Compute the launch configuration nvfortran would choose."""
+    collapse = min(directive.collapse, len(kernel.loop_extents))
+    parallel = kernel.parallel_iterations(collapse)
+    serial = kernel.serial_iterations_per_thread(collapse)
+
+    block = directive.thread_limit or env.block_size
+    block = min(block, max(32, env.block_size))
+    grid = max(1, math.ceil(parallel / block)) if parallel else 0
+    if directive.num_teams:
+        grid = min(grid, directive.num_teams) if parallel else 0
+
+    regs = kernel.resources.registers_per_thread
+    spilled = 0
+    if env.max_registers is not None and regs > env.max_registers:
+        spilled = regs - env.max_registers
+        regs = env.max_registers
+
+    return LaunchConfig(
+        block_size=block,
+        grid_blocks=grid,
+        parallel_iterations=parallel,
+        serial_iterations_per_thread=serial,
+        registers_per_thread=regs,
+        spilled_registers=spilled,
+    )

@@ -1,0 +1,83 @@
+"""Exception hierarchy for the reproduction.
+
+The simulated device faults intentionally mirror the failure modes the
+paper encountered on Perlmutter: a CUDA stack overflow from automatic
+arrays under ``collapse(3)`` (Sec. VI-B) and a device out-of-memory when
+more than 5 MPI ranks share one A100 (Sec. VII-A).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid namelist, decomposition, or engine configuration."""
+
+
+class DecompositionError(ConfigurationError):
+    """A domain cannot be decomposed into the requested patches/tiles."""
+
+
+class DeviceError(ReproError):
+    """Base class for simulated device faults."""
+
+    #: CUDA-style error string included in the message for familiarity.
+    cuda_name = "cudaErrorUnknown"
+
+
+class CudaStackOverflow(DeviceError):
+    """Device thread stack exhausted.
+
+    Raised when a kernel's per-thread stack demand (dominated by Fortran
+    automatic arrays) exceeds ``NV_ACC_CUDA_STACKSIZE``. This is the
+    error the paper hit when applying ``collapse(3)`` to the collision
+    loop while ``coal_bott_new`` still used automatic arrays.
+    """
+
+    cuda_name = "CUDA_ERROR_LAUNCH_FAILED: stack overflow"
+
+
+class CudaOutOfMemory(DeviceError):
+    """Device global memory exhausted.
+
+    Raised by the device memory pool when an allocation does not fit;
+    the paper saw this beyond 5 MPI ranks per GPU.
+    """
+
+    cuda_name = "CUDA_ERROR_OUT_OF_MEMORY"
+
+
+class MappingError(DeviceError):
+    """Host/device data mapping misuse (use-before-map, double-free)."""
+
+    cuda_name = "CUDA_ERROR_ILLEGAL_ADDRESS"
+
+
+class MpiError(ReproError):
+    """Simulated MPI runtime error."""
+
+
+class CodeeError(ReproError):
+    """Base class for the static-analysis front end."""
+
+
+class FortranSyntaxError(CodeeError):
+    """The Fortran-subset parser rejected the input."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, col {column}: {message}"
+        super().__init__(message)
+
+
+class AnalysisError(CodeeError):
+    """Dependence/privatization analysis could not complete."""
+
+
+class RewriteError(CodeeError):
+    """The autofix rewriter could not apply the requested transformation."""

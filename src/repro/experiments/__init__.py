@@ -1,0 +1,40 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment exposes a ``run(quick: bool = True)`` function that
+returns a result object with a ``format_table()`` rendering and a
+``compare_to_paper()`` summary. ``repro.experiments.runner`` drives the
+full set and writes EXPERIMENTS-style output.
+"""
+
+from repro.experiments.common import BenchConfig, PaperValue, comparison_lines
+from repro.experiments import (
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    figure3,
+    figure4,
+    verification,
+)
+from repro.experiments.runner import run_all, ExperimentOutcome
+
+__all__ = [
+    "BenchConfig",
+    "PaperValue",
+    "comparison_lines",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "figure3",
+    "figure4",
+    "verification",
+    "run_all",
+    "ExperimentOutcome",
+]

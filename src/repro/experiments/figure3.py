@@ -1,0 +1,80 @@
+"""Figure 3 — roofline placement of the offloaded collision kernels.
+
+The paper's roofline shows four points: the collapse(2) and collapse(3)
+kernels in single and double precision. The collapse(3) pair sits
+higher (closer to the memory roofline) and to the *left* (lower
+arithmetic intensity, from the strided ``*_temp`` traffic); all points
+sit far below the compute ceilings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import BenchConfig, config_for
+from repro.experiments.table6 import collect_kernel_metrics
+from repro.hardware.roofline import RooflineModel, RooflinePoint
+from repro.hardware.specs import A100_40GB
+from repro.optim.stages import Stage
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    model: RooflineModel
+    points: list[RooflinePoint]
+
+    def format_table(self) -> str:
+        header = (
+            "Figure 3 — GPU roofline for the collision kernel "
+            "(collapse(2)/collapse(3), SP/DP)\n"
+        )
+        return header + self.model.render_ascii(self.points)
+
+    def point(self, label: str) -> RooflinePoint:
+        for p in self.points:
+            if p.label == label:
+                return p
+        raise KeyError(label)
+
+    def compare_to_paper(self) -> str:
+        c2 = self.point("collapse(2) fp32")
+        c3 = self.point("collapse(3) fp32")
+        checks = [
+            (
+                "collapse(3) attains higher GFLOP/s than collapse(2)",
+                c3.performance > c2.performance,
+            ),
+            (
+                "collapse(3) has lower arithmetic intensity (more DRAM traffic)",
+                c3.arithmetic_intensity < c2.arithmetic_intensity,
+            ),
+            (
+                "both kernels sit well below the compute roofline",
+                all(
+                    self.model.efficiency(p) < 0.5
+                    for p in self.points
+                ),
+            ),
+            (
+                "collapse(3) approaches the memory roofline (>10% of ceiling)",
+                self.model.efficiency(c3) > 0.10,
+            ),
+        ]
+        lines = ["Figure 3: qualitative checks against the paper"]
+        for name, ok in checks:
+            lines.append(f"  [{'ok' if ok else 'MISS'}] {name}")
+        return "\n".join(lines)
+
+
+def run(quick: bool = True, config: BenchConfig | None = None) -> Figure3Result:
+    """Collect the four roofline points (SP and DP, both collapses)."""
+    cfg = config or config_for(quick)
+    points: list[RooflinePoint] = []
+    for stage, tag in (
+        (Stage.OFFLOAD_COLLAPSE2, "collapse(2)"),
+        (Stage.OFFLOAD_COLLAPSE3, "collapse(3)"),
+    ):
+        for precision in ("fp32", "fp64"):
+            metrics = collect_kernel_metrics(stage, cfg, precision=precision)
+            points.append(metrics.roofline_point(f"{tag} {precision}"))
+    return Figure3Result(model=RooflineModel(gpu=A100_40GB), points=points)

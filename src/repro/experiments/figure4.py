@@ -1,0 +1,115 @@
+"""Figure 4 — total elapsed time across versions and rank counts.
+
+Paper setup: 16 GPUs fixed on 4 nodes while CPU ranks grow 16 -> 32 ->
+64; the rightmost group compares 2 CPU nodes (256 ranks) against 2 GPU
+nodes (40 ranks + 8 GPUs). Three code versions per group: CPU baseline,
+CPU + lookup optimization, and the final GPU collapse(3) code. I/O is
+included.
+
+This experiment uses the cost projection (full 425 x 300 x 50 extents,
+exact per-patch activity census, live-measured work rates) — see
+`repro.optim.projection` for what is measured versus modeled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import BenchConfig, PaperValue, comparison_lines, config_for, cached_rates
+from repro.optim.projection import ProjectedRun, WorkRates, project_run
+from repro.optim.stages import Stage
+from repro.wrf.namelist import conus12km_namelist
+
+#: Paper's Fig. 4 elapsed times [s] where stated in the text/Table VII.
+PAPER_SECONDS = {
+    ("baseline", 16): 1211.45,
+    ("gpu", 16): 581.2,
+    ("baseline", 32): 655.1,
+    ("gpu", 32): 360.1,
+    ("baseline", 64): 471.7,
+    ("gpu", 64): 303.03,
+    ("baseline", 256): 379.8,
+    ("gpu", 40): 397.1,
+}
+
+#: The Fig. 4 groups: (label, cpu ranks, gpu ranks, gpus).
+GROUPS = (
+    ("16 ranks", 16, 16, 16),
+    ("32 ranks", 32, 32, 16),
+    ("64 ranks", 64, 64, 16),
+    ("2 nodes", 256, 40, 8),
+)
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    #: runs[group_label][version] -> ProjectedRun; versions are
+    #: "baseline", "lookup", "gpu".
+    runs: dict[str, dict[str, ProjectedRun]]
+
+    def seconds(self, group: str, version: str) -> float:
+        return self.runs[group][version].total_seconds
+
+    def format_table(self) -> str:
+        lines = [
+            "Figure 4 — total elapsed time [s] for the 10-minute CONUS-12km run",
+            f"{'group':<10} {'CPU baseline':>13} {'CPU lookup':>11} {'GPU (c3)':>10}",
+        ]
+        for label, *_ in GROUPS:
+            lines.append(
+                f"{label:<10} {self.seconds(label, 'baseline'):>13.1f} "
+                f"{self.seconds(label, 'lookup'):>11.1f} "
+                f"{self.seconds(label, 'gpu'):>10.1f}"
+            )
+        return "\n".join(lines)
+
+    def compare_to_paper(self) -> str:
+        values = []
+        for label, cpu_ranks, gpu_ranks, _ in GROUPS:
+            values.append(
+                PaperValue(
+                    f"{label} baseline",
+                    PAPER_SECONDS[("baseline", cpu_ranks)],
+                    self.seconds(label, "baseline"),
+                    "s",
+                )
+            )
+            values.append(
+                PaperValue(
+                    f"{label} gpu",
+                    PAPER_SECONDS[("gpu", gpu_ranks)],
+                    self.seconds(label, "gpu"),
+                    "s",
+                )
+            )
+        return comparison_lines(values, "Figure 4: paper vs measured")
+
+
+def run(
+    quick: bool = True,
+    config: BenchConfig | None = None,
+    rates: WorkRates | None = None,
+) -> Figure4Result:
+    """Project every Fig. 4 configuration."""
+    cfg = config or config_for(quick)
+    if rates is None:
+        rates = cached_rates(cfg.scale, cfg.num_ranks, cfg.num_steps)
+    runs: dict[str, dict[str, ProjectedRun]] = {}
+    for label, cpu_ranks, gpu_ranks, gpus in GROUPS:
+        group: dict[str, ProjectedRun] = {}
+        group["baseline"] = project_run(
+            conus12km_namelist(num_ranks=cpu_ranks, stage=Stage.BASELINE), rates
+        )
+        group["lookup"] = project_run(
+            conus12km_namelist(num_ranks=cpu_ranks, stage=Stage.LOOKUP), rates
+        )
+        group["gpu"] = project_run(
+            conus12km_namelist(
+                num_ranks=gpu_ranks,
+                stage=Stage.OFFLOAD_COLLAPSE3,
+                num_gpus=gpus,
+            ),
+            rates,
+        )
+        runs[label] = group
+    return Figure4Result(runs=runs)

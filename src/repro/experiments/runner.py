@@ -1,0 +1,84 @@
+"""Drive every experiment and render a combined report.
+
+``python -m repro.experiments.runner [--quick]`` regenerates every
+table and figure with paper-vs-measured blocks — the content of
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.experiments import (
+    figure3,
+    figure4,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    verification,
+)
+
+ALL_EXPERIMENTS = (
+    ("Table I", table1),
+    ("Table II", table2),
+    ("Table III", table3),
+    ("Table IV", table4),
+    ("Table V", table5),
+    ("Table VI", table6),
+    ("Figure 3", figure3),
+    ("Figure 4", figure4),
+    ("Table VII", table7),
+    ("Verification (Sec. VII-B)", verification),
+)
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """One experiment's rendered output."""
+
+    name: str
+    table: str
+    comparison: str
+    seconds: float
+
+    def render(self) -> str:
+        return (
+            f"{'=' * 72}\n{self.name}  (ran in {self.seconds:.1f} s)\n"
+            f"{'-' * 72}\n{self.table}\n\n{self.comparison}\n"
+        )
+
+
+def run_all(quick: bool = True) -> list[ExperimentOutcome]:
+    """Run every experiment; exceptions propagate (nothing is skipped)."""
+    outcomes = []
+    for name, mod in ALL_EXPERIMENTS:
+        start = time.perf_counter()
+        result = mod.run(quick=quick)
+        elapsed = time.perf_counter() - start
+        outcomes.append(
+            ExperimentOutcome(
+                name=name,
+                table=result.format_table(),
+                comparison=result.compare_to_paper(),
+                seconds=elapsed,
+            )
+        )
+    return outcomes
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    quick = "--quick" in args
+    for outcome in run_all(quick=quick):
+        print(outcome.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""Table I — hotspot time contribution, gprof vs Nsight Systems.
+
+Paper values (CONUS-12km, baseline code, 16 MPI tasks):
+
+=================  ======  ===============
+Routine            gprof   Nsight Systems
+=================  ======  ===============
+fast_sbm           51.39   77.07
+rk_scalar_tend     28.07   10.15
+rk_update_scalar    6.361   1.504
+=================  ======  ===============
+
+gprof aggregates across ranks; the Nsight column profiles a single,
+heavily loaded task — the spread between the two is load imbalance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import BenchConfig, PaperValue, comparison_lines, config_for
+from repro.optim.stages import Stage
+from repro.profiling.gprof import TABLE1_ROUTINES, GprofReport
+from repro.profiling.nsight_systems import NsysReport
+from repro.wrf.model import WrfModel
+
+PAPER_GPROF = {
+    "fast_sbm": 51.39,
+    "rk_scalar_tend": 28.07,
+    "rk_update_scalar": 6.361,
+}
+PAPER_NSYS = {
+    "fast_sbm": 77.07,
+    "rk_scalar_tend": 10.15,
+    "rk_update_scalar": 1.504,
+}
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    gprof: GprofReport
+    nsys: NsysReport
+
+    def format_table(self) -> str:
+        lines = [
+            "Table I — time contribution (%) of the top hotspots",
+            f"{'Routine':<18} {'gprof':>8} {'Nsight Systems':>15}",
+        ]
+        for name in TABLE1_ROUTINES:
+            lines.append(
+                f"{name:<18} {self.gprof.percent_of(name):>8.2f} "
+                f"{self.nsys.percent_of(name):>15.2f}"
+            )
+        return "\n".join(lines)
+
+    def compare_to_paper(self) -> str:
+        values = []
+        for name in TABLE1_ROUTINES:
+            values.append(
+                PaperValue(
+                    f"{name} (gprof)", PAPER_GPROF[name], self.gprof.percent_of(name), "%"
+                )
+            )
+            values.append(
+                PaperValue(
+                    f"{name} (nsys)", PAPER_NSYS[name], self.nsys.percent_of(name), "%"
+                )
+            )
+        return comparison_lines(values, "Table I: paper vs measured")
+
+
+def run(quick: bool = True, config: BenchConfig | None = None) -> Table1Result:
+    """Profile the baseline code and build both reports."""
+    cfg = config or config_for(quick)
+    model = WrfModel(cfg.namelist(stage=Stage.BASELINE))
+    try:
+        result = model.run(num_steps=cfg.num_steps)
+    finally:
+        model.close()
+    return Table1Result(
+        gprof=GprofReport.from_run(result, TABLE1_ROUTINES),
+        nsys=NsysReport.from_run(result),
+    )

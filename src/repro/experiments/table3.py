@@ -1,0 +1,50 @@
+"""Table III — speedups from removing ``kernals_ks`` (lookup optimization).
+
+Paper values: fast_sbm 1.83x current/cumulative; Overall 1.42x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    BenchConfig,
+    PaperValue,
+    comparison_lines,
+    config_for,
+    sequence_for,
+)
+from repro.optim.speedup import SpeedupRow, format_speedup_table
+
+PAPER = {"fast_sbm": 1.83, "Overall": 1.42}
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    rows: list[SpeedupRow]
+
+    def format_table(self) -> str:
+        return format_speedup_table(
+            self.rows,
+            "Table III — speedups from removal of kernals_ks",
+        )
+
+    def speedup_of(self, name: str) -> float:
+        for r in self.rows:
+            if r.name == name:
+                return r.current_speedup
+        raise KeyError(name)
+
+    def compare_to_paper(self) -> str:
+        values = [
+            PaperValue(name, paper, self.speedup_of(name), "x")
+            for name, paper in PAPER.items()
+        ]
+        return comparison_lines(values, "Table III: paper vs measured")
+
+
+def run(quick: bool = True, config: BenchConfig | None = None) -> Table3Result:
+    """Run baseline + lookup stages and form the speedup rows."""
+    cfg = config or config_for(quick)
+    sequence = sequence_for(cfg)
+    return Table3Result(rows=sequence.table3())

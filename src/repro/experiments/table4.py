@@ -1,0 +1,58 @@
+"""Table IV — speedups from offloading the collision loop, collapse(2).
+
+Paper values: coal_bott_new loop 6.47x, fast_sbm 1.54x (2.67x
+cumulative), Overall 1.33x (2.09x cumulative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    BenchConfig,
+    PaperValue,
+    comparison_lines,
+    config_for,
+    sequence_for,
+)
+from repro.optim.speedup import SpeedupRow, format_speedup_table
+
+PAPER_CURRENT = {"coal_bott_new loop": 6.47, "fast_sbm": 1.54, "Overall": 1.33}
+PAPER_CUMULATIVE = {"coal_bott_new loop": 6.47, "fast_sbm": 2.67, "Overall": 2.09}
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    rows: list[SpeedupRow]
+
+    def format_table(self) -> str:
+        return format_speedup_table(
+            self.rows,
+            "Table IV — speedups from offloading the outer 2 grid-level loops",
+        )
+
+    def row(self, name: str) -> SpeedupRow:
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def compare_to_paper(self) -> str:
+        values = []
+        for name in PAPER_CURRENT:
+            r = self.row(name)
+            values.append(
+                PaperValue(f"{name} (cur)", PAPER_CURRENT[name], r.current_speedup, "x")
+            )
+            values.append(
+                PaperValue(
+                    f"{name} (cum)", PAPER_CUMULATIVE[name], r.cumulative_speedup, "x"
+                )
+            )
+        return comparison_lines(values, "Table IV: paper vs measured")
+
+
+def run(quick: bool = True, config: BenchConfig | None = None) -> Table4Result:
+    """Run through the collapse(2) stage and form the speedup rows."""
+    cfg = config or config_for(quick)
+    return Table4Result(rows=sequence_for(cfg).table4())

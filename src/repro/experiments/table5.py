@@ -1,0 +1,59 @@
+"""Table V — speedups from the full collapse(3) with temp_arrays pointers.
+
+Paper values: coal_bott_new loop 10.3x (66.6x cumulative), fast_sbm
+1.12x (2.99x cumulative), Overall 1.05x (2.20x cumulative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    BenchConfig,
+    PaperValue,
+    comparison_lines,
+    config_for,
+    sequence_for,
+)
+from repro.optim.speedup import SpeedupRow, format_speedup_table
+
+PAPER_CURRENT = {"coal_bott_new loop": 10.3, "fast_sbm": 1.12, "Overall": 1.05}
+PAPER_CUMULATIVE = {"coal_bott_new loop": 66.6, "fast_sbm": 2.99, "Overall": 2.20}
+
+
+@dataclass(frozen=True)
+class Table5Result:
+    rows: list[SpeedupRow]
+
+    def format_table(self) -> str:
+        return format_speedup_table(
+            self.rows,
+            "Table V — speedups from the full collapse via removal of "
+            "automatic arrays",
+        )
+
+    def row(self, name: str) -> SpeedupRow:
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def compare_to_paper(self) -> str:
+        values = []
+        for name in PAPER_CURRENT:
+            r = self.row(name)
+            values.append(
+                PaperValue(f"{name} (cur)", PAPER_CURRENT[name], r.current_speedup, "x")
+            )
+            values.append(
+                PaperValue(
+                    f"{name} (cum)", PAPER_CUMULATIVE[name], r.cumulative_speedup, "x"
+                )
+            )
+        return comparison_lines(values, "Table V: paper vs measured")
+
+
+def run(quick: bool = True, config: BenchConfig | None = None) -> Table5Result:
+    """Run through the collapse(3) stage and form the speedup rows."""
+    cfg = config or config_for(quick)
+    return Table5Result(rows=sequence_for(cfg).table5())

@@ -1,0 +1,59 @@
+"""Table VII — total speedups, baseline vs fully optimized.
+
+Paper values:
+
+==============  =============  ====================  =============
+Configuration   baseline [s]   all optimizations [s]  total speedup
+==============  =============  ====================  =============
+16 ranks        1211.45        581.2                 2.08x
+32 ranks        655.1          360.1                 1.82x
+64 ranks        471.7          303.03                1.56x
+2 nodes         379.8          397.1                 0.956x
+==============  =============  ====================  =============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import figure4
+from repro.experiments.common import BenchConfig, PaperValue, comparison_lines
+
+PAPER_SPEEDUPS = {"16 ranks": 2.08, "32 ranks": 1.82, "64 ranks": 1.56, "2 nodes": 0.956}
+
+
+@dataclass(frozen=True)
+class Table7Result:
+    figure4_result: "figure4.Figure4Result"
+
+    def speedup(self, group: str) -> float:
+        base = self.figure4_result.seconds(group, "baseline")
+        final = self.figure4_result.seconds(group, "gpu")
+        return base / final if final else float("inf")
+
+    def format_table(self) -> str:
+        lines = [
+            "Table VII — timing and speedup, baseline vs final GPU version",
+            f"{'Configuration':<14} {'baseline (s)':>13} "
+            f"{'all opts (s)':>13} {'speedup':>9}",
+        ]
+        for label, *_ in figure4.GROUPS:
+            lines.append(
+                f"{label:<14} "
+                f"{self.figure4_result.seconds(label, 'baseline'):>13.1f} "
+                f"{self.figure4_result.seconds(label, 'gpu'):>13.1f} "
+                f"{self.speedup(label):>8.2f}x"
+            )
+        return "\n".join(lines)
+
+    def compare_to_paper(self) -> str:
+        values = [
+            PaperValue(label, paper, self.speedup(label), "x")
+            for label, paper in PAPER_SPEEDUPS.items()
+        ]
+        return comparison_lines(values, "Table VII: paper vs measured")
+
+
+def run(quick: bool = True, config: BenchConfig | None = None) -> Table7Result:
+    """Reuse the Fig. 4 projections to form the speedup table."""
+    return Table7Result(figure4_result=figure4.run(quick=quick, config=config))

@@ -1,0 +1,215 @@
+"""Diffusional growth/evaporation: the ``onecond1`` / ``onecond2`` pair.
+
+``onecond1`` treats liquid-only grid points (warm cloud); ``onecond2``
+treats mixed-phase points, growing liquid against water saturation and
+ice species against ice saturation. Bin masses grow by
+``dm = 4 pi rho_p r G S dt`` and the spectrum is remapped onto the mass
+ladder with the Kovetz–Olund two-bin split (vectorized scatter). Vapor
+and temperature are updated from the exact remapped mass change, so
+water mass and moist enthalpy are conserved to rounding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fsbm.bins import BinGrid
+from repro.fsbm.species import ICE_HABITS, Species, species_bins
+from repro.fsbm.state import N_EPS
+from repro.fsbm.thermo import (
+    condensational_growth_coefficient,
+    latent_heating,
+    saturation_mixing_ratio,
+)
+
+#: Habit shape factor multiplying the growth rate (capacitance of
+#: columns/plates/dendrites relative to spheres), plus snow/graupel/hail.
+_HABIT_FACTOR = {
+    Species.ICE_COL: 0.7,
+    Species.ICE_PLA: 0.9,
+    Species.ICE_DEN: 1.2,
+    Species.SNOW: 0.8,
+    Species.GRAUPEL: 0.6,
+    Species.HAIL: 0.5,
+}
+
+#: Internal sub-cycles the Fortran onecond1/2 take per model step (the
+#: growth ODE is integrated on a supersaturation-limited sub-time-step,
+#: ~15 sub-cycles in active cloud; calibrated once, see DESIGN.md).
+COND_SUBSTEPS = 15
+
+#: FLOPs per (point, bin, substep) of the growth + remap loop, including
+#: the psychrometric exponentials evaluated per bin.
+FLOPS_PER_BIN = 25.0 * COND_SUBSTEPS
+
+
+@dataclass
+class CondWorkStats:
+    """Work counts for one condensation call."""
+
+    points: int = 0
+    bin_updates: float = 0.0
+
+    @property
+    def flops(self) -> float:
+        return self.bin_updates * FLOPS_PER_BIN
+
+    @property
+    def bytes_moved(self) -> float:
+        return self.bin_updates * 4.0 * 4.0
+
+    def merge(self, other: "CondWorkStats") -> None:
+        self.points += other.points
+        self.bin_updates += other.bin_updates
+
+
+def _remap_spectrum(
+    n: np.ndarray, new_mass: np.ndarray, grid: BinGrid
+) -> tuple[np.ndarray, np.ndarray]:
+    """KO-remap numbers ``n`` at perturbed masses onto the mass ladder.
+
+    Returns ``(n_new, evaporated_number)`` where particles shrinking
+    below half the smallest bin mass evaporate completely (their number
+    is returned so callers can credit the CCN reservoir).
+    """
+    npts, nkr = n.shape
+    x = grid.masses
+    evap_mask = new_mass < 0.5 * x[0]
+    evap_number = np.where(evap_mask, n, 0.0).sum(axis=1)
+
+    live = ~evap_mask & (n > 0.0)
+    m = np.clip(new_mass, x[0], x[-1])
+    k = np.clip(np.floor(np.log2(m / grid.x_min)).astype(int), 0, nkr - 2)
+    w_hi = np.clip((m - x[k]) / (x[k + 1] - x[k]), 0.0, 1.0)
+
+    n_live = np.where(live, n, 0.0)
+    rows = np.arange(npts)[:, None] * nkr
+    flat_lo = (rows + k).ravel()
+    flat_hi = (rows + k + 1).ravel()
+    acc = np.bincount(
+        flat_lo, weights=(n_live * (1.0 - w_hi)).ravel(), minlength=npts * nkr
+    )
+    acc += np.bincount(
+        flat_hi, weights=(n_live * w_hi).ravel(), minlength=npts * nkr
+    )
+    return acc.reshape(npts, nkr), evap_number
+
+
+def _grow_species(
+    n: np.ndarray,
+    sp: Species,
+    supersat: np.ndarray,
+    growth_coeff: np.ndarray,
+    dt: float,
+    grid: BinGrid,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One species' growth step.
+
+    Returns ``(n_new, dmass_per_point, evaporated_number)`` with
+    ``dmass`` the condensate mass change [g/cm^3] (positive while
+    condensing).
+    """
+    r = grid.radii
+    factor = _HABIT_FACTOR.get(sp, 1.0)
+    # dm/dt = 4 pi rho_p r^2 dr/dt = 4 pi rho_p r G S
+    dm = (
+        4.0
+        * np.pi
+        * grid.density
+        * factor
+        * r[None, :]
+        * growth_coeff[:, None]
+        * supersat[:, None]
+        * dt
+    )
+    old_mass_content = n @ grid.masses
+    new_mass = grid.masses[None, :] + dm
+    n_new, evap = _remap_spectrum(n, new_mass, grid)
+    dmass = (n_new @ grid.masses) - old_mass_content
+    return n_new, dmass, evap
+
+
+def _condensation_core(
+    dists: dict[Species, np.ndarray],
+    species: tuple[Species, ...],
+    over: dict[Species, str],
+    temperature: np.ndarray,
+    pressure_mb: np.ndarray,
+    qv: np.ndarray,
+    rho_air: np.ndarray,
+    ccn: np.ndarray,
+    dt: float,
+) -> CondWorkStats:
+    """Shared growth driver for onecond1/onecond2 (updates in place)."""
+    npts = temperature.shape[0]
+    stats = CondWorkStats(points=npts)
+    if npts == 0:
+        return stats
+    grids = species_bins()
+    g_coeff = condensational_growth_coefficient(temperature, pressure_mb)
+
+    for sp in species:
+        n = dists[sp]
+        if not (n.sum(axis=1) > N_EPS).any():
+            continue
+        qs = saturation_mixing_ratio(temperature, pressure_mb, over[sp])
+        s = qv / qs - 1.0
+        # Limit condensation so vapor cannot be driven below saturation
+        # (nor evaporation above it) in a single explicit step.
+        n_new, dmass, evap = _grow_species(n, sp, s, g_coeff, dt, grids[sp])
+        dq = dmass / rho_air  # condensate increment in mixing ratio
+        room = np.where(dq >= 0.0, np.maximum(qv - qs, 0.0), np.maximum(qs - qv, 0.0))
+        scale = np.where(np.abs(dq) > room, room / np.maximum(np.abs(dq), 1e-300), 1.0)
+        scale = np.clip(scale, 0.0, 1.0)
+        blended = n + scale[:, None] * (n_new - n)
+        dmass = (blended - n) @ grids[sp].masses
+        dq = dmass / rho_air
+        dists[sp][...] = blended
+        qv -= dq
+        process = "condensation" if sp is Species.LIQUID else "deposition"
+        temperature += latent_heating(dq, process)
+        ccn += scale * evap if sp is Species.LIQUID else 0.0
+        stats.bin_updates += float(npts * n.shape[1])
+    return stats
+
+
+def onecond1(
+    dists: dict[Species, np.ndarray],
+    temperature: np.ndarray,
+    pressure_mb: np.ndarray,
+    qv: np.ndarray,
+    rho_air: np.ndarray,
+    ccn: np.ndarray,
+    dt: float,
+) -> CondWorkStats:
+    """Liquid-only condensation/evaporation (warm grid points)."""
+    return _condensation_core(
+        dists,
+        (Species.LIQUID,),
+        {Species.LIQUID: "water"},
+        temperature,
+        pressure_mb,
+        qv,
+        rho_air,
+        ccn,
+        dt,
+    )
+
+
+def onecond2(
+    dists: dict[Species, np.ndarray],
+    temperature: np.ndarray,
+    pressure_mb: np.ndarray,
+    qv: np.ndarray,
+    rho_air: np.ndarray,
+    ccn: np.ndarray,
+    dt: float,
+) -> CondWorkStats:
+    """Mixed-phase condensation/deposition (liquid + all ice species)."""
+    species = (Species.LIQUID, *ICE_HABITS, Species.SNOW, Species.GRAUPEL, Species.HAIL)
+    over = {sp: ("water" if sp is Species.LIQUID else "ice") for sp in species}
+    return _condensation_core(
+        dists, species, over, temperature, pressure_mb, qv, rho_air, ccn, dt
+    )

@@ -1,0 +1,56 @@
+"""The baseline ``kernals_ks`` precompute (deleted by stage 1).
+
+In the unmodified FSBM, every call to ``coal_bott_new`` first invokes
+``kernals_ks``, which fills all 20 global collision arrays
+(``cwll .. cwgl``) by pressure-interpolating the 750/500 mb reference
+tables for the current grid point — ``20 * nkr * nkr`` entries per
+point, whether or not they are later read (Listing 3).
+
+This module reproduces that precompute both as runnable numerics (used
+by tests to show the on-demand path reads identical values) and as the
+work count the baseline stage charges to the cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fsbm.collision_kernels import FLOPS_PER_ENTRY, KernelTables
+from repro.fsbm.species import INTERACTIONS
+
+
+def kernals_ks(
+    tables: KernelTables, pressure_mb: float
+) -> dict[str, np.ndarray]:
+    """Fill all 20 collision arrays for one grid point's pressure.
+
+    Returns the ``cw**`` arrays exactly as the global-variable version
+    would leave them. Note these are *overwritten on every call and
+    never read across calls* — the property Codee's dependence analysis
+    surfaces (``map(from:)`` in Listing 4) and the justification for
+    deleting this routine.
+    """
+    return {
+        ix.name: tables.interpolate_table(ix.name, pressure_mb)
+        for ix in INTERACTIONS
+    }
+
+
+def kernals_ks_levels(
+    tables: KernelTables, pressures_mb: np.ndarray
+) -> dict[str, np.ndarray]:
+    """Vectorized precompute for a column of pressures: (nlev, nkr, nkr)."""
+    return {
+        ix.name: tables.interpolate_levels(ix.name, pressures_mb)
+        for ix in INTERACTIONS
+    }
+
+
+def baseline_flops_per_point(tables: KernelTables) -> float:
+    """FLOPs one ``kernals_ks`` call performs."""
+    return tables.baseline_entry_count() * FLOPS_PER_ENTRY
+
+
+def baseline_bytes_per_point(tables: KernelTables) -> float:
+    """Logical bytes one call moves (two table reads, one store)."""
+    return tables.baseline_entry_count() * 4.0 * 3.0

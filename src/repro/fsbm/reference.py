@@ -1,0 +1,156 @@
+"""Pure-Python scalar reference for the collision step.
+
+This is the Fortran-shaped implementation: explicit loops over grid
+points, collision pairs ``(i, j)``, and on-demand ``get_cw**`` calls —
+exactly the control flow of ``coal_bott_new`` after the paper's stage-1
+rewrite, without any vectorization. It is far too slow for production
+but serves as the ground truth the vectorized `repro.fsbm.coal_bott`
+is validated against, and as executable documentation of the
+algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fsbm.bins import BinGrid
+from repro.fsbm.coal_bott import COAL_N_MIN
+from repro.fsbm.collision_kernels import KernelTables
+from repro.fsbm.species import Interaction, Species
+
+
+def coal_bott_reference_point(
+    n: dict[Species, np.ndarray],
+    temperature: float,
+    pressure_mb: float,
+    dt: float,
+    tables: KernelTables,
+    interactions: tuple[Interaction, ...],
+) -> dict[Species, np.ndarray]:
+    """One grid point's collision step, scalar loops throughout.
+
+    ``n`` maps species to 1-D ``(nkr,)`` number concentrations; a new
+    dict of updated concentrations is returned. Mirrors the vectorized
+    implementation's event/limiter/split algorithm term by term.
+    """
+    nkr = len(next(iter(n.values())))
+    grid = BinGrid(nkr=nkr)
+    out = {sp: arr.astype(float).copy() for sp, arr in n.items()}
+
+    for ix in interactions:
+        if not ix.active_at(temperature):
+            continue
+        a = out[ix.collector]
+        b = out[ix.collected]
+        if a.sum() <= COAL_N_MIN or b.sum() <= COAL_N_MIN:
+            continue
+
+        # Unordered pair-event rates with on-demand kernel entries.
+        events = np.zeros((nkr, nkr))
+        for i in range(nkr):
+            if a[i] <= 0.0:
+                continue
+            for j in range(nkr):
+                if b[j] <= 0.0:
+                    continue
+                kern = tables.get_cw(ix.name, i + 1, j + 1, pressure_mb)
+                events[i, j] = kern * a[i] * b[j]
+        if ix.self_collection:
+            events *= 0.5
+
+        # Limiter: no bin loses more than it holds.
+        if ix.self_collection:
+            loss = events.sum(axis=1) + events.sum(axis=0)
+            f = np.minimum(1.0, a / np.maximum(loss * dt, 1e-30))
+            for i in range(nkr):
+                for j in range(nkr):
+                    events[i, j] *= f[i] * f[j]
+        else:
+            loss_a = events.sum(axis=1)
+            loss_b = events.sum(axis=0)
+            f_a = np.minimum(1.0, a / np.maximum(loss_a * dt, 1e-30))
+            f_b = np.minimum(1.0, b / np.maximum(loss_b * dt, 1e-30))
+            for i in range(nkr):
+                for j in range(nkr):
+                    events[i, j] *= f_a[i] * f_b[j]
+
+        # Losses and the Kovetz-Olund gain split.
+        gain = np.zeros(nkr)
+        for i in range(nkr):
+            for j in range(nkr):
+                e = events[i, j] * dt
+                if e == 0.0:
+                    continue
+                k_lo, k_hi, w_lo, w_hi = grid.split_mass(
+                    grid.masses[i] + grid.masses[j]
+                )
+                gain[k_lo] += e * w_lo
+                gain[k_hi] += e * w_hi
+
+        if ix.self_collection:
+            loss = (events.sum(axis=1) + events.sum(axis=0)) * dt
+            a_new = np.maximum(a - loss, 0.0)
+            if ix.product is ix.collector:
+                out[ix.collector] = np.maximum(a_new + gain, 0.0)
+            else:
+                out[ix.collector] = a_new
+                out[ix.product] = out[ix.product] + gain
+        else:
+            a_new = np.maximum(a - events.sum(axis=1) * dt, 0.0)
+            b_new = np.maximum(b - events.sum(axis=0) * dt, 0.0)
+            out[ix.collector] = a_new
+            out[ix.collected] = b_new
+            if ix.product is ix.collector:
+                out[ix.collector] = a_new + gain
+            elif ix.product is ix.collected:
+                out[ix.collected] = b_new + gain
+            else:
+                out[ix.product] = out[ix.product] + gain
+
+    return out
+
+
+def droplet_growth_reference(
+    n: np.ndarray,
+    temperature: float,
+    pressure_mb: float,
+    qv: float,
+    rho_air: float,
+    dt: float,
+    grid: BinGrid | None = None,
+) -> tuple[np.ndarray, float]:
+    """Scalar reference of one point's liquid condensational growth.
+
+    Returns ``(n_new, dqv)``. Mirrors `repro.fsbm.condensation` without
+    vectorization or the saturation limiter (callers compare against
+    the unlimited inner step).
+    """
+    from repro.fsbm.thermo import (
+        condensational_growth_coefficient,
+        saturation_mixing_ratio,
+    )
+
+    grid = grid or BinGrid()
+    nkr = grid.nkr
+    qs = float(saturation_mixing_ratio(np.array(temperature), np.array(pressure_mb)))
+    s = qv / qs - 1.0
+    g_coeff = float(
+        condensational_growth_coefficient(
+            np.array(temperature), np.array(pressure_mb)
+        )
+    )
+
+    n_new = np.zeros(nkr)
+    old_mass = float(n @ grid.masses)
+    for k in range(nkr):
+        if n[k] <= 0.0:
+            continue
+        dm = 4.0 * np.pi * grid.density * grid.radii[k] * g_coeff * s * dt
+        m_new = grid.masses[k] + dm
+        if m_new < 0.5 * grid.masses[0]:
+            continue  # evaporated entirely
+        k_lo, k_hi, w_lo, w_hi = grid.split_mass(float(m_new))
+        n_new[k_lo] += n[k] * w_lo
+        n_new[k_hi] += n[k] * w_hi
+    dmass = float(n_new @ grid.masses) - old_mass
+    return n_new, -dmass / rho_air

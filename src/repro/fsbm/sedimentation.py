@@ -1,0 +1,82 @@
+"""Gravitational sedimentation of binned hydrometeors.
+
+First-order upwind flux in the vertical, one pass per species. Operates
+on the full patch arrays ``(ni, nk, nj, nkr)`` with ``k = 0`` at the
+surface; mass leaving the lowest level accumulates as surface
+precipitation. Fall speeds take the level-pressure density correction.
+
+The CFL number ``v dt / dz`` stays below one for every species at the
+CONUS-12km time step (hail ~33 m/s, dt = 5 s, dz = 500 m), so the
+explicit scheme is stable; an assertion guards this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fsbm.fallspeeds import terminal_velocity
+from repro.fsbm.species import Species, species_bins
+from repro.fsbm.state import MicroState
+
+#: FLOPs per (cell, bin) of the upwind update (flux build, two
+#: updates, precipitation accumulation).
+FLOPS_PER_BIN = 12.0
+
+
+@dataclass
+class SedWorkStats:
+    """Work counts for one sedimentation sweep."""
+
+    cell_bins: float = 0.0
+
+    @property
+    def flops(self) -> float:
+        return self.cell_bins * FLOPS_PER_BIN
+
+    @property
+    def bytes_moved(self) -> float:
+        return self.cell_bins * 4.0 * 3.0
+
+    def merge(self, other: "SedWorkStats") -> None:
+        self.cell_bins += other.cell_bins
+
+
+def sedimentation_step(
+    state: MicroState,
+    pressure_mb_levels: np.ndarray,
+    dz_cm: float,
+    dt: float,
+) -> SedWorkStats:
+    """Advance all species by one upwind sedimentation step, in place.
+
+    ``pressure_mb_levels`` has shape ``(nk,)`` (base-state column) and
+    sets the fall-speed density correction per level.
+    """
+    ni, nk, nj = state.shape
+    stats = SedWorkStats()
+    grids = species_bins()
+    for sp in Species:
+        n = state.dists[sp]
+        if not n.any():
+            continue
+        # v[k, bin]: fall speed per level and bin [cm/s] (one broadcast
+        # evaluation instead of a per-level loop).
+        v = terminal_velocity(
+            sp,
+            grids[sp].radii[None, :],
+            np.asarray(pressure_mb_levels)[:, None],
+        )
+        courant = v * dt / dz_cm
+        assert courant.max() <= 1.0, (
+            f"sedimentation CFL violated for {sp}: {courant.max():.2f} "
+            "(reduce dt or increase dz)"
+        )
+        flux = n * courant[None, :, None, :]  # number leaving each cell downward
+        n -= flux
+        n[:, :-1, :, :] += flux[:, 1:, :, :]
+        # Lowest level's flux reaches the ground as precipitation mass.
+        state.precip += flux[:, 0, :, :] @ grids[sp].masses
+        stats.cell_bins += float(n.size)
+    return stats

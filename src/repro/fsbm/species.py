@@ -1,0 +1,163 @@
+"""Hydrometeor species and the 20-interaction collision registry.
+
+FSBM carries liquid drops, three ice-crystal habits (``icemax = 3``),
+snow, graupel, and hail. ``kernals_ks`` in the original Fortran fills
+20 collision arrays (``cwll``, ``cwls``, ``cwlg``, ...), one per
+(collector, collected) pairing; this module is the authoritative list
+of those pairings, their coalescence products, and the temperature
+regimes in which each is active — the conditionals that make "not all
+20 collision arrays used" at any given grid point (Sec. VI-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.constants import T_0
+
+
+class Species(enum.Enum):
+    """Hydrometeor categories carried by the scheme."""
+
+    LIQUID = "liquid"
+    ICE_COL = "ice_columns"
+    ICE_PLA = "ice_plates"
+    ICE_DEN = "ice_dendrites"
+    SNOW = "snow"
+    GRAUPEL = "graupel"
+    HAIL = "hail"
+
+    @property
+    def short(self) -> str:
+        """One/two-letter tag used in collision-array names."""
+        return _SHORT[self]
+
+    @property
+    def is_ice(self) -> bool:
+        return self is not Species.LIQUID
+
+
+_SHORT = {
+    Species.LIQUID: "l",
+    Species.ICE_COL: "i1",
+    Species.ICE_PLA: "i2",
+    Species.ICE_DEN: "i3",
+    Species.SNOW: "s",
+    Species.GRAUPEL: "g",
+    Species.HAIL: "h",
+}
+
+#: The three crystal habits.
+ICE_HABITS = (Species.ICE_COL, Species.ICE_PLA, Species.ICE_DEN)
+
+
+@dataclass(frozen=True, slots=True)
+class Interaction:
+    """One collision pairing with its kernel table and product species."""
+
+    collector: Species
+    collected: Species
+    product: Species
+    #: Interaction active only below this temperature [K] (None = always).
+    t_max: float | None = None
+    #: Interaction active only above this temperature [K] (None = always).
+    t_min: float | None = None
+
+    @property
+    def name(self) -> str:
+        """The ``cw**`` collision-array name (e.g. ``cwlg``)."""
+        return f"cw{self.collector.short}{self.collected.short}"
+
+    def active_at(self, temperature: float) -> bool:
+        """Whether this pairing participates at the given temperature."""
+        if self.t_max is not None and temperature >= self.t_max:
+            return False
+        if self.t_min is not None and temperature <= self.t_min:
+            return False
+        return True
+
+    def active_at_array(self, temperature) -> "np.ndarray":
+        """Vectorized :meth:`active_at` for a temperature array."""
+        import numpy as np
+
+        t = np.asarray(temperature)
+        ok = np.ones(t.shape, dtype=bool)
+        if self.t_max is not None:
+            ok &= t < self.t_max
+        if self.t_min is not None:
+            ok &= t > self.t_min
+        return ok
+
+    @property
+    def self_collection(self) -> bool:
+        return self.collector is self.collected
+
+
+def _ix(
+    a: Species,
+    b: Species,
+    prod: Species,
+    t_max: float | None = None,
+    t_min: float | None = None,
+) -> Interaction:
+    return Interaction(collector=a, collected=b, product=prod, t_max=t_max, t_min=t_min)
+
+
+#: The 20 collision interactions of ``kernals_ks``, in the order the
+#: Fortran fills its arrays. Ice-involving pairings are gated to
+#: sub-freezing temperatures; drop-drop coalescence runs everywhere the
+#: coal routine is called.
+INTERACTIONS: tuple[Interaction, ...] = (
+    _ix(Species.LIQUID, Species.LIQUID, Species.LIQUID),  # cwll
+    _ix(Species.LIQUID, Species.ICE_COL, Species.GRAUPEL, t_max=T_0),  # cwli1
+    _ix(Species.LIQUID, Species.ICE_PLA, Species.GRAUPEL, t_max=T_0),  # cwli2
+    _ix(Species.LIQUID, Species.ICE_DEN, Species.GRAUPEL, t_max=T_0),  # cwli3
+    _ix(Species.LIQUID, Species.SNOW, Species.SNOW, t_max=T_0),  # cwls
+    _ix(Species.LIQUID, Species.GRAUPEL, Species.GRAUPEL, t_max=T_0),  # cwlg
+    _ix(Species.LIQUID, Species.HAIL, Species.HAIL, t_max=T_0),  # cwlh
+    _ix(Species.ICE_COL, Species.ICE_COL, Species.SNOW, t_max=T_0 - 5.0),  # cwi1i1
+    _ix(Species.ICE_PLA, Species.ICE_PLA, Species.SNOW, t_max=T_0 - 5.0),  # cwi2i2
+    _ix(Species.ICE_DEN, Species.ICE_DEN, Species.SNOW, t_max=T_0 - 5.0),  # cwi3i3
+    _ix(Species.SNOW, Species.ICE_COL, Species.SNOW, t_max=T_0 - 5.0),  # cwsi1
+    _ix(Species.SNOW, Species.ICE_PLA, Species.SNOW, t_max=T_0 - 5.0),  # cwsi2
+    _ix(Species.SNOW, Species.ICE_DEN, Species.SNOW, t_max=T_0 - 5.0),  # cwsi3
+    _ix(Species.SNOW, Species.SNOW, Species.SNOW, t_max=T_0 - 5.0),  # cwss
+    _ix(Species.SNOW, Species.GRAUPEL, Species.GRAUPEL, t_max=T_0 - 5.0),  # cwsg
+    _ix(Species.SNOW, Species.HAIL, Species.HAIL, t_max=T_0 - 5.0),  # cwsh
+    _ix(Species.GRAUPEL, Species.GRAUPEL, Species.GRAUPEL, t_max=T_0 - 10.0),  # cwgg
+    _ix(Species.GRAUPEL, Species.HAIL, Species.HAIL, t_max=T_0 - 10.0),  # cwgh
+    _ix(Species.HAIL, Species.HAIL, Species.HAIL, t_max=T_0 - 10.0),  # cwhh
+    _ix(Species.GRAUPEL, Species.LIQUID, Species.GRAUPEL, t_max=T_0),  # cwgl
+)
+
+#: Name -> interaction lookup (``cwlg`` etc.).
+INTERACTIONS_BY_NAME = {ix.name: ix for ix in INTERACTIONS}
+
+assert len(INTERACTIONS) == 20, "the Fortran fills exactly 20 collision arrays"
+assert len(INTERACTIONS_BY_NAME) == 20, "collision-array names must be unique"
+
+
+def interactions_for_regime(temperature: float) -> tuple[Interaction, ...]:
+    """Interactions active at ``temperature`` — the on-demand subset.
+
+    The baseline ``kernals_ks`` computes *all twenty* tables regardless;
+    the lookup-optimized code only evaluates this subset, which is the
+    first of the paper's two sources of the stage-1 speedup.
+    """
+    return tuple(ix for ix in INTERACTIONS if ix.active_at(temperature))
+
+
+def species_bins() -> dict[Species, "BinGrid"]:
+    """Bin grid per species (bulk density sets the mass-radius map)."""
+    from repro.fsbm.bins import BinGrid
+
+    return {
+        Species.LIQUID: BinGrid(density=1.0),
+        Species.ICE_COL: BinGrid(density=0.9),
+        Species.ICE_PLA: BinGrid(density=0.9),
+        Species.ICE_DEN: BinGrid(density=0.5),
+        Species.SNOW: BinGrid(density=0.1),
+        Species.GRAUPEL: BinGrid(density=0.4),
+        Species.HAIL: BinGrid(density=0.9),
+    }

@@ -1,0 +1,135 @@
+"""The ``temp_arrays`` module of the paper's Listing 8.
+
+Authoritative registry of the Fortran automatic arrays inside
+``coal_bott_new`` (Listing 7). Two numbers fall out of it:
+
+* :func:`automatic_frame_bytes` — the per-call stack frame those arrays
+  occupy, which is what overflows the device stack under ``collapse(3)``;
+* :class:`TempArrays` — the stage-3 replacement: one preallocated
+  device array per temporary, shaped ``(nkr[, icemax], ni, nk, nj)`` so
+  each grid point's thread points at its own slice. Its total footprint
+  is the "uses more space overall" cost the paper accepts, and (with
+  the stack reservation) what limits ranks-per-GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import ICEMAX, NKR
+from repro.core.directives import Map, MapType, TargetEnterData, TargetExitData
+from repro.core.engine import OffloadEngine
+
+#: (name, per-point shape) of every automatic array in coal_bott_new.
+#: Names follow the Fortran: drop/ice size-distribution work arrays
+#: (fl*, ff*), growth integrals (g*), per-species mass/velocity ladders,
+#: and collision accumulators (psi*).
+AUTOMATIC_ARRAYS: tuple[tuple[str, tuple[int, ...]], ...] = (
+    ("fl1", (NKR,)),
+    ("fl2", (NKR,)),
+    ("fl3", (NKR,)),
+    ("fl4", (NKR,)),
+    ("fl5", (NKR,)),
+    ("ff1", (NKR,)),
+    ("ff2", (NKR,)),
+    ("ff3", (NKR,)),
+    ("ff4", (NKR,)),
+    ("ff5", (NKR,)),
+    ("g1", (NKR,)),
+    ("g2", (NKR, ICEMAX)),
+    ("g3", (NKR,)),
+    ("g4", (NKR,)),
+    ("g5", (NKR,)),
+    ("e1", (NKR, ICEMAX)),
+    ("e2", (NKR, ICEMAX)),
+    ("xl_d", (NKR,)),
+    ("xs_d", (NKR,)),
+    ("xg_d", (NKR,)),
+    ("xh_d", (NKR,)),
+    ("vrl", (NKR,)),
+    ("vrs", (NKR,)),
+    ("vrg", (NKR,)),
+    ("vrh", (NKR,)),
+    ("psi1", (NKR,)),
+    ("psi2", (NKR,)),
+    ("psi3", (NKR,)),
+    ("dropradii", (NKR,)),
+    ("conc_old", (NKR,)),
+)
+
+#: Element size of the single-precision Fortran reals.
+ELEM_BYTES = 4
+
+#: Number of full sweeps over the frame one coal_bott_new call makes
+#: (fill, collide, accumulate back) — drives the frame traffic model.
+FRAME_SWEEPS = 6
+
+
+def automatic_frame_bytes() -> int:
+    """Bytes of automatic arrays in one ``coal_bott_new`` call frame."""
+    total = 0
+    for _, shape in AUTOMATIC_ARRAYS:
+        n = 1
+        for s in shape:
+            n *= s
+        total += n * ELEM_BYTES
+    return total
+
+
+def per_point_temp_bytes() -> int:
+    """Device bytes per grid point of the stage-3 ``*_temp`` arrays."""
+    return automatic_frame_bytes()
+
+
+@dataclass
+class TempArrays:
+    """Stage-3 preallocated device temporaries (``fl1_temp`` etc.).
+
+    Allocated once per rank at model start via
+    ``!$omp target enter data map(alloc: ...)`` and released at the end,
+    exactly as the paper's ``temp_arrays`` module does.
+    """
+
+    shape: tuple[int, int, int]
+    allocated: bool = False
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(f"{name}_temp" for name, _ in AUTOMATIC_ARRAYS)
+
+    def enter_data_directive(self) -> TargetEnterData:
+        """The allocation directive of the Listing 8 module."""
+        return TargetEnterData(maps=(Map(MapType.ALLOC, self.names),))
+
+    def exit_data_directive(self) -> TargetExitData:
+        return TargetExitData(maps=(Map(MapType.RELEASE, self.names),))
+
+    def device_shapes(self) -> dict[str, tuple[int, ...]]:
+        """Full device shapes ``(bin dims..., ni, nk, nj)`` per array."""
+        ni, nk, nj = self.shape
+        return {
+            f"{name}_temp": (*per_point, ni, nk, nj)
+            for name, per_point in AUTOMATIC_ARRAYS
+        }
+
+    def total_bytes(self) -> int:
+        """Device memory the module pins for the whole patch."""
+        ni, nk, nj = self.shape
+        return per_point_temp_bytes() * ni * nk * nj
+
+    def allocate(self, engine: OffloadEngine) -> None:
+        """Run the enter-data allocation on a rank's engine."""
+        if self.allocated:
+            return
+        engine.enter_data(self.enter_data_directive(), shapes=self.device_shapes())
+        self.allocated = True
+
+    def release(self, engine: OffloadEngine) -> None:
+        """Release the module arrays (model shutdown)."""
+        if not self.allocated:
+            return
+        for name in self.names:
+            engine.ctx.free_array(name)
+        self.allocated = False

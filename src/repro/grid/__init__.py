@@ -1,0 +1,41 @@
+"""WRF-style grid decomposition: domains, patches (MPI), tiles (OpenMP).
+
+This subpackage reproduces the decomposition layer of Fig. 1 in the
+paper: the *domain* ``(ids:ide, kds:kde, jds:jde)`` is split into
+rectangular *patches* assigned to MPI ranks, each stored with a halo in
+*memory* extents ``(ims:ime, ...)``, and further split into *tiles*
+``(its:ite, ...)`` distributed among OpenMP threads.
+"""
+
+from repro.grid.domain import (
+    IndexRange,
+    DomainSpec,
+    Patch,
+    Tile,
+    DEFAULT_HALO_WIDTH,
+)
+from repro.grid.decomposition import (
+    factor_ranks,
+    decompose_domain,
+    tile_patch,
+    Decomposition,
+)
+from repro.grid.halo import HaloExchangePlan, build_halo_plan
+from repro.grid.indexing import local_slice, halo_slices, owned_slice
+
+__all__ = [
+    "IndexRange",
+    "DomainSpec",
+    "Patch",
+    "Tile",
+    "DEFAULT_HALO_WIDTH",
+    "factor_ranks",
+    "decompose_domain",
+    "tile_patch",
+    "Decomposition",
+    "HaloExchangePlan",
+    "build_halo_plan",
+    "local_slice",
+    "halo_slices",
+    "owned_slice",
+]

@@ -1,0 +1,161 @@
+"""Domain decomposition into MPI patches and OpenMP tiles.
+
+WRF factors the rank count into a near-square ``(nproc_x, nproc_y)``
+process grid (unless overridden in the namelist) and deals the domain
+out in contiguous, load-balanced strips. Tiling then subdivides each
+patch in ``j`` for OpenMP threads, matching WRF's default
+``numtiles``-in-j behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import DecompositionError
+from repro.grid.domain import DEFAULT_HALO_WIDTH, DomainSpec, IndexRange, Patch, Tile
+
+
+def factor_ranks(nranks: int, nx: int, ny: int) -> tuple[int, int]:
+    """Factor ``nranks`` into a process grid ``(nproc_x, nproc_y)``.
+
+    Picks the factor pair closest to the domain's aspect ratio so
+    patches stay near-square, which is what WRF's ``MPASPECT`` does.
+    """
+    if nranks < 1:
+        raise DecompositionError("need at least one rank")
+    target = nx / ny
+    best: tuple[int, int] | None = None
+    best_err = math.inf
+    for px in range(1, nranks + 1):
+        if nranks % px:
+            continue
+        py = nranks // px
+        err = abs(math.log((px / py) / target))
+        if err < best_err:
+            best_err = err
+            best = (px, py)
+    assert best is not None
+    px, py = best
+    if px > nx or py > ny:
+        raise DecompositionError(
+            f"{nranks} ranks cannot tile a {nx}x{ny} domain ({px}x{py} grid)"
+        )
+    return best
+
+
+def _split_range(full: IndexRange, nparts: int) -> list[IndexRange]:
+    """Split an inclusive range into ``nparts`` near-equal contiguous parts."""
+    if nparts > full.size:
+        raise DecompositionError(
+            f"cannot split range of {full.size} into {nparts} parts"
+        )
+    base, extra = divmod(full.size, nparts)
+    parts: list[IndexRange] = []
+    start = full.start
+    for p in range(nparts):
+        size = base + (1 if p < extra else 0)
+        parts.append(IndexRange(start, start + size - 1))
+        start += size
+    return parts
+
+
+@dataclass(frozen=True, slots=True)
+class Decomposition:
+    """The full patch layout of a domain over an MPI rank grid."""
+
+    domain: DomainSpec
+    nproc_x: int
+    nproc_y: int
+    halo: int
+    patches: tuple[Patch, ...]
+
+    @property
+    def nranks(self) -> int:
+        """Total number of MPI ranks."""
+        return self.nproc_x * self.nproc_y
+
+    def patch_for_rank(self, rank: int) -> Patch:
+        """The patch owned by ``rank`` (row-major rank ordering)."""
+        return self.patches[rank]
+
+    def neighbors(self, rank: int) -> dict[str, int | None]:
+        """Ranks adjacent to ``rank`` in the process grid (or None at edges)."""
+        p = self.patches[rank]
+        gi, gj = p.grid_i, p.grid_j
+
+        def at(ci: int, cj: int) -> int | None:
+            if 0 <= ci < self.nproc_x and 0 <= cj < self.nproc_y:
+                return cj * self.nproc_x + ci
+            return None
+
+        return {
+            "west": at(gi - 1, gj),
+            "east": at(gi + 1, gj),
+            "south": at(gi, gj - 1),
+            "north": at(gi, gj + 1),
+        }
+
+
+def decompose_domain(
+    domain: DomainSpec,
+    nranks: int,
+    halo: int = DEFAULT_HALO_WIDTH,
+    proc_grid: tuple[int, int] | None = None,
+) -> Decomposition:
+    """Partition ``domain`` into one patch per MPI rank.
+
+    Ranks are laid out row-major over a ``(nproc_x, nproc_y)`` grid;
+    rank ``r`` sits at column ``r % nproc_x``, row ``r // nproc_x``.
+    Memory extents extend the owned range by ``halo`` on each side,
+    clamped to the domain (WRF clamps boundary halos the same way).
+    """
+    if proc_grid is None:
+        proc_grid = factor_ranks(nranks, domain.nx, domain.ny)
+    nproc_x, nproc_y = proc_grid
+    if nproc_x * nproc_y != nranks:
+        raise DecompositionError(
+            f"process grid {nproc_x}x{nproc_y} does not match {nranks} ranks"
+        )
+    i_parts = _split_range(domain.i, nproc_x)
+    j_parts = _split_range(domain.j, nproc_y)
+
+    patches: list[Patch] = []
+    for gj, jrange in enumerate(j_parts):
+        for gi, irange in enumerate(i_parts):
+            rank = gj * nproc_x + gi
+            patches.append(
+                Patch(
+                    rank=rank,
+                    i=irange,
+                    k=domain.k,
+                    j=jrange,
+                    im=irange.expand(halo, clamp=domain.i),
+                    jm=jrange.expand(halo, clamp=domain.j),
+                    halo=halo,
+                    grid_i=gi,
+                    grid_j=gj,
+                )
+            )
+    return Decomposition(
+        domain=domain,
+        nproc_x=nproc_x,
+        nproc_y=nproc_y,
+        halo=halo,
+        patches=tuple(patches),
+    )
+
+
+def tile_patch(patch: Patch, numtiles: int) -> list[Tile]:
+    """Split a patch into ``numtiles`` OpenMP tiles along ``j``.
+
+    WRF's default tiling strategy splits the patch in the j dimension
+    only; a patch with fewer j rows than requested tiles yields one
+    tile per row (the surplus threads receive no tile).
+    """
+    nparts = min(numtiles, patch.j.size)
+    j_parts = _split_range(patch.j, nparts)
+    return [
+        Tile(thread=t, i=patch.i, k=patch.k, j=jrange)
+        for t, jrange in enumerate(j_parts)
+    ]

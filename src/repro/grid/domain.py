@@ -1,0 +1,175 @@
+"""Domain, patch, and tile descriptors using WRF index conventions.
+
+WRF uses inclusive Fortran-style index triplets. For a field dimension
+there are three nested ranges:
+
+* **domain**: ``ids:ide`` — the whole grid,
+* **memory**: ``ims:ime`` — the rank-local allocation (patch + halo),
+* **tile**:   ``its:ite`` — the subrange a thread iterates over.
+
+``i`` is west-east, ``k`` is the vertical, ``j`` is south-north; MPI
+decomposition happens in ``i`` and ``j`` only (the vertical is never
+split), exactly as in WRF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: WRF's default halo width for the scalar-advection stencils we carry.
+DEFAULT_HALO_WIDTH = 3
+
+
+@dataclass(frozen=True, slots=True)
+class IndexRange:
+    """Inclusive index range ``start:end`` (Fortran style, 1-based)."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ConfigurationError(
+                f"empty index range {self.start}:{self.end}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of indices in the inclusive range."""
+        return self.end - self.start + 1
+
+    def contains(self, other: "IndexRange") -> bool:
+        """True if ``other`` lies entirely inside this range."""
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "IndexRange") -> bool:
+        """True if the two inclusive ranges share at least one index."""
+        return self.start <= other.end and other.start <= self.end
+
+    def intersect(self, other: "IndexRange") -> "IndexRange | None":
+        """Intersection of two ranges, or None when disjoint."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if hi < lo:
+            return None
+        return IndexRange(lo, hi)
+
+    def expand(self, width: int, clamp: "IndexRange | None" = None) -> "IndexRange":
+        """Grow the range by ``width`` on both sides, optionally clamped."""
+        lo, hi = self.start - width, self.end + width
+        if clamp is not None:
+            lo, hi = max(lo, clamp.start), min(hi, clamp.end)
+        return IndexRange(lo, hi)
+
+    def to_slice(self, base: int) -> slice:
+        """0-based Python slice relative to an array whose first index is ``base``."""
+        return slice(self.start - base, self.end - base + 1)
+
+
+@dataclass(frozen=True, slots=True)
+class DomainSpec:
+    """Full-domain extents ``(ids:ide, kds:kde, jds:jde)`` plus grid spacing."""
+
+    nx: int  # west-east points (i)
+    nz: int  # vertical levels (k)
+    ny: int  # south-north points (j)
+    dx: float = 12_000.0  # horizontal spacing [m]
+    dz: float = 500.0  # nominal vertical spacing [m]
+
+    def __post_init__(self) -> None:
+        if min(self.nx, self.nz, self.ny) < 1:
+            raise ConfigurationError("domain extents must be positive")
+        if self.dx <= 0 or self.dz <= 0:
+            raise ConfigurationError("grid spacings must be positive")
+
+    @property
+    def i(self) -> IndexRange:
+        """Domain west-east range ``ids:ide``."""
+        return IndexRange(1, self.nx)
+
+    @property
+    def k(self) -> IndexRange:
+        """Domain vertical range ``kds:kde``."""
+        return IndexRange(1, self.nz)
+
+    @property
+    def j(self) -> IndexRange:
+        """Domain south-north range ``jds:jde``."""
+        return IndexRange(1, self.ny)
+
+    @property
+    def num_points(self) -> int:
+        """Total grid points in the domain."""
+        return self.nx * self.nz * self.ny
+
+    def scaled(self, factor: float) -> "DomainSpec":
+        """Return a horizontally shrunken domain (vertical kept intact).
+
+        Used by the benchmark harness to run the CONUS-12km case at
+        reduced horizontal extents while keeping per-column physics
+        identical.
+        """
+        if factor <= 0 or factor > 1:
+            raise ConfigurationError("scale factor must be in (0, 1]")
+        nx = max(4, round(self.nx * factor))
+        ny = max(4, round(self.ny * factor))
+        return DomainSpec(nx=nx, nz=self.nz, ny=ny, dx=self.dx, dz=self.dz)
+
+
+@dataclass(frozen=True, slots=True)
+class Patch:
+    """A rank's rectangle of the domain, with memory (halo) extents.
+
+    ``i``/``j`` are the owned patch ranges (``ips:ipe``/``jps:jpe`` in
+    WRF terms); ``im``/``jm`` the memory ranges including halo
+    (``ims:ime``/``jms:jme``). The vertical is never decomposed, so
+    ``k`` always equals the domain's ``kds:kde``.
+    """
+
+    rank: int
+    i: IndexRange
+    k: IndexRange
+    j: IndexRange
+    im: IndexRange
+    jm: IndexRange
+    halo: int
+    grid_i: int  # position in the rank grid (column)
+    grid_j: int  # position in the rank grid (row)
+
+    def __post_init__(self) -> None:
+        if not self.im.contains(self.i) or not self.jm.contains(self.j):
+            raise ConfigurationError(
+                "memory extents must contain the owned patch"
+            )
+
+    @property
+    def num_points(self) -> int:
+        """Owned (non-halo) grid points in the patch."""
+        return self.i.size * self.k.size * self.j.size
+
+    @property
+    def memory_points(self) -> int:
+        """Allocated grid points including halo."""
+        return self.im.size * self.k.size * self.jm.size
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Local allocation shape ``(ni_mem, nk, nj_mem)``, i-k-j order."""
+        return (self.im.size, self.k.size, self.jm.size)
+
+
+@dataclass(frozen=True, slots=True)
+class Tile:
+    """An OpenMP thread's subrange of a patch (``its:ite``, ``jts:jte``)."""
+
+    thread: int
+    i: IndexRange
+    k: IndexRange
+    j: IndexRange
+
+    @property
+    def num_points(self) -> int:
+        """Grid points the tile iterates over."""
+        return self.i.size * self.k.size * self.j.size

@@ -1,0 +1,85 @@
+"""Index-space conversions between WRF ranges and NumPy slices.
+
+All rank-local arrays are allocated with the memory extents
+``(ims:ime, kms:kme, jms:jme)`` in i-k-j order, mirroring WRF's storage
+order for microphysics fields. These helpers translate inclusive
+Fortran-style ranges into 0-based Python slices of those arrays.
+"""
+
+from __future__ import annotations
+
+from repro.grid.domain import IndexRange, Patch, Tile
+
+
+def local_slice(
+    patch: Patch, i: IndexRange, k: IndexRange, j: IndexRange
+) -> tuple[slice, slice, slice]:
+    """Slices into a patch-local (memory-extent) array for global ranges."""
+    return (
+        i.to_slice(patch.im.start),
+        k.to_slice(patch.k.start),
+        j.to_slice(patch.jm.start),
+    )
+
+
+def owned_slice(patch: Patch) -> tuple[slice, slice, slice]:
+    """Slices selecting the owned (non-halo) region of a local array."""
+    return local_slice(patch, patch.i, patch.k, patch.j)
+
+
+def tile_slice(patch: Patch, tile: Tile) -> tuple[slice, slice, slice]:
+    """Slices selecting one OpenMP tile inside a patch-local array."""
+    return local_slice(patch, tile.i, tile.k, tile.j)
+
+
+def halo_slices(patch: Patch, side: str) -> tuple[slice, slice, slice]:
+    """Slices selecting the halo region on ``side`` of a local array.
+
+    ``side`` is one of ``west``/``east``/``south``/``north``. Returns an
+    empty slice when the patch touches the domain boundary on that side
+    (clamped halo).
+    """
+    if side == "west":
+        if patch.im.start == patch.i.start:
+            return (slice(0, 0), slice(None), slice(None))
+        rng = IndexRange(patch.im.start, patch.i.start - 1)
+        return local_slice(patch, rng, patch.k, patch.jm)
+    if side == "east":
+        if patch.im.end == patch.i.end:
+            return (slice(0, 0), slice(None), slice(None))
+        rng = IndexRange(patch.i.end + 1, patch.im.end)
+        return local_slice(patch, rng, patch.k, patch.jm)
+    if side == "south":
+        if patch.jm.start == patch.j.start:
+            return (slice(None), slice(None), slice(0, 0))
+        rng = IndexRange(patch.jm.start, patch.j.start - 1)
+        return local_slice(patch, patch.im, patch.k, rng)
+    if side == "north":
+        if patch.jm.end == patch.j.end:
+            return (slice(None), slice(None), slice(0, 0))
+        rng = IndexRange(patch.j.end + 1, patch.jm.end)
+        return local_slice(patch, patch.im, patch.k, rng)
+    raise ValueError(f"unknown side {side!r}")
+
+
+def interior_edge_slices(
+    patch: Patch, side: str, width: int
+) -> tuple[slice, slice, slice]:
+    """Slices of the owned strip of ``width`` adjacent to ``side``.
+
+    This is the data a neighbor needs to fill *its* halo on the
+    opposite side.
+    """
+    if side == "west":
+        rng = IndexRange(patch.i.start, min(patch.i.start + width - 1, patch.i.end))
+        return local_slice(patch, rng, patch.k, patch.jm)
+    if side == "east":
+        rng = IndexRange(max(patch.i.end - width + 1, patch.i.start), patch.i.end)
+        return local_slice(patch, rng, patch.k, patch.jm)
+    if side == "south":
+        rng = IndexRange(patch.j.start, min(patch.j.start + width - 1, patch.j.end))
+        return local_slice(patch, patch.im, patch.k, rng)
+    if side == "north":
+        rng = IndexRange(max(patch.j.end - width + 1, patch.j.start), patch.j.end)
+        return local_slice(patch, patch.im, patch.k, rng)
+    raise ValueError(f"unknown side {side!r}")

@@ -1,0 +1,44 @@
+"""Simulated Perlmutter hardware: A100 GPU, EPYC Milan CPU, interconnect.
+
+Everything the cost model knows about the machine lives here. The specs
+are public numbers for the Perlmutter node architecture (Sec. IV of the
+paper); the efficiency curves are calibrated once against the paper's
+measured ratios and then frozen (see DESIGN.md Sec. 2).
+"""
+
+from repro.hardware.specs import (
+    A100_40GB,
+    A100_80GB,
+    EPYC_MILAN,
+    PCIE_GEN4,
+    SLINGSHOT_11,
+    PERLMUTTER_GPU_NODE,
+    PERLMUTTER_CPU_NODE,
+    GpuSpec,
+    CpuSpec,
+    LinkSpec,
+    NodeSpec,
+)
+from repro.hardware.occupancy import OccupancyCalculator, OccupancyResult
+from repro.hardware.memory import CacheModel, MemoryTraffic
+from repro.hardware.roofline import RooflineModel, RooflinePoint
+
+__all__ = [
+    "A100_40GB",
+    "A100_80GB",
+    "EPYC_MILAN",
+    "PCIE_GEN4",
+    "SLINGSHOT_11",
+    "PERLMUTTER_GPU_NODE",
+    "PERLMUTTER_CPU_NODE",
+    "GpuSpec",
+    "CpuSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "OccupancyCalculator",
+    "OccupancyResult",
+    "CacheModel",
+    "MemoryTraffic",
+    "RooflineModel",
+    "RooflinePoint",
+]

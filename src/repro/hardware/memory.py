@@ -1,0 +1,187 @@
+"""Analytic cache-hierarchy model for the simulated A100.
+
+The model reproduces the *mechanisms* behind Table VI of the paper:
+
+* The ``collapse(2)`` kernel keeps ``coal_bott_new``'s automatic arrays
+  in per-thread local memory, swept sequentially. Few threads are
+  resident, so the hot frames fit in L1/L2 and misses are dominated by
+  streaming (one miss per cache line, i.e. ``1 - elem/line`` hit rate).
+* The ``collapse(3)`` kernel replaces the automatic arrays with slices
+  of global ``*_temp`` arrays laid out ``(nkr, i, k, j)``. Each thread's
+  bin sweep is strided by the number of grid points, so every element
+  lands in its own 32 B sector — an ``line/elem``-fold DRAM traffic
+  amplification — and the much higher resident-thread count thrashes
+  both caches.
+
+Traffic is described as a list of :class:`TrafficComponent` items, each
+tagged with an access pattern; the model folds them into aggregate
+L1/L2 hit rates and DRAM read/write bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.hardware.specs import GpuSpec
+
+
+class AccessPattern(enum.Enum):
+    """How a traffic component touches memory."""
+
+    #: Per-thread frame swept sequentially (automatic arrays in local
+    #: memory, unit-stride bin loops).
+    THREAD_SEQUENTIAL = "thread_sequential"
+
+    #: Global arrays indexed with a grid-point major layout so that the
+    #: per-bin sweep is strided by the number of grid points.
+    GLOBAL_STRIDED = "global_strided"
+
+    #: Warp-coalesced global access (consecutive threads touch
+    #: consecutive elements).
+    GLOBAL_COALESCED = "global_coalesced"
+
+    #: Small read-only tables shared by every thread (collision-kernel
+    #: lookup tables): near-perfect cache residency.
+    BROADCAST = "broadcast"
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficComponent:
+    """One logical stream of memory accesses issued by a kernel."""
+
+    name: str
+    pattern: AccessPattern
+    read_bytes: float
+    write_bytes: float
+    #: Element size in bytes (4 for the single-precision FSBM fields).
+    elem_bytes: int = 4
+
+    @property
+    def total_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryTraffic:
+    """Aggregate result of pushing a kernel's traffic through the model."""
+
+    l1_hit_rate: float  # 0..1
+    l2_hit_rate: float  # 0..1 (of L1 misses)
+    dram_read_bytes: float
+    dram_write_bytes: float
+    l2_bytes: float
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+
+@dataclass(slots=True)
+class CacheModel:
+    """Folds traffic components into hit rates and DRAM traffic.
+
+    ``working_set_per_thread`` is the bytes of private data one thread
+    keeps hot; ``resident_threads`` comes from the occupancy result.
+    """
+
+    gpu: GpuSpec
+    #: L2 hit rate of a strided stream once the cache is thrashed.
+    strided_l2_floor: float = 0.62
+    #: L1 hit rate of a strided stream (reuse of neighbouring bins only).
+    strided_l1_hit: float = 0.55
+    #: Hit rates for broadcast tables.
+    broadcast_l1_hit: float = 0.98
+    broadcast_l2_hit: float = 0.995
+
+    def _sequential_hits(
+        self, elem_bytes: int, resident_threads: int, working_set_per_thread: float
+    ) -> tuple[float, float]:
+        """(l1_hit, l2_hit) for a sequentially swept per-thread frame."""
+        gpu = self.gpu
+        # Streaming bound: one compulsory miss per line.
+        stream_hit = 1.0 - elem_bytes / gpu.line_bytes
+        # Contention: threads resident on one SM share L1.
+        threads_per_sm = max(1.0, resident_threads / gpu.num_sms)
+        l1_demand = threads_per_sm * working_set_per_thread
+        l1_pressure = min(1.0, gpu.l1_bytes_per_sm / max(l1_demand, 1.0))
+        # Under low pressure the hit rate approaches the streaming bound;
+        # heavy pressure erodes it toward re-fetching whole frames (but a
+        # sequential sweep never does worse than ~3/4 of the bound).
+        l1_hit = stream_hit * (0.75 + 0.25 * l1_pressure)
+        # L2 holds the union of hot frames; even a fully resident set
+        # pays compulsory misses, so the hit rate saturates below 1.
+        l2_demand = resident_threads * working_set_per_thread
+        l2_pressure = min(1.0, gpu.l2_bytes / max(l2_demand, 1.0))
+        l2_hit = min(0.55 + 0.45 * l2_pressure, 0.985)
+        return l1_hit, l2_hit
+
+    def _strided_hits(
+        self, resident_threads: int, working_set_per_thread: float
+    ) -> tuple[float, float]:
+        """(l1_hit, l2_hit) for grid-point-strided global sweeps."""
+        gpu = self.gpu
+        l2_demand = resident_threads * working_set_per_thread
+        l2_pressure = min(1.0, gpu.l2_bytes / max(l2_demand, 1.0))
+        l2_hit = self.strided_l2_floor + (0.98 - self.strided_l2_floor) * l2_pressure
+        return self.strided_l1_hit, l2_hit
+
+    def evaluate(
+        self,
+        components: list[TrafficComponent],
+        resident_threads: int,
+        working_set_per_thread: float,
+    ) -> MemoryTraffic:
+        """Run all components through the hierarchy and aggregate."""
+        gpu = self.gpu
+        tot_access = 0.0
+        l1_hit_w = 0.0
+        l2_hit_w = 0.0
+        l1_misses = 0.0
+        dram_read = 0.0
+        dram_write = 0.0
+        l2_traffic = 0.0
+
+        for c in components:
+            if c.pattern is AccessPattern.THREAD_SEQUENTIAL:
+                l1, l2 = self._sequential_hits(
+                    c.elem_bytes, resident_threads, working_set_per_thread
+                )
+                amplification = 1.0
+            elif c.pattern is AccessPattern.GLOBAL_STRIDED:
+                l1, l2 = self._strided_hits(resident_threads, working_set_per_thread)
+                # Every miss drags a whole sector for one element.
+                amplification = gpu.line_bytes / c.elem_bytes
+            elif c.pattern is AccessPattern.GLOBAL_COALESCED:
+                l1 = 1.0 - c.elem_bytes / gpu.line_bytes
+                l2 = 0.80
+                amplification = 1.0
+            elif c.pattern is AccessPattern.BROADCAST:
+                l1, l2 = self.broadcast_l1_hit, self.broadcast_l2_hit
+                amplification = 1.0
+            else:  # pragma: no cover - enum is exhaustive
+                raise ValueError(f"unknown pattern {c.pattern}")
+
+            tot_access += c.total_bytes
+            l1_hit_w += l1 * c.total_bytes
+            miss_r = c.read_bytes * (1.0 - l1)
+            miss_w = c.write_bytes * (1.0 - l1)
+            l1_misses += miss_r + miss_w
+            l2_hit_w += l2 * (miss_r + miss_w)
+            l2_traffic += (miss_r + miss_w) * amplification
+            dram_read += miss_r * (1.0 - l2) * amplification
+            # Writes drain to DRAM once evicted from L2; strided writes
+            # still waste the rest of the sector.
+            dram_write += miss_w * (1.0 - l2 * 0.5) * amplification
+
+        if tot_access <= 0:
+            return MemoryTraffic(1.0, 1.0, 0.0, 0.0, 0.0)
+        l1_rate = l1_hit_w / tot_access
+        l2_rate = l2_hit_w / l1_misses if l1_misses > 0 else 1.0
+        return MemoryTraffic(
+            l1_hit_rate=l1_rate,
+            l2_hit_rate=l2_rate,
+            dram_read_bytes=dram_read,
+            dram_write_bytes=dram_write,
+            l2_bytes=l2_traffic,
+        )

@@ -1,0 +1,116 @@
+"""CUDA occupancy calculator for the simulated A100.
+
+Implements the standard occupancy computation (blocks per SM limited by
+registers, thread slots, and block slots) plus an *achieved* occupancy
+that also accounts for grids too small to fill the device — the
+situation the paper's ``collapse(2)`` kernel is in, where only
+``(jte-jts+1) x (kte-kts+1)`` threads exist for 108 SMs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.specs import GpuSpec
+
+
+@dataclass(frozen=True, slots=True)
+class OccupancyResult:
+    """Outcome of an occupancy query for one kernel launch."""
+
+    #: Resident blocks per SM permitted by all static limits.
+    blocks_per_sm: int
+    #: Which resource bound blocks first: "registers", "threads", "blocks".
+    limiter: str
+    #: Theoretical occupancy (resident warps / max warps), 0..1.
+    theoretical: float
+    #: Achieved occupancy including grid-size starvation, 0..1.
+    achieved: float
+    #: Total resident threads across the device during steady state.
+    resident_threads: int
+
+
+class OccupancyCalculator:
+    """Occupancy queries against one GPU spec."""
+
+    def __init__(self, gpu: GpuSpec):
+        self.gpu = gpu
+
+    def registers_per_block(self, registers_per_thread: int, block_size: int) -> int:
+        """Register file consumption of one block, with warp granularity.
+
+        Registers are allocated per warp in units of
+        ``register_allocation_unit``; this mirrors the CUDA occupancy
+        calculator's register rounding.
+        """
+        gpu = self.gpu
+        warps = math.ceil(block_size / gpu.warp_size)
+        per_warp = registers_per_thread * gpu.warp_size
+        unit = gpu.register_allocation_unit
+        per_warp = math.ceil(per_warp / unit) * unit
+        return warps * per_warp
+
+    def blocks_per_sm(
+        self, registers_per_thread: int, block_size: int
+    ) -> tuple[int, str]:
+        """Resident blocks per SM and the limiting resource."""
+        gpu = self.gpu
+        if block_size < 1:
+            raise ConfigurationError("block size must be positive")
+        if registers_per_thread < 1:
+            raise ConfigurationError("registers per thread must be positive")
+        if registers_per_thread > gpu.max_registers_per_thread:
+            registers_per_thread = gpu.max_registers_per_thread
+
+        by_threads = gpu.max_threads_per_sm // block_size
+        regs_block = self.registers_per_block(registers_per_thread, block_size)
+        by_registers = gpu.registers_per_sm // regs_block if regs_block else gpu.max_blocks_per_sm
+        by_slots = gpu.max_blocks_per_sm
+
+        blocks = min(by_threads, by_registers, by_slots)
+        if blocks == by_threads:
+            limiter = "threads"
+        elif blocks == by_registers:
+            limiter = "registers"
+        else:
+            limiter = "blocks"
+        return max(blocks, 0), limiter
+
+    def occupancy(
+        self,
+        registers_per_thread: int,
+        block_size: int,
+        grid_blocks: int,
+    ) -> OccupancyResult:
+        """Full occupancy result for a launch of ``grid_blocks`` blocks.
+
+        Theoretical occupancy uses the static per-SM limits; achieved
+        occupancy additionally caps resident blocks by what the grid can
+        actually supply (``grid_blocks / num_sms``) — a kernel with 30
+        blocks on a 108-SM device can never exceed ~1.4 % no matter its
+        register budget.
+        """
+        gpu = self.gpu
+        blocks, limiter = self.blocks_per_sm(registers_per_thread, block_size)
+        if blocks == 0:
+            return OccupancyResult(0, limiter, 0.0, 0.0, 0)
+        warps_per_block = math.ceil(block_size / gpu.warp_size)
+        max_warps = gpu.max_threads_per_sm // gpu.warp_size
+        theoretical = blocks * warps_per_block / max_warps
+
+        # Steady-state resident blocks across the device: limited by both
+        # the per-SM cap and the grid itself.
+        device_capacity = blocks * gpu.num_sms
+        resident_blocks = min(grid_blocks, device_capacity)
+        resident_threads = resident_blocks * block_size
+        achieved = resident_threads / (gpu.num_sms * gpu.max_threads_per_sm)
+        achieved = min(achieved, theoretical)
+        return OccupancyResult(
+            blocks_per_sm=blocks,
+            limiter=limiter,
+            theoretical=theoretical,
+            achieved=achieved,
+            resident_threads=resident_threads,
+        )

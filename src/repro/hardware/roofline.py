@@ -1,0 +1,131 @@
+"""Roofline model for the simulated A100 (Fig. 3 of the paper).
+
+A kernel measurement is reduced to an (arithmetic intensity, attained
+performance) point; the model supplies the memory and compute ceilings
+so the harness can render the same plot as Nsight Compute's roofline
+view, in ASCII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.specs import GpuSpec
+
+
+@dataclass(frozen=True, slots=True)
+class RooflinePoint:
+    """One kernel measurement placed on the roofline."""
+
+    label: str
+    #: FLOPs executed by the kernel.
+    flops: float
+    #: Bytes moved to/from DRAM.
+    dram_bytes: float
+    #: Kernel wall time [s].
+    time: float
+    #: "fp32" or "fp64" — selects the compute ceiling.
+    precision: str = "fp32"
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOP per DRAM byte."""
+        if self.dram_bytes <= 0:
+            return float("inf")
+        return self.flops / self.dram_bytes
+
+    @property
+    def performance(self) -> float:
+        """Attained FLOP/s."""
+        if self.time <= 0:
+            return 0.0
+        return self.flops / self.time
+
+
+@dataclass(frozen=True, slots=True)
+class RooflineModel:
+    """Compute/memory ceilings of one GPU."""
+
+    gpu: GpuSpec
+
+    def ceiling(self, intensity: float, precision: str = "fp32") -> float:
+        """Attainable FLOP/s at a given arithmetic intensity."""
+        peak = (
+            self.gpu.peak_flops_fp32
+            if precision == "fp32"
+            else self.gpu.peak_flops_fp64
+        )
+        return min(peak, intensity * self.gpu.dram_bandwidth)
+
+    def ridge_point(self, precision: str = "fp32") -> float:
+        """Intensity at which the kernel stops being memory bound."""
+        peak = (
+            self.gpu.peak_flops_fp32
+            if precision == "fp32"
+            else self.gpu.peak_flops_fp64
+        )
+        return peak / self.gpu.dram_bandwidth
+
+    def efficiency(self, point: RooflinePoint) -> float:
+        """Fraction of the attainable ceiling the point reaches."""
+        ceiling = self.ceiling(point.arithmetic_intensity, point.precision)
+        if ceiling <= 0:
+            return 0.0
+        return point.performance / ceiling
+
+    def render_ascii(
+        self, points: list[RooflinePoint], width: int = 72, height: int = 20
+    ) -> str:
+        """ASCII log-log roofline chart with the points overlaid.
+
+        Axes: x = arithmetic intensity [FLOP/B], y = performance
+        [FLOP/s], both log10. Rooflines for fp32 (``=``) and fp64
+        (``-``) are drawn; each point is plotted with its 1-based index.
+        """
+        import math
+
+        xs = [p.arithmetic_intensity for p in points if p.dram_bytes > 0]
+        lo_x = min([0.01] + [x / 4 for x in xs])
+        hi_x = max([100.0] + [x * 4 for x in xs])
+        lo_y = 1e9
+        hi_y = self.gpu.peak_flops_fp32 * 2
+
+        def col(x: float) -> int:
+            f = (math.log10(x) - math.log10(lo_x)) / (
+                math.log10(hi_x) - math.log10(lo_x)
+            )
+            return min(width - 1, max(0, int(f * (width - 1))))
+
+        def row(y: float) -> int:
+            f = (math.log10(max(y, lo_y)) - math.log10(lo_y)) / (
+                math.log10(hi_y) - math.log10(lo_y)
+            )
+            return min(height - 1, max(0, height - 1 - int(f * (height - 1))))
+
+        canvas = [[" "] * width for _ in range(height)]
+        for c in range(width):
+            x = 10 ** (
+                math.log10(lo_x) + c / (width - 1) * (math.log10(hi_x) - math.log10(lo_x))
+            )
+            canvas[row(self.ceiling(x, "fp32"))][c] = "="
+            r64 = row(self.ceiling(x, "fp64"))
+            if canvas[r64][c] == " ":
+                canvas[r64][c] = "-"
+        for idx, p in enumerate(points, start=1):
+            if p.dram_bytes <= 0:
+                continue
+            canvas[row(p.performance)][col(p.arithmetic_intensity)] = str(idx % 10)
+
+        lines = ["".join(r) for r in canvas]
+        legend = [
+            f"  [{i}] {p.label}: AI={p.arithmetic_intensity:.3f} FLOP/B, "
+            f"{p.performance / 1e9:.1f} GFLOP/s ({p.precision})"
+            for i, p in enumerate(points, start=1)
+        ]
+        header = (
+            f"Roofline: {self.gpu.name}  "
+            f"(fp32 peak {self.gpu.peak_flops_fp32 / 1e12:.1f} TF/s '=', "
+            f"fp64 peak {self.gpu.peak_flops_fp64 / 1e12:.1f} TF/s '-', "
+            f"HBM {self.gpu.dram_bandwidth / 1e9:.0f} GB/s)"
+        )
+        return "\n".join([header, *lines, *legend])

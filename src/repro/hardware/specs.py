@@ -1,0 +1,160 @@
+"""Hardware specifications for the simulated Perlmutter node.
+
+Numbers are taken from Sec. IV of the paper and NVIDIA/AMD public
+datasheets. ``*_EFFICIENCY`` constants are the only free parameters of
+the cost model; they were calibrated once so the baseline CONUS-12km
+per-step time and the stage-1 (CPU-only) speedup land near the paper's
+values, then frozen. No experiment adjusts them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class GpuSpec:
+    """NVIDIA GPU microarchitecture parameters used by the simulator."""
+
+    name: str
+    num_sms: int
+    #: Peak double-precision throughput [FLOP/s].
+    peak_flops_fp64: float
+    #: Peak single-precision throughput [FLOP/s].
+    peak_flops_fp32: float
+    #: HBM bandwidth [B/s].
+    dram_bandwidth: float
+    #: Total device memory [bytes].
+    memory_bytes: int
+    #: Registers per SM (32-bit).
+    registers_per_sm: int = 65536
+    #: Maximum registers addressable per thread.
+    max_registers_per_thread: int = 255
+    #: Maximum resident threads per SM.
+    max_threads_per_sm: int = 2048
+    #: Maximum resident thread blocks per SM.
+    max_blocks_per_sm: int = 32
+    #: Warp width.
+    warp_size: int = 32
+    #: Register allocation granularity (per warp, in registers).
+    register_allocation_unit: int = 256
+    #: Unified L1/tex cache per SM [bytes] (A100: 192 KiB).
+    l1_bytes_per_sm: int = 192 * 1024
+    #: L2 cache size [bytes] (A100: 40 MiB).
+    l2_bytes: int = 40 * 1024 * 1024
+    #: Cache line / sector size [bytes].
+    line_bytes: int = 32
+    #: Kernel launch overhead [s] (includes the OpenMP runtime's
+    #: target-region entry cost under nvfortran).
+    launch_overhead: float = 12.0e-6
+    #: Default CUDA per-thread stack size [bytes] (nvfortran default).
+    default_stack_bytes: int = 1024
+    #: Default device heap size [bytes].
+    default_heap_bytes: int = 8 * 1024 * 1024
+
+
+@dataclass(frozen=True, slots=True)
+class CpuSpec:
+    """CPU parameters for the host-side cost model."""
+
+    name: str
+    cores: int
+    clock_hz: float
+    #: Sustained scalar FLOP/s per core for compiler-generated Fortran
+    #: loops with heavy branching (calibrated; far below vector peak).
+    sustained_flops_per_core: float
+    #: Per-socket memory bandwidth [B/s].
+    mem_bandwidth: float
+    #: Per-core share of memory bandwidth when all cores are active [B/s].
+    mem_bandwidth_per_core: float
+
+
+@dataclass(frozen=True, slots=True)
+class LinkSpec:
+    """A point-to-point transfer link (PCIe, NIC)."""
+
+    name: str
+    latency: float  # [s]
+    bandwidth: float  # [B/s]
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` over the link."""
+        if nbytes <= 0:
+            return 0.0
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True, slots=True)
+class NodeSpec:
+    """One Perlmutter node: a CPU plus zero or more GPUs."""
+
+    name: str
+    cpu: CpuSpec
+    gpus_per_node: int
+    gpu: GpuSpec | None
+    pcie: LinkSpec
+    nic: LinkSpec
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_node and self.gpu is None:
+            raise ValueError("node with GPUs needs a GpuSpec")
+
+
+#: Perlmutter GPU-node accelerator (most nodes carry the 40 GB part).
+A100_40GB = GpuSpec(
+    name="NVIDIA A100-SXM4-40GB",
+    num_sms=108,
+    peak_flops_fp64=9.7e12,
+    peak_flops_fp32=19.5e12,
+    dram_bandwidth=1555.0e9,
+    memory_bytes=40 * 1024**3,
+)
+
+A100_80GB = GpuSpec(
+    name="NVIDIA A100-SXM4-80GB",
+    num_sms=108,
+    peak_flops_fp64=9.7e12,
+    peak_flops_fp32=19.5e12,
+    dram_bandwidth=1935.0e9,
+    memory_bytes=80 * 1024**3,
+)
+
+#: Perlmutter node CPU. The sustained per-core rate is calibrated for
+#: branchy single-thread Fortran physics (FSBM-like), not LINPACK.
+EPYC_MILAN = CpuSpec(
+    name="AMD EPYC 7763 (Milan)",
+    cores=64,
+    clock_hz=2.45e9,
+    sustained_flops_per_core=2.1e9,
+    mem_bandwidth=204.8e9,
+    mem_bandwidth_per_core=6.4e9,
+)
+
+PCIE_GEN4 = LinkSpec(name="PCIe 4.0 x16", latency=8.0e-6, bandwidth=24.0e9)
+
+SLINGSHOT_11 = LinkSpec(name="HPE Slingshot 11", latency=2.0e-6, bandwidth=22.0e9)
+
+PERLMUTTER_GPU_NODE = NodeSpec(
+    name="Perlmutter GPU node",
+    cpu=EPYC_MILAN,
+    gpus_per_node=4,
+    gpu=A100_40GB,
+    pcie=PCIE_GEN4,
+    nic=SLINGSHOT_11,
+)
+
+PERLMUTTER_CPU_NODE = NodeSpec(
+    name="Perlmutter CPU node",
+    cpu=CpuSpec(
+        name="2x AMD EPYC 7763 (Milan)",
+        cores=128,
+        clock_hz=2.45e9,
+        sustained_flops_per_core=2.1e9,
+        mem_bandwidth=409.6e9,
+        mem_bandwidth_per_core=6.4e9,
+    ),
+    gpus_per_node=0,
+    gpu=None,
+    pcie=PCIE_GEN4,
+    nic=SLINGSHOT_11,
+)

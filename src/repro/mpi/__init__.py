@@ -1,0 +1,26 @@
+"""In-process MPI simulation: ranks, messages, collectives, GPU sharing.
+
+Each simulated rank owns a clock and (optionally) a device context on a
+shared GPU. Point-to-point and collective operations move real NumPy
+data between rank states while charging latency/bandwidth time, and the
+:class:`repro.mpi.scheduler.StepScheduler` combines per-rank,
+per-step charges into the job's elapsed time with a BSP model: CPU
+phases run concurrently across ranks, kernels serialize per GPU, and
+the slowest participant sets the pace — which is how the paper's
+FSBM load imbalance shows up in wall clock.
+"""
+
+from repro.mpi.costmodel import CommCostModel
+from repro.mpi.comm import SimComm, SimWorld
+from repro.mpi.gpu_sharing import GpuPool, bind_ranks_round_robin
+from repro.mpi.scheduler import StepScheduler, RankStepCharge
+
+__all__ = [
+    "CommCostModel",
+    "SimComm",
+    "SimWorld",
+    "GpuPool",
+    "bind_ranks_round_robin",
+    "StepScheduler",
+    "RankStepCharge",
+]

@@ -1,0 +1,145 @@
+"""A simulated MPI communicator over in-process rank states.
+
+Follows the mpi4py buffer-object idioms (``Send``/``Recv``/``Bcast``/
+``Allreduce`` on NumPy arrays): data really moves between per-rank
+arrays, and each participating rank's clock is charged from the
+:class:`~repro.mpi.costmodel.CommCostModel`. Ranks execute sequentially
+in-process, so "communication" is a copy plus a time charge — the
+correct semantics for a BSP-style simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.clock import SimClock, TimeBucket
+from repro.errors import MpiError
+from repro.mpi.costmodel import CommCostModel
+
+
+@dataclass
+class SimWorld:
+    """The job: one clock per rank plus the interconnect model."""
+
+    nranks: int
+    cost: CommCostModel
+    clocks: list[SimClock] = field(default_factory=list)
+    _mailboxes: dict[tuple[int, int, int], list[np.ndarray]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if not self.clocks:
+            self.clocks = [SimClock() for _ in range(self.nranks)]
+        if len(self.clocks) != self.nranks:
+            raise MpiError("one clock per rank required")
+
+    def comm(self, rank: int) -> "SimComm":
+        """The communicator handle for one rank."""
+        if not 0 <= rank < self.nranks:
+            raise MpiError(f"rank {rank} out of range")
+        return SimComm(world=self, rank=rank)
+
+    @property
+    def elapsed(self) -> float:
+        """Job elapsed time so far: the slowest rank's clock."""
+        return max(c.total for c in self.clocks)
+
+
+@dataclass
+class SimComm:
+    """Rank-local view of the world (mpi4py-style API subset)."""
+
+    world: SimWorld
+    rank: int
+
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.world.nranks
+
+    # --- point to point ---------------------------------------------------
+
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Post a message; the matching Recv completes the transfer."""
+        if dest == self.rank:
+            raise MpiError("send-to-self deadlocks a blocking pair")
+        key = (self.rank, dest, tag)
+        self.world._mailboxes.setdefault(key, []).append(np.array(buf, copy=True))
+        self.world.clocks[self.rank].advance(
+            TimeBucket.MPI, self.world.cost.p2p_time(self.rank, dest, buf.nbytes)
+        )
+
+    def Recv(self, buf: np.ndarray, source: int, tag: int = 0) -> None:
+        """Receive into ``buf`` (message must already be posted)."""
+        key = (source, self.rank, tag)
+        queue = self.world._mailboxes.get(key)
+        if not queue:
+            raise MpiError(
+                f"Recv(source={source}, tag={tag}) on rank {self.rank}: "
+                "no matching Send posted (simulated deadlock)"
+            )
+        msg = queue.pop(0)
+        if msg.shape != buf.shape:
+            raise MpiError(
+                f"message shape {msg.shape} does not match buffer {buf.shape}"
+            )
+        buf[...] = msg
+        self.world.clocks[self.rank].advance(
+            TimeBucket.MPI, self.world.cost.p2p_time(source, self.rank, buf.nbytes)
+        )
+
+    def Sendrecv(
+        self,
+        sendbuf: np.ndarray,
+        dest: int,
+        recvbuf: np.ndarray,
+        source: int,
+        tag: int = 0,
+    ) -> None:
+        """Paired exchange (used by halo updates)."""
+        self.Send(sendbuf, dest, tag)
+        self.Recv(recvbuf, source, tag)
+
+    # --- collectives ----------------------------------------------------------
+
+    def Allreduce(self, values: np.ndarray, op: str = "sum") -> np.ndarray:
+        """Collective reduce; charges every rank, returns the result.
+
+        Because ranks run sequentially, the caller passes the stacked
+        per-rank values on rank 0's call via :meth:`SimWorld`; for the
+        common scalar case use :func:`allreduce_scalar` below.
+        """
+        raise MpiError(
+            "use repro.mpi.comm.allreduce over the SimWorld; per-rank "
+            "Allreduce is not expressible with sequential rank execution"
+        )
+
+
+def allreduce(world: SimWorld, per_rank: list[np.ndarray], op: str = "sum") -> np.ndarray:
+    """World-level allreduce: combines per-rank arrays, charges all clocks."""
+    if len(per_rank) != world.nranks:
+        raise MpiError("need one contribution per rank")
+    stacked = np.stack(per_rank)
+    if op == "sum":
+        result = stacked.sum(axis=0)
+    elif op == "max":
+        result = stacked.max(axis=0)
+    elif op == "min":
+        result = stacked.min(axis=0)
+    else:
+        raise MpiError(f"unsupported op {op!r}")
+    t = world.cost.allreduce_time(world.nranks, per_rank[0].nbytes)
+    for clock in world.clocks:
+        clock.advance(TimeBucket.MPI, t)
+    return result
+
+
+def barrier(world: SimWorld) -> None:
+    """Charge a barrier on every rank."""
+    t = world.cost.barrier_time(world.nranks)
+    for clock in world.clocks:
+        clock.advance(TimeBucket.MPI, t)

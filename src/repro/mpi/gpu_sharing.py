@@ -1,0 +1,62 @@
+"""Rank-to-GPU binding and shared-device accounting.
+
+Sec. VII-A of the paper fixes the number of GPUs and raises the rank
+count, distributing ranks to GPUs round-robin. Kernels from co-resident
+ranks serialize on the device, and each rank's context carries its own
+stack reservation plus ``temp_arrays`` footprint — which is what capped
+the paper at 5 ranks per GPU on the 40 GB A100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.device import Device
+from repro.errors import ConfigurationError
+from repro.hardware.specs import A100_40GB, GpuSpec
+
+
+def bind_ranks_round_robin(nranks: int, ngpus: int) -> list[int]:
+    """GPU index per rank, round-robin as on Perlmutter (rank r -> r % g)."""
+    if ngpus < 1:
+        raise ConfigurationError("need at least one GPU to bind ranks")
+    return [r % ngpus for r in range(nranks)]
+
+
+@dataclass
+class GpuPool:
+    """The job's GPUs and the rank binding."""
+
+    num_gpus: int
+    spec: GpuSpec = field(default_factory=lambda: A100_40GB)
+    devices: list[Device] = field(default_factory=list)
+    binding: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            self.devices = [
+                Device(spec=self.spec, device_id=g) for g in range(self.num_gpus)
+            ]
+
+    def bind(self, nranks: int) -> list[Device]:
+        """Assign every rank a device, round-robin; returns rank -> device."""
+        self.binding = bind_ranks_round_robin(nranks, self.num_gpus)
+        return [self.devices[g] for g in self.binding]
+
+    def ranks_on(self, gpu: int) -> list[int]:
+        """Ranks bound to one GPU."""
+        return [r for r, g in enumerate(self.binding) if g == gpu]
+
+    def serialize_kernel_time(self, per_rank_gpu_seconds: list[float]) -> float:
+        """Busy time of the most loaded GPU given each rank's kernel seconds.
+
+        Kernels from ranks sharing one device run back-to-back in its
+        FIFO queue, so the device's busy time is the *sum* over its
+        ranks; the job waits for the slowest device.
+        """
+        if not self.binding:
+            raise ConfigurationError("bind() must run before serialization")
+        busy = [0.0] * self.num_gpus
+        for rank, seconds in enumerate(per_rank_gpu_seconds):
+            busy[self.binding[rank]] += seconds
+        return max(busy) if busy else 0.0

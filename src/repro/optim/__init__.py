@@ -1,0 +1,19 @@
+"""The staged optimization pipeline (Sec. VI of the paper).
+
+`repro.optim.stages` names the four code versions; `repro.optim.pipeline`
+runs the WRF model end-to-end under each and collects the per-step
+timings from which `repro.optim.speedup` builds the paper's speedup
+tables.
+"""
+
+from repro.optim.stages import Stage, StageSpec, STAGE_SPECS
+from repro.optim.speedup import SpeedupRow, speedup_table, format_speedup_table
+
+__all__ = [
+    "Stage",
+    "StageSpec",
+    "STAGE_SPECS",
+    "SpeedupRow",
+    "speedup_table",
+    "format_speedup_table",
+]

@@ -1,0 +1,166 @@
+"""Run the optimization sequence end-to-end and collect stage timings.
+
+This is the harness behind Tables III, IV and V: it runs the same
+CONUS-12km configuration under each code version, extracts the three
+quantities the paper tracks (the isolated collision loop, ``fast_sbm``,
+and the whole program), and forms current/cumulative speedups exactly
+as the paper defines them (per-time-step simulated seconds; elapsed
+time is set by the slowest rank, so the "whole program" row reflects
+the critical path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.env import PAPER_ENV
+from repro.optim.speedup import SpeedupRow, speedup_table
+from repro.optim.stages import Stage
+from repro.wrf.model import RunResult, WrfModel
+from repro.wrf.namelist import Namelist
+
+#: The sequence of code versions the paper steps through.
+OPTIMIZATION_SEQUENCE = (
+    Stage.BASELINE,
+    Stage.LOOKUP,
+    Stage.OFFLOAD_COLLAPSE2,
+    Stage.OFFLOAD_COLLAPSE3,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class StageTimings:
+    """Per-step simulated seconds of the paper's tracked quantities."""
+
+    stage: Stage
+    #: Whole-program elapsed per step (the paper's "Overall").
+    overall: float
+    #: fast_sbm per step on the critical (slowest) rank.
+    fast_sbm: float
+    #: The isolated collision loop per step on the critical rank.
+    coal_loop: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "coal_bott_new loop": self.coal_loop,
+            "fast_sbm": self.fast_sbm,
+            "Overall": self.overall,
+        }
+
+
+def timings_from_result(result: RunResult) -> StageTimings:
+    """Extract the tracked quantities from a completed run."""
+    steps = max(1, result.steps_run)
+    fast_sbm = max(
+        c.region_total("fast_sbm") for c in result.rank_clocks
+    ) / steps
+    coal = max(
+        c.region_total("coal_bott_new") for c in result.rank_clocks
+    ) / steps
+    return StageTimings(
+        stage=result.namelist.stage,
+        overall=result.per_step_elapsed,
+        fast_sbm=fast_sbm,
+        coal_loop=coal,
+    )
+
+
+def run_stage(
+    namelist: Namelist, stage: Stage, num_steps: int
+) -> tuple[RunResult, StageTimings]:
+    """Run one code version of the given configuration."""
+    import dataclasses
+
+    nl = namelist.with_stage(stage)
+    if stage.uses_gpu and nl.env.stack_bytes < PAPER_ENV.stack_bytes:
+        # GPU stages run under the paper's Table II environment unless
+        # the caller configured one explicitly.
+        nl = dataclasses.replace(nl, env=PAPER_ENV)
+    model = WrfModel(nl)
+    try:
+        result = model.run(num_steps=num_steps)
+    finally:
+        model.close()
+    return result, timings_from_result(result)
+
+
+@dataclass
+class OptimizationRun:
+    """All stage timings plus the paper-style speedup tables."""
+
+    timings: dict[Stage, StageTimings] = field(default_factory=dict)
+
+    def table_rows(
+        self, current: Stage, previous: Stage, names: list[str], first: Stage
+    ) -> list[SpeedupRow]:
+        """Speedup rows between two stages (paper Tables III-V)."""
+        cur = self.timings[current].as_dict()
+        prev = self.timings[previous].as_dict()
+        fst = self.timings[first].as_dict()
+        return speedup_table(names, prev, cur, fst)
+
+    def table3(self) -> list[SpeedupRow]:
+        """Lookup optimization (fast_sbm first measured at BASELINE)."""
+        return self.table_rows(
+            Stage.LOOKUP, Stage.BASELINE, ["fast_sbm", "Overall"], Stage.BASELINE
+        )
+
+    def table4(self) -> list[SpeedupRow]:
+        """collapse(2) offload (coal loop first measured at LOOKUP)."""
+        rows = self.table_rows(
+            Stage.OFFLOAD_COLLAPSE2,
+            Stage.LOOKUP,
+            ["coal_bott_new loop", "fast_sbm", "Overall"],
+            Stage.BASELINE,
+        )
+        # The collision loop was first measured at the LOOKUP stage.
+        fixed = []
+        for r in rows:
+            if r.name == "coal_bott_new loop":
+                fixed.append(
+                    SpeedupRow(
+                        name=r.name,
+                        previous_seconds=r.previous_seconds,
+                        current_seconds=r.current_seconds,
+                        first_seconds=self.timings[Stage.LOOKUP].coal_loop,
+                    )
+                )
+            else:
+                fixed.append(r)
+        return fixed
+
+    def table5(self) -> list[SpeedupRow]:
+        """collapse(3) with temp_arrays pointers."""
+        rows = self.table_rows(
+            Stage.OFFLOAD_COLLAPSE3,
+            Stage.OFFLOAD_COLLAPSE2,
+            ["coal_bott_new loop", "fast_sbm", "Overall"],
+            Stage.BASELINE,
+        )
+        fixed = []
+        for r in rows:
+            if r.name == "coal_bott_new loop":
+                fixed.append(
+                    SpeedupRow(
+                        name=r.name,
+                        previous_seconds=r.previous_seconds,
+                        current_seconds=r.current_seconds,
+                        first_seconds=self.timings[Stage.LOOKUP].coal_loop,
+                    )
+                )
+            else:
+                fixed.append(r)
+        return fixed
+
+
+def run_optimization_sequence(
+    namelist: Namelist,
+    num_steps: int,
+    stages: tuple[Stage, ...] = OPTIMIZATION_SEQUENCE,
+) -> OptimizationRun:
+    """Run every stage of the sequence on one configuration."""
+    out = OptimizationRun()
+    for stage in stages:
+        _, timings = run_stage(namelist, stage, num_steps)
+        out.timings[stage] = timings
+    return out

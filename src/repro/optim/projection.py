@@ -1,0 +1,346 @@
+"""Cost projection for large rank counts (Fig. 4 / Table VII).
+
+Running 256 live Python ranks is infeasible, so the scaling experiments
+combine three honest ingredients instead:
+
+1. **Work rates** measured from a *live* reduced run (real physics):
+   kernel/pair entries per collision cell, condensation updates per
+   microphysics cell, and the growth of the active-cell population as
+   the storms develop.
+2. **Per-patch activity census** of the full-size CONUS-12km case:
+   the synthetic case is deterministic in global coordinates, so every
+   patch's cloudy-cell count is computed exactly at the target
+   decomposition — this is where the paper's load imbalance comes from.
+3. **The same pricing code paths** the live model uses: the Milan CPU
+   model, the offload engine (including per-rank device contexts, stack
+   reservations, ``temp_arrays`` footprints — and therefore the
+   ranks-per-GPU memory limit), and the BSP step scheduler.
+
+The projection then charges one representative step per rank and
+multiplies by the step count of the 10-minute run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import NKR
+from repro.core.clock import SimClock, TimeBucket
+from repro.core.costmodel import CpuCostModel
+from repro.core.directives import TargetTeamsDistributeParallelDo
+from repro.core.engine import OffloadEngine
+from repro.core.env import PAPER_ENV
+from repro.core.kernel import Kernel
+from repro.errors import CudaOutOfMemory, CudaStackOverflow
+from repro.fsbm.coal_bott import CoalWorkStats
+from repro.fsbm.collision_kernels import get_tables
+from repro.fsbm.condensation import FLOPS_PER_BIN as COND_FLOPS_PER_BIN
+from repro.fsbm.fast_sbm import coal_kernel_resources
+from repro.fsbm.nucleation import FLOPS_PER_POINT as NUCL_FLOPS_PER_POINT
+from repro.fsbm.sedimentation import FLOPS_PER_BIN as SED_FLOPS_PER_BIN
+from repro.fsbm.species import Species
+from repro.fsbm.temp_arrays import TempArrays
+from repro.grid.decomposition import decompose_domain
+from repro.grid.halo import build_halo_plan
+from repro.hardware.specs import EPYC_MILAN, PERLMUTTER_CPU_NODE
+from repro.mpi.costmodel import CommCostModel
+from repro.mpi.gpu_sharing import GpuPool
+from repro.mpi.scheduler import RankStepCharge, StepScheduler
+from repro.optim.stages import STAGE_SPECS, Stage
+from repro.wrf.cases import CaseConfig, _bubble_centers
+from repro.wrf.model import ACOUSTIC_FIELDS, ACOUSTIC_SUBSTEPS, IO_BANDWIDTH, WrfModel
+from repro.wrf.namelist import Namelist
+from repro.wrf.state import base_state_column
+from repro.constants import T_COAL_CUTOFF
+
+
+@dataclass(frozen=True)
+class WorkRates:
+    """Per-cell work rates measured from a live reduced run."""
+
+    pair_entries_per_coal_cell: float
+    ondemand_entries_per_coal_cell: float
+    cond_updates_per_mp_cell: float
+    mp_cells_per_coal_cell: float
+    #: Evolved coal cells / initial-condition coal cells.
+    coal_growth: float
+
+    @classmethod
+    def measure(
+        cls,
+        scale: float = 0.12,
+        num_ranks: int = 4,
+        num_steps: int = 4,
+        seed: int = 2024,
+    ) -> "WorkRates":
+        """Run a small live LOOKUP-stage model and extract the rates."""
+        from repro.wrf.namelist import conus12km_namelist
+
+        nl = conus12km_namelist(
+            scale=scale, num_ranks=num_ranks, stage=Stage.LOOKUP, seed=seed
+        )
+        model = WrfModel(nl)
+        ic_coal = _ic_coal_cells_live(model)
+        result = model.run(num_steps=num_steps)
+        pair = entries = cond = mp = coal = 0.0
+        for timing in result.step_timings:
+            for stats in timing.sbm_stats:
+                pair += stats.coal.pair_entries
+                entries += stats.coal.kernel_entries
+                cond += stats.cond.bin_updates
+                mp += stats.mp_points
+                coal += stats.coal_points
+        coal = max(coal, 1.0)
+        mp = max(mp, 1.0)
+        steps = max(1, result.steps_run)
+        return cls(
+            pair_entries_per_coal_cell=pair / coal,
+            ondemand_entries_per_coal_cell=entries / coal,
+            cond_updates_per_mp_cell=cond / mp,
+            mp_cells_per_coal_cell=mp / coal,
+            coal_growth=(coal / steps) / max(ic_coal, 1.0),
+        )
+
+
+def _ic_coal_cells_live(model: WrfModel) -> float:
+    """Collision-eligible cells in the live model's initial condition."""
+    total = 0
+    for f, patch in zip(model.fields, model.decomposition.patches):
+        from repro.grid.indexing import owned_slice
+
+        sl = owned_slice(patch)
+        cond = f.micro.total_condensate_mass()[sl]
+        t = f.t[sl]
+        total += int(((cond > 1.0e-12) & (t > T_COAL_CUTOFF)).sum())
+    return float(total)
+
+
+def domain_activity_census(
+    namelist: Namelist, cfg: CaseConfig | None = None
+) -> list[int]:
+    """Initial-condition cloudy-cell count per rank, at full extents.
+
+    Rebuilds the deterministic bubble field once for the whole domain
+    and slices per patch — exact per-patch counts without constructing
+    any 3D state.
+    """
+    cfg = cfg or CaseConfig()
+    domain = namelist.domain
+    dec = decompose_domain(domain, namelist.num_ranks)
+    centers = _bubble_centers(domain, cfg, namelist.seed)
+    gi = np.arange(1, domain.nx + 1, dtype=float)
+    gj = np.arange(1, domain.ny + 1, dtype=float)
+    dtheta = np.zeros((domain.nx, domain.ny))
+    for ci, cj, amp in centers:
+        r2 = ((gi[:, None] - ci) ** 2 + (gj[None, :] - cj) ** 2) / cfg.bubble_radius**2
+        dtheta += amp * np.exp(-r2)
+    kk = np.arange(domain.nz, dtype=float)
+    vert = np.exp(-((kk - cfg.bubble_k_center) ** 2) / cfg.bubble_k_radius**2)
+    base = base_state_column(domain.nz, domain.dz)
+    warm = base["temperature"] > T_COAL_CUTOFF
+
+    # Per-column count of cloudy, collision-eligible levels.
+    levels_per_strength = ((vert[None, :] * 1.0) > 0.0)  # placeholder shape
+    counts: list[int] = []
+    for patch in dec.patches:
+        sub = dtheta[patch.i.to_slice(1), :][:, patch.j.to_slice(1)]
+        cloudy3d = (
+            sub[:, None, :] * vert[None, :, None] > cfg.cloud_threshold
+        ) & warm[None, :, None]
+        counts.append(int(cloudy3d.sum()))
+    return counts
+
+
+@dataclass
+class ProjectedRun:
+    """Outcome of one projected configuration."""
+
+    namelist: Namelist
+    stage: Stage
+    #: Simulated elapsed seconds for the full run (e.g. 600 model s).
+    total_seconds: float
+    per_step_seconds: float
+    breakdown: dict[str, float]
+    #: Device failure encountered while standing the job up, if any.
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+
+def project_run(
+    namelist: Namelist,
+    rates: WorkRates,
+    cfg: CaseConfig | None = None,
+) -> ProjectedRun:
+    """Project one configuration's full-run elapsed time."""
+    stage = namelist.stage
+    spec = STAGE_SPECS[stage]
+    nranks = namelist.num_ranks
+    dec = decompose_domain(namelist.domain, nranks)
+    plan = build_halo_plan(dec)
+    census = domain_activity_census(namelist, cfg)
+    tables = get_tables()
+
+    if stage.uses_gpu:
+        # 4 GPUs per node: the job spans num_gpus/4 nodes and packs its
+        # ranks onto them (e.g. 40 ranks on 2 nodes = 20 per node).
+        nodes = max(1, namelist.num_gpus // 4)
+        ranks_per_node = max(1, -(-nranks // nodes))
+        cpu = EPYC_MILAN
+    else:
+        ranks_per_node = min(nranks, PERLMUTTER_CPU_NODE.cpu.cores)
+        cpu = PERLMUTTER_CPU_NODE.cpu
+    comm = CommCostModel(ranks_per_node=ranks_per_node)
+    cpu_cost = CpuCostModel(cpu=cpu, active_cores_on_socket=min(nranks, ranks_per_node))
+
+    gpu_pool: GpuPool | None = None
+    engines: list[OffloadEngine] = []
+    clocks = [SimClock() for _ in range(nranks)]
+    if stage.uses_gpu:
+        gpu_pool = GpuPool(num_gpus=namelist.num_gpus)
+        devices = gpu_pool.bind(nranks)
+        env = namelist.env if namelist.env.stack_bytes >= 65536 else PAPER_ENV
+        try:
+            for r in range(nranks):
+                engines.append(
+                    OffloadEngine(device=devices[r], env=env, clock=clocks[r])
+                )
+            if stage is Stage.OFFLOAD_COLLAPSE3:
+                for r, patch in enumerate(dec.patches):
+                    TempArrays(patch.shape).allocate(engines[r])
+        except (CudaOutOfMemory, CudaStackOverflow) as exc:
+            for e in engines:
+                e.close()
+            return ProjectedRun(
+                namelist=namelist,
+                stage=stage,
+                total_seconds=float("nan"),
+                per_step_seconds=float("nan"),
+                breakdown={},
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    scheduler = StepScheduler(nranks=nranks, gpu_pool=gpu_pool)
+    nscalars = 3 + len(Species) * NKR
+    n_steps = namelist.num_steps
+    baseline_entries = tables.baseline_entry_count()
+
+    error: str | None = None
+    for rank, patch in enumerate(dec.patches):
+        clock = clocks[rank]
+        cells = patch.num_points
+        coal_cells = census[rank] * rates.coal_growth
+        mp_cells = coal_cells * rates.mp_cells_per_coal_cell
+
+        def charge(flops: float, nbytes: float, iters: int = 0) -> None:
+            clock.advance(
+                TimeBucket.CPU_COMPUTE, cpu_cost.time(flops, nbytes, iters)
+            )
+
+        # Scan + non-collision microphysics (always CPU).
+        charge(2.0 * cells, 8.0 * cells, iters=cells)
+        charge(mp_cells * NUCL_FLOPS_PER_POINT, mp_cells * 32.0)
+        cond_updates = mp_cells * rates.cond_updates_per_mp_cell
+        charge(cond_updates * COND_FLOPS_PER_BIN, cond_updates * 16.0)
+        sed_bins = float(cells) * NKR * len(Species)
+        charge(sed_bins * SED_FLOPS_PER_BIN, sed_bins * 12.0)
+
+        # Dynamics (always CPU).
+        from repro.wrf.dynamics import (
+            FLOPS_PER_CELL_TEND,
+            FLOPS_PER_CELL_UPDATE,
+            RK3_FRACTIONS,
+        )
+
+        css = float(cells * nscalars * len(RK3_FRACTIONS))
+        charge(css * FLOPS_PER_CELL_TEND, css * 16.0, iters=int(css))
+        charge(css * FLOPS_PER_CELL_UPDATE, css * 12.0)
+
+        # Collision loop, per stage.
+        work = CoalWorkStats(
+            active_points=int(coal_cells),
+            kernel_entries=(
+                coal_cells * baseline_entries
+                if stage is Stage.BASELINE
+                else coal_cells * rates.ondemand_entries_per_coal_cell
+            ),
+            pair_entries=coal_cells * rates.pair_entries_per_coal_cell,
+        )
+        if not stage.uses_gpu:
+            charge(work.flops, work.bytes_moved, iters=int(work.pair_entries))
+        else:
+            resources = coal_kernel_resources(
+                spec, work, max(1, int(coal_cells)), NKR
+            )
+            kernel = Kernel(
+                name="coal_bott_new_loop",
+                loop_extents=(patch.j.size, patch.k.size, patch.i.size),
+                resources=resources,
+                body=None,
+            )
+            directive = TargetTeamsDistributeParallelDo(collapse=spec.collapse)
+            try:
+                engines[rank].launch(kernel, directive)
+            except CudaStackOverflow as exc:
+                error = f"CudaStackOverflow: {exc}"
+                break
+            xfer = coal_cells * NKR * len(Species) * 4.0 * 2.0
+            clock.advance(
+                TimeBucket.H2D, engines[rank].pcie.transfer_time(int(xfer / 2))
+            )
+            clock.advance(
+                TimeBucket.D2H, engines[rank].pcie.transfer_time(int(xfer / 2))
+            )
+
+        # Halo exchange + acoustic traffic.
+        segs = plan.segments_from(rank)
+        per_exchange = sum(
+            comm.p2p_time(s.src, s.dst, s.num_points * 4) for s in segs
+        )
+        n_acoustic = len(RK3_FRACTIONS) * ACOUSTIC_SUBSTEPS * ACOUSTIC_FIELDS
+        full_fields = sum(
+            comm.p2p_time(s.src, s.dst, s.num_points * 4 * nscalars) for s in segs
+        )
+        clock.advance(
+            TimeBucket.MPI,
+            full_fields + per_exchange * n_acoustic + comm.step_sync_noise(nranks),
+        )
+
+        # History I/O, amortized per step: wrfout frames carry every bin
+        # variable (the paper's timings include I/O).
+        domain_bytes = namelist.domain.num_points * 4 * (5 + len(Species) * NKR)
+        clock.advance(
+            TimeBucket.IO, 2.0 * (domain_bytes / IO_BANDWIDTH) / nranks / n_steps
+        )
+
+    for e in engines:
+        e.close()
+
+    if error is not None:
+        return ProjectedRun(
+            namelist=namelist,
+            stage=stage,
+            total_seconds=float("nan"),
+            per_step_seconds=float("nan"),
+            breakdown={},
+            error=error,
+        )
+
+    charges = [
+        RankStepCharge.from_clock_delta(
+            {b.value: 0.0 for b in TimeBucket}, c.snapshot()
+        )
+        for c in clocks
+    ]
+    step_seconds = scheduler.commit_step(charges)
+    return ProjectedRun(
+        namelist=namelist,
+        stage=stage,
+        total_seconds=step_seconds * n_steps,
+        per_step_seconds=step_seconds,
+        breakdown=dict(scheduler.breakdown),
+    )

@@ -1,0 +1,67 @@
+"""Speedup bookkeeping for the paper's Tables III–V and VII.
+
+The paper reports two ratios per row: *current speedup* (this version
+versus the previous one) and *cumulative speedup* (this version versus
+the version in which the quantity was first measured). Both are
+computed from per-time-step simulated seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedupRow:
+    """One row of a speedup table."""
+
+    name: str
+    previous_seconds: float
+    current_seconds: float
+    first_seconds: float
+
+    @property
+    def current_speedup(self) -> float:
+        """Speedup over the immediately preceding code version."""
+        if self.current_seconds <= 0:
+            return float("inf")
+        return self.previous_seconds / self.current_seconds
+
+    @property
+    def cumulative_speedup(self) -> float:
+        """Speedup over the version where this quantity was first measured."""
+        if self.current_seconds <= 0:
+            return float("inf")
+        return self.first_seconds / self.current_seconds
+
+
+def speedup_table(
+    names: list[str],
+    previous: dict[str, float],
+    current: dict[str, float],
+    first: dict[str, float],
+) -> list[SpeedupRow]:
+    """Assemble rows for the named quantities (e.g. fast_sbm, Overall)."""
+    return [
+        SpeedupRow(
+            name=n,
+            previous_seconds=previous[n],
+            current_seconds=current[n],
+            first_seconds=first[n],
+        )
+        for n in names
+    ]
+
+
+def format_speedup_table(rows: list[SpeedupRow], title: str = "") -> str:
+    """Render rows in the paper's two-column speedup format."""
+    lines = []
+    if title:
+        lines.append(title)
+    width = max((len(r.name) for r in rows), default=10)
+    lines.append(f"{'':{width}}  {'Current speedup':>16}  {'Cumulative speedup':>19}")
+    for r in rows:
+        lines.append(
+            f"{r.name:{width}}  {r.current_speedup:>15.2f}x  {r.cumulative_speedup:>18.2f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""The four code versions of the paper's optimization sequence.
+
+========================  ======================================================
+Stage                     Matches
+========================  ======================================================
+``BASELINE``              unmodified FSBM: ``kernals_ks`` precomputes all 20
+                          global collision arrays per grid point; everything
+                          runs on the CPU
+``LOOKUP``                Sec. VI-A: ``kernals_ks`` deleted, entries computed
+                          on demand by pure ``get_cw**`` functions; still CPU
+``OFFLOAD_COLLAPSE2``     Sec. VI-B: collision loop fissioned out of Listing 1
+                          and offloaded with ``collapse(2)``; automatic arrays
+                          remain, the inner ``i`` loop is serial per thread
+``OFFLOAD_COLLAPSE3``     Sec. VI-C: automatic arrays replaced by pointers into
+                          preallocated ``*_temp`` module arrays, full
+                          ``collapse(3)``
+========================  ======================================================
+
+This module is deliberately dependency-free (an enum plus static
+metadata) so both the microphysics driver and the experiment harness
+can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Stage(enum.Enum):
+    """Code version being run."""
+
+    BASELINE = "baseline"
+    LOOKUP = "lookup"
+    OFFLOAD_COLLAPSE2 = "offload_collapse2"
+    OFFLOAD_COLLAPSE3 = "offload_collapse3"
+
+    @property
+    def uses_gpu(self) -> bool:
+        return self in (Stage.OFFLOAD_COLLAPSE2, Stage.OFFLOAD_COLLAPSE3)
+
+    @property
+    def on_demand_kernels(self) -> bool:
+        """Whether the lookup optimization is applied (all but baseline)."""
+        return self is not Stage.BASELINE
+
+
+@dataclass(frozen=True, slots=True)
+class StageSpec:
+    """Static properties of a stage used to build kernels and reports."""
+
+    stage: Stage
+    label: str
+    collapse: int
+    #: Automatic arrays still present in coal_bott_new?
+    automatic_arrays: bool
+    #: Live scalar/array-variable counts for the register estimate
+    #: (coal_bott_new's declarations; the pointer rewrite removes the
+    #: per-array descriptors from registers).
+    n_scalars: int
+    n_array_vars: int
+    pointer_based: bool
+
+    @property
+    def description(self) -> str:
+        return f"{self.label} (collapse({self.collapse}))" if self.collapse else self.label
+
+
+STAGE_SPECS: dict[Stage, StageSpec] = {
+    Stage.BASELINE: StageSpec(
+        stage=Stage.BASELINE,
+        label="CPU baseline (kernals_ks precompute)",
+        collapse=0,
+        automatic_arrays=True,
+        n_scalars=30,
+        n_array_vars=30,
+        pointer_based=False,
+    ),
+    Stage.LOOKUP: StageSpec(
+        stage=Stage.LOOKUP,
+        label="CPU + lookup optimization (get_cw** on demand)",
+        collapse=0,
+        automatic_arrays=True,
+        n_scalars=30,
+        n_array_vars=30,
+        pointer_based=False,
+    ),
+    Stage.OFFLOAD_COLLAPSE2: StageSpec(
+        stage=Stage.OFFLOAD_COLLAPSE2,
+        label="GPU offload, collapse(2), automatic arrays",
+        collapse=2,
+        automatic_arrays=True,
+        n_scalars=30,
+        n_array_vars=30,
+        pointer_based=False,
+    ),
+    Stage.OFFLOAD_COLLAPSE3: StageSpec(
+        stage=Stage.OFFLOAD_COLLAPSE3,
+        label="GPU offload, collapse(3), temp_arrays pointers",
+        collapse=3,
+        automatic_arrays=False,
+        n_scalars=20,
+        n_array_vars=30,
+        pointer_based=True,
+    ),
+}

@@ -1,0 +1,22 @@
+"""Profiler shims: gprof, NVTX, Nsight Systems, Nsight Compute.
+
+The paper's optimization workflow starts from profiles (Sec. III, VI):
+gprof for a cheap cross-rank hotspot estimate, NVTX ranges + Nsight
+Systems for one rank's accurate time contribution, and Nsight Compute
+for per-kernel device metrics. These shims produce the same reports
+from the simulated clocks and kernel records.
+"""
+
+from repro.profiling.gprof import GprofReport, GprofRow
+from repro.profiling.nvtx import nvtx_range
+from repro.profiling.nsight_systems import NsysReport
+from repro.profiling.nsight_compute import NcuReport, NcuKernelMetrics
+
+__all__ = [
+    "GprofReport",
+    "GprofRow",
+    "nvtx_range",
+    "NsysReport",
+    "NcuReport",
+    "NcuKernelMetrics",
+]

@@ -1,0 +1,81 @@
+"""gprof-style flat profile over all ranks.
+
+The paper "used GNU gprof to quickly gain a rough estimate of the top
+few hot spots, aggregating the output from all MPI cores" (Sec. III).
+This shim aggregates region times across every rank clock and reports
+percentage contributions, reproducing Table I's first column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wrf.model import RunResult
+
+#: The routines the paper's Table I tracks.
+TABLE1_ROUTINES = ("fast_sbm", "rk_scalar_tend", "rk_update_scalar")
+
+
+@dataclass(frozen=True, slots=True)
+class GprofRow:
+    """One line of the flat profile."""
+
+    name: str
+    seconds: float
+    percent: float
+    calls: int
+
+
+@dataclass(frozen=True)
+class GprofReport:
+    """Aggregated flat profile."""
+
+    rows: tuple[GprofRow, ...]
+    total_seconds: float
+
+    @classmethod
+    def from_run(
+        cls, result: RunResult, routines: tuple[str, ...] | None = None
+    ) -> "GprofReport":
+        """Aggregate region times over every rank (gprof's sum mode)."""
+        total = sum(c.total for c in result.rank_clocks)
+        names = routines
+        if names is None:
+            seen: set[str] = set()
+            for c in result.rank_clocks:
+                for full in c.regions:
+                    seen.add(full.split("/")[-1])
+            names = tuple(sorted(seen))
+        rows = []
+        for name in names:
+            seconds = sum(c.region_total(name) for c in result.rank_clocks)
+            rows.append(
+                GprofRow(
+                    name=name,
+                    seconds=seconds,
+                    percent=100.0 * seconds / total if total else 0.0,
+                    calls=result.steps_run * len(result.rank_clocks),
+                )
+            )
+        rows.sort(key=lambda r: r.seconds, reverse=True)
+        return cls(rows=tuple(rows), total_seconds=total)
+
+    def percent_of(self, name: str) -> float:
+        """Percentage for one routine (0 when absent)."""
+        for row in self.rows:
+            if row.name == name:
+                return row.percent
+        return 0.0
+
+    def format_table(self, top: int = 10) -> str:
+        """Flat-profile text in gprof's familiar layout."""
+        lines = [
+            "Flat profile (aggregated over all MPI ranks):",
+            f"{'% time':>8}  {'seconds':>10}  {'calls':>8}  name",
+        ]
+        for row in self.rows[:top]:
+            lines.append(
+                f"{row.percent:>7.2f}%  {row.seconds:>10.4f}  "
+                f"{row.calls:>8d}  {row.name}"
+            )
+        return "\n".join(lines)

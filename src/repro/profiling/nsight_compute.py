@@ -1,0 +1,141 @@
+"""Nsight-Compute-style kernel metrics (Table VI, Fig. 3).
+
+``ncu`` profiles individual kernel launches and reports occupancy,
+cache hit rates, and DRAM traffic. The simulated engine records exactly
+those quantities per launch; this module aggregates them per kernel
+name and renders the paper's Table VI layout, plus roofline points for
+Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import KernelRecord
+from repro.hardware.roofline import RooflinePoint
+
+
+@dataclass(frozen=True, slots=True)
+class NcuKernelMetrics:
+    """Aggregated metrics for one kernel across its launches."""
+
+    name: str
+    launches: int
+    time_ms: float
+    achieved_occupancy_pct: float
+    l1_hit_rate_pct: float
+    l2_hit_rate_pct: float
+    dram_write_gb: float
+    dram_read_gb: float
+    flops: float
+    precision: str
+
+    def roofline_point(self, label: str | None = None) -> RooflinePoint:
+        """This kernel as a point on the device roofline."""
+        return RooflinePoint(
+            label=label or self.name,
+            flops=self.flops,
+            dram_bytes=(self.dram_read_gb + self.dram_write_gb) * 1e9,
+            time=self.time_ms / 1e3,
+            precision=self.precision,
+        )
+
+
+@dataclass(frozen=True)
+class NcuReport:
+    """All kernels of one profiling session."""
+
+    kernels: tuple[NcuKernelMetrics, ...]
+
+    @classmethod
+    def from_records(
+        cls, records: list[KernelRecord], precision: str = "fp32"
+    ) -> "NcuReport":
+        """Aggregate launch records by kernel name (time-weighted)."""
+        by_name: dict[str, list[KernelRecord]] = {}
+        for r in records:
+            by_name.setdefault(r.name, []).append(r)
+        kernels = []
+        for name, recs in sorted(by_name.items()):
+            total_time = sum(r.timing.total for r in recs)
+            weight = total_time or 1.0
+            occ = (
+                sum(r.timing.occupancy.achieved * r.timing.total for r in recs)
+                / weight
+            )
+            l1 = (
+                sum(r.timing.traffic.l1_hit_rate * r.timing.total for r in recs)
+                / weight
+            )
+            l2 = (
+                sum(r.timing.traffic.l2_hit_rate * r.timing.total for r in recs)
+                / weight
+            )
+            kernels.append(
+                NcuKernelMetrics(
+                    name=name,
+                    launches=len(recs),
+                    time_ms=total_time * 1e3,
+                    achieved_occupancy_pct=occ * 100.0,
+                    l1_hit_rate_pct=l1 * 100.0,
+                    l2_hit_rate_pct=l2 * 100.0,
+                    dram_write_gb=sum(
+                        r.timing.traffic.dram_write_bytes for r in recs
+                    )
+                    / 1e9,
+                    dram_read_gb=sum(
+                        r.timing.traffic.dram_read_bytes for r in recs
+                    )
+                    / 1e9,
+                    flops=sum(r.timing.effective_flops for r in recs),
+                    precision=precision,
+                )
+            )
+        return cls(kernels=tuple(kernels))
+
+    def kernel(self, name: str) -> NcuKernelMetrics:
+        """Metrics for one kernel by name."""
+        for k in self.kernels:
+            if k.name == name:
+                return k
+        raise KeyError(name)
+
+
+def format_table6(
+    collapse2: NcuKernelMetrics, collapse3: NcuKernelMetrics
+) -> str:
+    """Render the paper's Table VI comparison of the two offloaded codes."""
+    rows = [
+        ("Time (ms)", f"{collapse2.time_ms:.2f}", f"{collapse3.time_ms:.2f}"),
+        (
+            "Achieved occupancy (%)",
+            f"{collapse2.achieved_occupancy_pct:.2f}",
+            f"{collapse3.achieved_occupancy_pct:.2f}",
+        ),
+        (
+            "L1/TEX hit rate (%)",
+            f"{collapse2.l1_hit_rate_pct:.2f}",
+            f"{collapse3.l1_hit_rate_pct:.2f}",
+        ),
+        (
+            "L2 hit rate (%)",
+            f"{collapse2.l2_hit_rate_pct:.2f}",
+            f"{collapse3.l2_hit_rate_pct:.2f}",
+        ),
+        (
+            "Writes to DRAM (GB)",
+            f"{collapse2.dram_write_gb:.3f}",
+            f"{collapse3.dram_write_gb:.3f}",
+        ),
+        (
+            "Reads from DRAM (GB)",
+            f"{collapse2.dram_read_gb:.3f}",
+            f"{collapse3.dram_read_gb:.3f}",
+        ),
+    ]
+    lines = [
+        f"{'Metric':<24} {'collapse(2)':>14} {'collapse(3) w/ ptrs':>20}"
+    ]
+    for name, a, b in rows:
+        lines.append(f"{name:<24} {a:>14} {b:>20}")
+    return "\n".join(lines)

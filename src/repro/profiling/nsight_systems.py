@@ -1,0 +1,117 @@
+"""Nsight-Systems-style single-rank timeline report.
+
+gprof's cross-rank aggregate hides load imbalance, so the paper selects
+one heavily loaded MPI task and measures its NVTX ranges with Nsight
+Systems (Table I's second column). This report does the same against
+one rank's simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wrf.model import RunResult
+
+
+@dataclass(frozen=True, slots=True)
+class NsysRow:
+    """One NVTX range's share of the rank timeline."""
+
+    name: str
+    seconds: float
+    percent: float
+
+
+@dataclass(frozen=True)
+class NsysReport:
+    """Per-rank NVTX summary."""
+
+    rank: int
+    rows: tuple[NsysRow, ...]
+    total_seconds: float
+
+    @classmethod
+    def from_run(
+        cls,
+        result: RunResult,
+        rank: int | None = None,
+        routines: tuple[str, ...] = ("fast_sbm", "rk_scalar_tend", "rk_update_scalar"),
+    ) -> "NsysReport":
+        """Summarize one rank (default: the most loaded — the paper picks
+        a task with heavy FSBM activity precisely because of imbalance)."""
+        if rank is None:
+            rank = max(
+                range(len(result.rank_clocks)),
+                key=lambda r: result.rank_clocks[r].region_total("fast_sbm"),
+            )
+        clock = result.rank_clocks[rank]
+        total = clock.total
+        rows = tuple(
+            NsysRow(
+                name=name,
+                seconds=clock.region_total(name),
+                percent=100.0 * clock.region_total(name) / total if total else 0.0,
+            )
+            for name in routines
+        )
+        return cls(rank=rank, rows=rows, total_seconds=total)
+
+    def percent_of(self, name: str) -> float:
+        """Percentage for one range (0 when absent)."""
+        for row in self.rows:
+            if row.name == name:
+                return row.percent
+        return 0.0
+
+    def format_table(self) -> str:
+        """NVTX range summary text."""
+        lines = [
+            f"NVTX range summary (rank {self.rank}, "
+            f"{self.total_seconds:.3f} s total):",
+            f"{'range':<20} {'seconds':>10} {'% of rank':>10}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.name:<20} {row.seconds:>10.4f} {row.percent:>9.2f}%"
+            )
+        return "\n".join(lines)
+
+
+#: Timeline lane glyphs: (charge attribute, label, glyph).
+_TIMELINE_LANES = (
+    ("cpu", "CPU", "#"),
+    ("gpu_kernel", "GPU kernels", "%"),
+    ("transfers", "H2D/D2H", "~"),
+    ("mpi", "MPI", "."),
+    ("io", "I/O", "o"),
+)
+
+
+def render_timeline(result: RunResult, rank: int = 0, width: int = 64) -> str:
+    """ASCII per-step timeline of one rank (Nsight's lane view).
+
+    Each model step is one row; the bar length is proportional to the
+    step's charge on that rank, subdivided into CPU (``#``), GPU
+    kernels (``%``), transfers (``~``), MPI (``.``) and I/O (``o``)
+    segments.
+    """
+    steps = result.step_timings
+    if not steps:
+        return "timeline: no steps recorded"
+    totals = [
+        sum(getattr(t.charges[rank], attr) for attr, _, _ in _TIMELINE_LANES)
+        for t in steps
+    ]
+    scale = max(totals) or 1.0
+    lines = [
+        f"Timeline, rank {rank} (one row per step; "
+        + ", ".join(f"{g}={label}" for _, label, g in _TIMELINE_LANES)
+        + ")"
+    ]
+    for t, total in zip(steps, totals):
+        bar = ""
+        for attr, _, glyph in _TIMELINE_LANES:
+            seconds = getattr(t.charges[rank], attr)
+            bar += glyph * int(round(width * seconds / scale))
+        lines.append(f"step {t.step:>3} |{bar:<{width}}| {total * 1e3:8.2f} ms")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""NVTX range shim.
+
+The paper annotates candidate subroutines with NVTX markers so Nsight
+Systems can attribute time per rank (Sec. III). Here an NVTX range is a
+named region on the rank's simulated clock — the same mechanism the
+model driver uses internally, exposed with the NVTX vocabulary so user
+code reads like the Fortran (``nvtxRangePush``/``nvtxRangePop``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.core.clock import SimClock
+
+
+@contextmanager
+def nvtx_range(clock: SimClock, name: str) -> Iterator[None]:
+    """Annotate a region of simulated execution (nvtxRangePush/Pop)."""
+    with clock.region(name):
+        yield
+
+
+class NvtxDomain:
+    """A named collection of ranges (mirrors NVTX domains).
+
+    Keeps the push/pop API for code ported line-by-line from Fortran
+    call sites.
+    """
+
+    def __init__(self, clock: SimClock, name: str = "repro"):
+        self.clock = clock
+        self.name = name
+        self._stack: list = []
+
+    def range_push(self, label: str) -> None:
+        """``nvtxDomainRangePushEx`` equivalent."""
+        ctx = self.clock.region(f"{self.name}:{label}")
+        ctx.__enter__()
+        self._stack.append(ctx)
+
+    def range_pop(self) -> None:
+        """``nvtxDomainRangePop`` equivalent."""
+        if not self._stack:
+            raise RuntimeError("nvtx range pop without matching push")
+        self._stack.pop().__exit__(None, None, None)

@@ -1,0 +1,134 @@
+"""Synthetic CONUS-12km thunderstorm case (the paper's test input).
+
+We have no access to the real CONUS-12km wrfinput; this builder creates
+a statistically similar situation on the same index extents: a
+conditionally unstable continental sounding with a population of warm,
+moist bubbles (incipient thunderstorms) scattered over a CONUS-like
+band of the domain, plus initial cloud water where the bubbles are
+strongest. The bubbles are seeded from the *global* grid coordinates,
+so every rank reconstructs the identical case regardless of the
+decomposition — decompositions of the same seed are bitwise consistent.
+
+The spatial clustering is what produces the FSBM load imbalance the
+paper discusses (Sec. VIII): patches over the storm band have many
+active cells, others few.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fsbm.state import MicroState
+from repro.grid.domain import DomainSpec, Patch
+from repro.wrf.state import WrfFields
+
+
+@dataclass(frozen=True)
+class CaseConfig:
+    """Tunable parameters of the synthetic thunderstorm case."""
+
+    #: Storm (bubble) count per 10^4 horizontal cells.
+    bubbles_per_1e4_cells: float = 24.0
+    #: Peak potential-temperature excess of a bubble [K].
+    bubble_dtheta: float = 3.0
+    #: Bubble horizontal radius [cells].
+    bubble_radius: float = 8.0
+    #: Bubble vertical center/extent [levels].
+    bubble_k_center: float = 7.0
+    bubble_k_radius: float = 6.0
+    #: Moisture enhancement factor inside bubbles.
+    moisture_boost: float = 1.35
+    #: Initial liquid water content at bubble cores [g/cm^3].
+    cloud_lwc: float = 1.5e-6
+    #: Bubble strength above which initial cloud water is seeded.
+    cloud_threshold: float = 0.12
+    #: Mesoscale convective systems the bubbles cluster into.
+    systems_per_1e5_cells: float = 6.0
+    #: Cluster radius [cells].
+    system_spread_cells: float = 22.0
+    #: Fraction of the j-extent covered by the storm band.
+    band_lo: float = 0.2
+    band_hi: float = 0.8
+    #: Background westerlies [m/s] and vertical shear [m/s per level].
+    u_base: float = 8.0
+    u_shear: float = 0.25
+
+
+def _bubble_centers(
+    domain: DomainSpec, cfg: CaseConfig, seed: int
+) -> np.ndarray:
+    """Global bubble centers (i, j) — identical on every rank.
+
+    Bubbles cluster around a handful of mesoscale convective systems
+    (as on a real CONUS thunderstorm day) rather than spreading
+    uniformly: that clustering is the source of the strong per-patch
+    load imbalance the paper discusses in Sec. VIII.
+    """
+    rng = np.random.default_rng(seed)
+    n_cells = domain.nx * domain.ny
+    n_bubbles = max(1, round(cfg.bubbles_per_1e4_cells * n_cells / 1.0e4))
+    n_systems = max(1, round(cfg.systems_per_1e5_cells * n_cells / 1.0e5))
+    sys_i = rng.uniform(0.1 * domain.nx, 0.9 * domain.nx, size=n_systems)
+    sys_j = rng.uniform(
+        cfg.band_lo * domain.ny, cfg.band_hi * domain.ny, size=n_systems
+    )
+    which = rng.integers(0, n_systems, size=n_bubbles)
+    spread = cfg.system_spread_cells
+    ci = np.clip(sys_i[which] + rng.normal(0.0, spread, n_bubbles), 1, domain.nx)
+    cj = np.clip(sys_j[which] + rng.normal(0.0, spread, n_bubbles), 1, domain.ny)
+    amp = rng.uniform(0.5, 1.0, size=n_bubbles)
+    return np.stack([ci, cj, amp], axis=1)
+
+
+def conus12km_case(
+    domain: DomainSpec,
+    patch: Patch,
+    dz: float,
+    seed: int = 2024,
+    cfg: CaseConfig | None = None,
+) -> WrfFields:
+    """Build one rank's initial fields for the synthetic CONUS case."""
+    cfg = cfg or CaseConfig()
+    fields = WrfFields(patch=patch, dz=dz)
+    ni, nk, nj = fields.shape
+
+    # Global coordinates of this patch's memory extents.
+    gi = np.arange(patch.im.start, patch.im.end + 1, dtype=float)
+    gj = np.arange(patch.jm.start, patch.jm.end + 1, dtype=float)
+    kk = np.arange(nk, dtype=float)
+
+    centers = _bubble_centers(domain, cfg, seed)
+    # Thermal perturbation field: sum of Gaussian bubbles.
+    dtheta = np.zeros((ni, nj))
+    for ci, cj, amp in centers:
+        r2 = ((gi[:, None] - ci) ** 2 + (gj[None, :] - cj) ** 2) / cfg.bubble_radius**2
+        dtheta += amp * np.exp(-r2)
+    vert = np.exp(-((kk - cfg.bubble_k_center) ** 2) / cfg.bubble_k_radius**2)
+
+    perturb = cfg.bubble_dtheta * dtheta[:, None, :] * vert[None, :, None]
+    fields.t += perturb
+    fields.qv *= 1.0 + (cfg.moisture_boost - 1.0) * np.minimum(
+        dtheta[:, None, :] * vert[None, :, None], 1.0
+    )
+
+    # Background flow: sheared westerlies, weak southerly drift.
+    fields.u += cfg.u_base + cfg.u_shear * kk[None, :, None]
+    fields.v += 2.0
+
+    # Seed cloud droplets where bubbles are strong (incipient cells).
+    cloud_mask = (dtheta[:, None, :] * vert[None, :, None]) > cfg.cloud_threshold
+    fields.micro.seed_cloud(cloud_mask, lwc=cfg.cloud_lwc)
+
+    # Give the strongest cores an initial updraft so collisions begin
+    # within the short timing runs, as in the mature-storm restart the
+    # paper times.
+    fields.w += 4.0 * dtheta[:, None, :] * vert[None, :, None]
+    return fields
+
+
+def activity_fraction(fields: WrfFields) -> float:
+    """Fraction of owned cells carrying condensate (load-imbalance probe)."""
+    owned = fields.owned(fields.micro.total_condensate_mass())
+    return float((owned > 1.0e-12).mean())

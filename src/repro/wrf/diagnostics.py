@@ -1,0 +1,148 @@
+"""Meteorological diagnostics over model output.
+
+Utilities a forecaster (or a verification script) would run on the
+wrfout fields: parcel CAPE from the model sounding, precipitation
+rates, updraft/condensate statistics, and a storm-cell census. Used by
+the examples and by tests that sanity-check the synthetic CONUS case
+against thunderstorm climatology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import GRAVITY, T_0
+from repro.fsbm.thermo import saturation_mixing_ratio
+from repro.wrf.state import WrfFields
+
+
+def parcel_cape(
+    temperature_col: np.ndarray,
+    qv_col: np.ndarray,
+    pressure_mb_col: np.ndarray,
+    dz: float,
+) -> float:
+    """Surface-parcel CAPE [J/kg] from one model column.
+
+    Lifts the lowest-level parcel dry-adiabatically to saturation, then
+    pseudo-adiabatically (approximated with a constant 6 K/km saturated
+    lapse rate), integrating positive buoyancy. Deliberately simple —
+    the point is a physically meaningful instability scalar, not an
+    operational sounding package.
+    """
+    nz = temperature_col.shape[0]
+    t_parcel = float(temperature_col[0])
+    qv_parcel = float(qv_col[0])
+    cape = 0.0
+    saturated = False
+    for k in range(1, nz):
+        if not saturated:
+            t_parcel -= 9.8e-3 * dz  # dry adiabat
+            qs = float(
+                saturation_mixing_ratio(
+                    np.array(t_parcel), np.array(pressure_mb_col[k])
+                )
+            )
+            if qv_parcel >= qs:
+                saturated = True
+        else:
+            t_parcel -= 6.0e-3 * dz  # moist pseudo-adiabat
+        buoyancy = GRAVITY * (t_parcel - temperature_col[k]) / temperature_col[k]
+        if buoyancy > 0:
+            cape += buoyancy * dz
+    return cape
+
+
+def cape_field(fields: WrfFields, dz: float) -> np.ndarray:
+    """CAPE per owned column, shape ``(ni, nj)`` of the memory extents."""
+    t = fields.t
+    qv = fields.qv
+    p = fields.p_mb_col
+    ni, nk, nj = t.shape
+    out = np.zeros((ni, nj))
+    for i in range(ni):
+        for j in range(nj):
+            out[i, j] = parcel_cape(t[i, :, j], qv[i, :, j], p, dz)
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class StormCensus:
+    """Domain-wide convection statistics from one output frame."""
+
+    n_cells: int
+    cloudy_fraction: float
+    max_updraft: float
+    max_condensate: float
+    total_precip: float
+
+    def format_report(self) -> str:
+        return (
+            f"storm census: {self.n_cells} cells, "
+            f"{self.cloudy_fraction * 100:.1f}% cloudy columns, "
+            f"w_max {self.max_updraft:.1f} m/s, "
+            f"q_max {self.max_condensate:.2e} g/cm^3, "
+            f"precip {self.total_precip:.3e}"
+        )
+
+
+def storm_census(
+    output: dict[str, np.ndarray], condensate_threshold: float = 1.0e-12
+) -> StormCensus:
+    """Count convective cells in a gathered output frame.
+
+    A *cell* is a connected cloudy region in the column-maximum
+    condensate field (4-connected flood fill).
+    """
+    qc = output["QCLOUD_TOTAL"]
+    col_max = qc.max(axis=1)  # (nx, ny)
+    cloudy = col_max > condensate_threshold
+
+    # Connected-component count, iterative flood fill.
+    visited = np.zeros_like(cloudy, dtype=bool)
+    n_cells = 0
+    nx, ny = cloudy.shape
+    for i0 in range(nx):
+        for j0 in range(ny):
+            if not cloudy[i0, j0] or visited[i0, j0]:
+                continue
+            n_cells += 1
+            stack = [(i0, j0)]
+            visited[i0, j0] = True
+            while stack:
+                i, j = stack.pop()
+                for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                    ii, jj = i + di, j + dj
+                    if (
+                        0 <= ii < nx
+                        and 0 <= jj < ny
+                        and cloudy[ii, jj]
+                        and not visited[ii, jj]
+                    ):
+                        visited[ii, jj] = True
+                        stack.append((ii, jj))
+
+    return StormCensus(
+        n_cells=n_cells,
+        cloudy_fraction=float(cloudy.mean()),
+        max_updraft=float(output["W"].max()),
+        max_condensate=float(qc.max()),
+        total_precip=float(output["RAINNC"].sum()),
+    )
+
+
+def precipitation_rate(
+    precip_before: np.ndarray, precip_after: np.ndarray, dt: float
+) -> np.ndarray:
+    """Instantaneous surface precipitation rate from two RAINNC frames.
+
+    Returned in the accumulation unit per second (the synthetic case
+    tracks column mass density; real WRF uses mm).
+    """
+    if precip_before.shape != precip_after.shape:
+        raise ValueError("precipitation frames must share a shape")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    return np.maximum(precip_after - precip_before, 0.0) / dt

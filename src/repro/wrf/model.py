@@ -1,0 +1,458 @@
+"""The WRF model driver: ranks, time loop, transport, physics, history.
+
+One :class:`WrfModel` owns the whole simulated job: the decomposition,
+one set of fields + FSBM driver per rank, the per-rank clocks, devices
+for offloaded stages, and the BSP step scheduler. Ranks execute
+sequentially in-process; their *simulated* times overlap per the
+scheduler's rules.
+
+Numerics note (documented substitution): transport integrates donor-
+cell upwind with a single Euler stage, while the *cost* charged to
+``rk_scalar_tend`` / ``rk_update_scalar`` is WRF's full three-stage RK3
+over every advected scalar (233 of them with 7 species x 33 bins) plus
+the acoustic-substep halo traffic — the loops the paper's Table I
+profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.clock import SimClock, TimeBucket
+from repro.core.costmodel import CpuCostModel
+from repro.core.engine import OffloadEngine
+from repro.fsbm.fast_sbm import FastSBM, SbmStepStats
+from repro.grid.decomposition import Decomposition, decompose_domain
+from repro.grid.halo import HaloExchangePlan, build_halo_plan
+from repro.hardware.specs import EPYC_MILAN, PERLMUTTER_CPU_NODE
+from repro.mpi.costmodel import CommCostModel
+from repro.mpi.gpu_sharing import GpuPool
+from repro.mpi.scheduler import RankStepCharge, StepScheduler
+from repro.wrf.cases import conus12km_case
+from repro.wrf.dynamics import (
+    DynWorkStats,
+    RK3_FRACTIONS,
+    buoyancy_w_update,
+    rk_scalar_tend,
+    rk_update_scalar,
+)
+from repro.wrf.namelist import Namelist
+from repro.wrf.state import WrfFields
+
+#: Acoustic substeps per RK3 stage in WRF's split-explicit solver —
+#: only their halo traffic is charged (we have no pressure solver).
+ACOUSTIC_SUBSTEPS = 6
+
+#: Fields exchanged per acoustic substep (u, v, w, t, p').
+ACOUSTIC_FIELDS = 5
+
+#: History write bandwidth to scratch [B/s] (serial netCDF through the
+#: I/O rank, well below raw filesystem speed).
+IO_BANDWIDTH = 0.5e9
+
+
+@dataclass
+class StepTiming:
+    """Timing of one committed model step."""
+
+    step: int
+    elapsed: float
+    charges: list[RankStepCharge]
+    sbm_stats: list[SbmStepStats]
+
+
+@dataclass
+class RunResult:
+    """Everything a completed run exposes to experiments and profilers."""
+
+    namelist: Namelist
+    decomposition: Decomposition
+    steps_run: int
+    elapsed: float
+    step_timings: list[StepTiming]
+    rank_clocks: list[SimClock]
+    scheduler: StepScheduler
+    kernel_records: list[list]
+    history: list[dict[str, np.ndarray]]
+
+    @property
+    def per_step_elapsed(self) -> float:
+        """Mean simulated seconds per model step."""
+        return self.elapsed / max(1, self.steps_run)
+
+    def projected_total(self, run_seconds: float | None = None) -> float:
+        """Elapsed time scaled to the full run length (paper: 600 s)."""
+        seconds = run_seconds or self.namelist.run_seconds
+        steps = max(1, round(seconds / self.namelist.dt))
+        return self.per_step_elapsed * steps
+
+    def region_seconds(self, region: str) -> float:
+        """Simulated seconds charged to a clock region, summed over ranks."""
+        return sum(c.region_total(region) for c in self.rank_clocks)
+
+    def rank_region_seconds(self, region: str, rank: int) -> float:
+        """One rank's seconds in a region (the Nsight-Systems view)."""
+        return self.rank_clocks[rank].region_total(region)
+
+    def coal_loop_seconds(self) -> float:
+        """Per-step seconds of the isolated collision loop (max over ranks)."""
+        per_rank = [c.region_total("coal_bott_new") for c in self.rank_clocks]
+        return max(per_rank) / max(1, self.steps_run)
+
+
+class WrfModel:
+    """A configured, runnable WRF job."""
+
+    def __init__(self, namelist: Namelist):
+        self.namelist = namelist
+        self.decomposition = decompose_domain(namelist.domain, namelist.num_ranks)
+        self.halo_plan: HaloExchangePlan = build_halo_plan(self.decomposition)
+        self.clocks = [SimClock() for _ in range(namelist.num_ranks)]
+
+        if namelist.stage.uses_gpu:
+            ranks_per_node = min(namelist.num_ranks, 4 * 4)  # 4 GPUs, <=4 ranks each
+            cpu = EPYC_MILAN
+        else:
+            ranks_per_node = min(namelist.num_ranks, PERLMUTTER_CPU_NODE.cpu.cores)
+            cpu = PERLMUTTER_CPU_NODE.cpu
+        self.comm_cost = CommCostModel(ranks_per_node=ranks_per_node)
+        active_cores = min(namelist.num_ranks, ranks_per_node)
+        self.cpu_cost = CpuCostModel(
+            cpu=cpu,
+            active_cores_on_socket=active_cores,
+            threads=namelist.numtiles,
+        )
+
+        self.gpu_pool: GpuPool | None = None
+        self.engines: list[OffloadEngine | None] = [None] * namelist.num_ranks
+        if namelist.stage.uses_gpu:
+            self.gpu_pool = GpuPool(num_gpus=namelist.num_gpus)
+            devices = self.gpu_pool.bind(namelist.num_ranks)
+            dev_dtype = np.dtype(
+                np.float32 if namelist.device_precision == "fp32" else np.float64
+            )
+            self.engines = [
+                OffloadEngine(
+                    device=dev,
+                    env=namelist.env,
+                    clock=clk,
+                    device_dtype=dev_dtype,
+                )
+                for dev, clk in zip(devices, self.clocks)
+            ]
+
+        self.scheduler = StepScheduler(
+            nranks=namelist.num_ranks, gpu_pool=self.gpu_pool
+        )
+
+        dz = namelist.domain.dz
+        self.fields: list[WrfFields] = [
+            conus12km_case(namelist.domain, patch, dz, seed=namelist.seed)
+            for patch in self.decomposition.patches
+        ]
+        self.sbm: list[FastSBM] = [
+            FastSBM(
+                stage=namelist.stage,
+                dt=namelist.dt,
+                clock=self.clocks[r],
+                cpu_cost=self.cpu_cost,
+                engine=self.engines[r],
+                precision=namelist.device_precision,
+                offload_condensation=namelist.offload_condensation,
+            )
+            for r in range(namelist.num_ranks)
+        ]
+        self.steps_done = 0
+        self._sim_time = 0.0
+        self._last_history = 0.0
+
+    # --- pieces of one step ------------------------------------------------------
+
+    def _exchange_halos(self) -> None:
+        """Refresh halos of every advected field; charge MPI per rank.
+
+        Performs the real copies through the halo plan and charges each
+        rank the p2p time of the segments it sends plus the acoustic-
+        substep traffic WRF's split-explicit solver would add.
+        """
+        patches = self.decomposition.patches
+        field_maps = [f.advected_fields() for f in self.fields]
+        names = field_maps[0].keys()
+        for seg in self.halo_plan.segments:
+            src_p, dst_p = patches[seg.src], patches[seg.dst]
+            src_sl = seg.src_slices(src_p)
+            dst_sl = seg.dst_slices(dst_p)
+            nbytes = 0
+            for name in names:
+                src_arr = field_maps[seg.src][name]
+                dst_arr = field_maps[seg.dst][name]
+                dst_arr[dst_sl] = src_arr[src_sl]
+                nbytes += src_arr[src_sl].nbytes
+            t = self.comm_cost.p2p_time(seg.src, seg.dst, nbytes)
+            self.clocks[seg.src].advance(TimeBucket.MPI, t)
+            self.clocks[seg.dst].advance(TimeBucket.MPI, t)
+        # Acoustic-substep halo traffic and per-step sync noise
+        # (charged, not simulated).
+        noise = self.comm_cost.step_sync_noise(self.namelist.num_ranks)
+        for rank in range(self.namelist.num_ranks):
+            segs = self.halo_plan.segments_from(rank)
+            per_exchange = sum(
+                self.comm_cost.p2p_time(s.src, s.dst, s.num_points * 4)
+                for s in segs
+            )
+            n_exchanges = len(RK3_FRACTIONS) * ACOUSTIC_SUBSTEPS * ACOUSTIC_FIELDS
+            self.clocks[rank].advance(
+                TimeBucket.MPI, per_exchange * n_exchanges + noise
+            )
+
+    def _transport(self, rank: int) -> None:
+        """Advect all scalars on one rank's patch; charge RK3 cost."""
+        f = self.fields[rank]
+        clock = self.clocks[rank]
+        dt = self.namelist.dt
+        dx = self.namelist.domain.dx
+        dz = self.namelist.domain.dz
+        ni, nk, nj = f.shape
+        cells = ni * nk * nj
+        nscalars = f.scalar_count()
+        work = DynWorkStats(
+            cell_scalar_stages=float(cells * nscalars * len(RK3_FRACTIONS))
+        )
+        if self.namelist.offload_advection and self.engines[rank] is not None:
+            self._transport_offloaded(rank, work, nscalars)
+        else:
+            with clock.region("rk_scalar_tend"):
+                clock.advance(
+                    TimeBucket.CPU_COMPUTE,
+                    self.cpu_cost.time(
+                        work.tend_flops,
+                        work.tend_bytes,
+                        iterations=int(work.cell_scalar_stages),
+                    ),
+                )
+            with clock.region("rk_update_scalar"):
+                clock.advance(
+                    TimeBucket.CPU_COMPUTE,
+                    self.cpu_cost.time(work.update_flops, work.update_bytes),
+                )
+        # Numerics: donor-cell update of every field, with the wind
+        # decomposition hoisted out of the scalar loop. The namelist
+        # selects single-Euler-stage (default, fast) or full RK3.
+        from repro.wrf.dynamics import WindSplit, rk3_advect
+
+        split = WindSplit.build(f.u, f.v, f.w, dx, dz)
+        for name, arr in f.advected_fields().items():
+            clip = name != "t" and name != "w"
+            if self.namelist.use_rk3_numerics:
+                rk3_advect(arr, split, dt, clip_negative=clip)
+            else:
+                tend = rk_scalar_tend(arr, split)
+                arr += dt * tend
+                if clip:
+                    np.maximum(arr, 0.0, out=arr)
+
+        condensate = f.micro.total_condensate_mass()
+        buoyancy_w_update(f.w, f.t, f.t_base_col, condensate, f.rho, dt)
+
+    def _transport_offloaded(
+        self, rank: int, work: DynWorkStats, nscalars: int
+    ) -> None:
+        """Offload the RK3 scalar loops (the Sec. VIII 'next target').
+
+        Advection is regular and coalesced: one thread per cell sweeping
+        all scalars — high occupancy, bandwidth-bound, no automatic
+        arrays. The bin fields already live on the device (mapped once
+        by ``target enter data``), so only winds move per step.
+        """
+        from repro.core.directives import (
+            Map,
+            MapType,
+            TargetTeamsDistributeParallelDo,
+        )
+        from repro.core.kernel import Kernel, KernelResources
+        from repro.hardware.memory import AccessPattern, TrafficComponent
+
+        engine = self.engines[rank]
+        assert engine is not None
+        f = self.fields[rank]
+        ni, nk, nj = f.shape
+        clock = self.clocks[rank]
+        resources = KernelResources(
+            registers_per_thread=48,
+            automatic_array_bytes=0,
+            working_set_per_thread=64.0,
+            flops=work.tend_flops + work.update_flops,
+            traffic=(
+                TrafficComponent(
+                    name="scalars",
+                    pattern=AccessPattern.GLOBAL_COALESCED,
+                    read_bytes=work.tend_bytes,
+                    write_bytes=work.update_bytes,
+                ),
+            ),
+            active_iterations=ni * nk * nj,
+            compute_efficiency=0.25,  # regular stencil, decent ILP
+        )
+        kernel = Kernel(
+            name="rk_scalar_tend_loop",
+            loop_extents=(nj, nk, ni),
+            resources=resources,
+            body=None,  # numerics run below on the host path as usual
+        )
+        directive = TargetTeamsDistributeParallelDo(
+            collapse=3, maps=(Map(MapType.TO, ("u", "v", "w")),)
+        )
+        with clock.region("rk_scalar_tend"):
+            engine.launch(
+                kernel,
+                directive,
+                to_arrays={"u": f.u, "v": f.v, "w": f.w},
+            )
+
+    def _physics(self, rank: int) -> SbmStepStats:
+        """Run the microphysics on one rank's *owned* cells (the tile).
+
+        Halo cells are excluded — WRF's physics run on tiles inside the
+        patch; halos are refreshed by the exchange afterwards.
+        """
+        f = self.fields[rank]
+        from repro.grid.indexing import owned_slice
+
+        sl = owned_slice(f.patch)
+        return self.sbm[rank].step(
+            state=f.micro.view(sl),
+            temperature=f.t[sl],
+            pressure_mb=f.pressure_mb[sl],
+            qv=f.qv[sl],
+            rho_air=f.rho[sl],
+            dz_cm=self.namelist.domain.dz * 100.0,
+        )
+
+    def _maybe_history(self, force: bool = False) -> dict[str, np.ndarray] | None:
+        """Write history if due; charges I/O time and returns the frame."""
+        interval = self.namelist.history_interval
+        due = force or (
+            interval > 0.0 and self._sim_time - self._last_history >= interval
+        )
+        if not due:
+            return None
+        self._last_history = self._sim_time
+        frame = self.gather_output()
+        if self.namelist.history_path is not None:
+            from repro.wrf.io import write_wrfout
+
+            write_wrfout(
+                f"{self.namelist.history_path}/wrfout_d01_{self.steps_done:06d}",
+                frame,
+                attrs={
+                    "title": "repro CONUS-12km",
+                    "sim_seconds": self._sim_time,
+                    "stage": self.namelist.stage.value,
+                    "dx": self.namelist.domain.dx,
+                },
+            )
+        nbytes = sum(a.nbytes for a in frame.values())
+        # Patches funnel to rank 0, which writes.
+        for rank, clock in enumerate(self.clocks):
+            local = nbytes / self.namelist.num_ranks
+            clock.advance(
+                TimeBucket.IO,
+                self.comm_cost.p2p_time(rank, 0, int(local)),
+            )
+        self.clocks[0].advance(TimeBucket.IO, nbytes / IO_BANDWIDTH)
+        return frame
+
+    def gather_output(self) -> dict[str, np.ndarray]:
+        """Assemble domain-wide output fields from the patches."""
+        dom = self.namelist.domain
+        out = {
+            "T": np.zeros((dom.nx, dom.nz, dom.ny)),
+            "QVAPOR": np.zeros((dom.nx, dom.nz, dom.ny)),
+            "W": np.zeros((dom.nx, dom.nz, dom.ny)),
+            "QCLOUD_TOTAL": np.zeros((dom.nx, dom.nz, dom.ny)),
+            "RAINNC": np.zeros((dom.nx, dom.ny)),
+        }
+        for rank, patch in enumerate(self.decomposition.patches):
+            f = self.fields[rank]
+            sl = (
+                patch.i.to_slice(1),
+                patch.k.to_slice(1),
+                patch.j.to_slice(1),
+            )
+            out["T"][sl] = f.owned(f.t)
+            out["QVAPOR"][sl] = f.owned(f.qv)
+            out["W"][sl] = f.owned(f.w)
+            out["QCLOUD_TOTAL"][sl] = f.owned(f.micro.total_condensate_mass())
+            ii = patch.i.to_slice(1)
+            jj = patch.j.to_slice(1)
+            precip_owned = f.micro.precip[
+                patch.i.to_slice(patch.im.start), patch.j.to_slice(patch.jm.start)
+            ]
+            out["RAINNC"][ii, jj] = precip_owned
+        return out
+
+    # --- the loop -------------------------------------------------------------
+
+    def step(self) -> StepTiming:
+        """Advance the whole job by one model step."""
+        before = [c.snapshot() for c in self.clocks]
+        sbm_stats: list[SbmStepStats] = []
+        with_regions = [c.region("solve_em") for c in self.clocks]
+        for ctx in with_regions:
+            ctx.__enter__()
+        try:
+            for rank in range(self.namelist.num_ranks):
+                sbm_stats.append(self._physics(rank))
+            self._exchange_halos()
+            for rank in range(self.namelist.num_ranks):
+                self._transport(rank)
+        finally:
+            for ctx in reversed(with_regions):
+                ctx.__exit__(None, None, None)
+        self._sim_time += self.namelist.dt
+        self.steps_done += 1
+        self._maybe_history()
+
+        after = [c.snapshot() for c in self.clocks]
+        charges = [
+            RankStepCharge.from_clock_delta(b, a) for b, a in zip(before, after)
+        ]
+        elapsed = self.scheduler.commit_step(charges)
+        return StepTiming(
+            step=self.steps_done, elapsed=elapsed, charges=charges, sbm_stats=sbm_stats
+        )
+
+    def run(
+        self, num_steps: int | None = None, final_history: bool = False
+    ) -> RunResult:
+        """Run ``num_steps`` (default: the namelist's full count)."""
+        steps = num_steps if num_steps is not None else self.namelist.num_steps
+        timings: list[StepTiming] = []
+        history: list[dict[str, np.ndarray]] = []
+        for _ in range(steps):
+            timings.append(self.step())
+        if final_history:
+            frame = self._maybe_history(force=True)
+            if frame is not None:
+                history.append(frame)
+        return RunResult(
+            namelist=self.namelist,
+            decomposition=self.decomposition,
+            steps_run=steps,
+            elapsed=self.scheduler.elapsed,
+            step_timings=timings,
+            rank_clocks=self.clocks,
+            scheduler=self.scheduler,
+            kernel_records=[
+                e.records if e is not None else [] for e in self.engines
+            ],
+            history=history,
+        )
+
+    def close(self) -> None:
+        """Release device contexts (offloaded stages)."""
+        for e in self.engines:
+            if e is not None:
+                e.close()

@@ -1,0 +1,184 @@
+"""Checkers, screening, the offload rewriter, compile commands."""
+
+import json
+
+import pytest
+
+from repro.codee import sources
+from repro.codee.checks import format_checks_report, run_checks
+from repro.codee.compile_commands import (
+    fortran_units,
+    load_compile_commands,
+)
+from repro.codee.fparser import parse_source
+from repro.codee.rewrite import offload_rewrite
+from repro.codee.screening import screen_file, screening_report
+from repro.errors import CodeeError, RewriteError
+
+
+class TestChecks:
+    def test_legacy_onecond_flags_match_the_paper(self):
+        """Sec. VIII: Codee flagged assumed-size arrays and missing
+        intents in routines like onecond."""
+        sf = parse_source(sources.legacy_onecond_source(), "onecond.f90")
+        ids = {f.check_id for f in run_checks(sf)}
+        assert "PWR007" in ids  # implicit none
+        assert "PWR008" in ids  # assumed-size array
+        assert "PWR001" in ids  # missing intent
+
+    def test_kernals_ks_flags_global_writes_and_offload(self):
+        sf = parse_source(sources.KERNALS_KS_SOURCE, "module_mp_fast_sbm.f90")
+        findings = run_checks(sf)
+        ids = {f.check_id for f in findings}
+        assert "PWR014" in ids  # module variables written in loop
+        assert "RMK015" in ids  # offload opportunity
+
+    def test_clean_code_has_no_modernization_findings(self):
+        src = (
+            "subroutine s(a, n)\n"
+            "  implicit none\n"
+            "  integer, intent(in) :: n\n"
+            "  real, intent(inout) :: a(n)\n"
+            "  integer :: i\n"
+            "  do i = 1, n\n"
+            "    a(i) = a(i) * 2.0\n"
+            "  enddo\n"
+            "end subroutine s\n"
+        )
+        findings = run_checks(parse_source(src))
+        assert not [f for f in findings if f.category == "modernization"]
+
+    def test_noncontiguous_access_flagged(self):
+        src = (
+            "subroutine s(a, n)\n"
+            "  implicit none\n"
+            "  integer, intent(in) :: n\n"
+            "  real, intent(inout) :: a(n, n)\n"
+            "  integer :: i, j\n"
+            "  do i = 1, n\n"
+            "    do j = 1, n\n"
+            "      a(i, j) = 0.0\n"
+            "    enddo\n"
+            "  enddo\n"
+            "end subroutine s\n"
+        )
+        ids = {f.check_id for f in run_checks(parse_source(src))}
+        assert "PWR010" in ids
+
+    def test_report_rendering(self):
+        sf = parse_source(sources.legacy_onecond_source(), "onecond.f90")
+        text = format_checks_report(run_checks(sf))
+        assert "PWR008" in text and "summary:" in text
+
+
+class TestScreening:
+    def test_metrics_counted(self):
+        fs = screen_file(sources.KERNALS_KS_SOURCE, "module_mp_fast_sbm.f90")
+        assert fs.num_modules == 1
+        assert fs.num_routines == 1
+        assert fs.num_loops == 2
+        assert fs.max_nest_depth == 2
+        assert fs.num_offload_opportunities >= 1
+
+    def test_ranking_puts_opportunity_rich_files_first(self):
+        rep = screening_report(
+            {
+                "onecond.f90": sources.legacy_onecond_source(),
+                "module_mp_fast_sbm.f90": sources.KERNALS_KS_SOURCE,
+            }
+        )
+        assert rep.ranked()[0].path == "module_mp_fast_sbm.f90"
+        assert rep.total_loc > 0
+        assert "codee screening report" in rep.format_table()
+
+
+class TestRewrite:
+    def _loop_line(self):
+        sf = parse_source(sources.KERNALS_KS_SOURCE)
+        return sf.modules[0].routines[0].loops()[0].line
+
+    def test_rewrite_reproduces_listing4(self):
+        line = self._loop_line()
+        res = offload_rewrite(sources.KERNALS_KS_SOURCE, line=line)
+        text = res.source
+        assert "! Codee: Loop modified" in text
+        assert "!$omp target teams distribute" in text
+        assert "!$omp parallel do" in text
+        assert "map(from: cwlg, cwll, cwls)" in text
+        assert "!$omp simd" in text  # inner loop vectorized
+        assert "private(ckern_1, ckern_2)" in text
+
+    def test_rewritten_source_still_parses(self):
+        line = self._loop_line()
+        res = offload_rewrite(sources.KERNALS_KS_SOURCE, line=line)
+        sf = parse_source(res.source)
+        loop = sf.modules[0].routines[0].loops()[0]
+        assert loop.directives, "directive attached to the loop"
+        assert loop.innermost().directives
+
+    def test_rewrite_refuses_unsound_loops(self):
+        src = (
+            "subroutine s(a, n)\n"
+            "  implicit none\n"
+            "  integer, intent(in) :: n\n"
+            "  real, intent(inout) :: a(n)\n"
+            "  integer :: i\n"
+            "  do i = 2, n\n"
+            "    a(i) = a(i-1)\n"
+            "  enddo\n"
+            "end subroutine s\n"
+        )
+        with pytest.raises(RewriteError, match="not provably parallel"):
+            offload_rewrite(src, line=6)
+
+    def test_collapse_override(self):
+        line = self._loop_line()
+        res = offload_rewrite(
+            sources.KERNALS_KS_SOURCE, line=line, collapse=2, simd_inner=False
+        )
+        assert res.directive.collapse == 2
+        assert "collapse(2)" in res.source
+
+    def test_no_loop_at_line_rejected(self):
+        with pytest.raises(RewriteError):
+            offload_rewrite("subroutine s()\nend subroutine s\n", line=1)
+
+
+class TestCompileCommands:
+    def test_load_and_filter(self, tmp_path):
+        db = [
+            {
+                "file": "module_mp_fast_sbm.f90",
+                "directory": "/build/phys",
+                "arguments": ["ftn", "-O2", "-Iinc", "-DDM_PARALLEL", "-c",
+                              "module_mp_fast_sbm.f90"],
+            },
+            {
+                "file": "tools.c",
+                "directory": "/build",
+                "command": "cc -I /usr/include -c tools.c",
+            },
+        ]
+        path = tmp_path / "compile_commands.json"
+        path.write_text(json.dumps(db))
+        cmds = load_compile_commands(path)
+        assert len(cmds) == 2
+        f_units = fortran_units(cmds)
+        assert len(f_units) == 1
+        assert f_units[0].include_dirs == ("inc",)
+        assert f_units[0].defines == ("DM_PARALLEL",)
+        assert f_units[0].compiler == "ftn"
+        assert str(f_units[0].resolved_path()).startswith("/build/phys")
+        # 'command' form parsed with shlex, separate -I style.
+        assert cmds[1].include_dirs == ("/usr/include",)
+
+    def test_bad_database_rejected(self, tmp_path):
+        path = tmp_path / "cc.json"
+        path.write_text("{}")
+        with pytest.raises(CodeeError):
+            load_compile_commands(path)
+        path.write_text(json.dumps([{"file": "x.f90"}]))
+        with pytest.raises(CodeeError):
+            load_compile_commands(path)
+        with pytest.raises(CodeeError):
+            load_compile_commands(tmp_path / "missing.json")

@@ -1,0 +1,133 @@
+"""The codee CLI (python -m repro.codee ...), mirroring Listing 2."""
+
+import json
+
+import pytest
+
+from repro.codee import sources
+from repro.codee.cli import main
+from repro.codee.fparser import parse_source
+
+
+@pytest.fixture
+def project(tmp_path):
+    """A small 'WRF build tree' with a bear-style compilation database."""
+    f_sbm = tmp_path / "module_mp_fast_sbm.f90"
+    f_sbm.write_text(sources.KERNALS_KS_SOURCE)
+    f_one = tmp_path / "onecond.f90"
+    f_one.write_text(sources.legacy_onecond_source())
+    db = tmp_path / "compile_commands.json"
+    db.write_text(
+        json.dumps(
+            [
+                {
+                    "file": str(f_sbm),
+                    "directory": str(tmp_path),
+                    "arguments": ["ftn", "-c", str(f_sbm)],
+                },
+                {
+                    "file": str(f_one),
+                    "directory": str(tmp_path),
+                    "arguments": ["ftn", "-c", str(f_one)],
+                },
+            ]
+        )
+    )
+    return tmp_path, f_sbm, f_one, db
+
+
+def test_screening_with_config(project, capsys):
+    tmp, f_sbm, _, db = project
+    assert main(["screening", "--config", str(db)]) == 0
+    out = capsys.readouterr().out
+    assert "codee screening report" in out
+    assert "module_mp_fast_sbm.f90" in out
+
+
+def test_checks_exit_code_reflects_findings(project, capsys):
+    _, _, f_one, _ = project
+    rc = main(["checks", str(f_one)])
+    out = capsys.readouterr().out
+    assert rc == 2  # findings present
+    assert "PWR008" in out
+
+
+def test_checks_clean_file_exits_zero(tmp_path, capsys):
+    clean = tmp_path / "clean.f90"
+    clean.write_text(
+        "subroutine s(a, n)\n"
+        "  implicit none\n"
+        "  integer, intent(in) :: n\n"
+        "  real, intent(inout) :: a(n)\n"
+        "  integer :: i\n"
+        "  do i = 1, n\n"
+        "    a(i) = a(i) + 1.0\n"
+        "  enddo\n"
+        "end subroutine s\n"
+    )
+    assert main(["checks", str(clean)]) == 0
+
+
+def test_rewrite_in_place_matches_listing2_invocation(project, capsys):
+    """codee rewrite --offload omp --in-place file:line:col --config db"""
+    _, f_sbm, _, db = project
+    loop_line = (
+        parse_source(sources.KERNALS_KS_SOURCE).modules[0].routines[0].loops()[0].line
+    )
+    rc = main(
+        [
+            "rewrite",
+            "--offload",
+            "omp",
+            "--in-place",
+            f"{f_sbm}:{loop_line}:4",
+            "--config",
+            str(db),
+        ]
+    )
+    assert rc == 0
+    rewritten = f_sbm.read_text()
+    assert "!$omp target teams distribute" in rewritten
+    assert "map(from: cwlg, cwll, cwls)" in rewritten
+    # The annotated file still parses.
+    parse_source(rewritten)
+
+
+def test_rewrite_stdout_without_in_place(project, capsys):
+    _, f_sbm, _, _ = project
+    loop_line = (
+        parse_source(sources.KERNALS_KS_SOURCE).modules[0].routines[0].loops()[0].line
+    )
+    assert main(["rewrite", f"{f_sbm}:{loop_line}"]) == 0
+    out = capsys.readouterr().out
+    assert "!$omp parallel do" in out
+    assert "!$omp" not in f_sbm.read_text()  # untouched
+
+
+def test_rewrite_unsound_loop_fails_cleanly(tmp_path, capsys):
+    bad = tmp_path / "recur.f90"
+    bad.write_text(
+        "subroutine s(a, n)\n"
+        "  implicit none\n"
+        "  integer, intent(in) :: n\n"
+        "  real, intent(inout) :: a(n)\n"
+        "  integer :: i\n"
+        "  do i = 2, n\n"
+        "    a(i) = a(i-1)\n"
+        "  enddo\n"
+        "end subroutine s\n"
+    )
+    assert main(["rewrite", f"{bad}:6"]) == 1
+    assert "not provably parallel" in capsys.readouterr().err
+
+
+def test_unknown_offload_model_rejected(project, capsys):
+    _, f_sbm, _, _ = project
+    assert main(["rewrite", "--offload", "acc", f"{f_sbm}:30"]) == 1
+
+
+def test_no_sources_is_an_error(tmp_path, capsys):
+    db = tmp_path / "cc.json"
+    db.write_text(json.dumps([]))
+    assert main(["screening", "--config", str(db)]) == 1
+    assert "no Fortran sources" in capsys.readouterr().err

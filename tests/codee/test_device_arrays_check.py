@@ -1,0 +1,55 @@
+"""The PWR020 checker: automatic arrays in declare-target routines."""
+
+from repro.codee import sources
+from repro.codee.checks import check_device_automatic_arrays, run_checks
+from repro.codee.fparser import parse_source
+
+
+def test_listing7_flagged():
+    """The original coal_bott_new (Listing 7) carries the smell."""
+    sf = parse_source(sources.COAL_BOTT_ORIGINAL_SOURCE, "coal_bott.f90")
+    findings = check_device_automatic_arrays(sf)
+    assert findings, "automatic arrays in a device routine must be flagged"
+    names_flagged = {f.detail.split()[0] for f in findings}
+    assert "fl1" in names_flagged
+    assert all(f.check_id == "PWR020" for f in findings)
+    assert any("NV_ACC_CUDA_STACKSIZE" in f.detail for f in findings)
+
+
+def test_listing8_pointer_rewrite_is_clean():
+    """The temp_arrays pointer version (Listing 8) must NOT be flagged."""
+    sf = parse_source(sources.COAL_BOTT_POINTER_SOURCE, "coal_bott_ptr.f90")
+    assert check_device_automatic_arrays(sf) == []
+
+
+def test_host_routine_with_arrays_not_flagged():
+    """Automatic arrays are fine on the host — only device routines count."""
+    src = (
+        "subroutine host_work(n)\n"
+        "  implicit none\n"
+        "  integer, intent(in) :: n\n"
+        "  real :: scratch(33)\n"
+        "  scratch(1) = 0.0\n"
+        "end subroutine host_work\n"
+    )
+    assert check_device_automatic_arrays(parse_source(src)) == []
+
+
+def test_dummy_arrays_not_flagged():
+    """Dummy-argument arrays are the caller's storage, not stack frames."""
+    src = (
+        "subroutine dev(fl, n)\n"
+        "  implicit none\n"
+        "!$omp declare target\n"
+        "  integer, intent(in) :: n\n"
+        "  real, intent(inout) :: fl(n)\n"
+        "  fl(1) = 0.0\n"
+        "end subroutine dev\n"
+    )
+    assert check_device_automatic_arrays(parse_source(src)) == []
+
+
+def test_pwr020_in_full_run():
+    sf = parse_source(sources.COAL_BOTT_ORIGINAL_SOURCE, "coal_bott.f90")
+    ids = {f.check_id for f in run_checks(sf)}
+    assert "PWR020" in ids

@@ -1,0 +1,218 @@
+"""Parser: program structure, declarations, statements, expressions."""
+
+import pytest
+
+from repro.codee import sources
+from repro.codee.fast import (
+    Assignment,
+    BinOp,
+    CallStmt,
+    DoLoop,
+    IfBlock,
+    VarRef,
+)
+from repro.codee.fparser import parse_source
+from repro.errors import FortranSyntaxError
+
+
+class TestProgramStructure:
+    def test_module_with_contains(self):
+        sf = parse_source(sources.KERNALS_KS_SOURCE)
+        assert len(sf.modules) == 1
+        mod = sf.modules[0]
+        assert mod.name == "module_mp_fast_sbm"
+        assert mod.implicit_none
+        assert [r.name for r in mod.routines] == ["kernals_ks"]
+        assert "cwll" in mod.module_variable_names()
+        # Parameters are not variables.
+        assert "nkr" not in mod.module_variable_names()
+
+    def test_bare_subroutine(self):
+        sf = parse_source(sources.MAIN_LOOP_SOURCE)
+        (sub,) = sf.routines
+        assert sub.name == "fast_sbm"
+        assert "t_old" in sub.args
+        assert sub.implicit_none
+
+    def test_pure_function_prefix(self):
+        src = (
+            "pure real function get_cwlg(i, j, p)\n"
+            "  integer, intent(in) :: i, j\n"
+            "  real, intent(in) :: p\n"
+            "  get_cwlg = p * i * j\n"
+            "end function get_cwlg\n"
+        )
+        sf = parse_source(src)
+        (fn,) = sf.routines
+        assert fn.is_function
+        assert "pure" in fn.prefixes
+
+    def test_use_statement_and_pointers(self):
+        sf = parse_source(sources.COAL_BOTT_POINTER_SOURCE)
+        sub = sf.routines[0]
+        assert sub.uses[0].module == "temp_arrays"
+        decl, entity = sub.declaration_of("fl1")
+        assert decl.is_pointer
+        ptr_assigns = [
+            s for s in sub.body if isinstance(s, Assignment) and s.pointer
+        ]
+        assert len(ptr_assigns) == 4
+
+
+class TestDeclarations:
+    def test_dims_and_intent(self):
+        sf = parse_source(sources.COAL_BOTT_ORIGINAL_SOURCE)
+        sub = sf.routines[0]
+        decl, entity = sub.declaration_of("g2")
+        assert len(entity.dims) == 2
+        d_in, _ = sub.declaration_of("iin")
+        assert d_in.intent == "in"
+
+    def test_assumed_size_flag(self):
+        sf = parse_source(sources.legacy_onecond_source())
+        _, entity = sf.routines[0].declaration_of("fl")
+        assert entity.assumed_size
+
+    def test_parameter_with_initializer(self):
+        src = (
+            "module m\n"
+            "  implicit none\n"
+            "  integer, parameter :: nkr = 33\n"
+            "contains\n"
+            "subroutine s()\n"
+            "  implicit none\n"
+            "  integer :: i\n"
+            "  i = nkr\n"
+            "end subroutine s\n"
+            "end module m\n"
+        )
+        mod = parse_source(src).modules[0]
+        decl = mod.decls[0]
+        assert decl.is_parameter
+        assert decl.entities[0].init is not None
+
+    def test_dimension_attribute(self):
+        src = (
+            "subroutine s()\n"
+            "  implicit none\n"
+            "  real, dimension(33) :: a, b\n"
+            "  a(1) = b(1)\n"
+            "end subroutine s\n"
+        )
+        sub = parse_source(src).routines[0]
+        for name in ("a", "b"):
+            _, e = sub.declaration_of(name)
+            assert len(e.dims) == 1
+
+
+class TestStatements:
+    def test_nested_do_loops(self):
+        sf = parse_source(sources.KERNALS_KS_SOURCE)
+        loop = sf.modules[0].routines[0].loops()[0]
+        assert loop.var == "j"
+        assert loop.nest_depth() == 2
+        assert loop.nest_vars() == ["j", "i"]
+        assert loop.innermost().var == "i"
+
+    def test_if_elseif_else_chain(self):
+        sf = parse_source(sources.MAIN_LOOP_SOURCE)
+        sub = sf.routines[0]
+        outer_ifs = [
+            s
+            for loop in sub.loops()
+            for s in loop.innermost().body
+            if isinstance(s, IfBlock)
+        ]
+        assert outer_ifs, "temperature conditional parsed"
+        t_if = outer_ifs[0]
+        calls = [s for s in t_if.body if isinstance(s, CallStmt)]
+        assert calls[0].name == "jernucl01_ks"
+        inner_if = [s for s in t_if.body if isinstance(s, IfBlock)]
+        assert inner_if[0].orelse or inner_if[0].elifs  # onecond1/onecond2 split
+
+    def test_one_line_if(self):
+        src = (
+            "subroutine s(x)\n"
+            "  implicit none\n"
+            "  real, intent(inout) :: x\n"
+            "  if (x > 0) x = x - 1\n"
+            "end subroutine s\n"
+        )
+        sub = parse_source(src).routines[0]
+        (stmt,) = sub.body
+        assert isinstance(stmt, IfBlock)
+        assert isinstance(stmt.body[0], Assignment)
+
+    def test_directives_attach_to_following_loop(self):
+        src = (
+            "subroutine s(a, n)\n"
+            "  implicit none\n"
+            "  integer, intent(in) :: n\n"
+            "  real, intent(inout) :: a(n)\n"
+            "  integer :: i\n"
+            "!$omp target teams distribute parallel do\n"
+            "  do i = 1, n\n"
+            "    a(i) = 0.0\n"
+            "  enddo\n"
+            "end subroutine s\n"
+        )
+        sub = parse_source(src).routines[0]
+        loop = sub.loops()[0]
+        assert loop.directives
+        assert "target teams" in loop.directives[0].text
+
+    def test_do_with_step(self):
+        src = (
+            "subroutine s(n)\n"
+            "  implicit none\n"
+            "  integer, intent(in) :: n\n"
+            "  integer :: i, acc\n"
+            "  do i = 1, n, 2\n"
+            "    acc = acc + i\n"
+            "  enddo\n"
+            "end subroutine s\n"
+        )
+        loop = parse_source(src).routines[0].loops()[0]
+        assert loop.step is not None
+
+
+class TestExpressions:
+    def test_precedence(self):
+        src = (
+            "subroutine s(x, a, b, c)\n"
+            "  implicit none\n"
+            "  real, intent(inout) :: x\n"
+            "  real, intent(in) :: a, b, c\n"
+            "  x = a + b * c ** 2\n"
+            "end subroutine s\n"
+        )
+        (stmt,) = parse_source(src).routines[0].body
+        assert isinstance(stmt.value, BinOp)
+        assert stmt.value.op == "+"
+        assert stmt.value.right.op == "*"
+        assert stmt.value.right.right.op == "**"
+
+    def test_array_sections(self):
+        sf = parse_source(sources.COAL_BOTT_POINTER_SOURCE)
+        sub = sf.routines[0]
+        ptr = [s for s in sub.body if isinstance(s, Assignment) and s.pointer][0]
+        ref = ptr.value
+        assert isinstance(ref, VarRef)
+        assert ref.name == "fl1_temp"
+        assert len(ref.subscripts) == 4
+
+    def test_syntax_error_has_location(self):
+        with pytest.raises(FortranSyntaxError, match="line"):
+            parse_source("subroutine s(\nend subroutine\n")
+
+
+def test_all_embedded_sources_parse():
+    for name in (
+        "KERNALS_KS_SOURCE",
+        "MAIN_LOOP_SOURCE",
+        "FISSIONED_LOOP_SOURCE",
+        "COAL_BOTT_ORIGINAL_SOURCE",
+        "COAL_BOTT_POINTER_SOURCE",
+    ):
+        parse_source(getattr(sources, name), name)
+    parse_source(sources.legacy_onecond_source(), "onecond")

@@ -1,0 +1,110 @@
+"""Codee workflow over the fuller module_mp_fast_sbm corpus."""
+
+import pytest
+
+from repro.codee import sources
+from repro.codee.checks import run_checks
+from repro.codee.dependence import analyze_loop
+from repro.codee.fparser import parse_source
+from repro.codee.rewrite import offload_rewrite
+from repro.codee.screening import screen_file
+
+
+@pytest.fixture(scope="module")
+def module():
+    sf = parse_source(sources.FULL_MODULE_SOURCE, "module_mp_fast_sbm.f90")
+    return sf, sf.modules[0]
+
+
+class TestParsing:
+    def test_all_routines_present(self, module):
+        _, mod = module
+        names = {r.name for r in mod.routines}
+        assert names == {
+            "fast_sbm",
+            "kernals_ks",
+            "get_cwll",
+            "coal_bott_new",
+            "onecond1",
+            "onecond2",
+            "jernucl01_ks",
+            "melt_column",
+        }
+
+    def test_get_cwll_is_pure_function(self, module):
+        _, mod = module
+        fn = mod.routine("get_cwll")
+        assert fn.is_function
+        assert "pure" in fn.prefixes
+
+
+class TestScreening:
+    def test_screening_counts(self, module):
+        fs = screen_file(sources.FULL_MODULE_SOURCE, "module_mp_fast_sbm.f90")
+        assert fs.num_routines == 8
+        assert fs.num_loops >= 6
+        assert fs.max_nest_depth == 3  # the grid loops
+        assert fs.num_offload_opportunities >= 1
+
+
+class TestChecks:
+    def test_legacy_onecond_routines_flagged(self, module):
+        sf, _ = module
+        findings = run_checks(sf)
+        onecond_findings = [f for f in findings if f.routine.startswith("onecond")]
+        assert any(f.check_id == "PWR007" for f in onecond_findings)
+        assert any(f.check_id == "PWR001" for f in onecond_findings)
+
+    def test_global_collision_arrays_flagged(self, module):
+        sf, _ = module
+        findings = run_checks(sf)
+        pwr014 = [f for f in findings if f.check_id == "PWR014"]
+        assert any(f.routine == "kernals_ks" for f in pwr014)
+
+
+class TestDependence:
+    def test_kernals_ks_parallel_coal_reads_blocked(self, module):
+        _, mod = module
+        kern = mod.routine("kernals_ks")
+        assert analyze_loop(kern.loops()[0], kern, mod).parallelizable
+        # coal_bott_new's pair loop: g1(i) written under a j loop ->
+        # not provably parallel over the full (i, j) nest.
+        coal = mod.routine("coal_bott_new")
+        pair_loop = coal.loops()[1]
+        report = analyze_loop(pair_loop, coal, mod)
+        assert not report.parallelizable
+
+    def test_melt_column_recurrence_caught(self, module):
+        _, mod = module
+        melt = mod.routine("melt_column")
+        report = analyze_loop(melt.loops()[0], melt, mod)
+        assert not report.parallelizable
+        assert any("flow dependence" in r for r in report.reasons)
+
+    def test_main_loop_blocked_by_calls_not_by_subscripts(self, module):
+        _, mod = module
+        main = mod.routine("fast_sbm")
+        report = analyze_loop(main.loops()[0], main, mod)
+        assert not report.parallelizable
+        assert all("unknown side effects" in r for r in report.reasons)
+
+
+class TestRewrite:
+    def test_kernals_ks_rewrites_in_module_context(self, module):
+        _, mod = module
+        loop = mod.routine("kernals_ks").loops()[0]
+        res = offload_rewrite(
+            sources.FULL_MODULE_SOURCE, line=loop.line, path="module_mp_fast_sbm.f90"
+        )
+        assert "map(from: cwlg, cwll, cwls)" in res.source
+        # The whole module still parses with the directives inserted.
+        sf = parse_source(res.source)
+        assert len(sf.modules[0].routines) == 8
+
+    def test_recurrence_loop_refused(self, module):
+        _, mod = module
+        loop = mod.routine("melt_column").loops()[0]
+        from repro.errors import RewriteError
+
+        with pytest.raises(RewriteError):
+            offload_rewrite(sources.FULL_MODULE_SOURCE, line=loop.line)

@@ -1,0 +1,97 @@
+"""Fortran-subset lexer: tokens, continuations, directives, comments."""
+
+import pytest
+
+from repro.codee.lexer import Token, TokenKind, tokenize
+from repro.errors import FortranSyntaxError
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text) if t.kind is not TokenKind.NEWLINE][:-1]
+
+
+def texts(text):
+    return [
+        t.text
+        for t in tokenize(text)
+        if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)
+    ]
+
+
+def test_simple_assignment():
+    toks = texts("x = y + 1.5")
+    assert toks == ["x", "=", "y", "+", "1.5"]
+
+
+def test_keywords_case_insensitive():
+    toks = tokenize("DO i = 1, NKR")
+    assert toks[0].kind is TokenKind.KEYWORD
+    assert toks[0].lowered == "do"
+
+
+def test_array_reference_and_double_colon():
+    toks = texts("real, pointer :: fl1(:)")
+    assert "::" in toks
+    assert ":" in toks
+
+
+def test_exponent_numbers():
+    toks = texts("x = 1.0e-3 + 2.5d0")
+    assert "1.0e-3" in toks
+    assert "2.5d0" in toks
+
+
+def test_comments_stripped():
+    toks = texts("x = 1 ! set x\n! whole line comment\ny = 2")
+    assert toks == ["x", "=", "1", "y", "=", "2"]
+
+
+def test_continuation_joined():
+    toks = texts("x = a + &\n    b")
+    assert toks == ["x", "=", "a", "+", "b"]
+    lines = {t.line for t in tokenize("x = a + &\n    b") if t.text == "b"}
+    assert lines == {1}  # attributed to the statement's first line
+
+
+def test_omp_directive_preserved_whole():
+    toks = tokenize("!$omp target teams distribute\ndo i = 1, 5\nenddo")
+    assert toks[0].kind is TokenKind.DIRECTIVE
+    assert "target teams" in toks[0].text
+
+
+def test_omp_directive_continuation_merged():
+    src = "!$omp target teams distribute &\n!$omp parallel do\nx = 1"
+    toks = tokenize(src)
+    assert toks[0].kind is TokenKind.DIRECTIVE
+    assert "parallel do" in toks[0].text
+    assert "&" not in toks[0].text
+
+
+def test_relational_operators():
+    toks = texts("if (t_old(i,k,j) > 193.15) then")
+    assert ">" in toks
+
+
+def test_dotted_operators():
+    toks = texts("if (a .and. b .or. .not. c) then")
+    assert ".and." in toks and ".or." in toks and ".not." in toks
+
+
+def test_pointer_assignment_operator():
+    toks = tokenize("fl1 => fl1_temp(:, i, k, j)")
+    assert any(t.kind is TokenKind.POINT_TO for t in toks)
+
+
+def test_unexpected_character_reports_position():
+    with pytest.raises(FortranSyntaxError, match="line 2"):
+        tokenize("x = 1\ny = @")
+
+
+def test_dangling_continuation_rejected():
+    with pytest.raises(FortranSyntaxError, match="continuation"):
+        tokenize("x = 1 + &")
+
+
+def test_strings_with_embedded_bang():
+    toks = texts("msg = 'hello ! not a comment'")
+    assert toks[-1] == "'hello ! not a comment'"

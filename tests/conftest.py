@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fsbm.collision_kernels import KernelTables, get_tables
+from repro.fsbm.species import Species, species_bins
+from repro.grid.domain import DomainSpec
+from repro.optim.stages import Stage
+from repro.wrf.namelist import Namelist, conus12km_namelist
+
+
+@pytest.fixture(scope="session")
+def tables() -> KernelTables:
+    """The shared collision-kernel tables (expensive to build once)."""
+    return get_tables()
+
+
+@pytest.fixture(scope="session")
+def bins():
+    """Bin grids per species."""
+    return species_bins()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_domain() -> DomainSpec:
+    """A small but decomposable domain."""
+    return DomainSpec(nx=24, nz=10, ny=16, dx=12_000.0, dz=500.0)
+
+
+@pytest.fixture
+def tiny_namelist() -> Namelist:
+    """The smallest CONUS-12km configuration that still has storms."""
+    return conus12km_namelist(scale=0.05, num_ranks=2, stage=Stage.BASELINE)
+
+
+def make_liquid_dists(
+    npts: int, nkr: int = 33, seed: int = 0, lo_bin: int = 5, hi_bin: int = 15
+) -> dict[Species, np.ndarray]:
+    """Distributions with liquid in mid bins and other species empty."""
+    rng = np.random.default_rng(seed)
+    dists = {sp: np.zeros((npts, nkr)) for sp in Species}
+    dists[Species.LIQUID][:, lo_bin:hi_bin] = rng.uniform(
+        0.0, 5.0, (npts, hi_bin - lo_bin)
+    )
+    return dists
+
+
+def total_mass(dists: dict[Species, np.ndarray]) -> float:
+    """Total condensate mass over all species [g/cm^3 summed]."""
+    grids = species_bins()
+    return float(
+        sum((d @ grids[sp].masses).sum() for sp, d in dists.items())
+    )

@@ -1,0 +1,100 @@
+"""The -gpu=autocompare diagnostic (Sec. VII-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.autocompare import (
+    ArrayComparison,
+    autocompare_region,
+    compare_arrays,
+)
+
+
+class TestCompareArrays:
+    def test_identical_arrays(self):
+        a = np.random.default_rng(0).normal(size=(10, 10))
+        c = compare_arrays("x", a, a.copy())
+        assert c.n_diff == 0
+        assert c.digits == 16.0
+
+    def test_float32_rounding_lands_in_expected_band(self):
+        """The paper's 6-7 digit agreement comes from fp32 rounding."""
+        a = np.random.default_rng(0).uniform(0.5, 2.0, size=(100, 33))
+        b = a.astype(np.float32).astype(np.float64)
+        c = compare_arrays("fsbm", a, b)
+        assert 6.0 < c.digits < 8.5
+        assert c.n_diff > 0
+
+    def test_zero_fields_compare_clean(self):
+        c = compare_arrays("z", np.zeros(10), np.zeros(10))
+        assert c.digits == 16.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compare_arrays("x", np.zeros(3), np.zeros(4))
+
+
+class TestRegionReport:
+    def test_min_digits_over_arrays(self):
+        host = {"a": np.ones(5), "b": np.ones(5)}
+        dev = {"a": np.ones(5), "b": np.ones(5) * (1 + 1e-4)}
+        report = autocompare_region("coal", host, dev)
+        assert report.min_digits == pytest.approx(4.0, abs=0.2)
+
+    def test_all_identical_reports_16(self):
+        host = {"a": np.ones(5)}
+        report = autocompare_region("coal", host, {"a": np.ones(5)})
+        assert report.min_digits == 16.0
+
+    def test_format(self):
+        host = {"a": np.ones(5)}
+        dev = {"a": np.ones(5) * (1 + 1e-6)}
+        text = autocompare_region("coal", host, dev).format_report()
+        assert "autocompare" in text and "digits" in text
+
+
+class TestFastSbmIntegration:
+    def test_autocompare_reports_per_step(self):
+        from repro.core.clock import SimClock
+        from repro.core.costmodel import CpuCostModel
+        from repro.core.device import Device
+        from repro.core.engine import OffloadEngine
+        from repro.core.env import PAPER_ENV
+        from repro.fsbm.fast_sbm import FastSBM
+        from repro.fsbm.state import MicroState
+        from repro.fsbm.thermo import saturation_mixing_ratio
+        from repro.hardware.specs import EPYC_MILAN
+        from repro.optim.stages import Stage
+
+        shape = (8, 6, 8)
+        state = MicroState(shape=shape)
+        mask = np.zeros(shape, dtype=bool)
+        mask[2:6, 1:5, 2:6] = True
+        state.seed_cloud(mask, lwc=1.2e-6)
+        t = np.broadcast_to(
+            np.linspace(295.0, 250.0, 6)[None, :, None], shape
+        ).copy()
+        p = np.broadcast_to(
+            np.linspace(950.0, 500.0, 6)[None, :, None], shape
+        ).copy()
+        qv = 1.02 * saturation_mixing_ratio(t, p)
+        rho = np.full(shape, 1.0e-3)
+
+        clock = SimClock()
+        engine = OffloadEngine(device=Device(), env=PAPER_ENV, clock=clock)
+        sbm = FastSBM(
+            stage=Stage.OFFLOAD_COLLAPSE3,
+            dt=5.0,
+            clock=clock,
+            cpu_cost=CpuCostModel(cpu=EPYC_MILAN),
+            engine=engine,
+            autocompare=True,
+        )
+        for _ in range(2):
+            sbm.step(state, t, p, qv, rho, dz_cm=50_000.0)
+
+        assert len(sbm.autocompare_reports) == 2
+        report = sbm.autocompare_reports[0]
+        # The paper: 6-7 digits of agreement per time step.
+        assert 5.0 < report.min_digits <= 16.0
+        assert any(a.n_diff > 0 for a in report.arrays)

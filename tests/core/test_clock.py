@@ -1,0 +1,73 @@
+"""Simulated clock: buckets, regions, merging."""
+
+import pytest
+
+from repro.core.clock import SimClock, TimeBucket
+
+
+def test_advance_accumulates():
+    c = SimClock()
+    c.advance(TimeBucket.CPU_COMPUTE, 1.0)
+    c.advance(TimeBucket.CPU_COMPUTE, 2.0)
+    c.advance(TimeBucket.MPI, 0.5)
+    assert c.bucket(TimeBucket.CPU_COMPUTE) == 3.0
+    assert c.total == 3.5
+
+
+def test_negative_charge_rejected():
+    c = SimClock()
+    with pytest.raises(ValueError):
+        c.advance(TimeBucket.MPI, -1.0)
+
+
+def test_regions_nest_and_attribute():
+    c = SimClock()
+    with c.region("solve_em"):
+        c.advance(TimeBucket.CPU_COMPUTE, 1.0)
+        with c.region("fast_sbm"):
+            c.advance(TimeBucket.CPU_COMPUTE, 2.0)
+            with c.region("coal_bott_new"):
+                c.advance(TimeBucket.GPU_KERNEL, 4.0)
+    assert c.region_total("solve_em") == 7.0
+    assert c.region_total("fast_sbm") == 6.0
+    assert c.region_total("coal_bott_new") == 4.0
+
+
+def test_region_total_matches_inner_name_anywhere():
+    c = SimClock()
+    with c.region("a"):
+        with c.region("b"):
+            c.advance(TimeBucket.IO, 1.0)
+    assert c.region_total("b") == 1.0
+
+
+def test_charges_outside_regions_not_attributed():
+    c = SimClock()
+    c.advance(TimeBucket.CPU_COMPUTE, 5.0)
+    assert c.region_total("anything") == 0.0
+    assert c.total == 5.0
+
+
+def test_merge_sums_buckets_and_regions():
+    a, b = SimClock(), SimClock()
+    with a.region("x"):
+        a.advance(TimeBucket.MPI, 1.0)
+    with b.region("x"):
+        b.advance(TimeBucket.MPI, 2.0)
+    a.merge(b)
+    assert a.region_total("x") == 3.0
+    assert a.bucket(TimeBucket.MPI) == 3.0
+
+
+def test_snapshot_has_every_bucket():
+    c = SimClock()
+    snap = c.snapshot()
+    assert set(snap) == {b.value for b in TimeBucket}
+    assert all(v == 0.0 for v in snap.values())
+
+
+def test_reset():
+    c = SimClock()
+    c.advance(TimeBucket.IO, 1.0)
+    c.reset()
+    assert c.total == 0.0

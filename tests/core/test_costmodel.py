@@ -1,0 +1,122 @@
+"""GPU/CPU cost models: monotonicity and regime behaviour."""
+
+import pytest
+
+from repro.core.costmodel import CpuCostModel, GpuCostModel
+from repro.core.directives import TargetTeamsDistributeParallelDo
+from repro.core.env import OffloadEnv
+from repro.core.kernel import Kernel, KernelResources
+from repro.core.launch import plan_launch
+from repro.hardware.memory import AccessPattern, TrafficComponent
+from repro.hardware.specs import A100_40GB, EPYC_MILAN
+
+
+def _kernel(extents=(75, 50, 107), regs=74, flops=1e9, active=None, frame=0):
+    total = 1
+    for e in extents:
+        total *= e
+    return Kernel(
+        name="coal",
+        loop_extents=extents,
+        resources=KernelResources(
+            registers_per_thread=regs,
+            automatic_array_bytes=frame,
+            working_set_per_thread=4752.0,
+            flops=flops,
+            traffic=(
+                TrafficComponent(
+                    name="work",
+                    pattern=AccessPattern.THREAD_SEQUENTIAL,
+                    read_bytes=flops * 0.5,
+                    write_bytes=flops * 0.25,
+                ),
+            ),
+            active_iterations=active if active is not None else total,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def gpu():
+    return GpuCostModel(A100_40GB)
+
+
+def _time(gpu, kernel, collapse):
+    launch = plan_launch(
+        kernel, TargetTeamsDistributeParallelDo(collapse=collapse), OffloadEnv()
+    )
+    return gpu.time(kernel, launch)
+
+
+class TestGpuCostModel:
+    def test_collapse3_beats_collapse2(self, gpu):
+        """The paper's core result: the full collapse is much faster."""
+        k = _kernel()
+        t2 = _time(gpu, k, 2)
+        t3 = _time(gpu, k, 3)
+        assert t3.total < t2.total / 3
+
+    def test_occupancy_drives_the_gap(self, gpu):
+        k = _kernel()
+        t2 = _time(gpu, k, 2)
+        t3 = _time(gpu, k, 3)
+        assert t3.occupancy.achieved > 5 * t2.occupancy.achieved
+
+    def test_more_flops_cost_more_time(self, gpu):
+        cheap = _time(gpu, _kernel(flops=1e8), 3)
+        dear = _time(gpu, _kernel(flops=1e10), 3)
+        assert dear.total > cheap.total
+
+    def test_launch_overhead_floors_empty_kernels(self, gpu):
+        t = _time(gpu, _kernel(flops=0.0, extents=(1, 1, 1)), 3)
+        assert t.total >= A100_40GB.launch_overhead
+
+    def test_divergence_penalty_for_sparse_activity(self, gpu):
+        dense = _time(gpu, _kernel(active=75 * 50 * 107), 3)
+        sparse = _time(gpu, _kernel(active=75 * 50), 3)  # ~1% active
+        assert sparse.effective_flops > dense.effective_flops * 0.9
+
+    def test_fp64_slower_than_fp32(self, gpu):
+        k32 = _kernel()
+        k64 = k32.with_resources(precision="fp64")
+        assert _time(gpu, k64, 3).compute_time > _time(gpu, k32, 3).compute_time
+
+
+class TestCpuCostModel:
+    def test_time_positive_and_monotone(self):
+        cpu = CpuCostModel(cpu=EPYC_MILAN)
+        t1 = cpu.time(1e9, 1e8)
+        t2 = cpu.time(2e9, 2e8)
+        assert 0 < t1 < t2
+
+    def test_bandwidth_contention_with_active_cores(self):
+        alone = CpuCostModel(cpu=EPYC_MILAN, active_cores_on_socket=1)
+        packed = CpuCostModel(cpu=EPYC_MILAN, active_cores_on_socket=64)
+        # Memory-bound workload slows when the socket is saturated.
+        assert packed.time(1e6, 1e10) > alone.time(1e6, 1e10)
+
+    def test_iteration_overhead_charged(self):
+        cpu = CpuCostModel(cpu=EPYC_MILAN)
+        assert cpu.time(0, 0, iterations=10_000_000) > 0.01
+
+
+class TestRegisterCapAblation:
+    def test_capping_helps_register_bound_kernel(self, gpu):
+        """The paper: limiting registers sped up collapse(3) down to 64."""
+        k = _kernel(regs=234)
+        uncapped = gpu.time(
+            k,
+            plan_launch(
+                k, TargetTeamsDistributeParallelDo(collapse=3), OffloadEnv()
+            ),
+        )
+        capped = gpu.time(
+            k,
+            plan_launch(
+                k,
+                TargetTeamsDistributeParallelDo(collapse=3),
+                OffloadEnv(max_registers=64),
+            ),
+        )
+        assert capped.total < uncapped.total
+        assert capped.occupancy.achieved > uncapped.occupancy.achieved

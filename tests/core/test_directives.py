@@ -1,0 +1,68 @@
+"""OpenMP directive objects and their rendered Fortran text."""
+
+import pytest
+
+from repro.core.directives import (
+    DeclareTarget,
+    Map,
+    MapType,
+    TargetEnterData,
+    TargetTeamsDistributeParallelDo,
+    map_alloc,
+    map_from,
+    map_to,
+)
+from repro.errors import ConfigurationError
+
+
+def test_map_render():
+    assert map_to("a", "b").render() == "map(to: a, b)"
+    assert map_from("cwls").render() == "map(from: cwls)"
+
+
+def test_map_requires_names():
+    with pytest.raises(ConfigurationError):
+        Map(MapType.TO, ())
+
+
+def test_combined_construct_render_matches_listing4_shape():
+    d = TargetTeamsDistributeParallelDo(
+        private=("n",),
+        maps=(map_from("cwlg", "cwls"),),
+    )
+    text = d.render()
+    assert text.splitlines()[0].startswith("!$omp target teams distribute")
+    assert "parallel do" in text
+    assert "private(n)" in text
+    assert "map(from: cwlg, cwls)" in text
+    # Continuation style.
+    assert all(l.endswith("&") for l in text.splitlines()[:-1])
+
+
+def test_collapse_clause_rendered_only_when_gt1():
+    assert "collapse" not in TargetTeamsDistributeParallelDo(collapse=1).render()
+    assert "collapse(3)" in TargetTeamsDistributeParallelDo(collapse=3).render()
+
+
+def test_collapse_validation():
+    with pytest.raises(ConfigurationError):
+        TargetTeamsDistributeParallelDo(collapse=0)
+
+
+def test_maps_of_filters_by_type():
+    d = TargetTeamsDistributeParallelDo(
+        maps=(map_to("a"), map_from("b", "c"), map_alloc("d"))
+    )
+    assert d.maps_of(MapType.FROM) == ("b", "c")
+    assert d.maps_of(MapType.TO) == ("a",)
+    assert d.maps_of(MapType.TOFROM) == ()
+
+
+def test_enter_data_render():
+    d = TargetEnterData(maps=(map_alloc("fl1_temp", "fl2_temp"),))
+    assert d.render() == "!$omp target enter data map(alloc: fl1_temp, fl2_temp)"
+
+
+def test_declare_target_render():
+    assert DeclareTarget().render() == "!$omp declare target"
+    assert DeclareTarget(("fl1_temp",)).render() == "!$omp declare target (fl1_temp)"

@@ -1,0 +1,159 @@
+"""Offload engine semantics: mapping, transfers, the stack-overflow path."""
+
+import numpy as np
+import pytest
+
+from repro.core.clock import SimClock, TimeBucket
+from repro.core.device import Device
+from repro.core.directives import (
+    Map,
+    MapType,
+    TargetEnterData,
+    TargetExitData,
+    TargetTeamsDistributeParallelDo,
+    map_alloc,
+    map_from,
+    map_to,
+)
+from repro.core.engine import OffloadEngine
+from repro.core.env import PAPER_ENV, OffloadEnv
+from repro.core.kernel import Kernel, KernelResources
+from repro.errors import CudaStackOverflow, MappingError
+
+
+def _engine(env=None):
+    return OffloadEngine(device=Device(), env=env or OffloadEnv(), clock=SimClock())
+
+
+def _kernel(frame=0, regs=74, extents=(20, 10, 30), body=None):
+    return Kernel(
+        name="k",
+        loop_extents=extents,
+        resources=KernelResources(
+            registers_per_thread=regs,
+            automatic_array_bytes=frame,
+            working_set_per_thread=1000.0,
+            flops=1e6,
+            traffic=(),
+            active_iterations=100,
+        ),
+        body=body,
+    )
+
+
+class TestDataEnvironment:
+    def test_enter_data_alloc_and_to(self):
+        eng = _engine()
+        host = np.ones((4, 5))
+        out = eng.enter_data(
+            TargetEnterData(maps=(map_alloc("buf"), map_to("inp"))),
+            shapes={"buf": (8, 8)},
+            arrays={"inp": host},
+        )
+        assert out["buf"].shape == (8, 8)
+        np.testing.assert_allclose(out["inp"].data, 1.0)
+        assert eng.clock.bucket(TimeBucket.H2D) > 0
+
+    def test_enter_data_missing_shape_rejected(self):
+        eng = _engine()
+        with pytest.raises(MappingError):
+            eng.enter_data(TargetEnterData(maps=(map_alloc("buf"),)))
+
+    def test_exit_data_releases_and_downloads(self):
+        eng = _engine()
+        eng.enter_data(
+            TargetEnterData(maps=(map_alloc("buf"),)), shapes={"buf": (4,)}
+        )
+        eng.exit_data(TargetExitData(maps=(Map(MapType.FROM, ("buf",)),)))
+        assert "buf" not in eng.ctx.arrays
+        assert eng.clock.bucket(TimeBucket.D2H) > 0
+
+    def test_update_roundtrip_casts_via_device_precision(self):
+        eng = _engine()
+        eng.enter_data(
+            TargetEnterData(maps=(map_alloc("x"),)), shapes={"x": (3,)}
+        )
+        eng.update_to("x", np.array([1.0, 2.0, 3.000000001]))
+        back = eng.update_from("x")
+        assert back.dtype == np.float64
+        # float32 rounding happened on device.
+        assert back[2] == np.float32(3.000000001)
+
+    def test_update_shape_mismatch_rejected(self):
+        eng = _engine()
+        eng.enter_data(
+            TargetEnterData(maps=(map_alloc("x"),)), shapes={"x": (3,)}
+        )
+        with pytest.raises(MappingError):
+            eng.update_to("x", np.zeros(5))
+
+
+class TestLaunch:
+    def test_launch_runs_body_and_charges_time(self):
+        ran = []
+        eng = _engine()
+        kernel = _kernel(body=lambda: ran.append(True))
+        record = eng.launch(kernel, TargetTeamsDistributeParallelDo(collapse=2))
+        assert ran == [True]
+        assert record.time > 0
+        assert eng.clock.bucket(TimeBucket.GPU_KERNEL) == pytest.approx(record.time)
+
+    def test_transient_to_arrays_freed_after_region(self):
+        eng = _engine()
+        directive = TargetTeamsDistributeParallelDo(
+            collapse=2, maps=(map_to("inp"),)
+        )
+        eng.launch(_kernel(), directive, to_arrays={"inp": np.zeros((5, 5))})
+        assert "inp" not in eng.ctx.arrays
+
+    def test_unmapped_upload_rejected(self):
+        eng = _engine()
+        with pytest.raises(MappingError, match="map\\(to:\\)"):
+            eng.launch(
+                _kernel(),
+                TargetTeamsDistributeParallelDo(collapse=2),
+                to_arrays={"x": np.zeros(3)},
+            )
+
+    def test_download_without_from_clause_rejected(self):
+        eng = _engine()
+        with pytest.raises(MappingError, match="map\\(from:\\)"):
+            eng.launch(
+                _kernel(),
+                TargetTeamsDistributeParallelDo(collapse=2),
+                from_names=("y",),
+            )
+
+    def test_records_accumulate(self):
+        eng = _engine()
+        for _ in range(3):
+            eng.launch(_kernel(), TargetTeamsDistributeParallelDo(collapse=2))
+        assert len(eng.records) == 3
+        assert eng.kernel_time == pytest.approx(sum(r.time for r in eng.records))
+
+
+class TestStackOverflowPath:
+    """The paper's Sec. VI-B failure and its two remedies."""
+
+    FRAME = 4752  # coal_bott_new's automatic arrays
+
+    def test_collapse2_with_automatic_arrays_launches(self):
+        eng = _engine()  # default 1 KiB stack, 32 MiB heap
+        kernel = _kernel(frame=self.FRAME, regs=234, extents=(75, 50, 107))
+        eng.launch(kernel, TargetTeamsDistributeParallelDo(collapse=2))
+
+    def test_collapse3_with_automatic_arrays_overflows(self):
+        eng = _engine()
+        kernel = _kernel(frame=self.FRAME, regs=234, extents=(75, 50, 107))
+        with pytest.raises(CudaStackOverflow, match="NV_ACC_CUDA_STACKSIZE"):
+            eng.launch(kernel, TargetTeamsDistributeParallelDo(collapse=3))
+
+    def test_raising_stacksize_fixes_the_launch(self):
+        eng = _engine(env=PAPER_ENV)  # 65536-byte stack
+        kernel = _kernel(frame=self.FRAME, regs=234, extents=(75, 50, 107))
+        eng.launch(kernel, TargetTeamsDistributeParallelDo(collapse=3))
+
+    def test_removing_automatic_arrays_fixes_the_launch(self):
+        eng = _engine()  # default env
+        kernel = _kernel(frame=0, regs=74, extents=(75, 50, 107))
+        eng.launch(kernel, TargetTeamsDistributeParallelDo(collapse=3))

@@ -1,0 +1,63 @@
+"""Offload environment parsing and validation (Table II knobs)."""
+
+import pytest
+
+from repro.core.env import PAPER_ENV, OffloadEnv, parse_size
+from repro.errors import ConfigurationError
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("65536", 65536),
+            ("64MB", 64 * 1024**2),
+            ("64mb", 64 * 1024**2),
+            ("1G", 1024**3),
+            ("8K", 8 * 1024),
+            (" 128 MiB ", 128 * 1024**2),
+            (123, 123),
+        ],
+    )
+    def test_accepted_forms(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            parse_size("lots")
+
+
+class TestOffloadEnv:
+    def test_defaults_are_sane(self):
+        env = OffloadEnv()
+        assert env.stack_bytes == 1024
+        assert env.block_size == 128
+
+    def test_from_env_reads_nvhpc_variables(self):
+        env = OffloadEnv.from_env(
+            {"NV_ACC_CUDA_STACKSIZE": "65536", "NV_ACC_CUDA_HEAPSIZE": "64MB"}
+        )
+        assert env.stack_bytes == 65536
+        assert env.heap_bytes == 64 * 1024**2
+
+    def test_paper_env_matches_table2(self):
+        assert PAPER_ENV.stack_bytes == 65536
+        assert PAPER_ENV.heap_bytes == 64 * 1024**2
+
+    def test_with_stack_accepts_strings(self):
+        env = OffloadEnv().with_stack("128K")
+        assert env.stack_bytes == 128 * 1024
+
+    def test_with_registers_validates_range(self):
+        env = OffloadEnv().with_registers(64)
+        assert env.max_registers == 64
+        with pytest.raises(ConfigurationError):
+            OffloadEnv().with_registers(7)
+
+    def test_block_size_must_be_warp_multiple(self):
+        with pytest.raises(ConfigurationError):
+            OffloadEnv(block_size=100)
+
+    def test_nonpositive_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OffloadEnv(stack_bytes=0)

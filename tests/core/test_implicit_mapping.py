@@ -1,0 +1,116 @@
+"""Implicit (default) OpenMP data transfers vs explicit map clauses.
+
+Sec. V-B: "by default OpenMP always performs data transfers when
+entering or exiting an offloading region regardless of necessity."
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.clock import SimClock, TimeBucket
+from repro.core.device import Device
+from repro.core.directives import (
+    Map,
+    MapType,
+    TargetEnterData,
+    TargetTeamsDistributeParallelDo,
+    map_alloc,
+    map_to,
+)
+from repro.core.engine import OffloadEngine
+from repro.core.env import OffloadEnv
+from repro.core.kernel import Kernel, KernelResources
+
+
+def _engine():
+    return OffloadEngine(device=Device(), env=OffloadEnv(), clock=SimClock())
+
+
+def _kernel():
+    return Kernel(
+        name="k",
+        loop_extents=(10, 10),
+        resources=KernelResources(
+            registers_per_thread=64,
+            automatic_array_bytes=0,
+            working_set_per_thread=100.0,
+            flops=1e6,
+            traffic=(),
+            active_iterations=100,
+        ),
+    )
+
+
+def test_unmapped_references_transfer_both_ways():
+    eng = _engine()
+    big = np.zeros((512, 512))
+    eng.launch(
+        _kernel(),
+        TargetTeamsDistributeParallelDo(collapse=2),
+        referenced={"scratch": big},
+    )
+    assert eng.clock.bucket(TimeBucket.H2D) > 0
+    assert eng.clock.bucket(TimeBucket.D2H) > 0
+    # Transient: gone after the region.
+    assert "scratch" not in eng.ctx.arrays
+
+
+def test_explicit_to_clause_skips_the_download():
+    implicit = _engine()
+    big = np.zeros((512, 512))
+    implicit.launch(
+        _kernel(),
+        TargetTeamsDistributeParallelDo(collapse=2),
+        referenced={"table": big},
+    )
+
+    explicit = _engine()
+    explicit.launch(
+        _kernel(),
+        TargetTeamsDistributeParallelDo(collapse=2, maps=(map_to("table"),)),
+        to_arrays={"table": big},
+        referenced={"table": big},
+    )
+    # Read-only input: map(to:) halves the traffic.
+    assert explicit.clock.bucket(TimeBucket.D2H) == 0.0
+    assert implicit.clock.bucket(TimeBucket.D2H) > 0
+    assert (
+        explicit.clock.bucket(TimeBucket.H2D)
+        == implicit.clock.bucket(TimeBucket.H2D)
+    )
+
+
+def test_persistent_device_data_never_moves_implicitly():
+    """Arrays already resident (target enter data) are not re-shipped —
+    the temp_arrays pattern of Listing 8."""
+    eng = _engine()
+    eng.enter_data(
+        TargetEnterData(maps=(map_alloc("fl1_temp"),)),
+        shapes={"fl1_temp": (256, 256)},
+    )
+    h2d_before = eng.clock.bucket(TimeBucket.H2D)
+    eng.launch(
+        _kernel(),
+        TargetTeamsDistributeParallelDo(collapse=2),
+        referenced={"fl1_temp": np.zeros((256, 256))},
+    )
+    assert eng.clock.bucket(TimeBucket.H2D) == h2d_before
+    assert eng.clock.bucket(TimeBucket.D2H) == 0.0
+
+
+def test_implicit_transfer_waste_scales_with_array_size():
+    small, large = _engine(), _engine()
+    small.launch(
+        _kernel(),
+        TargetTeamsDistributeParallelDo(collapse=2),
+        referenced={"x": np.zeros(16)},
+    )
+    large.launch(
+        _kernel(),
+        TargetTeamsDistributeParallelDo(collapse=2),
+        referenced={"x": np.zeros(1 << 22)},
+    )
+    assert (
+        large.clock.bucket(TimeBucket.D2H)
+        > 10 * small.clock.bucket(TimeBucket.D2H)
+    )

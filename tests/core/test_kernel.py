@@ -1,0 +1,103 @@
+"""Kernel descriptors, warp rounding, register estimation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernel import (
+    BASE_FRAME_BYTES,
+    Kernel,
+    KernelResources,
+    estimate_registers,
+    warp_rounded,
+)
+from repro.errors import ConfigurationError
+
+
+def _resources(**overrides):
+    kw = dict(
+        registers_per_thread=64,
+        automatic_array_bytes=0,
+        working_set_per_thread=4752.0,
+        flops=1e9,
+        traffic=(),
+        active_iterations=1000,
+    )
+    kw.update(overrides)
+    return KernelResources(**kw)
+
+
+class TestWarpRounded:
+    def test_all_active_no_waste(self):
+        assert warp_rounded(3200, 3200) == pytest.approx(3200)
+
+    def test_no_active_no_cost(self):
+        assert warp_rounded(0, 3200) == 0.0
+
+    def test_sparse_activity_pays_for_whole_warps(self):
+        # 1% activity scattered uniformly: nearly every warp has work.
+        eff = warp_rounded(100, 10_000)
+        assert eff > 100  # pays more than the active count
+        assert eff <= 10_000
+
+    @given(active=st.integers(0, 5000), total=st.integers(1, 5000))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, active, total):
+        eff = warp_rounded(active, total)
+        assert 0.0 <= eff <= total + 1e-9
+        assert eff >= min(active, total) - 1e-9
+
+
+class TestEstimateRegisters:
+    def test_automatic_array_version_is_register_heavy(self):
+        regs = estimate_registers(30, 30, pointer_based=False)
+        assert regs > 200
+
+    def test_pointer_version_is_lighter(self):
+        heavy = estimate_registers(30, 30, pointer_based=False)
+        light = estimate_registers(20, 30, pointer_based=True)
+        assert light < heavy / 2
+
+    def test_clamped_to_hardware_range(self):
+        assert estimate_registers(500, 500) == 255
+        assert estimate_registers(0, 0) >= 32
+
+
+class TestKernelResources:
+    def test_frame_includes_base_overhead(self):
+        r = _resources(automatic_array_bytes=4752)
+        assert r.frame_bytes == 4752 + BASE_FRAME_BYTES
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _resources(registers_per_thread=0)
+        with pytest.raises(ConfigurationError):
+            _resources(flops=-1.0)
+        with pytest.raises(ConfigurationError):
+            _resources(precision="fp16")
+
+
+class TestKernel:
+    def test_iteration_split_by_collapse(self):
+        k = Kernel(name="k", loop_extents=(75, 50, 107), resources=_resources())
+        assert k.total_iterations == 75 * 50 * 107
+        assert k.parallel_iterations(2) == 75 * 50
+        assert k.serial_iterations_per_thread(2) == 107
+        assert k.parallel_iterations(3) == k.total_iterations
+        assert k.serial_iterations_per_thread(3) == 1
+
+    def test_collapse_beyond_depth_clamps(self):
+        k = Kernel(name="k", loop_extents=(10, 10), resources=_resources())
+        assert k.parallel_iterations(5) == 100
+
+    def test_with_resources_copies(self):
+        k = Kernel(name="k", loop_extents=(4,), resources=_resources())
+        k2 = k.with_resources(registers_per_thread=128)
+        assert k2.resources.registers_per_thread == 128
+        assert k.resources.registers_per_thread == 64
+
+    def test_empty_extents_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Kernel(name="k", loop_extents=(), resources=_resources())

@@ -1,0 +1,100 @@
+"""Launch planning: block/grid computation, register caps, spills."""
+
+import math
+
+import pytest
+
+from repro.core.directives import TargetTeamsDistributeParallelDo
+from repro.core.env import OffloadEnv
+from repro.core.kernel import Kernel, KernelResources
+from repro.core.launch import plan_launch
+
+
+def _kernel(extents=(75, 50, 107), regs=200):
+    return Kernel(
+        name="coal",
+        loop_extents=extents,
+        resources=KernelResources(
+            registers_per_thread=regs,
+            automatic_array_bytes=0,
+            working_set_per_thread=4752.0,
+            flops=1e9,
+            traffic=(),
+            active_iterations=1000,
+        ),
+    )
+
+
+def test_collapse2_grid_geometry():
+    cfg = plan_launch(
+        _kernel(), TargetTeamsDistributeParallelDo(collapse=2), OffloadEnv()
+    )
+    assert cfg.parallel_iterations == 75 * 50
+    assert cfg.serial_iterations_per_thread == 107
+    assert cfg.block_size == 128
+    assert cfg.grid_blocks == math.ceil(75 * 50 / 128)
+
+
+def test_collapse3_grid_geometry():
+    cfg = plan_launch(
+        _kernel(), TargetTeamsDistributeParallelDo(collapse=3), OffloadEnv()
+    )
+    assert cfg.parallel_iterations == 75 * 50 * 107
+    assert cfg.serial_iterations_per_thread == 1
+
+
+def test_thread_limit_overrides_block_size():
+    cfg = plan_launch(
+        _kernel(),
+        TargetTeamsDistributeParallelDo(collapse=2, thread_limit=64),
+        OffloadEnv(),
+    )
+    assert cfg.block_size == 64
+
+
+def test_register_cap_spills():
+    cfg = plan_launch(
+        _kernel(regs=200),
+        TargetTeamsDistributeParallelDo(collapse=3),
+        OffloadEnv(max_registers=64),
+    )
+    assert cfg.registers_per_thread == 64
+    assert cfg.spilled_registers == 136
+    assert cfg.spill_traffic_bytes() > 0
+
+
+def test_no_spill_when_cap_above_usage():
+    cfg = plan_launch(
+        _kernel(regs=60),
+        TargetTeamsDistributeParallelDo(collapse=3),
+        OffloadEnv(max_registers=128),
+    )
+    assert cfg.spilled_registers == 0
+    assert cfg.spill_traffic_bytes() == 0.0
+
+
+def test_spill_traffic_scales_with_serial_work():
+    c2 = plan_launch(
+        _kernel(regs=200),
+        TargetTeamsDistributeParallelDo(collapse=2),
+        OffloadEnv(max_registers=64),
+    )
+    c3 = plan_launch(
+        _kernel(regs=200),
+        TargetTeamsDistributeParallelDo(collapse=3),
+        OffloadEnv(max_registers=64),
+    )
+    # Same total work, so spills cost the same order either way; the
+    # per-thread serial loop multiplies the per-iteration respill.
+    assert c2.spill_traffic_bytes() == pytest.approx(c3.spill_traffic_bytes())
+
+
+def test_empty_parallel_dimension():
+    k = Kernel(
+        name="k",
+        loop_extents=(0, 10),
+        resources=_kernel().resources,
+    )
+    cfg = plan_launch(k, TargetTeamsDistributeParallelDo(collapse=2), OffloadEnv())
+    assert cfg.grid_blocks == 0
+    assert cfg.total_threads == 0

@@ -1,0 +1,131 @@
+"""Property-based invariants of the engine and cost models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costmodel import CpuCostModel, GpuCostModel
+from repro.core.directives import TargetTeamsDistributeParallelDo
+from repro.core.env import OffloadEnv
+from repro.core.kernel import Kernel, KernelResources
+from repro.core.launch import plan_launch
+from repro.hardware.memory import AccessPattern, TrafficComponent
+from repro.hardware.specs import A100_40GB, EPYC_MILAN
+
+kernel_params = st.fixed_dictionaries(
+    {
+        "regs": st.integers(32, 255),
+        "nj": st.integers(1, 100),
+        "nk": st.integers(1, 60),
+        "ni": st.integers(1, 120),
+        "flops": st.floats(1e5, 1e11),
+        "bytes_": st.floats(1e4, 1e10),
+        "collapse": st.integers(1, 3),
+    }
+)
+
+
+def _kernel(p):
+    total = p["nj"] * p["nk"] * p["ni"]
+    return Kernel(
+        name="k",
+        loop_extents=(p["nj"], p["nk"], p["ni"]),
+        resources=KernelResources(
+            registers_per_thread=p["regs"],
+            automatic_array_bytes=0,
+            working_set_per_thread=1000.0,
+            flops=p["flops"],
+            traffic=(
+                TrafficComponent(
+                    name="t",
+                    pattern=AccessPattern.GLOBAL_COALESCED,
+                    read_bytes=p["bytes_"] * 0.6,
+                    write_bytes=p["bytes_"] * 0.4,
+                ),
+            ),
+            active_iterations=total,
+        ),
+    )
+
+
+class TestGpuCostProperties:
+    @given(p=kernel_params)
+    @settings(max_examples=50, deadline=None)
+    def test_time_positive_and_floored_by_launch_overhead(self, p):
+        model = GpuCostModel(A100_40GB)
+        launch = plan_launch(
+            _kernel(p),
+            TargetTeamsDistributeParallelDo(collapse=p["collapse"]),
+            OffloadEnv(),
+        )
+        timing = model.time(_kernel(p), launch)
+        assert timing.total >= A100_40GB.launch_overhead
+        assert timing.compute_time >= 0 and timing.memory_time >= 0
+
+    @given(p=kernel_params)
+    @settings(max_examples=50, deadline=None)
+    def test_more_flops_never_faster(self, p):
+        model = GpuCostModel(A100_40GB)
+        k1 = _kernel(p)
+        p2 = dict(p)
+        p2["flops"] = p["flops"] * 4
+        k2 = _kernel(p2)
+        directive = TargetTeamsDistributeParallelDo(collapse=p["collapse"])
+        t1 = model.time(k1, plan_launch(k1, directive, OffloadEnv()))
+        t2 = model.time(k2, plan_launch(k2, directive, OffloadEnv()))
+        assert t2.total >= t1.total - 1e-12
+
+    @given(p=kernel_params)
+    @settings(max_examples=50, deadline=None)
+    def test_traffic_fields_consistent(self, p):
+        model = GpuCostModel(A100_40GB)
+        k = _kernel(p)
+        launch = plan_launch(
+            k, TargetTeamsDistributeParallelDo(collapse=p["collapse"]), OffloadEnv()
+        )
+        t = model.time(k, launch).traffic
+        assert 0.0 <= t.l1_hit_rate <= 1.0
+        assert 0.0 <= t.l2_hit_rate <= 1.0
+        assert t.dram_bytes == pytest.approx(
+            t.dram_read_bytes + t.dram_write_bytes
+        )
+
+    @given(p=kernel_params)
+    @settings(max_examples=30, deadline=None)
+    def test_deeper_collapse_never_lowers_occupancy(self, p):
+        model = GpuCostModel(A100_40GB)
+        k = _kernel(p)
+        occs = []
+        for collapse in (1, 2, 3):
+            launch = plan_launch(
+                k, TargetTeamsDistributeParallelDo(collapse=collapse), OffloadEnv()
+            )
+            occs.append(model.time(k, launch).occupancy.achieved)
+        assert occs[0] <= occs[1] + 1e-12 <= occs[2] + 2e-12
+
+
+class TestCpuCostProperties:
+    @given(
+        flops=st.floats(0, 1e12),
+        nbytes=st.floats(0, 1e11),
+        iters=st.integers(0, 10**8),
+        cores=st.integers(1, 128),
+        threads=st.integers(1, 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_time_nonnegative_and_monotone_in_work(
+        self, flops, nbytes, iters, cores, threads
+    ):
+        m = CpuCostModel(
+            cpu=EPYC_MILAN, active_cores_on_socket=cores, threads=threads
+        )
+        t = m.time(flops, nbytes, iters)
+        assert t >= 0.0
+        assert m.time(flops * 2 + 1, nbytes, iters) >= t
+
+    @given(threads=st.integers(1, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_thread_speedup_bounded_by_thread_count(self, threads):
+        m = CpuCostModel(cpu=EPYC_MILAN, threads=threads)
+        assert 1.0 <= m.thread_speedup() <= threads

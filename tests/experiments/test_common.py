@@ -1,0 +1,62 @@
+"""Experiment plumbing: configs, paper-value comparison, caching."""
+
+import pytest
+
+from repro.experiments.common import (
+    BenchConfig,
+    PaperValue,
+    cached_rates,
+    cached_sequence,
+    comparison_lines,
+    config_for,
+    sequence_for,
+)
+
+
+class TestBenchConfig:
+    def test_quick_smaller_than_full(self):
+        q, f = BenchConfig.quick(), BenchConfig.full()
+        assert q.scale < f.scale
+        assert q.num_steps < f.num_steps
+
+    def test_config_for_flag(self):
+        assert config_for(True) == BenchConfig.quick()
+        assert config_for(False) == BenchConfig.full()
+
+    def test_namelist_overrides(self):
+        from repro.optim.stages import Stage
+
+        nl = BenchConfig.quick().namelist(stage=Stage.LOOKUP)
+        assert nl.stage is Stage.LOOKUP
+        assert nl.num_ranks == BenchConfig.quick().num_ranks
+
+
+class TestPaperValue:
+    def test_ratio(self):
+        v = PaperValue("x", paper=2.0, measured=1.8)
+        assert v.ratio == pytest.approx(0.9)
+
+    def test_zero_paper_value(self):
+        assert PaperValue("x", paper=0.0, measured=1.0).ratio == float("inf")
+
+    def test_comparison_lines_render_all_rows(self):
+        text = comparison_lines(
+            [PaperValue("alpha", 1.0, 1.1), PaperValue("beta", 2.0, 1.9, "s")],
+            "Demo",
+        )
+        assert "Demo" in text
+        assert "alpha" in text and "beta" in text
+        assert "1.10x" in text
+
+
+class TestCaching:
+    def test_sequence_cached_by_config(self):
+        cfg = BenchConfig(scale=0.05, num_ranks=2, num_steps=1)
+        a = sequence_for(cfg)
+        b = sequence_for(cfg)
+        assert a is b  # same object: the physics ran once
+
+    def test_rates_cached(self):
+        a = cached_rates(0.05, 2, 1)
+        b = cached_rates(0.05, 2, 1)
+        assert a is b

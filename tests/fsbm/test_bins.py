@@ -1,0 +1,99 @@
+"""Bin grid: doubling structure and the Kovetz–Olund split."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fsbm.bins import BinGrid
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return BinGrid()
+
+
+class TestMassLadder:
+    def test_masses_double(self, grid):
+        ratios = grid.masses[1:] / grid.masses[:-1]
+        np.testing.assert_allclose(ratios, 2.0)
+
+    def test_radii_monotone(self, grid):
+        assert (np.diff(grid.radii) > 0).all()
+
+    def test_mass_radius_consistency(self, grid):
+        vol = 4.0 / 3.0 * np.pi * grid.radii**3
+        np.testing.assert_allclose(vol * grid.density, grid.masses, rtol=1e-12)
+
+    def test_density_shrinks_radius(self):
+        dense = BinGrid(density=1.0)
+        fluffy = BinGrid(density=0.1)
+        assert (fluffy.radii > dense.radii).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BinGrid(nkr=1)
+        with pytest.raises(ConfigurationError):
+            BinGrid(x_min=-1.0)
+
+
+class TestBinOfMass:
+    def test_exact_centres(self, grid):
+        for k in (0, 5, 32):
+            assert grid.bin_of_mass(grid.masses[k]) == k
+
+    def test_between_bins_floors(self, grid):
+        m = grid.masses[7] * 1.5
+        assert grid.bin_of_mass(m) == 7
+
+    def test_clipping(self, grid):
+        assert grid.bin_of_mass(grid.masses[0] / 100) == 0
+        assert grid.bin_of_mass(grid.masses[-1] * 100) == grid.nkr - 1
+
+
+class TestSplitMass:
+    @given(factor=st.floats(1.0, 2.0 ** 31, exclude_max=True))
+    @settings(max_examples=100, deadline=None)
+    def test_number_and_mass_conserved_inside_grid(self, grid, factor):
+        m = grid.x_min * factor
+        k_lo, k_hi, w_lo, w_hi = grid.split_mass(m)
+        x = grid.masses
+        assert w_lo >= 0 and w_hi >= 0
+        if m < x[-1]:
+            assert w_lo + w_hi == pytest.approx(1.0)
+            assert w_lo * x[k_lo] + w_hi * x[k_hi] == pytest.approx(m, rel=1e-12)
+
+    def test_top_bin_overflow_conserves_mass_not_number(self, grid):
+        m = grid.masses[-1] * 1.7
+        k_lo, k_hi, w_lo, w_hi = grid.split_mass(m)
+        assert k_lo == k_hi == grid.nkr - 1
+        assert w_lo * grid.masses[-1] == pytest.approx(m)
+        assert w_lo > 1.0  # number inflated to keep mass
+
+    def test_below_grid_sheds_number(self, grid):
+        m = grid.masses[0] * 0.25
+        k_lo, k_hi, w_lo, w_hi = grid.split_mass(m)
+        assert k_lo == 0 and w_hi == 0.0
+        assert w_lo * grid.masses[0] == pytest.approx(m)
+
+
+class TestPairCoalescenceTable:
+    def test_every_pair_conserves_mass(self, grid):
+        k_lo, k_hi, w_lo, w_hi = grid.pair_coalescence_table(grid, grid)
+        x = grid.masses
+        pair_mass = x[:, None] + x[None, :]
+        remapped = w_lo * x[k_lo] + w_hi * x[k_hi]
+        np.testing.assert_allclose(remapped, pair_mass, rtol=1e-12)
+
+    def test_coalesced_bin_at_least_larger_source(self, grid):
+        k_lo, k_hi, _, _ = grid.pair_coalescence_table(grid, grid)
+        idx = np.arange(grid.nkr)
+        larger = np.maximum(idx[:, None], idx[None, :])
+        assert (k_hi >= larger).all()
+
+
+def test_mass_content_matches_dot_product(grid):
+    n = np.zeros((4, grid.nkr))
+    n[:, 3] = 2.0
+    np.testing.assert_allclose(grid.mass_content(n), 2.0 * grid.masses[3])

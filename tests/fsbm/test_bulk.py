@@ -1,0 +1,111 @@
+"""The bulk-scheme comparator: conservation, processes, cost contrast."""
+
+import numpy as np
+import pytest
+
+from repro.constants import T_0
+from repro.errors import ConfigurationError
+from repro.fsbm.bulk import (
+    BulkMicrophysics,
+    BulkState,
+    bulk_vs_bin_cost_ratio,
+)
+from repro.fsbm.thermo import saturation_mixing_ratio
+
+
+def _env(shape=(4, 8, 4), t_surface=300.0, rh=1.1):
+    state = BulkState(shape=shape)
+    nk = shape[1]
+    t_col = np.linspace(t_surface, t_surface - 70.0, nk)
+    temperature = np.broadcast_to(t_col[None, :, None], shape).copy()
+    p_col = np.linspace(950.0, 300.0, nk)
+    pressure = np.broadcast_to(p_col[None, :, None], shape).copy()
+    qv = rh * saturation_mixing_ratio(temperature, pressure)
+    rho = np.full(shape, 1.0e-3)
+    return state, temperature, pressure, qv, rho
+
+
+def _total_water(state, qv, rho):
+    return ((state.total_condensate + qv) * rho).sum() + state.precip.sum() / (
+        50_000.0 / 100.0
+    ) * 0  # precip tracked separately in the conservation test below
+
+
+class TestBulkState:
+    def test_fields_allocated(self):
+        s = BulkState(shape=(3, 4, 5))
+        assert s.qc.shape == (3, 4, 5)
+        assert s.precip.shape == (3, 5)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ConfigurationError):
+            BulkState(shape=(0, 1, 1))
+
+
+class TestProcesses:
+    def test_supersaturation_condenses_cloud_water(self):
+        state, t, p, qv, rho = _env(rh=1.2)
+        BulkMicrophysics(dt=5.0).step(state, t, p, qv, rho, 50_000.0)
+        assert state.qc.sum() > 0
+
+    def test_autoconversion_needs_threshold(self):
+        state, t, p, qv, rho = _env(rh=0.8)
+        state.qc[...] = 0.1e-3  # below threshold
+        BulkMicrophysics(dt=5.0).step(state, t, p, qv, rho, 50_000.0)
+        assert state.qr.sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_heavy_cloud_makes_rain_and_precip(self):
+        state, t, p, qv, rho = _env(rh=1.0)
+        state.qc[...] = 3.0e-3
+        mp = BulkMicrophysics(dt=5.0)
+        for _ in range(40):
+            mp.step(state, t, p, qv, rho, 50_000.0)
+        assert state.qr.sum() > 0
+        assert state.precip.sum() > 0
+
+    def test_cold_cloud_builds_ice_chain(self):
+        state, t, p, qv, rho = _env(t_surface=268.0, rh=1.05)
+        state.qc[...] = 1.0e-3
+        mp = BulkMicrophysics(dt=5.0)
+        for _ in range(10):
+            mp.step(state, t, p, qv, rho, 50_000.0)
+        assert state.qi.sum() + state.qs.sum() > 0
+        assert state.qg.sum() > 0  # riming happened
+
+    def test_everything_melts_in_warm_column(self):
+        state, t, p, qv, rho = _env(t_surface=310.0, rh=0.5)
+        t[...] = T_0 + 10.0
+        state.qs[...] = 1.0e-3
+        initial = state.qs.sum()
+        mp = BulkMicrophysics(dt=5.0)
+        for _ in range(200):
+            mp.step(state, t, p, qv, rho, 50_000.0)
+        # 1000 s at a ~120 s melting timescale: >99.9% gone.
+        assert state.qs.sum() < 1e-3 * initial
+
+    def test_no_negative_mixing_ratios(self):
+        state, t, p, qv, rho = _env(rh=0.4)
+        state.qc[...] = 2.0e-3
+        mp = BulkMicrophysics(dt=5.0)
+        for _ in range(30):
+            mp.step(state, t, p, qv, rho, 50_000.0)
+        for name in ("qc", "qr", "qi", "qs", "qg"):
+            assert getattr(state, name).min() >= 0.0, name
+
+
+class TestCostContrast:
+    def test_bin_scheme_orders_of_magnitude_dearer(self):
+        """The paper's motivation: bin collision work is O(b^2)."""
+        ratio = bulk_vs_bin_cost_ratio()
+        assert ratio > 100.0
+
+    def test_ratio_grows_quadratically_with_bins(self):
+        assert bulk_vs_bin_cost_ratio(nkr=66) == pytest.approx(
+            4.0 * bulk_vs_bin_cost_ratio(nkr=33)
+        )
+
+    def test_bulk_step_stats(self):
+        state, t, p, qv, rho = _env()
+        stats = BulkMicrophysics(dt=5.0).step(state, t, p, qv, rho, 50_000.0)
+        assert stats.cells == 4 * 8 * 4
+        assert stats.flops > 0

@@ -1,0 +1,177 @@
+"""Collision–coalescence invariants: the heart of the reproduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fsbm.coal_bott import coal_bott_step, predict_coal_work
+from repro.fsbm.species import INTERACTIONS, Species, species_bins
+from tests.conftest import make_liquid_dists, total_mass
+
+
+def _occupied(dists, eps=1e-10):
+    out = {}
+    for sp, d in dists.items():
+        present = d > eps
+        rev = present[:, ::-1]
+        first = np.argmax(rev, axis=1)
+        out[sp] = np.where(present.any(axis=1), d.shape[1] - first, 0)
+    return out
+
+
+def _step(dists, t=280.0, p=700.0, dt=5.0, **kw):
+    npts = next(iter(dists.values())).shape[0]
+    from repro.fsbm.collision_kernels import get_tables
+
+    return coal_bott_step(
+        dists,
+        np.full(npts, t),
+        np.full(npts, p),
+        dt,
+        get_tables(),
+        INTERACTIONS,
+        **kw,
+    )
+
+
+class TestConservation:
+    @given(seed=st.integers(0, 1000), dt=st.floats(0.1, 30.0))
+    @settings(max_examples=25, deadline=None)
+    def test_mass_conserved_for_warm_rain(self, seed, dt):
+        dists = make_liquid_dists(20, seed=seed)
+        before = total_mass(dists)
+        _step(dists, dt=dt)
+        after = total_mass(dists)
+        assert after == pytest.approx(before, rel=1e-10)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_mass_conserved_mixed_phase(self, seed):
+        rng = np.random.default_rng(seed)
+        dists = {sp: np.zeros((12, 33)) for sp in Species}
+        for sp in (Species.LIQUID, Species.SNOW, Species.GRAUPEL, Species.ICE_PLA):
+            dists[sp][:, 4:20] = rng.uniform(0, 2, (12, 16))
+        before = total_mass(dists)
+        _step(dists, t=258.0)
+        assert total_mass(dists) == pytest.approx(before, rel=1e-10)
+
+    @given(seed=st.integers(0, 500), dt=st.floats(1.0, 120.0))
+    @settings(max_examples=25, deadline=None)
+    def test_no_negative_concentrations_even_at_large_dt(self, seed, dt):
+        dists = make_liquid_dists(10, seed=seed, lo_bin=10, hi_bin=25)
+        dists[Species.LIQUID] *= 100.0  # drive the limiter hard
+        _step(dists, dt=dt)
+        for sp, d in dists.items():
+            assert (d >= 0).all(), f"{sp} went negative"
+
+
+class TestPhysicalBehaviour:
+    def test_collisions_move_mass_to_larger_bins(self):
+        dists = make_liquid_dists(8, lo_bin=5, hi_bin=15)
+        big_before = dists[Species.LIQUID][:, 15:].sum()
+        _step(dists)
+        big_after = dists[Species.LIQUID][:, 15:].sum()
+        assert big_after > big_before
+
+    def test_total_number_decreases(self):
+        """Coalescence only merges particles."""
+        dists = make_liquid_dists(8)
+        n_before = dists[Species.LIQUID].sum()
+        _step(dists)
+        n_after = sum(d.sum() for d in dists.values())
+        assert n_after < n_before
+
+    def test_riming_produces_graupel(self):
+        dists = {sp: np.zeros((6, 33)) for sp in Species}
+        dists[Species.LIQUID][:, 5:12] = 5.0
+        dists[Species.ICE_PLA][:, 8:16] = 1.0
+        _step(dists, t=262.0)
+        assert dists[Species.GRAUPEL].sum() > 0
+
+    def test_warm_points_skip_ice_interactions(self):
+        dists = {sp: np.zeros((6, 33)) for sp in Species}
+        dists[Species.LIQUID][:, 5:12] = 5.0
+        dists[Species.SNOW][:, 8:16] = 1.0
+        snow_before = dists[Species.SNOW].copy()
+        _step(dists, t=290.0)  # above freezing: cwls inactive
+        np.testing.assert_array_equal(dists[Species.SNOW], snow_before)
+
+    def test_empty_state_is_noop(self):
+        dists = {sp: np.zeros((5, 33)) for sp in Species}
+        stats = _step(dists)
+        assert stats.pair_entries == 0
+        assert total_mass(dists) == 0.0
+
+    def test_cold_cutoff_skips_everything(self):
+        dists = make_liquid_dists(5)
+        before = {sp: d.copy() for sp, d in dists.items()}
+        _step(dists, t=210.0)  # below every interaction's gate? no: LL has no gate
+        # LL still runs (it has no temperature gate) — the cutoff lives
+        # in the caller (fast_sbm's call_coal predicate).
+        assert not np.array_equal(dists[Species.LIQUID], before[Species.LIQUID])
+
+
+class TestWorkAccounting:
+    def test_baseline_charges_all_twenty_tables(self):
+        dists = make_liquid_dists(10)
+        stats = _step(dists, on_demand=False)
+        assert stats.kernel_entries >= 10 * 20 * 33 * 33
+
+    def test_ondemand_charges_less(self):
+        d1 = make_liquid_dists(10)
+        d2 = make_liquid_dists(10)
+        occ = _occupied(d1)
+        base = _step(d1, on_demand=False, occupied=occ)
+        ond = _step(d2, on_demand=True, occupied=occ)
+        assert ond.kernel_entries < base.kernel_entries / 10
+
+    def test_predict_matches_step_stats(self):
+        from repro.fsbm.collision_kernels import get_tables
+
+        dists = make_liquid_dists(15)
+        occ = _occupied(dists)
+        t = np.full(15, 280.0)
+        predicted = predict_coal_work(
+            dists, t, get_tables(), INTERACTIONS, occ, on_demand=True
+        )
+        actual = _step(dists, occupied=occ, on_demand=True)
+        assert predicted.kernel_entries == actual.kernel_entries
+        assert predicted.pair_entries == actual.pair_entries
+
+    def test_flops_positive_when_active(self):
+        stats = _step(make_liquid_dists(5))
+        assert stats.flops > 0
+        assert stats.bytes_moved > 0
+
+
+class TestPrecisionPaths:
+    def test_float32_close_to_float64(self):
+        d64 = make_liquid_dists(10)
+        d32 = {sp: d.copy() for sp, d in d64.items()}
+        _step(d64, dtype=np.float64)
+        _step(d32, dtype=np.float32)
+        for sp in Species:
+            np.testing.assert_allclose(
+                d32[sp], d64[sp], rtol=2e-5, atol=1e-12
+            )
+
+    def test_float32_differs_in_last_digits(self):
+        """The device-precision path must NOT be bitwise identical —
+        that difference is what Sec. VII-B measures."""
+        d64 = make_liquid_dists(10)
+        d32 = {sp: d.copy() for sp, d in d64.items()}
+        _step(d64, dtype=np.float64)
+        _step(d32, dtype=np.float32)
+        assert not np.array_equal(d32[Species.LIQUID], d64[Species.LIQUID])
+
+
+class TestOccupiedSlicing:
+    def test_occupied_bins_give_identical_results(self):
+        """Restricting loops to occupied bins must not change physics."""
+        d_full = make_liquid_dists(10)
+        d_occ = {sp: d.copy() for sp, d in d_full.items()}
+        _step(d_full, occupied=None)
+        _step(d_occ, occupied=_occupied(d_occ))
+        for sp in Species:
+            np.testing.assert_allclose(d_occ[sp], d_full[sp], rtol=1e-12)

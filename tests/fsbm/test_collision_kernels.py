@@ -1,0 +1,91 @@
+"""Collision-kernel tables: physics sanity and the two access paths."""
+
+import numpy as np
+import pytest
+
+from repro.constants import KERNEL_P_HIGH_MB, KERNEL_P_LOW_MB
+from repro.fsbm.collision_kernels import get_tables
+from repro.fsbm.species import INTERACTIONS, interactions_for_regime
+
+
+class TestTableConstruction:
+    def test_all_forty_tables_built(self, tables):
+        assert len(tables.tables_750) == 20
+        assert len(tables.tables_500) == 20
+        for name, k in tables.tables_750.items():
+            assert k.shape == (33, 33)
+            assert (k >= 0).all(), f"{name} has negative kernel values"
+
+    def test_lower_pressure_speeds_collection(self, tables):
+        """At 500 mb fall speeds are faster, so kernels are larger."""
+        for name in ("cwls", "cwlg", "cwlh"):
+            k750 = tables.tables_750[name]
+            k500 = tables.tables_500[name]
+            # Compare where the kernel is non-trivial.
+            mask = k750 > k750.max() * 1e-3
+            assert (k500[mask] >= k750[mask]).all()
+
+    def test_drop_drop_kernel_nonzero_on_diagonal(self, tables):
+        """The Long-style term keeps equal-size drops coalescing."""
+        diag = np.diag(tables.tables_750["cwll"])
+        assert (diag[5:20] > 0).all()
+
+    def test_singleton_is_cached(self):
+        assert get_tables() is get_tables()
+
+
+class TestInterpolation:
+    def test_endpoints_reproduce_reference_tables(self, tables):
+        k = tables.interpolate_table("cwls", KERNEL_P_HIGH_MB)
+        np.testing.assert_allclose(k, tables.tables_750["cwls"])
+        k = tables.interpolate_table("cwls", KERNEL_P_LOW_MB)
+        np.testing.assert_allclose(k, tables.tables_500["cwls"])
+
+    def test_midpoint_is_average(self, tables):
+        mid = 0.5 * (KERNEL_P_HIGH_MB + KERNEL_P_LOW_MB)
+        k = tables.interpolate_table("cwlg", mid)
+        expected = 0.5 * (tables.tables_750["cwlg"] + tables.tables_500["cwlg"])
+        np.testing.assert_allclose(k, expected)
+
+    def test_levels_vectorization_matches_scalar(self, tables):
+        ps = np.array([400.0, 600.0, 850.0])
+        stacked = tables.interpolate_levels("cwll", ps)
+        for i, p in enumerate(ps):
+            np.testing.assert_allclose(
+                stacked[i], tables.interpolate_table("cwll", float(p))
+            )
+
+
+class TestOnDemandPath:
+    def test_get_cw_matches_full_table(self, tables):
+        """Listing 5's functions read the very same values kernals_ks
+        would have precomputed — the refactor is numerics-preserving."""
+        full = tables.interpolate_table("cwlg", 620.0)
+        for i, j in [(1, 1), (10, 20), (33, 33)]:
+            assert tables.get_cw("cwlg", i, j, 620.0) == pytest.approx(
+                full[i - 1, j - 1]
+            )
+
+    def test_named_accessors_exist_for_all_interactions(self, tables):
+        for ix in INTERACTIONS:
+            fn = getattr(tables, f"get_{ix.name}")
+            assert fn(1, 1, 700.0) == tables.get_cw(ix.name, 1, 1, 700.0)
+
+    def test_unknown_accessor_raises(self, tables):
+        with pytest.raises(AttributeError):
+            tables.get_cwxx
+
+
+class TestWorkAccounting:
+    def test_baseline_count_is_all_twenty_tables(self, tables):
+        assert tables.baseline_entry_count() == 20 * 33 * 33
+
+    def test_ondemand_count_respects_regime_and_occupancy(self, tables):
+        warm = interactions_for_regime(290.0)
+        from repro.fsbm.species import Species
+
+        occupied = {sp: 0 for sp in Species}
+        occupied[Species.LIQUID] = 15
+        n = tables.ondemand_entry_count(warm, occupied)
+        assert n == 15 * 15  # only cwll, only occupied bins
+        assert n < tables.baseline_entry_count()

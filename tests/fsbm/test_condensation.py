@@ -1,0 +1,132 @@
+"""Condensation/evaporation: growth direction, conservation, coupling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import T_0
+from repro.fsbm.condensation import onecond1, onecond2
+from repro.fsbm.species import Species, species_bins
+from repro.fsbm.thermo import saturation_mixing_ratio
+from tests.conftest import make_liquid_dists
+
+
+def _thermo(npts, t=285.0, rh=1.05, p=800.0):
+    temp = np.full(npts, t)
+    pres = np.full(npts, p)
+    qv = rh * saturation_mixing_ratio(temp, pres)
+    rho = np.full(npts, 1.0e-3)
+    ccn = np.full(npts, 100.0)
+    return temp, pres, qv, rho, ccn
+
+
+def _water_path(dists, qv, rho):
+    """Total water (vapor + condensate) per point [g/cm^3]."""
+    grids = species_bins()
+    cond = sum(d @ grids[sp].masses for sp, d in dists.items())
+    return cond + qv * rho
+
+
+class TestOnecond1:
+    def test_supersaturated_points_condense(self):
+        dists = make_liquid_dists(8)
+        temp, pres, qv, rho, ccn = _thermo(8, rh=1.05)
+        qv0 = qv.copy()
+        mass0 = dists[Species.LIQUID] @ species_bins()[Species.LIQUID].masses
+        onecond1(dists, temp, pres, qv, rho, ccn, dt=5.0)
+        mass1 = dists[Species.LIQUID] @ species_bins()[Species.LIQUID].masses
+        assert (mass1 >= mass0 - 1e-18).all()
+        assert (qv <= qv0).all()
+
+    def test_subsaturated_points_evaporate(self):
+        dists = make_liquid_dists(8)
+        temp, pres, qv, rho, ccn = _thermo(8, rh=0.5)
+        qv0 = qv.copy()
+        mass0 = dists[Species.LIQUID] @ species_bins()[Species.LIQUID].masses
+        onecond1(dists, temp, pres, qv, rho, ccn, dt=5.0)
+        mass1 = dists[Species.LIQUID] @ species_bins()[Species.LIQUID].masses
+        assert (mass1 <= mass0 + 1e-18).all()
+        assert (qv >= qv0).all()
+
+    @given(rh=st.floats(0.3, 1.3), t=st.floats(T_0 - 30.0, T_0 + 25.0))
+    @settings(max_examples=30, deadline=None)
+    def test_total_water_conserved(self, rh, t):
+        dists = make_liquid_dists(6)
+        temp, pres, qv, rho, ccn = _thermo(6, t=t, rh=rh)
+        before = _water_path(dists, qv, rho)
+        onecond1(dists, temp, pres, qv, rho, ccn, dt=5.0)
+        after = _water_path(dists, qv, rho)
+        np.testing.assert_allclose(after, before, rtol=1e-9)
+
+    def test_latent_heat_warms_on_condensation(self):
+        dists = make_liquid_dists(6)
+        temp, pres, qv, rho, ccn = _thermo(6, rh=1.08)
+        t0 = temp.copy()
+        onecond1(dists, temp, pres, qv, rho, ccn, dt=5.0)
+        assert (temp >= t0).all()
+        assert temp.max() > t0.max()
+
+    def test_growth_never_overshoots_saturation(self):
+        dists = make_liquid_dists(6)
+        dists[Species.LIQUID] *= 50.0
+        temp, pres, qv, rho, ccn = _thermo(6, rh=1.02)
+        onecond1(dists, temp, pres, qv, rho, ccn, dt=30.0)
+        qs = saturation_mixing_ratio(temp, pres)
+        assert (qv >= 0.95 * qs).all(), "condensation overshot below saturation"
+
+    def test_complete_evaporation_credits_ccn(self):
+        dists = {sp: np.zeros((4, 33)) for sp in Species}
+        dists[Species.LIQUID][:, 0] = 10.0  # tiny droplets
+        temp, pres, qv, rho, ccn = _thermo(4, rh=0.2)
+        ccn0 = ccn.copy()
+        onecond1(dists, temp, pres, qv, rho, ccn, dt=60.0)
+        assert (ccn >= ccn0).any()
+
+    def test_no_negative_bins(self):
+        dists = make_liquid_dists(6)
+        temp, pres, qv, rho, ccn = _thermo(6, rh=0.1)
+        onecond1(dists, temp, pres, qv, rho, ccn, dt=60.0)
+        assert (dists[Species.LIQUID] >= 0).all()
+
+
+class TestOnecond2:
+    def test_ice_deposition_in_mixed_phase(self):
+        dists = {sp: np.zeros((6, 33)) for sp in Species}
+        dists[Species.ICE_PLA][:, 5:12] = 1.0
+        temp, pres, qv, rho, ccn = _thermo(6, t=T_0 - 15.0, rh=1.0)
+        # Water-saturated air is ice-supersaturated: crystals grow.
+        mass0 = dists[Species.ICE_PLA] @ species_bins()[Species.ICE_PLA].masses
+        onecond2(dists, temp, pres, qv, rho, ccn, dt=5.0)
+        mass1 = dists[Species.ICE_PLA] @ species_bins()[Species.ICE_PLA].masses
+        assert mass1.sum() > mass0.sum()
+
+    def test_bergeron_transfer_direction(self):
+        """Between water and ice saturation, liquid evaporates while ice
+        grows (the Wegener–Bergeron–Findeisen process)."""
+        grids = species_bins()
+        dists = {sp: np.zeros((6, 33)) for sp in Species}
+        dists[Species.LIQUID][:, 6:10] = 2.0
+        dists[Species.SNOW][:, 8:14] = 0.5
+        temp = np.full(6, T_0 - 12.0)
+        pres = np.full(6, 600.0)
+        qs_w = saturation_mixing_ratio(temp, pres, "water")
+        qs_i = saturation_mixing_ratio(temp, pres, "ice")
+        qv = 0.5 * (qs_w + qs_i)  # between the two saturation curves
+        rho = np.full(6, 1.0e-3)
+        ccn = np.full(6, 100.0)
+        liq0 = (dists[Species.LIQUID] @ grids[Species.LIQUID].masses).sum()
+        snow0 = (dists[Species.SNOW] @ grids[Species.SNOW].masses).sum()
+        onecond2(dists, temp, pres, qv, rho, ccn, dt=5.0)
+        liq1 = (dists[Species.LIQUID] @ grids[Species.LIQUID].masses).sum()
+        snow1 = (dists[Species.SNOW] @ grids[Species.SNOW].masses).sum()
+        assert liq1 < liq0
+        assert snow1 > snow0
+
+    def test_work_stats_count_all_species(self):
+        dists = {sp: np.zeros((6, 33)) for sp in Species}
+        dists[Species.LIQUID][:, 5:10] = 1.0
+        dists[Species.SNOW][:, 5:10] = 1.0
+        temp, pres, qv, rho, ccn = _thermo(6, t=T_0 - 10.0)
+        stats = onecond2(dists, temp, pres, qv, rho, ccn, dt=5.0)
+        assert stats.bin_updates >= 2 * 6 * 33

@@ -1,0 +1,97 @@
+"""The Sec. VIII extensions: condensation/advection offload semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.env import PAPER_ENV
+from repro.errors import ConfigurationError
+from repro.fsbm.species import Species
+from repro.optim.stages import Stage
+from repro.wrf.model import WrfModel
+from repro.wrf.namelist import conus12km_namelist
+
+
+def _run(offload_condensation=False, offload_advection=False, steps=2):
+    nl = conus12km_namelist(
+        scale=0.05,
+        num_ranks=2,
+        stage=Stage.OFFLOAD_COLLAPSE3,
+        num_gpus=2,
+        env=PAPER_ENV,
+        offload_condensation=offload_condensation,
+        offload_advection=offload_advection,
+    )
+    model = WrfModel(nl)
+    try:
+        result = model.run(num_steps=steps)
+        out = model.gather_output()
+        kernels = {r.name for recs in result.kernel_records for r in recs}
+        return result, out, kernels
+    finally:
+        model.close()
+
+
+class TestCondensationOffload:
+    def test_launches_its_own_kernel(self):
+        _, _, kernels = _run(offload_condensation=True)
+        assert "onecond_loop" in kernels
+
+    def test_numerics_unchanged(self):
+        """Offloading only relocates the cost: the condensation body is
+        the same float64 computation, so results match exactly."""
+        _, base, _ = _run(offload_condensation=False)
+        _, cond, _ = _run(offload_condensation=True)
+        for name in base:
+            np.testing.assert_array_equal(base[name], cond[name])
+
+    def test_faster_than_cpu_condensation(self):
+        r_base, _, _ = _run(offload_condensation=False)
+        r_cond, _, _ = _run(offload_condensation=True)
+        assert r_cond.elapsed < r_base.elapsed
+
+    def test_requires_gpu_stage(self):
+        with pytest.raises(ConfigurationError):
+            conus12km_namelist(
+                scale=0.05,
+                num_ranks=2,
+                stage=Stage.BASELINE,
+                offload_condensation=True,
+            )
+
+
+class TestAdvectionOffload:
+    def test_launches_transport_kernel(self):
+        _, _, kernels = _run(offload_advection=True)
+        assert "rk_scalar_tend_loop" in kernels
+
+    def test_numerics_unchanged(self):
+        _, base, _ = _run(offload_advection=False)
+        _, adv, _ = _run(offload_advection=True)
+        for name in base:
+            np.testing.assert_array_equal(base[name], adv[name])
+
+    def test_transport_region_moves_off_the_cpu(self):
+        r_base, _, _ = _run(offload_advection=False)
+        r_adv, _, _ = _run(offload_advection=True)
+        base_rk = r_base.region_seconds("rk_scalar_tend")
+        adv_rk = r_adv.region_seconds("rk_scalar_tend")
+        # Still charged to the region (the profilers see it), but now
+        # it is device time, and far cheaper.
+        assert adv_rk < base_rk / 3
+
+    def test_requires_gpu_stage(self):
+        with pytest.raises(ConfigurationError):
+            conus12km_namelist(
+                scale=0.05,
+                num_ranks=2,
+                stage=Stage.LOOKUP,
+                offload_advection=True,
+            )
+
+
+class TestStacking:
+    def test_each_offload_compounds(self):
+        r0, _, _ = _run()
+        r1, _, _ = _run(offload_condensation=True)
+        r2, _, _ = _run(offload_condensation=True, offload_advection=True)
+        assert r0.elapsed > r1.elapsed > r2.elapsed

@@ -1,0 +1,203 @@
+"""The fast_sbm driver: stage dispatch, equivalence, failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.constants import T_COAL_CUTOFF
+from repro.core.clock import SimClock, TimeBucket
+from repro.core.costmodel import CpuCostModel
+from repro.core.device import Device
+from repro.core.engine import OffloadEngine
+from repro.core.env import PAPER_ENV, OffloadEnv
+from repro.errors import ConfigurationError, CudaStackOverflow
+from repro.fsbm.fast_sbm import FastSBM
+from repro.fsbm.species import Species
+from repro.fsbm.state import MicroState
+from repro.hardware.specs import EPYC_MILAN
+from repro.optim.stages import Stage
+
+
+def _setup(shape=(8, 6, 8), seed=1):
+    """A patch with a storm in the middle."""
+    rng = np.random.default_rng(seed)
+    state = MicroState(shape=shape)
+    mask = np.zeros(shape, dtype=bool)
+    mask[2:6, 1:5, 2:6] = True
+    state.seed_cloud(mask, lwc=1.2e-6)
+    ni, nk, nj = shape
+    temperature = np.broadcast_to(
+        np.linspace(295.0, 240.0, nk)[None, :, None], shape
+    ).copy()
+    pressure = np.broadcast_to(
+        np.linspace(950.0, 450.0, nk)[None, :, None], shape
+    ).copy()
+    from repro.fsbm.thermo import saturation_mixing_ratio
+
+    qv = 0.95 * saturation_mixing_ratio(temperature, pressure)
+    qv[mask] *= 1.12  # supersaturate the storm
+    rho = np.full(shape, 1.0e-3)
+    return state, temperature, pressure, qv, rho
+
+
+def _sbm(stage, engine=None, clock=None, precision="fp32"):
+    return FastSBM(
+        stage=stage,
+        dt=5.0,
+        clock=clock or SimClock(),
+        cpu_cost=CpuCostModel(cpu=EPYC_MILAN),
+        engine=engine,
+        precision=precision,
+    )
+
+
+def _run(stage, steps=2, env=None, seed=1, precision="fp32"):
+    state, t, p, qv, rho = _setup(seed=seed)
+    clock = SimClock()
+    engine = None
+    if stage.uses_gpu:
+        engine = OffloadEngine(
+            device=Device(), env=env or PAPER_ENV, clock=clock
+        )
+    sbm = _sbm(stage, engine=engine, clock=clock, precision=precision)
+    stats = []
+    for _ in range(steps):
+        stats.append(sbm.step(state, t, p, qv, rho, dz_cm=50_000.0))
+    return state, t, qv, clock, stats
+
+
+class TestStageDispatch:
+    def test_gpu_stage_requires_engine(self):
+        with pytest.raises(ConfigurationError):
+            _sbm(Stage.OFFLOAD_COLLAPSE2, engine=None)
+
+    def test_step_produces_activity(self):
+        _, _, _, clock, stats = _run(Stage.BASELINE)
+        assert stats[-1].mp_points > 0
+        assert stats[-1].coal_points > 0
+        assert clock.region_total("fast_sbm") > 0
+        assert clock.region_total("coal_bott_new") > 0
+
+    def test_baseline_charges_more_coal_time_than_lookup(self):
+        _, _, _, clock_b, _ = _run(Stage.BASELINE)
+        _, _, _, clock_l, _ = _run(Stage.LOOKUP)
+        assert (
+            clock_b.region_total("coal_bott_new")
+            > 2 * clock_l.region_total("coal_bott_new")
+        )
+
+    def test_gpu_stage_charges_kernel_time_not_cpu_for_coal(self):
+        _, _, _, clock, stats = _run(Stage.OFFLOAD_COLLAPSE3)
+        assert clock.bucket(TimeBucket.GPU_KERNEL) > 0
+        assert clock.bucket(TimeBucket.H2D) > 0
+        assert stats[-1].coal_record is not None
+        assert stats[-1].coal_record.collapse == 3
+
+    def test_collapse_level_follows_stage(self):
+        _, _, _, _, s2 = _run(Stage.OFFLOAD_COLLAPSE2)
+        _, _, _, _, s3 = _run(Stage.OFFLOAD_COLLAPSE3)
+        assert s2[-1].coal_record.collapse == 2
+        assert s3[-1].coal_record.collapse == 3
+
+
+class TestStageEquivalence:
+    """All code versions compute the same physics (Sec. VII-B)."""
+
+    def test_baseline_and_lookup_bitwise_identical(self):
+        st_b, t_b, qv_b, _, _ = _run(Stage.BASELINE)
+        st_l, t_l, qv_l, _, _ = _run(Stage.LOOKUP)
+        for sp in Species:
+            np.testing.assert_array_equal(st_b.dists[sp], st_l.dists[sp])
+        np.testing.assert_array_equal(t_b, t_l)
+        np.testing.assert_array_equal(qv_b, qv_l)
+
+    def test_gpu_stages_match_to_single_precision(self):
+        """float32 collision arithmetic plus two steps of nonlinear
+        feedback: results agree to a few percent, temperature much
+        tighter (it is only indirectly coupled to the offloaded loop)."""
+        st_b, t_b, _, _, _ = _run(Stage.BASELINE)
+        st_g, t_g, _, _, _ = _run(Stage.OFFLOAD_COLLAPSE3)
+        for sp in Species:
+            scale = max(st_b.dists[sp].max(), 1e-12)
+            np.testing.assert_allclose(
+                st_g.dists[sp], st_b.dists[sp], rtol=0.05, atol=1e-4 * scale
+            )
+        np.testing.assert_allclose(t_g, t_b, rtol=1e-5)
+
+    def test_gpu_results_not_bitwise_identical(self):
+        st_b, _, _, _, _ = _run(Stage.BASELINE)
+        st_g, _, _, _, _ = _run(Stage.OFFLOAD_COLLAPSE3)
+        assert any(
+            not np.array_equal(st_g.dists[sp], st_b.dists[sp]) for sp in Species
+        )
+
+    def test_fp64_device_matches_cpu_more_closely(self):
+        st_b, _, _, _, _ = _run(Stage.BASELINE)
+        st_g32, _, _, _, _ = _run(Stage.OFFLOAD_COLLAPSE3, precision="fp32")
+        st_g64, _, _, _, _ = _run(Stage.OFFLOAD_COLLAPSE3, precision="fp64")
+        err32 = max(
+            np.abs(st_g32.dists[sp] - st_b.dists[sp]).max() for sp in Species
+        )
+        err64 = max(
+            np.abs(st_g64.dists[sp] - st_b.dists[sp]).max() for sp in Species
+        )
+        assert err64 <= err32
+
+
+class TestFailureInjection:
+    def test_collapse3_with_default_stack_overflows_on_big_patch(self):
+        """Stage 2's automatic arrays + collapse(3) + default env = the
+        paper's CUDA stack overflow. Needs a patch big enough to fill
+        the resident-thread budget."""
+        state, t, p, qv, rho = _setup(shape=(40, 30, 40))
+        clock = SimClock()
+        engine = OffloadEngine(device=Device(), env=OffloadEnv(), clock=clock)
+        sbm = _sbm(Stage.OFFLOAD_COLLAPSE2, engine=engine, clock=clock)
+        # Force collapse(3) semantics on the automatic-array version by
+        # running the stage-2 kernel through a stage-3-style directive:
+        sbm.spec = type(sbm.spec)(
+            stage=sbm.spec.stage,
+            label=sbm.spec.label,
+            collapse=3,
+            automatic_arrays=True,
+            n_scalars=30,
+            n_array_vars=30,
+            pointer_based=False,
+        )
+        with pytest.raises(CudaStackOverflow):
+            sbm.step(state, t, p, qv, rho, dz_cm=50_000.0)
+
+    def test_paper_env_unblocks_the_same_launch(self):
+        state, t, p, qv, rho = _setup(shape=(40, 30, 40))
+        clock = SimClock()
+        engine = OffloadEngine(device=Device(), env=PAPER_ENV, clock=clock)
+        sbm = _sbm(Stage.OFFLOAD_COLLAPSE2, engine=engine, clock=clock)
+        sbm.spec = type(sbm.spec)(
+            stage=sbm.spec.stage,
+            label=sbm.spec.label,
+            collapse=3,
+            automatic_arrays=True,
+            n_scalars=30,
+            n_array_vars=30,
+            pointer_based=False,
+        )
+        sbm.step(state, t, p, qv, rho, dz_cm=50_000.0)  # no raise
+
+
+class TestWorkStats:
+    def test_stage3_allocates_temp_arrays_once(self):
+        state, t, p, qv, rho = _setup()
+        clock = SimClock()
+        engine = OffloadEngine(device=Device(), env=PAPER_ENV, clock=clock)
+        sbm = _sbm(Stage.OFFLOAD_COLLAPSE3, engine=engine, clock=clock)
+        sbm.step(state, t, p, qv, rho, dz_cm=50_000.0)
+        footprint = engine.ctx.mapped_bytes
+        sbm.step(state, t, p, qv, rho, dz_cm=50_000.0)
+        assert engine.ctx.mapped_bytes == footprint  # no re-allocation
+
+    def test_coal_gate_respects_temperature_cutoff(self):
+        state, t, p, qv, rho = _setup()
+        t[...] = T_COAL_CUTOFF - 10.0  # too cold for collisions
+        qv[...] = 1.0e-8  # dry air: no condensation heating past the gate
+        sbm = _sbm(Stage.BASELINE)
+        stats = sbm.step(state, t, p, qv, rho, dz_cm=50_000.0)
+        assert stats.coal_points == 0

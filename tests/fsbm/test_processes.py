@@ -1,0 +1,180 @@
+"""Nucleation, sedimentation, freezing/melting, fall speeds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import T_0
+from repro.fsbm.fallspeeds import DENSITY_FACTOR_MAX, terminal_velocity
+from repro.fsbm.freezing import freezing_melting_step
+from repro.fsbm.nucleation import jernucl01_ks
+from repro.fsbm.sedimentation import sedimentation_step
+from repro.fsbm.species import ICE_HABITS, Species, species_bins
+from repro.fsbm.state import MicroState
+from repro.fsbm.thermo import saturation_mixing_ratio
+
+
+class TestFallspeeds:
+    def test_monotone_in_radius(self):
+        r = species_bins()[Species.LIQUID].radii
+        v = terminal_velocity(Species.LIQUID, r)
+        assert (np.diff(v) > 0).all()
+
+    def test_hail_fastest_snow_slow(self):
+        r = 0.2  # 2 mm
+        vh = terminal_velocity(Species.HAIL, np.array([r]))
+        vs = terminal_velocity(Species.SNOW, np.array([r]))
+        assert vh > 3 * vs
+
+    def test_stokes_regime_small_droplets(self):
+        r = np.array([5.0e-4])  # 5 um
+        v = terminal_velocity(Species.LIQUID, r)
+        assert v == pytest.approx(1.19e6 * r**2, rel=0.01)
+
+    def test_density_correction_capped(self):
+        r = np.array([0.1])
+        v_surface = terminal_velocity(Species.HAIL, r, 1000.0)
+        v_strat = terminal_velocity(Species.HAIL, r, 30.0)
+        assert v_strat <= v_surface * DENSITY_FACTOR_MAX * 1.0001
+
+    def test_pressure_speeds_fall(self):
+        r = np.array([0.05])
+        assert terminal_velocity(Species.LIQUID, r, 500.0) > terminal_velocity(
+            Species.LIQUID, r, 1000.0
+        )
+
+
+class TestNucleation:
+    def _env(self, npts, t, rh):
+        temp = np.full(npts, t)
+        pres = np.full(npts, 700.0)
+        qv = rh * saturation_mixing_ratio(temp, pres)
+        rho = np.full(npts, 1.0e-3)
+        ccn = np.full(npts, 150.0)
+        dists = {sp: np.zeros((npts, 33)) for sp in Species}
+        return dists, temp, pres, qv, rho, ccn
+
+    def test_supersaturation_activates_droplets(self):
+        dists, temp, pres, qv, rho, ccn = self._env(5, 290.0, 1.01)
+        jernucl01_ks(dists, temp, pres, qv, rho, ccn, dt=5.0)
+        assert dists[Species.LIQUID][:, 0].sum() > 0
+        assert (ccn < 150.0).all()
+
+    def test_subsaturated_air_inert(self):
+        dists, temp, pres, qv, rho, ccn = self._env(5, 290.0, 0.9)
+        jernucl01_ks(dists, temp, pres, qv, rho, ccn, dt=5.0)
+        assert dists[Species.LIQUID].sum() == 0.0
+        assert (ccn == 150.0).all()
+
+    def test_ccn_reservoir_never_negative(self):
+        dists, temp, pres, qv, rho, ccn = self._env(5, 290.0, 1.5)
+        for _ in range(20):
+            jernucl01_ks(dists, temp, pres, qv, rho, ccn, dt=5.0)
+        assert (ccn >= -1e-12).all()
+
+    def test_cold_supersaturated_air_nucleates_ice(self):
+        dists, temp, pres, qv, rho, ccn = self._env(5, T_0 - 20.0, 1.0)
+        jernucl01_ks(dists, temp, pres, qv, rho, ccn, dt=5.0)
+        ice = sum(dists[sp].sum() for sp in ICE_HABITS)
+        assert ice > 0
+
+    def test_habit_partition_sums_to_total(self):
+        dists, temp, pres, qv, rho, ccn = self._env(5, T_0 - 15.0, 1.0)
+        jernucl01_ks(dists, temp, pres, qv, rho, ccn, dt=5.0)
+        per_habit = [dists[sp][:, 0] for sp in ICE_HABITS]
+        total = sum(p.sum() for p in per_habit)
+        assert total > 0
+        # Dendrites dominate near -15 C.
+        assert dists[Species.ICE_DEN][:, 0].sum() >= dists[Species.ICE_COL][:, 0].sum()
+
+
+class TestSedimentation:
+    def _state(self, ni=4, nk=8, nj=3):
+        state = MicroState(shape=(ni, nk, nj))
+        state.dists[Species.LIQUID][:, nk - 2, :, 20] = 5.0  # big drops aloft
+        return state
+
+    def test_mass_conserved_including_precip(self):
+        """Suspended mass + accumulated precipitation is invariant
+        (both in per-cell-volume units, so they add directly)."""
+        state = self._state()
+        before = state.total_condensate_mass().sum()
+        p_levels = np.linspace(950.0, 400.0, 8)
+        for _ in range(30):
+            sedimentation_step(state, p_levels, dz_cm=50_000.0, dt=5.0)
+        after = state.total_condensate_mass().sum() + state.precip.sum()
+        assert after == pytest.approx(before, rel=1e-9)
+
+    def test_particles_fall_downward(self):
+        state = self._state()
+        p_levels = np.linspace(950.0, 400.0, 8)
+        top_before = state.dists[Species.LIQUID][:, 6, :, :].sum()
+        sedimentation_step(state, p_levels, dz_cm=50_000.0, dt=5.0)
+        assert state.dists[Species.LIQUID][:, 6, :, :].sum() < top_before
+        assert state.dists[Species.LIQUID][:, 5, :, :].sum() > 0
+
+    def test_precip_accumulates_eventually(self):
+        state = self._state(nk=4)
+        p_levels = np.linspace(950.0, 700.0, 4)
+        for _ in range(50):
+            sedimentation_step(state, p_levels, dz_cm=50_000.0, dt=5.0)
+        assert state.precip.sum() > 0
+
+    def test_cfl_guard_fires(self):
+        state = self._state()
+        state.dists[Species.HAIL][:, 5, :, 30] = 1.0
+        with pytest.raises(AssertionError, match="CFL"):
+            sedimentation_step(
+                state, np.linspace(950.0, 400.0, 8), dz_cm=1000.0, dt=5.0
+            )
+
+
+class TestFreezingMelting:
+    def test_homogeneous_freezing_below_minus38(self):
+        dists = {sp: np.zeros((4, 33)) for sp in Species}
+        dists[Species.LIQUID][:, 5:20] = 2.0
+        temp = np.full(4, T_0 - 40.0)
+        rho = np.full(4, 1e-3)
+        freezing_melting_step(dists, temp, rho, dt=5.0)
+        assert dists[Species.LIQUID].sum() == pytest.approx(0.0, abs=1e-12)
+        assert dists[Species.ICE_PLA].sum() > 0  # small drops
+        assert dists[Species.HAIL].sum() > 0  # large drops
+
+    def test_freezing_releases_latent_heat(self):
+        dists = {sp: np.zeros((4, 33)) for sp in Species}
+        dists[Species.LIQUID][:, 10:20] = 5.0
+        temp = np.full(4, T_0 - 40.0)
+        rho = np.full(4, 1e-3)
+        freezing_melting_step(dists, temp, rho, dt=5.0)
+        assert (temp > T_0 - 40.0).all()
+
+    def test_no_freezing_at_warm_supercooling(self):
+        dists = {sp: np.zeros((4, 33)) for sp in Species}
+        dists[Species.LIQUID][:, 5:10] = 2.0
+        temp = np.full(4, T_0 - 3.0)
+        freezing_melting_step(dists, temp, np.full(4, 1e-3), dt=5.0)
+        assert dists[Species.ICE_PLA].sum() == 0.0
+
+    def test_snow_melts_fast_hail_slow(self):
+        dists = {sp: np.zeros((4, 33)) for sp in Species}
+        dists[Species.SNOW][:, 5:10] = 1.0
+        dists[Species.HAIL][:, 5:10] = 1.0
+        temp = np.full(4, T_0 + 5.0)
+        snow0 = dists[Species.SNOW].sum()
+        hail0 = dists[Species.HAIL].sum()
+        freezing_melting_step(dists, temp, np.full(4, 1e-3), dt=5.0)
+        assert dists[Species.SNOW].sum() < 0.01 * snow0  # essentially gone
+        assert dists[Species.HAIL].sum() > 0.9 * hail0  # barely melted
+
+    @given(t=st.floats(210.0, 310.0))
+    @settings(max_examples=25, deadline=None)
+    def test_mass_conserved_through_phase_changes(self, t):
+        grids = species_bins()
+        dists = {sp: np.zeros((4, 33)) for sp in Species}
+        dists[Species.LIQUID][:, 5:20] = 2.0
+        dists[Species.SNOW][:, 5:15] = 1.0
+        before = sum((d @ grids[sp].masses).sum() for sp, d in dists.items())
+        freezing_melting_step(dists, np.full(4, t), np.full(4, 1e-3), dt=5.0)
+        after = sum((d @ grids[sp].masses).sum() for sp, d in dists.items())
+        assert after == pytest.approx(before, rel=1e-9)

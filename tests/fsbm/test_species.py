@@ -1,0 +1,80 @@
+"""The 20-interaction registry and its temperature gating."""
+
+import numpy as np
+
+from repro.constants import T_0
+from repro.fsbm.species import (
+    ICE_HABITS,
+    INTERACTIONS,
+    INTERACTIONS_BY_NAME,
+    Species,
+    interactions_for_regime,
+    species_bins,
+)
+
+
+def test_exactly_twenty_interactions():
+    assert len(INTERACTIONS) == 20
+
+
+def test_names_follow_cw_convention():
+    assert "cwll" in INTERACTIONS_BY_NAME
+    assert "cwlg" in INTERACTIONS_BY_NAME
+    assert "cwgl" in INTERACTIONS_BY_NAME
+    assert all(name.startswith("cw") for name in INTERACTIONS_BY_NAME)
+
+
+def test_warm_regime_is_liquid_only():
+    warm = interactions_for_regime(T_0 + 10.0)
+    assert [ix.name for ix in warm] == ["cwll"]
+
+
+def test_mixed_phase_regime_adds_riming():
+    mixed = interactions_for_regime(T_0 - 8.0)
+    names = {ix.name for ix in mixed}
+    assert {"cwll", "cwls", "cwlg", "cwlh", "cwgl"} <= names
+    assert len(mixed) > 5
+
+
+def test_cold_regime_has_all_twenty():
+    cold = interactions_for_regime(T_0 - 30.0)
+    assert len(cold) == 20
+
+
+def test_regime_subset_is_the_stage1_saving():
+    """The lookup optimization evaluates fewer tables at warm points."""
+    warm = interactions_for_regime(T_0 + 5.0)
+    cold = interactions_for_regime(T_0 - 30.0)
+    assert len(warm) < len(cold)
+
+
+def test_active_at_array_matches_scalar():
+    ix = INTERACTIONS_BY_NAME["cwss"]
+    temps = np.array([300.0, 270.0, 260.0, 220.0])
+    vec = ix.active_at_array(temps)
+    scalar = np.array([ix.active_at(float(t)) for t in temps])
+    np.testing.assert_array_equal(vec, scalar)
+
+
+def test_self_collection_flag():
+    assert INTERACTIONS_BY_NAME["cwll"].self_collection
+    assert not INTERACTIONS_BY_NAME["cwlg"].self_collection
+
+
+def test_products_are_valid_species():
+    for ix in INTERACTIONS:
+        assert isinstance(ix.product, Species)
+
+
+def test_species_bins_cover_every_species():
+    bins = species_bins()
+    assert set(bins) == set(Species)
+    # Snow is the fluffiest, hail/liquid the densest.
+    assert bins[Species.SNOW].density < bins[Species.GRAUPEL].density
+    assert bins[Species.HAIL].density <= bins[Species.LIQUID].density
+
+
+def test_ice_habits_tuple():
+    assert len(ICE_HABITS) == 3
+    assert all(sp.is_ice for sp in ICE_HABITS)
+    assert not Species.LIQUID.is_ice

@@ -1,0 +1,85 @@
+"""The temp_arrays module: frame size and device footprint."""
+
+import pytest
+
+from repro.core.clock import SimClock
+from repro.core.device import Device
+from repro.core.engine import OffloadEngine
+from repro.core.env import PAPER_ENV
+from repro.errors import CudaOutOfMemory
+from repro.fsbm.temp_arrays import (
+    AUTOMATIC_ARRAYS,
+    TempArrays,
+    automatic_frame_bytes,
+    per_point_temp_bytes,
+)
+
+
+def test_registry_matches_listing7_structure():
+    names = [n for n, _ in AUTOMATIC_ARRAYS]
+    assert "fl1" in names and "g1" in names and "g2" in names
+    assert len(names) == len(set(names))
+    g2 = dict(AUTOMATIC_ARRAYS)["g2"]
+    assert g2 == (33, 3)  # (nkr, icemax)
+
+
+def test_frame_bytes_in_the_multi_kilobyte_range():
+    """The frame must exceed nvfortran's default stack but fit the
+    paper's 65536-byte setting — that is the whole Sec. VI-C story."""
+    frame = automatic_frame_bytes()
+    assert 2048 < frame < 65536
+    assert frame == sum(
+        4 * (s[0] if len(s) == 1 else s[0] * s[1]) for _, s in AUTOMATIC_ARRAYS
+    )
+
+
+def test_temp_arrays_footprint_scales_with_patch():
+    small = TempArrays((10, 10, 10))
+    large = TempArrays((20, 10, 10))
+    assert large.total_bytes() == 2 * small.total_bytes()
+    assert small.total_bytes() == per_point_temp_bytes() * 1000
+
+
+def test_allocation_through_engine():
+    engine = OffloadEngine(device=Device(), env=PAPER_ENV, clock=SimClock())
+    ta = TempArrays((8, 5, 6))
+    ta.allocate(engine)
+    assert ta.allocated
+    assert "fl1_temp" in engine.ctx.arrays
+    assert engine.ctx.arrays["fl1_temp"].shape == (33, 8, 5, 6)
+    assert engine.ctx.arrays["g2_temp"].shape == (33, 3, 8, 5, 6)
+    ta.release(engine)
+    assert "fl1_temp" not in engine.ctx.arrays
+
+
+def test_allocation_idempotent():
+    engine = OffloadEngine(device=Device(), env=PAPER_ENV, clock=SimClock())
+    ta = TempArrays((4, 4, 4))
+    ta.allocate(engine)
+    ta.allocate(engine)  # no double-mapping error
+
+
+def test_two_node_patches_admit_five_ranks_per_gpu_not_six():
+    """Sec. VII-A: at the 2-node configuration (40 ranks over 8 GPUs,
+    so ~53 x 50 x 60 patches), each rank costs ~0.76 GB of temp arrays
+    plus a ~7.2 GB stack reservation — five contexts fit a 40 GB A100
+    and the sixth raises the CUDA out-of-memory the paper hit."""
+    device = Device()
+    engines = []
+    try:
+        with pytest.raises(CudaOutOfMemory):
+            for _ in range(6):
+                eng = OffloadEngine(device=device, env=PAPER_ENV, clock=SimClock())
+                engines.append(eng)
+                TempArrays((53, 50, 60)).allocate(eng)
+        assert len(device.contexts) == 5
+    finally:
+        for eng in engines:
+            eng.close()
+
+
+def test_enter_data_directive_text():
+    ta = TempArrays((4, 4, 4))
+    text = ta.enter_data_directive().render()
+    assert text.startswith("!$omp target enter data map(alloc:")
+    assert "fl1_temp" in text

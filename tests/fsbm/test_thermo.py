@@ -1,0 +1,105 @@
+"""Moist thermodynamics helpers: magnitudes and relationships."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import T_0
+from repro.fsbm.thermo import (
+    condensational_growth_coefficient,
+    latent_heating,
+    saturation_mixing_ratio,
+    saturation_vapor_pressure_ice,
+    saturation_vapor_pressure_water,
+    supersaturation,
+)
+
+
+class TestSaturationPressure:
+    def test_triple_point_value(self):
+        """es(0 C) = 6.112 mb (the Tetens anchor)."""
+        assert saturation_vapor_pressure_water(np.array(T_0)) == pytest.approx(
+            6.112, rel=1e-6
+        )
+        assert saturation_vapor_pressure_ice(np.array(T_0)) == pytest.approx(
+            6.112, rel=1e-6
+        )
+
+    def test_warm_magnitudes(self):
+        """es(20 C) ~ 23.4 mb, es(30 C) ~ 42.5 mb (standard tables)."""
+        assert saturation_vapor_pressure_water(np.array(T_0 + 20)) == pytest.approx(
+            23.4, rel=0.02
+        )
+        assert saturation_vapor_pressure_water(np.array(T_0 + 30)) == pytest.approx(
+            42.5, rel=0.02
+        )
+
+    @given(t=st.floats(200.0, 272.0))
+    @settings(max_examples=40, deadline=None)
+    def test_ice_below_water_below_freezing(self, t):
+        """The WBF process depends on es_ice < es_water below 0 C."""
+        esw = float(saturation_vapor_pressure_water(np.array(t)))
+        esi = float(saturation_vapor_pressure_ice(np.array(t)))
+        assert esi < esw
+
+    @given(t=st.floats(200.0, 320.0))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_temperature(self, t):
+        lo = float(saturation_vapor_pressure_water(np.array(t)))
+        hi = float(saturation_vapor_pressure_water(np.array(t + 1.0)))
+        assert hi > lo
+
+
+class TestMixingRatio:
+    def test_sea_level_20c_value(self):
+        """qs(20 C, 1000 mb) ~ 14.7 g/kg."""
+        qs = float(saturation_mixing_ratio(np.array(T_0 + 20), np.array(1000.0)))
+        assert qs == pytest.approx(14.7e-3, rel=0.03)
+
+    def test_lower_pressure_raises_qs(self):
+        t = np.array(T_0 + 10)
+        assert saturation_mixing_ratio(t, np.array(700.0)) > saturation_mixing_ratio(
+            t, np.array(1000.0)
+        )
+
+    def test_invalid_phase_rejected(self):
+        with pytest.raises(ValueError):
+            saturation_mixing_ratio(np.array(280.0), np.array(900.0), over="mud")
+
+    def test_supersaturation_sign(self):
+        t, p = np.array(285.0), np.array(900.0)
+        qs = saturation_mixing_ratio(t, p)
+        assert supersaturation(qs * 1.05, t, p) > 0
+        assert supersaturation(qs * 0.95, t, p) < 0
+
+
+class TestGrowthAndLatentHeat:
+    def test_growth_coefficient_magnitude(self):
+        """G ~ 1e-6 cm^2/s near 0 C (the classic droplet-growth scale)."""
+        g = float(
+            condensational_growth_coefficient(np.array(T_0), np.array(1000.0))
+        )
+        assert 3e-7 < g < 3e-6
+
+    def test_growth_faster_aloft(self):
+        t = np.array(T_0)
+        assert condensational_growth_coefficient(
+            t, np.array(500.0)
+        ) > condensational_growth_coefficient(t, np.array(1000.0))
+
+    def test_latent_heating_magnitudes(self):
+        """Condensing 1 g/kg warms ~2.5 K; freezing it ~0.33 K."""
+        assert float(latent_heating(np.array(1e-3), "condensation")) == pytest.approx(
+            2.49, rel=0.01
+        )
+        assert float(latent_heating(np.array(1e-3), "freezing")) == pytest.approx(
+            0.332, rel=0.01
+        )
+        assert float(latent_heating(np.array(1e-3), "deposition")) > float(
+            latent_heating(np.array(1e-3), "condensation")
+        )
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ValueError):
+            latent_heating(np.array(1e-3), "fizzing")

@@ -1,0 +1,112 @@
+"""Decomposition invariants: exact cover, no overlap, halo clamping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecompositionError
+from repro.grid.decomposition import decompose_domain, factor_ranks, tile_patch
+from repro.grid.domain import DomainSpec
+
+
+class TestFactorRanks:
+    def test_square_domain_prefers_square_grid(self):
+        assert factor_ranks(16, 100, 100) == (4, 4)
+
+    def test_wide_domain_prefers_wide_grid(self):
+        px, py = factor_ranks(16, 425, 300)
+        assert px >= py
+
+    def test_prime_rank_count(self):
+        px, py = factor_ranks(7, 100, 100)
+        assert px * py == 7
+
+    def test_too_many_ranks_rejected(self):
+        with pytest.raises(DecompositionError):
+            factor_ranks(64, 4, 4)
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(DecompositionError):
+            factor_ranks(0, 10, 10)
+
+
+class TestDecomposeDomain:
+    @given(
+        nranks=st.sampled_from([1, 2, 4, 6, 8, 16]),
+        nx=st.integers(16, 64),
+        ny=st.integers(16, 64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_patches_cover_domain_exactly(self, nranks, nx, ny):
+        domain = DomainSpec(nx=nx, nz=5, ny=ny)
+        dec = decompose_domain(domain, nranks)
+        cover = np.zeros((nx, ny), dtype=int)
+        for p in dec.patches:
+            cover[p.i.to_slice(1), p.j.to_slice(1)] += 1
+        assert (cover == 1).all(), "every cell owned by exactly one rank"
+
+    def test_vertical_never_split(self, small_domain):
+        dec = decompose_domain(small_domain, 4)
+        for p in dec.patches:
+            assert p.k == small_domain.k
+
+    def test_halo_clamped_at_domain_edges(self, small_domain):
+        dec = decompose_domain(small_domain, 4, halo=3)
+        for p in dec.patches:
+            assert p.im.start >= 1 and p.im.end <= small_domain.nx
+            assert p.jm.start >= 1 and p.jm.end <= small_domain.ny
+            # Interior sides carry the full halo.
+            if p.i.start > 1:
+                assert p.i.start - p.im.start == 3
+            if p.i.end < small_domain.nx:
+                assert p.im.end - p.i.end == 3
+
+    def test_rank_ordering_row_major(self, small_domain):
+        dec = decompose_domain(small_domain, 4)
+        for rank, p in enumerate(dec.patches):
+            assert p.rank == rank
+            assert rank == p.grid_j * dec.nproc_x + p.grid_i
+
+    def test_neighbors_symmetric(self, small_domain):
+        dec = decompose_domain(small_domain, 8)
+        for p in dec.patches:
+            nb = dec.neighbors(p.rank)
+            if nb["east"] is not None:
+                assert dec.neighbors(nb["east"])["west"] == p.rank
+            if nb["north"] is not None:
+                assert dec.neighbors(nb["north"])["south"] == p.rank
+
+    def test_explicit_proc_grid(self, small_domain):
+        dec = decompose_domain(small_domain, 8, proc_grid=(2, 4))
+        assert (dec.nproc_x, dec.nproc_y) == (2, 4)
+        with pytest.raises(DecompositionError):
+            decompose_domain(small_domain, 8, proc_grid=(3, 2))
+
+    def test_load_balance_within_one_row_or_column(self, small_domain):
+        dec = decompose_domain(small_domain, 6)
+        sizes = [p.num_points for p in dec.patches]
+        # Near-equal split: max and min differ by at most one strip.
+        assert max(sizes) - min(sizes) <= small_domain.nx * small_domain.nz
+
+
+class TestTilePatch:
+    def test_tiles_cover_patch_in_j(self, small_domain):
+        dec = decompose_domain(small_domain, 2)
+        patch = dec.patches[0]
+        tiles = tile_patch(patch, 3)
+        assert sum(t.num_points for t in tiles) == patch.num_points
+        assert tiles[0].j.start == patch.j.start
+        assert tiles[-1].j.end == patch.j.end
+
+    def test_more_tiles_than_rows_collapses(self, small_domain):
+        dec = decompose_domain(small_domain, 2)
+        patch = dec.patches[0]
+        tiles = tile_patch(patch, 10_000)
+        assert len(tiles) == patch.j.size
+
+    def test_single_tile_is_whole_patch(self, small_domain):
+        dec = decompose_domain(small_domain, 2)
+        patch = dec.patches[0]
+        (tile,) = tile_patch(patch, 1)
+        assert tile.i == patch.i and tile.j == patch.j and tile.k == patch.k

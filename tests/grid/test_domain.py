@@ -1,0 +1,122 @@
+"""Index-range and domain-spec behaviour."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.grid.domain import DEFAULT_HALO_WIDTH, DomainSpec, IndexRange, Patch
+
+
+class TestIndexRange:
+    def test_size_inclusive(self):
+        assert IndexRange(1, 10).size == 10
+        assert IndexRange(5, 5).size == 1
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IndexRange(5, 4)
+
+    def test_contains_and_overlaps(self):
+        outer = IndexRange(1, 100)
+        inner = IndexRange(10, 20)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert inner.overlaps(IndexRange(20, 30))
+        assert not inner.overlaps(IndexRange(21, 30))
+
+    def test_intersect(self):
+        assert IndexRange(1, 10).intersect(IndexRange(5, 20)) == IndexRange(5, 10)
+        assert IndexRange(1, 4).intersect(IndexRange(5, 9)) is None
+
+    def test_expand_clamped(self):
+        domain = IndexRange(1, 50)
+        assert IndexRange(1, 10).expand(3, clamp=domain) == IndexRange(1, 13)
+        assert IndexRange(48, 50).expand(3, clamp=domain) == IndexRange(45, 50)
+
+    def test_to_slice_round_trip(self):
+        rng = IndexRange(4, 9)
+        sl = rng.to_slice(base=2)
+        assert sl == slice(2, 8)
+        assert sl.stop - sl.start == rng.size
+
+    @given(
+        a=st.integers(1, 100),
+        b=st.integers(0, 50),
+        c=st.integers(1, 100),
+        d=st.integers(0, 50),
+    )
+    def test_intersect_commutative(self, a, b, c, d):
+        r1 = IndexRange(a, a + b)
+        r2 = IndexRange(c, c + d)
+        assert r1.intersect(r2) == r2.intersect(r1)
+
+    @given(a=st.integers(1, 100), b=st.integers(0, 50))
+    def test_intersect_with_self_is_identity(self, a, b):
+        r = IndexRange(a, a + b)
+        assert r.intersect(r) == r
+
+
+class TestDomainSpec:
+    def test_ranges_are_one_based(self, small_domain):
+        assert small_domain.i == IndexRange(1, 24)
+        assert small_domain.k == IndexRange(1, 10)
+        assert small_domain.j == IndexRange(1, 16)
+        assert small_domain.num_points == 24 * 10 * 16
+
+    def test_invalid_extents_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DomainSpec(nx=0, nz=10, ny=10)
+        with pytest.raises(ConfigurationError):
+            DomainSpec(nx=10, nz=10, ny=10, dx=-1.0)
+
+    def test_scaled_shrinks_horizontal_only(self):
+        d = DomainSpec(nx=425, nz=50, ny=300)
+        s = d.scaled(0.1)
+        assert s.nz == 50
+        assert s.nx == round(42.5)
+        assert s.ny == 30
+
+    def test_scaled_enforces_minimum(self):
+        d = DomainSpec(nx=425, nz=50, ny=300)
+        s = d.scaled(0.001)
+        assert s.nx >= 4 and s.ny >= 4
+
+    def test_scale_factor_validation(self):
+        d = DomainSpec(nx=10, nz=5, ny=10)
+        with pytest.raises(ConfigurationError):
+            d.scaled(0.0)
+        with pytest.raises(ConfigurationError):
+            d.scaled(1.5)
+
+
+class TestPatch:
+    def test_memory_must_contain_owned(self):
+        with pytest.raises(ConfigurationError):
+            Patch(
+                rank=0,
+                i=IndexRange(1, 10),
+                k=IndexRange(1, 5),
+                j=IndexRange(1, 10),
+                im=IndexRange(2, 10),  # does not contain owned start
+                jm=IndexRange(1, 10),
+                halo=1,
+                grid_i=0,
+                grid_j=0,
+            )
+
+    def test_shape_is_memory_extents(self):
+        p = Patch(
+            rank=0,
+            i=IndexRange(4, 9),
+            k=IndexRange(1, 5),
+            j=IndexRange(1, 8),
+            im=IndexRange(1, 12),
+            jm=IndexRange(1, 11),
+            halo=3,
+            grid_i=0,
+            grid_j=0,
+        )
+        assert p.shape == (12, 5, 11)
+        assert p.num_points == 6 * 5 * 8
+        assert p.memory_points == 12 * 5 * 11

@@ -1,0 +1,91 @@
+"""Halo-exchange plan correctness: a full exchange reproduces the
+global field in every rank's memory region."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.decomposition import decompose_domain
+from repro.grid.domain import DomainSpec
+from repro.grid.halo import build_halo_plan
+
+
+def _global_field(domain: DomainSpec, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(domain.nx, domain.nz, domain.ny))
+
+
+def _scatter(domain, dec, global_field):
+    """Fill each rank's local array with its OWNED values only."""
+    fields = []
+    for p in dec.patches:
+        local = np.full(p.shape, np.nan)
+        own = (
+            p.i.to_slice(p.im.start),
+            slice(None),
+            p.j.to_slice(p.jm.start),
+        )
+        local[own] = global_field[p.i.to_slice(1), :, p.j.to_slice(1)]
+        fields.append(local)
+    return fields
+
+
+@given(
+    nranks=st.sampled_from([2, 4, 6, 9]),
+    halo=st.integers(1, 3),
+)
+@settings(max_examples=15, deadline=None)
+def test_exchange_fills_halo_with_neighbor_data(nranks, halo):
+    domain = DomainSpec(nx=18, nz=4, ny=15)
+    dec = decompose_domain(domain, nranks, halo=halo)
+    plan = build_halo_plan(dec)
+    g = _global_field(domain)
+    fields = _scatter(domain, dec, g)
+    plan.apply(fields)
+    for p, local in zip(dec.patches, fields):
+        expected = g[p.im.to_slice(1), :, p.jm.to_slice(1)]
+        np.testing.assert_array_equal(
+            local, expected, err_msg=f"rank {p.rank} memory region wrong"
+        )
+
+
+def test_segments_match_between_send_and_receive_sides(small_domain):
+    dec = decompose_domain(small_domain, 4)
+    plan = build_halo_plan(dec)
+    for seg in plan.segments:
+        src_sl = seg.src_slices(dec.patches[seg.src])
+        dst_sl = seg.dst_slices(dec.patches[seg.dst])
+        shape_src = tuple(s.stop - s.start for s in src_sl)
+        shape_dst = tuple(s.stop - s.start for s in dst_sl)
+        assert shape_src == shape_dst
+
+
+def test_no_self_segments(small_domain):
+    dec = decompose_domain(small_domain, 4)
+    plan = build_halo_plan(dec)
+    assert all(seg.src != seg.dst for seg in plan.segments)
+
+
+def test_single_rank_has_no_segments(small_domain):
+    dec = decompose_domain(small_domain, 1)
+    plan = build_halo_plan(dec)
+    assert plan.segments == ()
+
+
+def test_bytes_moved_scales_with_fields(small_domain):
+    dec = decompose_domain(small_domain, 4)
+    plan = build_halo_plan(dec)
+    one = plan.bytes_moved(itemsize=4, nfields=1)
+    many = plan.bytes_moved(itemsize=4, nfields=7)
+    assert many == 7 * one
+    assert one > 0
+
+
+def test_corner_regions_included():
+    """Diagonal-neighbor (corner) data must be part of the plan."""
+    domain = DomainSpec(nx=12, nz=2, ny=12)
+    dec = decompose_domain(domain, 4, halo=2)
+    plan = build_halo_plan(dec)
+    # Rank 0 (SW) must receive from rank 3 (NE): the corner block.
+    assert any(s.src == 3 and s.dst == 0 for s in plan.segments)

@@ -1,0 +1,73 @@
+"""Index-space conversion helpers."""
+
+import numpy as np
+
+from repro.grid.decomposition import decompose_domain
+from repro.grid.domain import DomainSpec
+from repro.grid.indexing import (
+    halo_slices,
+    interior_edge_slices,
+    local_slice,
+    owned_slice,
+    tile_slice,
+)
+from repro.grid.decomposition import tile_patch
+
+
+def _interior_patch():
+    """A patch with halo on every side (center of a 3x3 rank grid)."""
+    domain = DomainSpec(nx=30, nz=4, ny=30)
+    dec = decompose_domain(domain, 9, halo=2)
+    return domain, dec.patches[4]
+
+
+def test_owned_slice_excludes_halo():
+    _, patch = _interior_patch()
+    arr = np.zeros(patch.shape)
+    arr[owned_slice(patch)] = 1.0
+    assert arr.sum() == patch.num_points
+    # Halo cells untouched.
+    assert arr.sum() < arr.size
+
+
+def test_local_slice_is_relative_to_memory_origin():
+    _, patch = _interior_patch()
+    sl = local_slice(patch, patch.i, patch.k, patch.j)
+    assert sl[0].start == patch.i.start - patch.im.start
+    assert sl[2].start == patch.j.start - patch.jm.start
+
+
+def test_halo_slices_cover_all_non_owned_cells():
+    _, patch = _interior_patch()
+    arr = np.zeros(patch.shape)
+    arr[owned_slice(patch)] = 1.0
+    for side in ("west", "east", "south", "north"):
+        arr[halo_slices(patch, side)] += 1.0
+    # west/east cover full j-memory extent; south/north full i-memory
+    # extent, so corners are hit twice — but nothing stays zero.
+    assert (arr > 0).all()
+
+
+def test_halo_slices_empty_at_domain_boundary():
+    domain = DomainSpec(nx=30, nz=4, ny=30)
+    dec = decompose_domain(domain, 9, halo=2)
+    sw = dec.patches[0]
+    empty_w = halo_slices(sw, "west")
+    assert empty_w[0].stop - empty_w[0].start == 0
+    empty_s = halo_slices(sw, "south")
+    assert empty_s[2].stop - empty_s[2].start == 0
+
+
+def test_interior_edge_strip_width():
+    _, patch = _interior_patch()
+    sl = interior_edge_slices(patch, "east", width=2)
+    assert sl[0].stop - sl[0].start == 2
+
+
+def test_tile_slices_partition_owned_region():
+    _, patch = _interior_patch()
+    arr = np.zeros(patch.shape)
+    for tile in tile_patch(patch, 3):
+        arr[tile_slice(patch, tile)] += 1.0
+    owned = arr[owned_slice(patch)]
+    assert (owned == 1.0).all()

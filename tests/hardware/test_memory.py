@@ -1,0 +1,115 @@
+"""Cache-hierarchy model behaviour (the Table VI mechanisms)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.memory import AccessPattern, CacheModel, TrafficComponent
+from repro.hardware.specs import A100_40GB
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CacheModel(A100_40GB)
+
+
+def _component(pattern, read=1e9, write=0.5e9):
+    return TrafficComponent(
+        name="t", pattern=pattern, read_bytes=read, write_bytes=write
+    )
+
+
+class TestSequentialPattern:
+    def test_few_threads_high_hit_rates(self, model):
+        t = model.evaluate(
+            [_component(AccessPattern.THREAD_SEQUENTIAL)],
+            resident_threads=4_000,
+            working_set_per_thread=5_000.0,
+        )
+        assert t.l1_hit_rate > 0.80
+        assert t.l2_hit_rate > 0.90
+
+    def test_many_threads_erode_hit_rates(self, model):
+        few = model.evaluate(
+            [_component(AccessPattern.THREAD_SEQUENTIAL)],
+            resident_threads=4_000,
+            working_set_per_thread=5_000.0,
+        )
+        many = model.evaluate(
+            [_component(AccessPattern.THREAD_SEQUENTIAL)],
+            resident_threads=80_000,
+            working_set_per_thread=5_000.0,
+        )
+        assert many.l1_hit_rate < few.l1_hit_rate
+        assert many.l2_hit_rate < few.l2_hit_rate
+        assert many.dram_bytes > few.dram_bytes
+
+
+class TestStridedPattern:
+    def test_strided_amplifies_dram_traffic(self, model):
+        seq = model.evaluate(
+            [_component(AccessPattern.THREAD_SEQUENTIAL)],
+            resident_threads=80_000,
+            working_set_per_thread=5_000.0,
+        )
+        strided = model.evaluate(
+            [_component(AccessPattern.GLOBAL_STRIDED)],
+            resident_threads=80_000,
+            working_set_per_thread=5_000.0,
+        )
+        assert strided.dram_bytes > seq.dram_bytes
+        assert strided.l1_hit_rate < seq.l1_hit_rate
+
+    def test_amplification_bounded_by_line_over_element(self, model):
+        t = model.evaluate(
+            [_component(AccessPattern.GLOBAL_STRIDED)],
+            resident_threads=200_000,
+            working_set_per_thread=5_000.0,
+        )
+        logical = 1.5e9
+        assert t.dram_bytes <= logical * (A100_40GB.line_bytes / 4)
+
+
+class TestBroadcastPattern:
+    def test_shared_tables_nearly_free(self, model):
+        t = model.evaluate(
+            [_component(AccessPattern.BROADCAST)],
+            resident_threads=80_000,
+            working_set_per_thread=5_000.0,
+        )
+        assert t.l1_hit_rate > 0.95
+        assert t.dram_bytes < 0.05 * 1.5e9
+
+
+class TestAggregation:
+    def test_empty_traffic(self, model):
+        t = model.evaluate([], resident_threads=1000, working_set_per_thread=1.0)
+        assert t.dram_bytes == 0.0
+        assert t.l1_hit_rate == 1.0
+
+    def test_hit_rates_are_rates(self, model):
+        t = model.evaluate(
+            [
+                _component(AccessPattern.THREAD_SEQUENTIAL),
+                _component(AccessPattern.GLOBAL_STRIDED),
+                _component(AccessPattern.BROADCAST),
+            ],
+            resident_threads=50_000,
+            working_set_per_thread=4_752.0,
+        )
+        assert 0.0 <= t.l1_hit_rate <= 1.0
+        assert 0.0 <= t.l2_hit_rate <= 1.0
+        assert t.dram_read_bytes >= 0 and t.dram_write_bytes >= 0
+
+    @given(
+        threads=st.integers(100, 200_000),
+        ws=st.floats(100.0, 50_000.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dram_never_exceeds_amplified_logical(self, model, threads, ws):
+        t = model.evaluate(
+            [_component(AccessPattern.GLOBAL_STRIDED, read=1e8, write=1e8)],
+            resident_threads=threads,
+            working_set_per_thread=ws,
+        )
+        assert t.dram_bytes <= 2e8 * (A100_40GB.line_bytes / 4) * 1.001

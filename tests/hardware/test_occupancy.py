@@ -1,0 +1,86 @@
+"""CUDA occupancy calculator: bounds, limits, and the paper's regimes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hardware.occupancy import OccupancyCalculator
+from repro.hardware.specs import A100_40GB
+
+
+@pytest.fixture(scope="module")
+def calc():
+    return OccupancyCalculator(A100_40GB)
+
+
+class TestBlocksPerSm:
+    def test_low_register_kernel_is_thread_limited(self, calc):
+        blocks, limiter = calc.blocks_per_sm(registers_per_thread=32, block_size=128)
+        assert limiter in ("threads", "blocks")
+        assert blocks == A100_40GB.max_threads_per_sm // 128
+
+    def test_high_register_kernel_is_register_limited(self, calc):
+        blocks, limiter = calc.blocks_per_sm(registers_per_thread=255, block_size=128)
+        assert limiter == "registers"
+        assert blocks == 2  # 65536 regs / (255*32 rounded * 4 warps)
+
+    def test_register_cap_clamps_to_hardware_max(self, calc):
+        a, _ = calc.blocks_per_sm(registers_per_thread=255, block_size=128)
+        b, _ = calc.blocks_per_sm(registers_per_thread=400, block_size=128)
+        assert a == b
+
+    def test_invalid_inputs_rejected(self, calc):
+        with pytest.raises(ConfigurationError):
+            calc.blocks_per_sm(registers_per_thread=0, block_size=128)
+        with pytest.raises(ConfigurationError):
+            calc.blocks_per_sm(registers_per_thread=64, block_size=0)
+
+    @given(regs=st.integers(16, 255), block=st.sampled_from([32, 64, 128, 256]))
+    @settings(max_examples=60, deadline=None)
+    def test_more_registers_never_increase_blocks(self, calc, regs, block):
+        lo, _ = calc.blocks_per_sm(regs, block)
+        hi, _ = calc.blocks_per_sm(min(regs + 32, 255), block)
+        assert hi <= lo
+
+
+class TestOccupancy:
+    @given(
+        regs=st.integers(16, 255),
+        block=st.sampled_from([32, 64, 128, 256]),
+        grid=st.integers(1, 100_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_achieved_bounded_by_theoretical_and_unity(self, calc, regs, block, grid):
+        occ = calc.occupancy(regs, block, grid)
+        assert 0.0 <= occ.achieved <= occ.theoretical <= 1.0
+
+    def test_grid_starved_kernel_matches_paper_collapse2_regime(self, calc):
+        """~30 blocks on 108 SMs: the paper's collapse(2) situation."""
+        occ = calc.occupancy(registers_per_thread=234, block_size=128, grid_blocks=30)
+        assert occ.achieved < 0.05
+        assert occ.resident_threads == 30 * 128
+
+    def test_large_grid_register_limited_matches_collapse3_regime(self, calc):
+        """Large grid, ~74 registers: the paper's collapse(3) regime."""
+        occ = calc.occupancy(registers_per_thread=74, block_size=128, grid_blocks=3133)
+        assert 0.30 <= occ.achieved <= 0.45
+        assert occ.limiter == "registers"
+
+    def test_more_grid_blocks_never_reduce_occupancy(self, calc):
+        prev = 0.0
+        for grid in (1, 10, 100, 1000, 10_000):
+            occ = calc.occupancy(64, 128, grid)
+            assert occ.achieved >= prev
+            prev = occ.achieved
+
+    def test_zero_blocks_returns_zero_occupancy(self, calc):
+        occ = calc.occupancy(64, 128, 0)
+        assert occ.achieved == 0.0
+        assert occ.resident_threads == 0
+
+    def test_register_rounding_matches_allocation_granularity(self, calc):
+        # 65 registers round up to 96-per-warp granularity boundaries:
+        # consumption per block must be a multiple of the allocation unit.
+        per_block = calc.registers_per_block(65, 128)
+        assert per_block % A100_40GB.register_allocation_unit == 0

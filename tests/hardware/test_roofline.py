@@ -1,0 +1,60 @@
+"""Roofline model: ceilings, ridge point, rendering."""
+
+import pytest
+
+from repro.hardware.roofline import RooflineModel, RooflinePoint
+from repro.hardware.specs import A100_40GB
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RooflineModel(gpu=A100_40GB)
+
+
+def test_memory_bound_region(model):
+    low_ai = 0.1
+    assert model.ceiling(low_ai) == pytest.approx(low_ai * A100_40GB.dram_bandwidth)
+
+
+def test_compute_bound_region(model):
+    high_ai = 1e4
+    assert model.ceiling(high_ai, "fp32") == A100_40GB.peak_flops_fp32
+    assert model.ceiling(high_ai, "fp64") == A100_40GB.peak_flops_fp64
+
+
+def test_ridge_point_separates_regimes(model):
+    ridge = model.ridge_point("fp32")
+    assert model.ceiling(ridge * 0.99) < A100_40GB.peak_flops_fp32
+    assert model.ceiling(ridge * 1.01) == A100_40GB.peak_flops_fp32
+
+
+def test_fp64_ridge_is_lower(model):
+    assert model.ridge_point("fp64") < model.ridge_point("fp32")
+
+
+def test_point_properties():
+    p = RooflinePoint(label="k", flops=1e9, dram_bytes=1e8, time=1e-3)
+    assert p.arithmetic_intensity == pytest.approx(10.0)
+    assert p.performance == pytest.approx(1e12)
+
+
+def test_efficiency_below_one_for_sublinear_kernel(model):
+    p = RooflinePoint(label="k", flops=1e9, dram_bytes=1e9, time=1.0)
+    assert 0.0 < model.efficiency(p) < 1.0
+
+
+def test_render_ascii_contains_points_and_legend(model):
+    pts = [
+        RooflinePoint(label="collapse(2)", flops=1e10, dram_bytes=1e8, time=0.3),
+        RooflinePoint(label="collapse(3)", flops=1e10, dram_bytes=2e9, time=0.03),
+    ]
+    text = model.render_ascii(pts)
+    assert "collapse(2)" in text and "collapse(3)" in text
+    assert "=" in text  # fp32 roofline drawn
+    assert "1" in text and "2" in text  # point markers
+
+
+def test_zero_bytes_point_is_skipped_in_render(model):
+    pts = [RooflinePoint(label="empty", flops=1e9, dram_bytes=0.0, time=1.0)]
+    text = model.render_ascii(pts)
+    assert "empty" in text  # legend still lists it

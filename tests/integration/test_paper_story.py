@@ -1,0 +1,151 @@
+"""Capstone: the paper's whole narrative as one integration test.
+
+Profile -> analyze with Codee -> refactor (stage 1) -> offload (stage 2,
+hitting and fixing the stack overflow) -> full collapse (stage 3) ->
+verify the output -> evaluate scaling. Every arrow is executed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codee import sources
+from repro.codee.dependence import analyze_loop
+from repro.codee.fparser import parse_source
+from repro.codee.rewrite import offload_rewrite
+from repro.core.clock import SimClock
+from repro.core.device import Device
+from repro.core.directives import TargetTeamsDistributeParallelDo
+from repro.core.engine import OffloadEngine
+from repro.core.env import PAPER_ENV, OffloadEnv
+from repro.core.kernel import Kernel, KernelResources, estimate_registers
+from repro.errors import CudaStackOverflow
+from repro.fsbm.temp_arrays import automatic_frame_bytes
+from repro.optim.pipeline import run_optimization_sequence
+from repro.optim.projection import WorkRates, project_run
+from repro.optim.stages import Stage
+from repro.profiling.gprof import TABLE1_ROUTINES, GprofReport
+from repro.wrf.diffwrf import diffwrf
+from repro.wrf.model import WrfModel
+from repro.wrf.namelist import conus12km_namelist
+
+SCALE = 0.06
+RANKS = 2
+STEPS = 2
+
+
+@pytest.fixture(scope="module")
+def namelist():
+    return conus12km_namelist(scale=SCALE, num_ranks=RANKS)
+
+
+def test_step0_profiling_identifies_fast_sbm(namelist):
+    """Sec. III: gprof points at fast_sbm."""
+    model = WrfModel(namelist)
+    result = model.run(num_steps=STEPS)
+    report = GprofReport.from_run(result, TABLE1_ROUTINES)
+    assert report.percent_of("fast_sbm") > 5.0
+    top_two = {r.name for r in report.rows[:2]}
+    assert "fast_sbm" in top_two
+
+
+def test_step1_codee_justifies_the_lookup_refactor():
+    """Sec. VI-A: dependence analysis proves the rewrite safe."""
+    sf = parse_source(sources.KERNALS_KS_SOURCE, "module_mp_fast_sbm.f90")
+    mod = sf.modules[0]
+    sub = mod.routine("kernals_ks")
+    report = analyze_loop(sub.loops()[0], sub, mod)
+    assert report.parallelizable
+    assert set(report.write_only_arrays) == {"cwll", "cwls", "cwlg"}
+    rewrite = offload_rewrite(
+        sources.KERNALS_KS_SOURCE, line=sub.loops()[0].line
+    )
+    assert "map(from:" in rewrite.source
+
+
+def test_step2_offload_hits_and_fixes_the_stack_overflow():
+    """Sec. VI-B/C: collapse(3) + automatic arrays fails; both remedies."""
+    kernel = Kernel(
+        name="coal_bott_new_loop",
+        loop_extents=(75, 50, 107),
+        resources=KernelResources(
+            registers_per_thread=estimate_registers(30, 30),
+            automatic_array_bytes=automatic_frame_bytes(),
+            working_set_per_thread=4752.0,
+            flops=1e8,
+            traffic=(),
+            active_iterations=100_000,
+        ),
+    )
+    eng = OffloadEngine(device=Device(), env=OffloadEnv(), clock=SimClock())
+    eng.launch(kernel, TargetTeamsDistributeParallelDo(collapse=2))  # ok
+    with pytest.raises(CudaStackOverflow):
+        eng.launch(kernel, TargetTeamsDistributeParallelDo(collapse=3))
+    eng.close()
+    eng = OffloadEngine(device=Device(), env=PAPER_ENV, clock=SimClock())
+    eng.launch(kernel, TargetTeamsDistributeParallelDo(collapse=3))
+    eng.close()
+
+
+def test_step3_full_sequence_reproduces_the_staircase(namelist):
+    """Tables III-V: each stage strictly improves the program."""
+    sequence = run_optimization_sequence(namelist, num_steps=STEPS)
+    overall = [
+        sequence.timings[s].overall
+        for s in (
+            Stage.BASELINE,
+            Stage.LOOKUP,
+            Stage.OFFLOAD_COLLAPSE2,
+            Stage.OFFLOAD_COLLAPSE3,
+        )
+    ]
+    assert overall[0] > overall[1] > overall[2] >= overall[3] * 0.999
+    assert overall[0] / overall[3] > 1.3
+
+
+def test_step4_outputs_verify(namelist):
+    """Sec. VII-B: CPU vs GPU outputs agree to several digits."""
+    frames = {}
+    for stage in (Stage.BASELINE, Stage.OFFLOAD_COLLAPSE3):
+        nl = (
+            namelist
+            if stage is Stage.BASELINE
+            else conus12km_namelist(
+                scale=SCALE,
+                num_ranks=RANKS,
+                stage=stage,
+                num_gpus=RANKS,
+                env=PAPER_ENV,
+            )
+        )
+        model = WrfModel(nl)
+        try:
+            model.run(num_steps=STEPS)
+            frames[stage] = model.gather_output()
+        finally:
+            model.close()
+    diffs = diffwrf(frames[Stage.BASELINE], frames[Stage.OFFLOAD_COLLAPSE3])
+    assert any(not d.bitwise_identical for d in diffs)
+    assert all(d.digits > 2.0 for d in diffs)
+
+
+def test_step5_scaling_story_holds():
+    """Sec. VII-A: GPU wins at fixed GPUs; parity at equal resources;
+    the 6th rank per GPU cannot start."""
+    rates = WorkRates.measure(scale=SCALE, num_ranks=RANKS, num_steps=STEPS)
+    base16 = project_run(
+        conus12km_namelist(num_ranks=16, stage=Stage.BASELINE), rates
+    )
+    gpu16 = project_run(
+        conus12km_namelist(
+            num_ranks=16, stage=Stage.OFFLOAD_COLLAPSE3, num_gpus=16
+        ),
+        rates,
+    )
+    assert base16.total_seconds / gpu16.total_seconds > 1.5
+    gpu48 = project_run(
+        conus12km_namelist(
+            num_ranks=48, stage=Stage.OFFLOAD_COLLAPSE3, num_gpus=8
+        ),
+        rates,
+    )
+    assert gpu48.failed and "CudaOutOfMemory" in gpu48.error

@@ -1,0 +1,175 @@
+"""Simulated MPI: messages, collectives, GPU sharing, the BSP scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.clock import SimClock, TimeBucket
+from repro.errors import ConfigurationError, MpiError
+from repro.mpi.comm import SimWorld, allreduce, barrier
+from repro.mpi.costmodel import CommCostModel
+from repro.mpi.gpu_sharing import GpuPool, bind_ranks_round_robin
+from repro.mpi.scheduler import RankStepCharge, StepScheduler
+
+
+@pytest.fixture
+def world():
+    return SimWorld(nranks=4, cost=CommCostModel(ranks_per_node=2))
+
+
+class TestCommCostModel:
+    def test_node_placement(self):
+        cost = CommCostModel(ranks_per_node=4)
+        assert cost.node_of(0) == cost.node_of(3) == 0
+        assert cost.node_of(4) == 1
+
+    def test_intra_node_cheaper_than_inter(self):
+        cost = CommCostModel(ranks_per_node=4)
+        assert cost.p2p_time(0, 1, 1 << 20) < cost.p2p_time(0, 5, 1 << 20)
+
+    def test_allreduce_scales_logarithmically(self):
+        cost = CommCostModel(ranks_per_node=64)
+        t4 = cost.allreduce_time(4, 8)
+        t64 = cost.allreduce_time(64, 8)
+        assert t4 < t64 < 10 * t4
+
+    def test_sync_noise_grows_with_job_size(self):
+        cost = CommCostModel(ranks_per_node=64)
+        assert cost.step_sync_noise(1) == 0.0
+        assert cost.step_sync_noise(256) > cost.step_sync_noise(16) > 0
+
+
+class TestPointToPoint:
+    def test_send_recv_moves_data_and_charges_time(self, world):
+        c0, c1 = world.comm(0), world.comm(1)
+        data = np.arange(10.0)
+        c0.Send(data, dest=1)
+        buf = np.empty(10)
+        c1.Recv(buf, source=0)
+        np.testing.assert_array_equal(buf, data)
+        assert world.clocks[0].bucket(TimeBucket.MPI) > 0
+        assert world.clocks[1].bucket(TimeBucket.MPI) > 0
+
+    def test_recv_without_send_deadlocks(self, world):
+        with pytest.raises(MpiError, match="deadlock"):
+            world.comm(1).Recv(np.empty(3), source=0)
+
+    def test_shape_mismatch_detected(self, world):
+        world.comm(0).Send(np.zeros(4), dest=1)
+        with pytest.raises(MpiError, match="shape"):
+            world.comm(1).Recv(np.empty(5), source=0)
+
+    def test_send_to_self_rejected(self, world):
+        with pytest.raises(MpiError):
+            world.comm(2).Send(np.zeros(3), dest=2)
+
+    def test_sendrecv_pairs(self, world):
+        a = np.full(4, 1.0)
+        b = np.full(4, 2.0)
+        ra = np.empty(4)
+        rb = np.empty(4)
+        world.comm(0).Send(a, dest=1, tag=7)
+        world.comm(1).Sendrecv(b, dest=0, recvbuf=ra, source=0, tag=7)
+        # ra received rank 0's tag-7 message.
+        np.testing.assert_array_equal(ra, a)
+
+    def test_messages_fifo_per_channel(self, world):
+        world.comm(0).Send(np.array([1.0]), dest=1)
+        world.comm(0).Send(np.array([2.0]), dest=1)
+        buf = np.empty(1)
+        world.comm(1).Recv(buf, source=0)
+        assert buf[0] == 1.0
+
+
+class TestCollectives:
+    def test_allreduce_sum(self, world):
+        contribs = [np.full(3, float(r)) for r in range(4)]
+        out = allreduce(world, contribs, op="sum")
+        np.testing.assert_array_equal(out, np.full(3, 6.0))
+
+    def test_allreduce_charges_every_rank(self, world):
+        allreduce(world, [np.zeros(1)] * 4)
+        assert all(c.bucket(TimeBucket.MPI) > 0 for c in world.clocks)
+
+    def test_allreduce_max_min(self, world):
+        contribs = [np.array([float(r)]) for r in range(4)]
+        assert allreduce(world, contribs, op="max")[0] == 3.0
+        assert allreduce(world, contribs, op="min")[0] == 0.0
+
+    def test_barrier(self, world):
+        barrier(world)
+        assert all(c.bucket(TimeBucket.MPI) > 0 for c in world.clocks)
+
+    def test_wrong_contribution_count(self, world):
+        with pytest.raises(MpiError):
+            allreduce(world, [np.zeros(1)] * 3)
+
+
+class TestGpuSharing:
+    def test_round_robin_binding(self):
+        assert bind_ranks_round_robin(8, 4) == [0, 1, 2, 3, 0, 1, 2, 3]
+        with pytest.raises(ConfigurationError):
+            bind_ranks_round_robin(4, 0)
+
+    def test_serialization_sums_per_device(self):
+        pool = GpuPool(num_gpus=2)
+        pool.bind(4)  # ranks 0,2 -> gpu0; 1,3 -> gpu1
+        busy = pool.serialize_kernel_time([1.0, 5.0, 2.0, 1.0])
+        assert busy == 6.0  # gpu1 carries 5+1
+
+    def test_ranks_on(self):
+        pool = GpuPool(num_gpus=2)
+        pool.bind(5)
+        assert pool.ranks_on(0) == [0, 2, 4]
+
+    def test_serialize_requires_binding(self):
+        pool = GpuPool(num_gpus=2)
+        with pytest.raises(ConfigurationError):
+            pool.serialize_kernel_time([1.0])
+
+
+class TestStepScheduler:
+    def _charge(self, cpu=0.0, gpu=0.0, tx=0.0, mpi=0.0, io=0.0):
+        return RankStepCharge(cpu=cpu, gpu_kernel=gpu, transfers=tx, mpi=mpi, io=io)
+
+    def test_cpu_phases_overlap_across_ranks(self):
+        sched = StepScheduler(nranks=3)
+        step = sched.commit_step(
+            [self._charge(cpu=1.0), self._charge(cpu=4.0), self._charge(cpu=2.0)]
+        )
+        assert step == 4.0  # the slowest rank, not the sum
+
+    def test_imbalance_sets_the_pace(self):
+        """The FSBM load-imbalance mechanism (Sec. VIII)."""
+        balanced = StepScheduler(nranks=4).commit_step(
+            [self._charge(cpu=1.0)] * 4
+        )
+        imbalanced = StepScheduler(nranks=4).commit_step(
+            [self._charge(cpu=0.1)] * 3 + [self._charge(cpu=3.7)]
+        )
+        assert imbalanced > 3 * balanced
+
+    def test_gpu_serialization_through_pool(self):
+        pool = GpuPool(num_gpus=1)
+        pool.bind(2)
+        sched = StepScheduler(nranks=2, gpu_pool=pool)
+        step = sched.commit_step(
+            [self._charge(cpu=1.0, gpu=2.0), self._charge(cpu=1.0, gpu=3.0)]
+        )
+        assert step == pytest.approx(1.0 + 5.0)  # kernels queue on one GPU
+
+    def test_breakdown_accumulates(self):
+        sched = StepScheduler(nranks=1)
+        sched.commit_step([self._charge(cpu=1.0, mpi=0.5, io=0.25)])
+        sched.commit_step([self._charge(cpu=1.0)])
+        assert sched.breakdown["cpu"] == pytest.approx(2.0)
+        assert sched.breakdown["mpi"] == pytest.approx(0.5)
+        assert sched.elapsed == pytest.approx(2.75)
+
+    def test_clock_delta_conversion(self):
+        clock = SimClock()
+        before = clock.snapshot()
+        clock.advance(TimeBucket.CPU_COMPUTE, 2.0)
+        clock.advance(TimeBucket.H2D, 0.5)
+        charge = RankStepCharge.from_clock_delta(before, clock.snapshot())
+        assert charge.cpu == 2.0
+        assert charge.transfers == 0.5

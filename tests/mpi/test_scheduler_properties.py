@@ -1,0 +1,61 @@
+"""Property-based invariants of the BSP step scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.gpu_sharing import GpuPool
+from repro.mpi.scheduler import RankStepCharge, StepScheduler
+
+charge_st = st.builds(
+    RankStepCharge,
+    cpu=st.floats(0, 10),
+    gpu_kernel=st.floats(0, 10),
+    transfers=st.floats(0, 2),
+    mpi=st.floats(0, 2),
+    io=st.floats(0, 2),
+)
+
+
+@given(charges=st.lists(charge_st, min_size=1, max_size=16))
+@settings(max_examples=60, deadline=None)
+def test_step_bounded_between_max_rank_and_sum(charges):
+    """No rank finishes before its own work; nothing exceeds full
+    serialization."""
+    sched = StepScheduler(nranks=len(charges))
+    step = sched.commit_step(charges)
+    per_rank = [
+        c.cpu + c.transfers + c.gpu_kernel + c.mpi + c.io for c in charges
+    ]
+    assert step >= max(per_rank) - 1e-9
+    assert step <= sum(per_rank) + 1e-9
+
+
+@given(charges=st.lists(charge_st, min_size=2, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_sharing_one_gpu_never_faster_than_many(charges):
+    n = len(charges)
+    one = GpuPool(num_gpus=1)
+    one.bind(n)
+    many = GpuPool(num_gpus=n)
+    many.bind(n)
+    t_one = StepScheduler(nranks=n, gpu_pool=one).commit_step(charges)
+    t_many = StepScheduler(nranks=n, gpu_pool=many).commit_step(charges)
+    assert t_one >= t_many - 1e-9
+
+
+@given(charges=st.lists(charge_st, min_size=1, max_size=8), rounds=st.integers(1, 5))
+@settings(max_examples=30, deadline=None)
+def test_elapsed_additive_over_steps(charges, rounds):
+    sched = StepScheduler(nranks=len(charges))
+    per_step = [sched.commit_step(charges) for _ in range(rounds)]
+    assert sched.elapsed == pytest.approx(sum(per_step))
+    assert all(s == pytest.approx(per_step[0]) for s in per_step)
+
+
+@given(charges=st.lists(charge_st, min_size=1, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_breakdown_sums_to_elapsed(charges):
+    sched = StepScheduler(nranks=len(charges))
+    sched.commit_step(charges)
+    assert sum(sched.breakdown.values()) == pytest.approx(sched.elapsed)

@@ -1,0 +1,52 @@
+"""Cross-validation: the projection census vs the live model's activity.
+
+Fig. 4's projection rests on the per-patch activity census being an
+accurate stand-in for what the live model actually does. This test runs
+both on the same configuration and requires them to agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.optim.projection import domain_activity_census
+from repro.optim.stages import Stage
+from repro.wrf.model import WrfModel
+from repro.wrf.namelist import conus12km_namelist
+
+
+@pytest.fixture(scope="module")
+def config():
+    nl = conus12km_namelist(scale=0.1, num_ranks=4, stage=Stage.LOOKUP)
+    model = WrfModel(nl)
+    result = model.run(num_steps=1)
+    return nl, model, result
+
+
+def test_census_matches_first_step_coal_points(config):
+    """Per-rank collision-eligible counts: census vs the live step."""
+    nl, _, result = config
+    census = domain_activity_census(nl)
+    live = [t.sbm_stats for t in result.step_timings][0]
+    live_coal = [s.coal_points for s in live]
+    for rank, (expected, actual) in enumerate(zip(census, live_coal)):
+        # The census is the IC count; one live step adds nucleation and
+        # advection drift — agreement within a factor of two per patch.
+        assert actual == pytest.approx(expected, rel=1.0), (
+            f"rank {rank}: census {expected} vs live {actual}"
+        )
+
+
+def test_census_ranks_the_same_hot_patch(config):
+    """The busiest patch must be the same in both views (the critical
+    rank drives the BSP elapsed time)."""
+    nl, _, result = config
+    census = domain_activity_census(nl)
+    live = [s.coal_points for s in result.step_timings[0].sbm_stats]
+    assert int(np.argmax(census)) == int(np.argmax(live))
+
+
+def test_census_total_close_to_live_total(config):
+    nl, _, result = config
+    census_total = sum(domain_activity_census(nl))
+    live_total = sum(s.coal_points for s in result.step_timings[0].sbm_stats)
+    assert live_total == pytest.approx(census_total, rel=0.5)

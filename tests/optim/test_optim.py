@@ -1,0 +1,189 @@
+"""Stage metadata, speedup arithmetic, the live pipeline, projection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.optim.pipeline import (
+    OPTIMIZATION_SEQUENCE,
+    run_optimization_sequence,
+    run_stage,
+)
+from repro.optim.projection import (
+    WorkRates,
+    domain_activity_census,
+    project_run,
+)
+from repro.optim.speedup import SpeedupRow, format_speedup_table, speedup_table
+from repro.optim.stages import STAGE_SPECS, Stage
+from repro.wrf.namelist import conus12km_namelist
+
+
+class TestStages:
+    def test_four_stages_in_order(self):
+        assert OPTIMIZATION_SEQUENCE == (
+            Stage.BASELINE,
+            Stage.LOOKUP,
+            Stage.OFFLOAD_COLLAPSE2,
+            Stage.OFFLOAD_COLLAPSE3,
+        )
+
+    def test_gpu_flags(self):
+        assert not Stage.BASELINE.uses_gpu
+        assert not Stage.LOOKUP.uses_gpu
+        assert Stage.OFFLOAD_COLLAPSE2.uses_gpu
+        assert Stage.OFFLOAD_COLLAPSE3.uses_gpu
+
+    def test_on_demand_flags(self):
+        assert not Stage.BASELINE.on_demand_kernels
+        assert all(
+            s.on_demand_kernels for s in OPTIMIZATION_SEQUENCE[1:]
+        )
+
+    def test_spec_properties_follow_the_paper(self):
+        s2 = STAGE_SPECS[Stage.OFFLOAD_COLLAPSE2]
+        s3 = STAGE_SPECS[Stage.OFFLOAD_COLLAPSE3]
+        assert s2.collapse == 2 and s2.automatic_arrays
+        assert s3.collapse == 3 and not s3.automatic_arrays and s3.pointer_based
+
+
+class TestSpeedupRows:
+    def test_current_and_cumulative(self):
+        row = SpeedupRow(
+            name="fast_sbm",
+            previous_seconds=2.0,
+            current_seconds=1.0,
+            first_seconds=4.0,
+        )
+        assert row.current_speedup == 2.0
+        assert row.cumulative_speedup == 4.0
+
+    def test_table_builder(self):
+        rows = speedup_table(
+            ["a"], previous={"a": 2.0}, current={"a": 1.0}, first={"a": 8.0}
+        )
+        assert rows[0].cumulative_speedup == 8.0
+
+    def test_format(self):
+        rows = [
+            SpeedupRow("fast_sbm", 2.0, 1.0, 4.0),
+            SpeedupRow("Overall", 1.5, 1.0, 3.0),
+        ]
+        text = format_speedup_table(rows, "Table X")
+        assert "Table X" in text
+        assert "2.00x" in text and "4.00x" in text
+
+
+@pytest.fixture(scope="module")
+def tiny_sequence():
+    nl = conus12km_namelist(scale=0.06, num_ranks=2)
+    return run_optimization_sequence(nl, num_steps=2)
+
+
+class TestPipeline:
+    def test_every_stage_timed(self, tiny_sequence):
+        assert set(tiny_sequence.timings) == set(OPTIMIZATION_SEQUENCE)
+        for t in tiny_sequence.timings.values():
+            assert t.overall > 0
+            assert t.fast_sbm > 0
+            assert t.coal_loop >= 0
+
+    def test_monotone_improvement_through_the_stages(self, tiny_sequence):
+        """Each optimization reduces whole-program time — the paper's
+        staircase."""
+        seq = [tiny_sequence.timings[s].overall for s in OPTIMIZATION_SEQUENCE]
+        assert seq[0] > seq[1] > seq[2] >= seq[3] * 0.999
+
+    def test_collision_loop_dominates_speedup(self, tiny_sequence):
+        coal = [tiny_sequence.timings[s].coal_loop for s in OPTIMIZATION_SEQUENCE]
+        assert coal[1] < coal[0]  # lookup
+        assert coal[2] < coal[1] / 2  # offload
+        assert coal[3] < coal[2]  # full collapse
+
+    def test_table_rows_have_paper_names(self, tiny_sequence):
+        assert [r.name for r in tiny_sequence.table3()] == ["fast_sbm", "Overall"]
+        assert [r.name for r in tiny_sequence.table4()] == [
+            "coal_bott_new loop",
+            "fast_sbm",
+            "Overall",
+        ]
+
+    def test_run_stage_returns_result_and_timings(self):
+        nl = conus12km_namelist(scale=0.06, num_ranks=2)
+        result, timings = run_stage(nl, Stage.BASELINE, num_steps=1)
+        assert result.steps_run == 1
+        assert timings.stage is Stage.BASELINE
+
+
+@pytest.fixture(scope="module")
+def rates():
+    return WorkRates.measure(scale=0.06, num_ranks=2, num_steps=2)
+
+
+class TestProjection:
+    def test_rates_are_positive(self, rates):
+        assert rates.pair_entries_per_coal_cell > 0
+        assert rates.ondemand_entries_per_coal_cell > 0
+        assert rates.cond_updates_per_mp_cell > 0
+        assert rates.coal_growth > 0
+
+    def test_census_covers_every_rank(self):
+        nl = conus12km_namelist(scale=0.5, num_ranks=8)
+        census = domain_activity_census(nl)
+        assert len(census) == 8
+        assert sum(census) > 0
+        assert max(census) > min(census)  # imbalance exists
+
+    def test_census_total_independent_of_decomposition(self):
+        base = conus12km_namelist(scale=0.5, num_ranks=4)
+        other = conus12km_namelist(scale=0.5, num_ranks=16)
+        assert sum(domain_activity_census(base)) == sum(
+            domain_activity_census(other)
+        )
+
+    def test_projected_speedup_in_paper_band(self, rates):
+        """16 ranks, 16 GPUs: total speedup ~2x (paper: 2.08x)."""
+        base = project_run(
+            conus12km_namelist(num_ranks=16, stage=Stage.BASELINE), rates
+        )
+        gpu = project_run(
+            conus12km_namelist(
+                num_ranks=16, stage=Stage.OFFLOAD_COLLAPSE3, num_gpus=16
+            ),
+            rates,
+        )
+        assert not base.failed and not gpu.failed
+        speedup = base.total_seconds / gpu.total_seconds
+        assert 1.5 < speedup < 3.0
+
+    def test_six_ranks_per_gpu_hits_device_oom(self, rates):
+        """Sec. VII-A: beyond 5 ranks/GPU the job cannot even start."""
+        pr = project_run(
+            conus12km_namelist(
+                num_ranks=48, stage=Stage.OFFLOAD_COLLAPSE3, num_gpus=8
+            ),
+            rates,
+        )
+        assert pr.failed
+        assert "CudaOutOfMemory" in pr.error
+        assert math.isnan(pr.total_seconds)
+
+    def test_five_ranks_per_gpu_runs(self, rates):
+        pr = project_run(
+            conus12km_namelist(
+                num_ranks=40, stage=Stage.OFFLOAD_COLLAPSE3, num_gpus=8
+            ),
+            rates,
+        )
+        assert not pr.failed
+
+    def test_cpu_scaling_imperfect_due_to_imbalance(self, rates):
+        t16 = project_run(
+            conus12km_namelist(num_ranks=16, stage=Stage.BASELINE), rates
+        ).total_seconds
+        t64 = project_run(
+            conus12km_namelist(num_ranks=64, stage=Stage.BASELINE), rates
+        ).total_seconds
+        assert t64 < t16  # more ranks help...
+        assert t64 > t16 / 4  # ...but sublinearly (imbalance + noise)

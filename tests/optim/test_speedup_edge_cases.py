@@ -1,0 +1,32 @@
+"""Speedup arithmetic edge cases."""
+
+import pytest
+
+from repro.optim.speedup import SpeedupRow, format_speedup_table
+
+
+def test_zero_current_seconds_reports_infinite():
+    row = SpeedupRow("x", previous_seconds=1.0, current_seconds=0.0, first_seconds=2.0)
+    assert row.current_speedup == float("inf")
+    assert row.cumulative_speedup == float("inf")
+
+
+def test_slowdown_reported_below_one():
+    """Table VII's 2-node row is a 0.956x 'speedup' — the format must
+    carry slowdowns faithfully."""
+    row = SpeedupRow("2 nodes", 379.8, 397.1, 379.8)
+    assert row.current_speedup == pytest.approx(0.956, abs=1e-3)
+    text = format_speedup_table([row])
+    assert "0.96x" in text
+
+
+def test_empty_table_renders_header_only():
+    text = format_speedup_table([], "Empty")
+    assert "Empty" in text
+    assert "Current speedup" in text
+
+
+def test_identity_speedup():
+    row = SpeedupRow("x", 5.0, 5.0, 5.0)
+    assert row.current_speedup == 1.0
+    assert row.cumulative_speedup == 1.0

@@ -1,0 +1,151 @@
+"""Profiler shims: gprof aggregation, nsys single-rank view, ncu metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.clock import SimClock, TimeBucket
+from repro.core.device import Device
+from repro.core.directives import TargetTeamsDistributeParallelDo
+from repro.core.engine import OffloadEngine
+from repro.core.env import PAPER_ENV
+from repro.core.kernel import Kernel, KernelResources
+from repro.hardware.memory import AccessPattern, TrafficComponent
+from repro.optim.stages import Stage
+from repro.profiling.gprof import TABLE1_ROUTINES, GprofReport
+from repro.profiling.nsight_compute import NcuReport, format_table6
+from repro.profiling.nsight_systems import NsysReport
+from repro.profiling.nvtx import NvtxDomain, nvtx_range
+from repro.wrf.model import WrfModel
+from repro.wrf.namelist import conus12km_namelist
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    model = WrfModel(conus12km_namelist(scale=0.06, num_ranks=2))
+    return model.run(num_steps=2)
+
+
+class TestNvtx:
+    def test_range_charges_region(self):
+        clock = SimClock()
+        with nvtx_range(clock, "fast_sbm"):
+            clock.advance(TimeBucket.CPU_COMPUTE, 1.0)
+        assert clock.region_total("fast_sbm") == 1.0
+
+    def test_domain_push_pop(self):
+        clock = SimClock()
+        dom = NvtxDomain(clock, "wrf")
+        dom.range_push("microphysics")
+        clock.advance(TimeBucket.CPU_COMPUTE, 2.0)
+        dom.range_pop()
+        assert clock.region_total("wrf:microphysics") == 2.0
+
+    def test_unbalanced_pop_rejected(self):
+        dom = NvtxDomain(SimClock())
+        with pytest.raises(RuntimeError):
+            dom.range_pop()
+
+
+class TestGprof:
+    def test_percentages_sum_below_100(self, run_result):
+        rep = GprofReport.from_run(run_result, TABLE1_ROUTINES)
+        total_pct = sum(r.percent for r in rep.rows)
+        assert 0 < total_pct <= 100.0
+
+    def test_fast_sbm_among_top_hotspots(self, run_result):
+        """At this reduced test scale the storm population is sparse, so
+        fast_sbm need not dominate as in Table I — but it must be a
+        first-order contributor (the bench config reproduces the
+        dominance; see experiments/table1)."""
+        rep = GprofReport.from_run(run_result, TABLE1_ROUTINES)
+        top_two = {r.name for r in rep.rows[:2]}
+        assert "fast_sbm" in top_two
+        assert rep.percent_of("fast_sbm") > 5.0
+
+    def test_unknown_routine_zero(self, run_result):
+        rep = GprofReport.from_run(run_result, TABLE1_ROUTINES)
+        assert rep.percent_of("nonexistent") == 0.0
+
+    def test_auto_discovery_of_regions(self, run_result):
+        rep = GprofReport.from_run(run_result)
+        names = [r.name for r in rep.rows]
+        assert "fast_sbm" in names and "sedimentation" in names
+
+    def test_format(self, run_result):
+        text = GprofReport.from_run(run_result, TABLE1_ROUTINES).format_table()
+        assert "% time" in text and "fast_sbm" in text
+
+
+class TestNsys:
+    def test_defaults_to_most_loaded_rank(self, run_result):
+        rep = NsysReport.from_run(run_result)
+        loads = [
+            c.region_total("fast_sbm") for c in run_result.rank_clocks
+        ]
+        assert rep.rank == int(np.argmax(loads))
+
+    def test_single_rank_view_differs_from_aggregate(self, run_result):
+        """Load imbalance: the busy rank's fast_sbm share exceeds the
+        cross-rank average — the Table I gprof/nsys gap."""
+        gprof = GprofReport.from_run(run_result, TABLE1_ROUTINES)
+        nsys = NsysReport.from_run(run_result)
+        assert nsys.percent_of("fast_sbm") >= gprof.percent_of("fast_sbm")
+
+    def test_explicit_rank(self, run_result):
+        rep = NsysReport.from_run(run_result, rank=0)
+        assert rep.rank == 0
+
+    def test_format(self, run_result):
+        assert "NVTX range summary" in NsysReport.from_run(run_result).format_table()
+
+
+class TestNcu:
+    def _records(self, n=3):
+        engine = OffloadEngine(device=Device(), env=PAPER_ENV, clock=SimClock())
+        kernel = Kernel(
+            name="coal_bott_new_loop",
+            loop_extents=(20, 10, 20),
+            resources=KernelResources(
+                registers_per_thread=74,
+                automatic_array_bytes=0,
+                working_set_per_thread=4752.0,
+                flops=1e8,
+                traffic=(
+                    TrafficComponent(
+                        name="w",
+                        pattern=AccessPattern.GLOBAL_STRIDED,
+                        read_bytes=1e7,
+                        write_bytes=1e7,
+                    ),
+                ),
+                active_iterations=2000,
+            ),
+        )
+        for _ in range(n):
+            engine.launch(kernel, TargetTeamsDistributeParallelDo(collapse=3))
+        return engine.records
+
+    def test_aggregation_over_launches(self):
+        report = NcuReport.from_records(self._records(3))
+        k = report.kernel("coal_bott_new_loop")
+        assert k.launches == 3
+        assert k.time_ms > 0
+        assert 0 < k.achieved_occupancy_pct <= 100
+        assert k.dram_read_gb > 0
+
+    def test_unknown_kernel_keyerror(self):
+        report = NcuReport.from_records(self._records(1))
+        with pytest.raises(KeyError):
+            report.kernel("nope")
+
+    def test_roofline_point_conversion(self):
+        k = NcuReport.from_records(self._records(2)).kernel("coal_bott_new_loop")
+        p = k.roofline_point()
+        assert p.arithmetic_intensity > 0
+        assert p.performance > 0
+
+    def test_table6_formatting(self):
+        k = NcuReport.from_records(self._records(1)).kernel("coal_bott_new_loop")
+        text = format_table6(k, k)
+        assert "Achieved occupancy" in text
+        assert "Reads from DRAM" in text

@@ -1,0 +1,51 @@
+"""The Nsight-style ASCII timeline."""
+
+import pytest
+
+from repro.core.env import PAPER_ENV
+from repro.optim.stages import Stage
+from repro.profiling.nsight_systems import render_timeline
+from repro.wrf.model import WrfModel
+from repro.wrf.namelist import conus12km_namelist
+
+
+@pytest.fixture(scope="module")
+def gpu_result():
+    nl = conus12km_namelist(
+        scale=0.05,
+        num_ranks=2,
+        stage=Stage.OFFLOAD_COLLAPSE3,
+        num_gpus=2,
+        env=PAPER_ENV,
+    )
+    model = WrfModel(nl)
+    try:
+        return model.run(num_steps=3)
+    finally:
+        model.close()
+
+
+def test_timeline_has_one_row_per_step(gpu_result):
+    text = render_timeline(gpu_result, rank=0)
+    assert text.count("step ") == 3
+    assert "ms" in text
+
+
+def test_timeline_shows_gpu_and_cpu_lanes(gpu_result):
+    text = render_timeline(gpu_result, rank=0)
+    assert "#" in text  # CPU segment
+    assert "%" in text or "~" in text  # device activity
+
+
+def test_cpu_only_run_has_no_gpu_segments():
+    model = WrfModel(conus12km_namelist(scale=0.05, num_ranks=2))
+    result = model.run(num_steps=2)
+    text = render_timeline(result, rank=0)
+    assert "%" not in text.replace("%=GPU kernels", "")
+
+
+def test_empty_result_handled():
+    model = WrfModel(conus12km_namelist(scale=0.05, num_ranks=2))
+    result = model.run(num_steps=1)
+    result.step_timings.clear()
+    assert "no steps" in render_timeline(result)

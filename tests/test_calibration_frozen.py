@@ -1,0 +1,72 @@
+"""Calibration freeze: the cost-model constants are fixed, not tuned.
+
+DESIGN.md Sec. 2 commits to calibrating the free constants once and
+freezing them. This regression test pins every calibrated value so an
+accidental (or experiment-motivated) edit fails loudly and forces the
+change to be made — and documented — deliberately.
+"""
+
+import pytest
+
+
+def test_hardware_specs_are_public_numbers():
+    from repro.hardware.specs import A100_40GB, EPYC_MILAN
+
+    assert A100_40GB.num_sms == 108
+    assert A100_40GB.peak_flops_fp64 == 9.7e12
+    assert A100_40GB.peak_flops_fp32 == 19.5e12
+    assert A100_40GB.dram_bandwidth == 1555.0e9
+    assert A100_40GB.memory_bytes == 40 * 1024**3
+    assert EPYC_MILAN.cores == 64
+    assert EPYC_MILAN.clock_hz == 2.45e9
+
+
+def test_calibrated_cost_constants_frozen():
+    from repro.core import costmodel
+    from repro.core.device import STACK_RESERVATION_FACTOR
+    from repro.hardware.specs import EPYC_MILAN
+
+    assert costmodel.WARPS_HALF_COMPUTE == 12.0
+    assert costmodel.WARPS_HALF_MEMORY == 3.0
+    assert costmodel.CPU_LOOP_OVERHEAD == 1.5e-9
+    assert EPYC_MILAN.sustained_flops_per_core == 2.1e9
+    assert STACK_RESERVATION_FACTOR == 0.5
+
+
+def test_calibrated_work_weights_frozen():
+    from repro.fsbm import condensation, nucleation, sedimentation
+    from repro.fsbm.coal_bott import FLOPS_PER_PAIR
+    from repro.fsbm.collision_kernels import FLOPS_PER_ENTRY
+    from repro.wrf import dynamics
+
+    assert FLOPS_PER_ENTRY == 4.0
+    assert FLOPS_PER_PAIR == 10.0
+    assert condensation.COND_SUBSTEPS == 15
+    assert condensation.FLOPS_PER_BIN == 25.0 * 15
+    assert sedimentation.FLOPS_PER_BIN == 12.0
+    assert nucleation.FLOPS_PER_POINT == 80.0
+    assert dynamics.FLOPS_PER_CELL_TEND == 11.0
+    assert dynamics.FLOPS_PER_CELL_UPDATE == 2.0
+
+
+def test_sync_noise_coefficient_frozen():
+    from repro.mpi.costmodel import SYNC_NOISE_COEFF
+
+    assert SYNC_NOISE_COEFF == 0.02
+
+
+def test_paper_env_frozen():
+    from repro.core.env import PAPER_ENV
+
+    assert PAPER_ENV.stack_bytes == 65536
+    assert PAPER_ENV.heap_bytes == 64 * 1024**2
+    assert PAPER_ENV.block_size == 128
+
+
+def test_frame_bytes_in_the_stack_story_band():
+    """The automatic-array frame must stay between the default stack
+    (1 KiB) and the paper's setting (64 KiB) or the whole Sec. VI-B/C
+    narrative stops reproducing."""
+    from repro.fsbm.temp_arrays import automatic_frame_bytes
+
+    assert 2048 < automatic_frame_bytes() < 65536

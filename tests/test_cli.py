@@ -1,0 +1,53 @@
+"""The top-level repro CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_baseline(capsys):
+    assert main(["run", "--scale", "0.05", "--ranks", "2", "--steps", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "simulated per-step elapsed" in out
+    assert "fast_sbm" in out
+    assert "NVTX range summary" in out
+
+
+def test_run_gpu_stage_with_extensions(capsys):
+    rc = main(
+        [
+            "run",
+            "--stage",
+            "offload_collapse3",
+            "--scale",
+            "0.05",
+            "--ranks",
+            "2",
+            "--steps",
+            "2",
+            "--offload-condensation",
+            "--offload-advection",
+        ]
+    )
+    assert rc == 0
+    assert "offload_collapse3" in capsys.readouterr().out
+
+
+def test_stages_prints_three_tables(capsys):
+    assert main(["stages", "--scale", "0.05", "--ranks", "2", "--steps", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table III" in out and "Table IV" in out and "Table V" in out
+    assert "coal_bott_new loop" in out
+
+
+def test_scaling_quick(capsys):
+    assert main(["scaling", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out
+    assert "Table VII" in out
+    assert "2 nodes" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])

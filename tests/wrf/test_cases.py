@@ -1,0 +1,98 @@
+"""Synthetic CONUS case: determinism, decomposition independence,
+spatial heterogeneity (the load-imbalance source)."""
+
+import numpy as np
+import pytest
+
+from repro.grid.decomposition import decompose_domain
+from repro.wrf.cases import CaseConfig, activity_fraction, conus12km_case
+from repro.wrf.namelist import conus12km_namelist
+
+
+def _domain(scale=0.1):
+    return conus12km_namelist(scale=scale).domain
+
+
+def test_same_seed_same_case():
+    domain = _domain()
+    dec = decompose_domain(domain, 2)
+    a = conus12km_case(domain, dec.patches[0], domain.dz, seed=7)
+    b = conus12km_case(domain, dec.patches[0], domain.dz, seed=7)
+    np.testing.assert_array_equal(a.t, b.t)
+    np.testing.assert_array_equal(
+        a.micro.dists[next(iter(a.micro.dists))],
+        b.micro.dists[next(iter(b.micro.dists))],
+    )
+
+
+def test_different_seed_different_case():
+    domain = _domain()
+    dec = decompose_domain(domain, 2)
+    a = conus12km_case(domain, dec.patches[0], domain.dz, seed=7)
+    b = conus12km_case(domain, dec.patches[0], domain.dz, seed=8)
+    assert not np.array_equal(a.t, b.t)
+
+
+def test_decomposition_invariance():
+    """The same global cell gets identical values regardless of how
+    many ranks the domain is split over — rank counts change only the
+    partitioning, never the case."""
+    domain = _domain()
+    dec1 = decompose_domain(domain, 1)
+    dec4 = decompose_domain(domain, 4)
+    whole = conus12km_case(domain, dec1.patches[0], domain.dz, seed=3)
+    for patch in dec4.patches:
+        part = conus12km_case(domain, patch, domain.dz, seed=3)
+        sl_dom = (patch.i.to_slice(1), slice(None), patch.j.to_slice(1))
+        sl_loc = (
+            patch.i.to_slice(patch.im.start),
+            slice(None),
+            patch.j.to_slice(patch.jm.start),
+        )
+        np.testing.assert_allclose(part.t[sl_loc], whole.t[sl_dom], rtol=1e-12)
+
+
+def test_storms_cluster_rather_than_fill_the_domain():
+    domain = _domain(scale=0.25)
+    dec = decompose_domain(domain, 1)
+    f = conus12km_case(domain, dec.patches[0], domain.dz, seed=2024)
+    cloud = f.micro.total_condensate_mass() > 1e-12
+    assert cloud.any()
+    # Cloudy columns are a limited, clustered subset of the domain.
+    cloudy_columns = cloud.any(axis=1)
+    assert 0.0 < cloudy_columns.mean() < 0.6
+    # And the vertical extent is confined to the lower/mid troposphere.
+    cloudy_levels = np.nonzero(cloud.any(axis=(0, 2)))[0]
+    assert cloudy_levels.max() < 0.6 * domain.nz
+
+
+def test_activity_imbalanced_across_patches():
+    """Different patches see very different storm loads — the paper's
+    load-imbalance driver."""
+    domain = _domain(scale=0.25)
+    dec = decompose_domain(domain, 8)
+    fracs = [
+        activity_fraction(conus12km_case(domain, p, domain.dz, seed=2024))
+        for p in dec.patches
+    ]
+    assert max(fracs) > 0
+    assert max(fracs) > 3 * (sum(fracs) / len(fracs) + 1e-9) or min(fracs) == 0.0
+
+
+def test_fields_are_physical():
+    domain = _domain()
+    dec = decompose_domain(domain, 2)
+    f = conus12km_case(domain, dec.patches[1], domain.dz, seed=1)
+    assert (f.t > 180).all() and (f.t < 330).all()
+    assert (f.qv >= 0).all() and (f.qv < 0.04).all()
+    assert np.abs(f.w).max() <= 5.0
+    assert (f.u > 0).all()  # westerlies
+
+
+def test_initial_updraft_collocated_with_bubbles():
+    domain = _domain()
+    dec = decompose_domain(domain, 1)
+    f = conus12km_case(domain, dec.patches[0], domain.dz, seed=2024)
+    cloudy = f.micro.total_condensate_mass() > 1e-12
+    if cloudy.any():
+        assert f.w[cloudy].mean() > f.w[~cloudy].mean()

@@ -1,0 +1,105 @@
+"""Meteorological diagnostics: CAPE, storm census, precip rates."""
+
+import numpy as np
+import pytest
+
+from repro.grid.decomposition import decompose_domain
+from repro.wrf.cases import conus12km_case
+from repro.wrf.diagnostics import (
+    StormCensus,
+    cape_field,
+    parcel_cape,
+    precipitation_rate,
+    storm_census,
+)
+from repro.wrf.model import WrfModel
+from repro.wrf.namelist import conus12km_namelist
+from repro.wrf.state import base_state_column
+
+
+class TestParcelCape:
+    def test_unstable_sounding_has_cape(self):
+        base = base_state_column(50, 500.0)
+        cape = parcel_cape(
+            base["temperature"], base["qv"], base["pressure_mb"], 500.0
+        )
+        # The synthetic continental-summer sounding is conditionally
+        # unstable: CAPE in the hundreds-to-thousands J/kg band.
+        assert 100.0 < cape < 6000.0
+
+    def test_warm_bubble_raises_cape(self):
+        base = base_state_column(50, 500.0)
+        t = base["temperature"].copy()
+        qv = base["qv"].copy()
+        cold = parcel_cape(t, qv, base["pressure_mb"], 500.0)
+        t[0] += 3.0
+        qv[0] *= 1.3
+        warm = parcel_cape(t, qv, base["pressure_mb"], 500.0)
+        assert warm > cold
+
+    def test_isothermal_column_has_no_cape(self):
+        t = np.full(30, 280.0)
+        qv = np.full(30, 1.0e-4)  # very dry: never saturates
+        p = np.linspace(1000.0, 200.0, 30)
+        assert parcel_cape(t, qv, p, 500.0) == 0.0
+
+    def test_cape_field_shape(self):
+        domain = conus12km_namelist(scale=0.04).domain
+        dec = decompose_domain(domain, 1)
+        f = conus12km_case(domain, dec.patches[0], domain.dz, seed=1)
+        cape = cape_field(f, domain.dz)
+        assert cape.shape == (f.shape[0], f.shape[2])
+        assert (cape >= 0).all()
+        assert cape.max() > 0
+
+
+class TestStormCensus:
+    @pytest.fixture(scope="class")
+    def output(self):
+        model = WrfModel(conus12km_namelist(scale=0.08, num_ranks=2))
+        model.run(num_steps=3)
+        return model.gather_output()
+
+    def test_census_counts_storms(self, output):
+        census = storm_census(output)
+        assert census.n_cells >= 1
+        assert 0.0 < census.cloudy_fraction < 1.0
+        assert census.max_updraft > 0
+        assert "storm census" in census.format_report()
+
+    def test_empty_domain_has_no_cells(self, output):
+        empty = {
+            "QCLOUD_TOTAL": np.zeros_like(output["QCLOUD_TOTAL"]),
+            "W": np.zeros_like(output["W"]),
+            "RAINNC": np.zeros_like(output["RAINNC"]),
+        }
+        census = storm_census(empty)
+        assert census.n_cells == 0
+        assert census.cloudy_fraction == 0.0
+
+    def test_two_separated_blobs_are_two_cells(self):
+        qc = np.zeros((10, 4, 10))
+        qc[1:3, 2, 1:3] = 1e-6
+        qc[7:9, 2, 7:9] = 1e-6
+        census = storm_census(
+            {"QCLOUD_TOTAL": qc, "W": np.zeros_like(qc), "RAINNC": np.zeros((10, 10))}
+        )
+        assert census.n_cells == 2
+
+
+class TestPrecipRate:
+    def test_rate_from_accumulation(self):
+        before = np.zeros((4, 4))
+        after = np.full((4, 4), 10.0)
+        rate = precipitation_rate(before, after, dt=5.0)
+        np.testing.assert_allclose(rate, 2.0)
+
+    def test_negative_deltas_clamped(self):
+        rate = precipitation_rate(np.ones((2, 2)), np.zeros((2, 2)), dt=1.0)
+        assert (rate == 0.0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            precipitation_rate(np.zeros((2, 2)), np.zeros((3, 2)), dt=1.0)
+        with pytest.raises(ValueError):
+            precipitation_rate(np.zeros((2, 2)), np.zeros((2, 2)), dt=0.0)

@@ -1,0 +1,62 @@
+"""On-disk history output and the diffwrf command-line tool."""
+
+import glob
+
+import pytest
+
+from repro.core.env import PAPER_ENV
+from repro.optim.stages import Stage
+from repro.wrf.diffwrf import main as diffwrf_main
+from repro.wrf.io import read_wrfout
+from repro.wrf.model import WrfModel
+from repro.wrf.namelist import conus12km_namelist
+
+
+def _run_with_history(tmp_path, stage=Stage.BASELINE, subdir="run"):
+    out = tmp_path / subdir
+    out.mkdir()
+    kw = dict(
+        scale=0.05,
+        num_ranks=2,
+        stage=stage,
+        history_interval=10.0,
+        history_path=str(out),
+    )
+    if stage.uses_gpu:
+        kw.update(num_gpus=2, env=PAPER_ENV)
+    model = WrfModel(conus12km_namelist(**kw))
+    try:
+        model.run(num_steps=3)
+    finally:
+        model.close()
+    return sorted(glob.glob(str(out / "wrfout_d01_*.npz")))
+
+
+def test_history_files_written_with_attrs(tmp_path):
+    files = _run_with_history(tmp_path)
+    assert files, "history frames written at the interval"
+    fields, attrs = read_wrfout(files[0])
+    assert "T" in fields and "RAINNC" in fields
+    assert attrs["stage"] == "baseline"
+    assert attrs["dx"] == 12_000.0
+
+
+def test_diffwrf_cli_identical_runs_exit_zero(tmp_path, capsys):
+    a = _run_with_history(tmp_path, subdir="a")
+    b = _run_with_history(tmp_path, subdir="b")
+    rc = diffwrf_main([a[-1], b[-1]])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "bitwise identical" in out
+
+
+def test_diffwrf_cli_cpu_vs_gpu_reports_digits(tmp_path, capsys):
+    cpu = _run_with_history(tmp_path, stage=Stage.BASELINE, subdir="cpu")
+    gpu = _run_with_history(
+        tmp_path, stage=Stage.OFFLOAD_COLLAPSE3, subdir="gpu"
+    )
+    rc = diffwrf_main([cpu[-1], gpu[-1]])
+    out = capsys.readouterr().out
+    assert rc == 1  # differences found (fp32 device arithmetic)
+    assert "Files differ" in out
+    assert "digits" in out

@@ -1,0 +1,118 @@
+"""End-to-end model runs: clocks, history, output assembly."""
+
+import numpy as np
+import pytest
+
+from repro.core.clock import TimeBucket
+from repro.optim.stages import Stage
+from repro.wrf.model import WrfModel
+from repro.wrf.namelist import conus12km_namelist
+
+
+@pytest.fixture(scope="module")
+def baseline_result():
+    model = WrfModel(conus12km_namelist(scale=0.05, num_ranks=2))
+    result = model.run(num_steps=3)
+    return model, result
+
+
+class TestRun:
+    def test_elapsed_accumulates(self, baseline_result):
+        _, result = baseline_result
+        assert result.elapsed > 0
+        assert result.steps_run == 3
+        assert len(result.step_timings) == 3
+        assert result.per_step_elapsed == pytest.approx(result.elapsed / 3)
+
+    def test_projection_to_full_run_length(self, baseline_result):
+        _, result = baseline_result
+        full = result.projected_total()
+        assert full == pytest.approx(result.per_step_elapsed * 120)
+
+    def test_regions_populated(self, baseline_result):
+        _, result = baseline_result
+        for region in ("solve_em", "fast_sbm", "rk_scalar_tend", "rk_update_scalar"):
+            assert result.region_seconds(region) > 0, region
+
+    def test_every_rank_charged(self, baseline_result):
+        _, result = baseline_result
+        for clock in result.rank_clocks:
+            assert clock.total > 0
+            assert clock.bucket(TimeBucket.MPI) > 0
+
+    def test_physics_evolves_state(self, baseline_result):
+        model, _ = baseline_result
+        out = model.gather_output()
+        assert out["QCLOUD_TOTAL"].sum() > 0
+        assert np.abs(out["W"]).max() > 0
+
+    def test_gathered_output_shapes(self, baseline_result):
+        model, _ = baseline_result
+        out = model.gather_output()
+        dom = model.namelist.domain
+        assert out["T"].shape == (dom.nx, dom.nz, dom.ny)
+        assert out["RAINNC"].shape == (dom.nx, dom.ny)
+        assert (out["T"] > 0).all()  # every cell filled by some patch
+
+
+class TestHistory:
+    def test_history_written_at_interval(self):
+        nl = conus12km_namelist(
+            scale=0.05, num_ranks=2, history_interval=10.0
+        )
+        model = WrfModel(nl)
+        model.run(num_steps=3)  # 15 simulated seconds -> one history due
+        assert model.clocks[0].bucket(TimeBucket.IO) > 0
+
+    def test_no_history_by_default(self, baseline_result):
+        _, result = baseline_result
+        assert result.rank_clocks[0].bucket(TimeBucket.IO) == 0.0
+
+
+class TestGpuModel:
+    def test_offloaded_run_uses_devices(self):
+        from repro.core.env import PAPER_ENV
+
+        nl = conus12km_namelist(
+            scale=0.05,
+            num_ranks=2,
+            stage=Stage.OFFLOAD_COLLAPSE3,
+            num_gpus=2,
+            env=PAPER_ENV,
+        )
+        model = WrfModel(nl)
+        try:
+            result = model.run(num_steps=2)
+            assert any(len(records) > 0 for records in result.kernel_records)
+            assert result.scheduler.breakdown["gpu"] > 0
+        finally:
+            model.close()
+
+    def test_shared_gpu_two_ranks_one_device(self):
+        from repro.core.env import PAPER_ENV
+
+        nl = conus12km_namelist(
+            scale=0.05,
+            num_ranks=2,
+            stage=Stage.OFFLOAD_COLLAPSE3,
+            num_gpus=1,
+            env=PAPER_ENV,
+        )
+        model = WrfModel(nl)
+        try:
+            model.run(num_steps=1)
+            assert len(model.gpu_pool.devices[0].contexts) == 2
+        finally:
+            model.close()
+
+
+class TestDeterminism:
+    def test_same_namelist_same_results(self):
+        nl = conus12km_namelist(scale=0.05, num_ranks=2, seed=11)
+        m1 = WrfModel(nl)
+        m2 = WrfModel(nl)
+        m1.run(num_steps=2)
+        m2.run(num_steps=2)
+        o1, o2 = m1.gather_output(), m2.gather_output()
+        for name in o1:
+            np.testing.assert_array_equal(o1[name], o2[name])

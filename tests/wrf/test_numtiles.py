@@ -1,0 +1,50 @@
+"""OpenMP tiling (numtiles) in the CPU cost path."""
+
+import pytest
+
+from repro.core.costmodel import CpuCostModel
+from repro.hardware.specs import EPYC_MILAN
+from repro.wrf.model import WrfModel
+from repro.wrf.namelist import conus12km_namelist
+
+
+class TestThreadSpeedup:
+    def test_single_thread_is_identity(self):
+        m = CpuCostModel(cpu=EPYC_MILAN, threads=1)
+        assert m.thread_speedup() == 1.0
+
+    def test_speedup_sublinear(self):
+        m8 = CpuCostModel(cpu=EPYC_MILAN, threads=8)
+        assert 5.0 < m8.thread_speedup() < 8.0
+
+    def test_compute_bound_work_scales_with_threads(self):
+        one = CpuCostModel(cpu=EPYC_MILAN, threads=1)
+        eight = CpuCostModel(cpu=EPYC_MILAN, threads=8)
+        assert eight.time(1e10, 1e6) < one.time(1e10, 1e6) / 5
+
+    def test_bandwidth_bound_work_saturates(self):
+        """Threads cannot beat the socket's bandwidth share."""
+        one = CpuCostModel(
+            cpu=EPYC_MILAN, threads=1, active_cores_on_socket=64
+        )
+        eight = CpuCostModel(
+            cpu=EPYC_MILAN, threads=8, active_cores_on_socket=64
+        )
+        assert eight.time(0.0, 1e10) == pytest.approx(one.time(0.0, 1e10))
+
+
+class TestModelIntegration:
+    def test_numtiles_speeds_the_run(self):
+        base = WrfModel(
+            conus12km_namelist(scale=0.05, num_ranks=2, numtiles=1)
+        ).run(num_steps=2)
+        tiled = WrfModel(
+            conus12km_namelist(scale=0.05, num_ranks=2, numtiles=4)
+        ).run(num_steps=2)
+        assert tiled.elapsed < base.elapsed
+        # But sublinearly (tile efficiency + bandwidth sharing).
+        assert tiled.elapsed > base.elapsed / 4
+
+    def test_paper_configuration_is_one_thread(self):
+        nl = conus12km_namelist()
+        assert nl.numtiles == 1

@@ -1,0 +1,83 @@
+"""The full RK3 integrator option."""
+
+import numpy as np
+import pytest
+
+from repro.wrf.dynamics import WindSplit, rk3_advect, rk_scalar_tend
+from repro.wrf.model import WrfModel
+from repro.wrf.namelist import conus12km_namelist
+
+
+def _setup(shape=(16, 4, 8), u=50.0):
+    rng = np.random.default_rng(0)
+    s = rng.uniform(0, 1, shape)
+    split = WindSplit.build(
+        np.full(shape, u), np.zeros(shape), np.zeros(shape), 1000.0, 500.0
+    )
+    return s, split
+
+
+def test_rk3_close_to_euler_at_small_dt():
+    s_euler, split = _setup()
+    s_rk3 = s_euler.copy()
+    dt = 0.1  # CFL = 0.005: the schemes converge
+    s_euler += dt * rk_scalar_tend(s_euler, split)
+    rk3_advect(s_rk3, split, dt)
+    np.testing.assert_allclose(s_rk3, s_euler, atol=1e-4)
+
+
+def test_rk3_differs_at_large_dt():
+    s_euler, split = _setup()
+    s_rk3 = s_euler.copy()
+    dt = 10.0
+    s_euler += dt * rk_scalar_tend(s_euler, split)
+    rk3_advect(s_rk3, split, dt)
+    assert not np.allclose(s_rk3, s_euler)
+
+
+def test_rk3_conserves_interior_mass():
+    shape = (20, 3, 20)
+    s = np.zeros(shape)
+    s[8:12, :, 8:12] = 1.0
+    split = WindSplit.build(
+        np.full(shape, 10.0),
+        np.full(shape, 5.0),
+        np.zeros(shape),
+        1000.0,
+        500.0,
+    )
+    total0 = s.sum()
+    rk3_advect(s, split, dt=5.0)
+    assert s.sum() == pytest.approx(total0, rel=1e-12)
+
+
+def test_rk3_clip_negative():
+    s, split = _setup()
+    s -= 0.5  # force negatives after update
+    rk3_advect(s, split, dt=1.0, clip_negative=True)
+    assert s.min() >= 0.0
+
+
+def test_rk3_stable_over_many_steps():
+    s, split = _setup()
+    peak0 = np.abs(s).max()
+    for _ in range(50):
+        rk3_advect(s, split, dt=5.0)
+    assert np.isfinite(s).all()
+    assert np.abs(s).max() <= peak0 * 1.01  # donor cell is diffusive
+
+
+def test_model_runs_with_rk3_numerics():
+    nl = conus12km_namelist(scale=0.05, num_ranks=2, use_rk3_numerics=True)
+    model = WrfModel(nl)
+    result = model.run(num_steps=2)
+    out = model.gather_output()
+    assert np.isfinite(out["T"]).all()
+    assert out["QCLOUD_TOTAL"].sum() > 0
+    # Simulated cost nearly identical to the Euler-numerics run: the
+    # cost model always charges RK3; the residual difference comes from
+    # the slightly different physics activity the two integrators evolve.
+    euler = WrfModel(
+        conus12km_namelist(scale=0.05, num_ranks=2, use_rk3_numerics=False)
+    ).run(num_steps=2)
+    assert result.elapsed == pytest.approx(euler.elapsed, rel=0.05)
