@@ -14,7 +14,12 @@ Reproduces the pieces of Codee's workflow the paper relies on
   ``map(from:)``) (`repro.codee.dependence`),
 * ``rewrite --offload omp`` — the autofix that inserts
   ``!$omp target teams distribute parallel do`` directives, emitting
-  Listing 4 from Listing 3 (`repro.codee.rewrite`).
+  Listing 4 from Listing 3 (`repro.codee.rewrite`),
+* ``verify`` — static validation of directives already in the source:
+  data races, map-clause completeness/direction, ``collapse`` legality,
+  device stack pressure, and ``enter/exit data`` pairing
+  (`repro.codee.verifier`), with SARIF 2.1.0 output
+  (`repro.codee.sarif`).
 
 The front end handles the Fortran subset the FSBM sources use:
 modules, subroutines/functions, declarations with attributes, ``do``
@@ -35,6 +40,15 @@ from repro.codee.screening import screening_report, ScreeningReport
 from repro.codee.checks import run_checks, Finding
 from repro.codee.rewrite import offload_rewrite
 from repro.codee.compile_commands import CompileCommand, load_compile_commands
+from repro.codee.omp_directives import parse_omp_directive
+from repro.codee.verifier import (
+    VerifierConfig,
+    Violation,
+    sort_violations,
+    verify_source,
+    verify_text,
+)
+from repro.codee.sarif import to_sarif, validate_sarif
 
 __all__ = [
     "tokenize",
@@ -55,4 +69,12 @@ __all__ = [
     "offload_rewrite",
     "CompileCommand",
     "load_compile_commands",
+    "parse_omp_directive",
+    "VerifierConfig",
+    "Violation",
+    "sort_violations",
+    "verify_source",
+    "verify_text",
+    "to_sarif",
+    "validate_sarif",
 ]

@@ -6,14 +6,24 @@
     python -m repro.codee checks --config compile_commands.json
     python -m repro.codee checks file.f90
     python -m repro.codee rewrite --offload omp --in-place file.f90:LINE:COL
+    python -m repro.codee verify file.f90 --format sarif
+    python -m repro.codee verify --all
 
 The ``rewrite`` target syntax (``file:line:col``) matches Codee's; the
 column is accepted and ignored (our loop locator works per line).
+
+Exit-code contract (CI gates key off it):
+
+* ``0`` — clean, or only advisory findings (modernization/optimization
+  for ``checks``; warnings for ``verify``);
+* ``1`` — usage, I/O, or Fortran parse error;
+* ``2`` — correctness findings/violations present.
 """
 
 from __future__ import annotations
 
 import argparse
+import json as _json
 import sys
 from pathlib import Path
 
@@ -22,7 +32,12 @@ from repro.codee.compile_commands import fortran_units, load_compile_commands
 from repro.codee.fparser import parse_source
 from repro.codee.rewrite import offload_rewrite
 from repro.codee.screening import screening_report
-from repro.errors import CodeeError, FortranSyntaxError, RewriteError
+from repro.errors import (
+    CodeeError,
+    ConfigurationError,
+    FortranSyntaxError,
+    RewriteError,
+)
 
 
 def _gather_sources(args: argparse.Namespace) -> dict[str, str]:
@@ -53,8 +68,62 @@ def cmd_checks(args: argparse.Namespace) -> int:
     findings = []
     for path, text in sorted(_gather_sources(args).items()):
         findings.extend(run_checks(parse_source(text, path)))
+    findings.sort(key=lambda f: (f.path, f.line, f.check_id))
     print(format_checks_report(findings))
-    return 0 if not findings else 2
+    # Exit-code contract: only correctness findings gate CI; advisory
+    # modernization/optimization findings still print but exit 0.
+    return 2 if any(f.category == "correctness" for f in findings) else 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.codee import sources as embedded
+    from repro.codee.sarif import to_sarif
+    from repro.codee.verifier import (
+        VerifierConfig,
+        format_verify_report,
+        has_errors,
+        sort_violations,
+        verify_text,
+    )
+    from repro.core.env import parse_size
+
+    texts: dict[str, str] = {}
+    if args.all:
+        texts.update(embedded.embedded_sources())
+        # Also verify the directive-bearing source our own rewriter
+        # emits (the paper's Listing 4), so --all exercises a real
+        # offload region, not just directive-free inputs.
+        loop_line = (
+            parse_source(embedded.KERNALS_KS_SOURCE)
+            .modules[0]
+            .routines[0]
+            .loops()[0]
+            .line
+        )
+        texts["kernals_ks_offloaded.f90"] = offload_rewrite(
+            embedded.KERNALS_KS_SOURCE, line=loop_line
+        ).source
+    if args.files or args.config:
+        texts.update(_gather_sources(args))
+    if not texts:
+        raise CodeeError("verify needs files, --config, or --all")
+
+    config = VerifierConfig(
+        stack_bytes=parse_size(args.stack_budget),
+        heap_bytes=parse_size(args.heap_budget),
+    )
+    violations = []
+    for path, text in sorted(texts.items()):
+        violations.extend(verify_text(text, path, config))
+    violations = sort_violations(violations)
+
+    if args.format == "json":
+        print(_json.dumps([v.as_dict() for v in violations], indent=2))
+    elif args.format == "sarif":
+        print(_json.dumps(to_sarif(violations), indent=2))
+    else:
+        print(format_verify_report(violations))
+    return 2 if has_errors(violations) else 0
 
 
 def cmd_rewrite(args: argparse.Namespace) -> int:
@@ -86,10 +155,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_scr.add_argument("--config", help="compile_commands.json from bear")
     p_scr.set_defaults(func=cmd_screening)
 
-    p_chk = sub.add_parser("checks", help="run the Open-Catalog checkers")
+    p_chk = sub.add_parser(
+        "checks",
+        help="run the Open-Catalog checkers",
+        description="Run the Open-Catalog checkers. Exit codes: 0 = no "
+        "correctness findings (advisory modernization/optimization "
+        "findings may still print), 1 = usage or parse error, 2 = "
+        "correctness findings present (CI gate).",
+    )
     p_chk.add_argument("files", nargs="*", help="Fortran source files")
     p_chk.add_argument("--config", help="compile_commands.json from bear")
     p_chk.set_defaults(func=cmd_checks)
+
+    p_ver = sub.add_parser(
+        "verify",
+        help="statically verify existing OpenMP offload directives",
+        description="Race/mapping/collapse/stack/pairing validation of "
+        "!$omp offload regions already present in the source. Exit "
+        "codes: 0 = clean (or warnings only), 1 = usage or parse error, "
+        "2 = correctness violations present (CI gate).",
+    )
+    p_ver.add_argument("files", nargs="*", help="Fortran source files")
+    p_ver.add_argument("--config", help="compile_commands.json from bear")
+    p_ver.add_argument(
+        "--all",
+        action="store_true",
+        help="verify every embedded FSBM source (the repo lint gate)",
+    )
+    p_ver.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (sarif = SARIF 2.1.0)",
+    )
+    p_ver.add_argument(
+        "--stack-budget",
+        default="1024",
+        help="per-thread device stack budget (NV_ACC_CUDA_STACKSIZE, "
+        "accepts 64KB-style sizes)",
+    )
+    p_ver.add_argument(
+        "--heap-budget",
+        default="32MB",
+        help="device heap budget for spilled frames (NV_ACC_CUDA_HEAPSIZE)",
+    )
+    p_ver.set_defaults(func=cmd_verify)
 
     p_rw = sub.add_parser("rewrite", help="insert OpenMP offload directives")
     p_rw.add_argument("target", help="file.f90:line[:col] of the loop")
@@ -104,10 +214,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors; our contract reserves 2 for
+        # correctness findings, so remap CLI misuse to 1 (--help stays 0).
+        return 1 if exc.code else 0
     try:
         return args.func(args)
-    except (CodeeError, FortranSyntaxError, RewriteError, OSError) as exc:
+    except (
+        CodeeError,
+        ConfigurationError,
+        FortranSyntaxError,
+        RewriteError,
+        OSError,
+    ) as exc:
         print(f"codee: error: {exc}", file=sys.stderr)
         return 1
 

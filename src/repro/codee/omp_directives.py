@@ -1,0 +1,252 @@
+"""Parse ``!$omp`` sentinel text back into `repro.core.directives` objects.
+
+`repro.codee.rewrite` *emits* directive objects as Fortran text; this
+module is the inverse: it consumes the sentinel lines the lexer
+preserved (continuations already joined into one logical line) and
+reconstructs the typed construct so the verifier can reason about the
+clauses of directives that already exist in a source file — whether
+they came from our own rewriter, from Codee, or from a hand edit.
+
+Only the constructs the paper's workflow uses are recognized; anything
+else is returned as :class:`UnknownDirective` so callers can decide
+whether unknown sentinels are an error or noise.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.directives import (
+    DeclareTarget,
+    Map,
+    MapType,
+    Reduction,
+    TargetEnterData,
+    TargetExitData,
+    TargetTeamsDistributeParallelDo,
+)
+from repro.errors import CodeeError
+
+
+class DirectiveSyntaxError(CodeeError):
+    """An ``!$omp`` sentinel could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+@dataclass(frozen=True, slots=True)
+class SimdDirective:
+    """``!$omp simd`` on an inner loop (no clauses we act on)."""
+
+
+@dataclass(frozen=True, slots=True)
+class UnknownDirective:
+    """A sentinel the parser does not model (kept for diagnostics)."""
+
+    text: str
+
+
+ParsedDirective = (
+    TargetTeamsDistributeParallelDo
+    | TargetEnterData
+    | TargetExitData
+    | DeclareTarget
+    | SimdDirective
+    | UnknownDirective
+)
+
+_SENTINEL_RE = re.compile(r"^!\$omp\s+", re.IGNORECASE)
+
+#: ``clause(...)`` with a balanced single level of nesting inside the
+#: parens (enough for ``map(to: a(:, 1:n))``-style sections).
+_CLAUSE_RE = re.compile(
+    r"(?P<name>[a-z_]+)\s*(?:\((?P<args>(?:[^()]|\([^()]*\))*)\))?",
+    re.IGNORECASE,
+)
+
+_MAP_TYPES = {t.value: t for t in MapType}
+_MAP_MODIFIERS = {"always", "close", "present"}
+
+
+def _base_names(csv: str) -> tuple[str, ...]:
+    """Variable base names from a clause list, array sections stripped."""
+    names: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in csv + ",":
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            item = "".join(current).strip()
+            if item:
+                names.append(item.split("(")[0].strip())
+            current = []
+            continue
+        current.append(ch)
+    return tuple(names)
+
+
+def _parse_map_clause(args: str, line: int) -> Map:
+    """``map([modifier,] [type:] var, ...)`` -> :class:`Map`."""
+    map_type = MapType.TOFROM  # OpenMP default when no type is given
+    body = args
+    if ":" in args:
+        head, _, rest = args.partition(":")
+        head_words = [w.strip().lower() for w in head.split(",")]
+        type_word = head_words[-1]
+        if type_word not in _MAP_TYPES:
+            raise DirectiveSyntaxError(
+                f"unknown map type {type_word!r} in map({args})", line
+            )
+        for mod in head_words[:-1]:
+            if mod not in _MAP_MODIFIERS:
+                raise DirectiveSyntaxError(
+                    f"unknown map modifier {mod!r} in map({args})", line
+                )
+        map_type = _MAP_TYPES[type_word]
+        body = rest
+    names = _base_names(body)
+    if not names:
+        raise DirectiveSyntaxError(f"empty map clause map({args})", line)
+    return Map(map_type, names)
+
+
+def _parse_reduction_clause(args: str, line: int) -> Reduction:
+    if ":" not in args:
+        raise DirectiveSyntaxError(
+            f"reduction clause needs 'op: vars': reduction({args})", line
+        )
+    op, _, rest = args.partition(":")
+    names = _base_names(rest)
+    if not names:
+        raise DirectiveSyntaxError(f"empty reduction clause reduction({args})", line)
+    try:
+        return Reduction(op.strip().lower(), names)
+    except Exception as exc:  # ConfigurationError -> parse error with line
+        raise DirectiveSyntaxError(str(exc), line) from exc
+
+
+def _parse_int_clause(name: str, args: str | None, line: int) -> int:
+    if args is None or not args.strip().isdigit():
+        raise DirectiveSyntaxError(
+            f"{name} clause needs an integer argument, got {args!r}", line
+        )
+    return int(args.strip())
+
+
+def _strip_construct(body: str, *keywords: str) -> str | None:
+    """Remove the leading construct keywords; None when they don't match."""
+    rest = body
+    for kw in keywords:
+        m = re.match(rf"\s*{kw}\b", rest, re.IGNORECASE)
+        if m is None:
+            return None
+        rest = rest[m.end() :]
+    return rest
+
+
+def _parse_combined_construct(
+    clause_text: str, line: int
+) -> TargetTeamsDistributeParallelDo:
+    collapse = 1
+    maps: list[Map] = []
+    private: tuple[str, ...] = ()
+    firstprivate: tuple[str, ...] = ()
+    reductions: list[Reduction] = []
+    num_teams: int | None = None
+    thread_limit: int | None = None
+    simd_inner = False
+    for m in _CLAUSE_RE.finditer(clause_text):
+        name = m.group("name").lower()
+        args = m.group("args")
+        if name == "collapse":
+            collapse = _parse_int_clause("collapse", args, line)
+        elif name == "num_teams":
+            num_teams = _parse_int_clause("num_teams", args, line)
+        elif name == "thread_limit":
+            thread_limit = _parse_int_clause("thread_limit", args, line)
+        elif name == "private":
+            private = private + _base_names(args or "")
+        elif name == "firstprivate":
+            firstprivate = firstprivate + _base_names(args or "")
+        elif name == "reduction":
+            reductions.append(_parse_reduction_clause(args or "", line))
+        elif name == "map":
+            maps.append(_parse_map_clause(args or "", line))
+        elif name == "simd":
+            simd_inner = True
+        else:
+            raise DirectiveSyntaxError(
+                f"unsupported clause {name!r} on combined target construct", line
+            )
+    return TargetTeamsDistributeParallelDo(
+        collapse=collapse,
+        maps=tuple(maps),
+        private=private,
+        firstprivate=firstprivate,
+        reductions=tuple(reductions),
+        simd_inner=simd_inner,
+        num_teams=num_teams,
+        thread_limit=thread_limit,
+    )
+
+
+def _parse_data_maps(clause_text: str, line: int) -> tuple[Map, ...]:
+    maps: list[Map] = []
+    for m in _CLAUSE_RE.finditer(clause_text):
+        name = m.group("name").lower()
+        if name != "map":
+            raise DirectiveSyntaxError(
+                f"unsupported clause {name!r} on target data directive", line
+            )
+        maps.append(_parse_map_clause(m.group("args") or "", line))
+    if not maps:
+        raise DirectiveSyntaxError("target data directive without map clauses", line)
+    return tuple(maps)
+
+
+def parse_omp_directive(text: str, line: int = 0) -> ParsedDirective:
+    """Parse one joined ``!$omp`` logical line into a directive object."""
+    m = _SENTINEL_RE.match(text.strip())
+    if m is None:
+        raise DirectiveSyntaxError(f"not an !$omp sentinel: {text!r}", line)
+    body = text.strip()[m.end() :]
+    if body.rstrip().endswith("&"):
+        # The lexer only joins continuations onto following '!$omp'
+        # sentinel lines; a leftover '&' means the continuation dangled.
+        raise DirectiveSyntaxError(
+            "dangling '&': the next line does not continue this directive",
+            line,
+        )
+
+    rest = _strip_construct(body, "target", "teams", "distribute")
+    if rest is not None:
+        # Optional 'parallel do' tail ('!$omp parallel do' continuation
+        # lines are joined by the lexer into this same logical line).
+        tail = _strip_construct(rest, "parallel", "do")
+        return _parse_combined_construct(tail if tail is not None else rest, line)
+
+    rest = _strip_construct(body, "target", "enter", "data")
+    if rest is not None:
+        return TargetEnterData(maps=_parse_data_maps(rest, line))
+
+    rest = _strip_construct(body, "target", "exit", "data")
+    if rest is not None:
+        return TargetExitData(maps=_parse_data_maps(rest, line))
+
+    rest = _strip_construct(body, "declare", "target")
+    if rest is not None:
+        names = _base_names(rest.strip().lstrip("(").rstrip(")"))
+        return DeclareTarget(names=names)
+
+    if _strip_construct(body, "simd") is not None:
+        return SimdDirective()
+
+    return UnknownDirective(text=text.strip())

@@ -31,10 +31,13 @@ class RewriteResult:
     directive: TargetTeamsDistributeParallelDo
     report: DependenceReport
     loop_line: int
+    #: The input text the rewrite started from.
+    original: str = ""
 
     @property
     def modified(self) -> bool:
-        return True
+        """Whether the emitted source actually differs from the input."""
+        return self.source != self.original
 
 
 def _locate_loop(
@@ -123,4 +126,5 @@ def offload_rewrite(
         directive=directive,
         report=report,
         loop_line=loop.line,
+        original=source,
     )

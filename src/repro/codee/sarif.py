@@ -1,0 +1,265 @@
+"""SARIF 2.1.0 output for verifier/checker findings.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard CI systems ingest; emitting it makes ``codee verify`` a
+drop-in gate for code-scanning pipelines. :func:`to_sarif` builds a
+minimal-but-valid ``sarifLog``; :data:`SARIF_SCHEMA` is the subset of
+the official 2.1.0 JSON Schema the log must satisfy, and
+:func:`validate_sarif` checks a document against it (via ``jsonschema``
+when available, with an equivalent structural fallback otherwise, so
+the validation gate works in dependency-free environments).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.codee.verifier import Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: The subset of the official SARIF 2.1.0 schema our logs must satisfy
+#: (draft-07 dialect, as the spec uses). Field names, required sets,
+#: and enums match the standard.
+SARIF_SCHEMA: dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": SARIF_VERSION},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": [
+                                        "none",
+                                        "note",
+                                        "warning",
+                                        "error",
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"},
+                                    },
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type": "string"
+                                                            },
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def to_sarif(
+    violations: list["Violation"],
+    tool_name: str = "codee-verify",
+    rules: dict[str, tuple[str, str]] | None = None,
+) -> dict:
+    """Render findings as a SARIF 2.1.0 ``sarifLog`` object."""
+    if rules is None:
+        from repro.codee.verifier import CHECK_RULES
+
+        rules = CHECK_RULES
+    rule_ids = sorted(rules)
+    results = []
+    for v in violations:
+        results.append(
+            {
+                "ruleId": v.check_id,
+                "ruleIndex": rule_ids.index(v.check_id)
+                if v.check_id in rule_ids
+                else -1,
+                "level": "error" if v.severity == "error" else "warning",
+                "message": {"text": f"{v.title}: {v.detail}"},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": v.path},
+                            "region": {"startLine": max(1, v.line)},
+                        }
+                    }
+                ],
+                "properties": {
+                    "routine": v.routine,
+                    "category": v.category,
+                },
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": (
+                            "https://open-catalog.codee.com/"
+                        ),
+                        "rules": [
+                            {
+                                "id": cid,
+                                "name": rules[cid][0],
+                                "shortDescription": {"text": rules[cid][0]},
+                                "fullDescription": {"text": rules[cid][1]},
+                            }
+                            for cid in rule_ids
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def _structural_errors(doc: object) -> list[str]:
+    """Fallback validator mirroring :data:`SARIF_SCHEMA`."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["sarifLog must be an object"]
+    if doc.get("version") != SARIF_VERSION:
+        errors.append(f"version must be {SARIF_VERSION!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        return errors + ["runs must be an array"]
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        if not isinstance(run, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(
+            run.get("tool"), dict
+        ) else None
+        if not isinstance(driver, dict) or not isinstance(
+            driver.get("name"), str
+        ):
+            errors.append(f"{where}.tool.driver.name missing")
+        else:
+            for j, rule in enumerate(driver.get("rules", [])):
+                if not isinstance(rule, dict) or not isinstance(
+                    rule.get("id"), str
+                ):
+                    errors.append(f"{where}.tool.driver.rules[{j}].id missing")
+        results = run.get("results")
+        if not isinstance(results, list):
+            errors.append(f"{where}.results must be an array")
+            continue
+        for j, res in enumerate(results):
+            rwhere = f"{where}.results[{j}]"
+            if not isinstance(res, dict):
+                errors.append(f"{rwhere} must be an object")
+                continue
+            message = res.get("message")
+            if not isinstance(message, dict) or not isinstance(
+                message.get("text"), str
+            ):
+                errors.append(f"{rwhere}.message.text missing")
+            if "level" in res and res["level"] not in (
+                "none",
+                "note",
+                "warning",
+                "error",
+            ):
+                errors.append(f"{rwhere}.level invalid")
+            for k, loc in enumerate(res.get("locations", [])):
+                phys = loc.get("physicalLocation", {}) if isinstance(
+                    loc, dict
+                ) else {}
+                region = phys.get("region", {})
+                start = region.get("startLine")
+                if start is not None and (
+                    not isinstance(start, int) or start < 1
+                ):
+                    errors.append(
+                        f"{rwhere}.locations[{k}].region.startLine must be "
+                        ">= 1"
+                    )
+    return errors
+
+
+def validate_sarif(doc: object) -> list[str]:
+    """Validation errors for a SARIF 2.1.0 document (empty == valid)."""
+    try:
+        import jsonschema
+    except ImportError:  # pragma: no cover - env without jsonschema
+        return _structural_errors(doc)
+    validator = jsonschema.Draft7Validator(SARIF_SCHEMA)
+    return [
+        f"{'/'.join(str(p) for p in e.absolute_path) or '<root>'}: {e.message}"
+        for e in validator.iter_errors(doc)
+    ]

@@ -310,6 +310,98 @@ end module module_mp_fast_sbm
 """
 
 
+#: Intentionally-broken offload code for the verifier's lint gate: each
+#: region seeds exactly one violation — a shared-scalar race (VFY001), a
+#: missing map clause (VFY002), an illegal ``collapse(3)`` over a
+#: non-rectangular (triangular) nest (VFY003), an automatic-array
+#: stack-budget overflow under full collapse (VFY004), and an unmatched
+#: ``target enter data`` (VFY005). Tests assert the verifier reports
+#: these and nothing else.
+BROKEN_OFFLOAD_SOURCE = """\
+module broken_offload
+  implicit none
+  integer, parameter :: nkr = 33
+  real :: acc(nkr,nkr), src(nkr,nkr), unmapped(nkr,nkr)
+contains
+
+subroutine race_region()
+  implicit none
+  integer :: i, j
+  real :: shared_tmp
+!$omp target teams distribute parallel do collapse(2) &
+!$omp map(to: src) map(from: acc)
+  do j = 1, nkr
+    do i = 1, nkr
+      shared_tmp = src(i,j) * 2.0
+      acc(i,j) = shared_tmp
+    enddo
+  enddo
+end subroutine race_region
+
+subroutine missing_map_region()
+  implicit none
+  integer :: i, j
+  real :: val
+!$omp target teams distribute parallel do collapse(2) private(val) &
+!$omp map(to: src)
+  do j = 1, nkr
+    do i = 1, nkr
+      val = src(i,j)
+      unmapped(i,j) = val * 0.5
+    enddo
+  enddo
+end subroutine missing_map_region
+
+subroutine triangular_region(out3, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(inout) :: out3(n, n, n)
+  integer :: i, j, k
+!$omp target teams distribute parallel do collapse(3) &
+!$omp map(tofrom: out3)
+  do k = 1, n
+    do j = 1, k
+      do i = 1, n
+        out3(i, j, k) = 0.0
+      enddo
+    enddo
+  enddo
+end subroutine triangular_region
+
+subroutine stack_region()
+  implicit none
+  integer :: i, j, k
+!$omp target teams distribute parallel do collapse(3)
+  do k = 1, nkr
+    do j = 1, nkr
+      do i = 1, nkr
+        call big_autos(i, j, k)
+      enddo
+    enddo
+  enddo
+end subroutine stack_region
+
+subroutine big_autos(ii, jj, kk)
+  implicit none
+!$omp declare target
+  integer, intent(in) :: ii, jj, kk
+  real :: w1(nkr,nkr), w2(nkr,nkr)
+  integer :: m
+  do m = 1, nkr
+    w1(m,1) = 0.0
+    w2(m,1) = 0.0
+  enddo
+end subroutine big_autos
+
+subroutine leaky_setup()
+  implicit none
+!$omp target enter data map(alloc: acc)
+end subroutine leaky_setup
+
+end module broken_offload
+"""
+
+
 def legacy_onecond_source() -> str:
     """Fixed-up variant of the legacy routine that actually parses.
 
@@ -329,3 +421,20 @@ subroutine onecond1(tps, qps, fl, nkr)
   enddo
 end subroutine onecond1
 """
+
+
+#: The embedded sources ``codee verify --all`` (and the pytest lint
+#: gate) run over. Every entry must verify clean; the intentionally
+#: broken :data:`BROKEN_OFFLOAD_SOURCE` is kept out of this registry and
+#: exercised separately with its expected seeded violations.
+def embedded_sources() -> dict[str, str]:
+    """name -> Fortran text of every clean embedded source."""
+    return {
+        "kernals_ks.f90": KERNALS_KS_SOURCE,
+        "main_loop.f90": MAIN_LOOP_SOURCE,
+        "fissioned_loop.f90": FISSIONED_LOOP_SOURCE,
+        "coal_bott_original.f90": COAL_BOTT_ORIGINAL_SOURCE,
+        "coal_bott_pointer.f90": COAL_BOTT_POINTER_SOURCE,
+        "full_module.f90": FULL_MODULE_SOURCE,
+        "onecond_legacy.f90": legacy_onecond_source(),
+    }

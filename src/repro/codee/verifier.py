@@ -1,0 +1,830 @@
+"""``codee verify``: static race / mapping / collapse / stack validation.
+
+`repro.codee.rewrite` can *generate* offload directives, but until now
+nothing could *check* directives that already exist in a source file —
+every hand-edited or pipeline-produced offload region was trusted
+blindly. This pass closes that gap with five checkers over each
+``!$omp target teams distribute parallel do`` region (and the
+surrounding data-movement directives):
+
+``VFY001`` **data-race detection**
+    A variable written inside the region that is neither a loop
+    iteration variable, nor in a ``private``/``firstprivate``/
+    ``reduction`` clause, nor a recognized reduction pattern
+    (``s = s + expr``) races between device threads. Array writes not
+    indexed by every collapsed loop variable race the same way.
+``VFY002`` **map-clause completeness and direction**
+    Every array referenced in the region must be covered by a ``map``
+    clause or by a live ``target enter data`` allocation (the
+    ``temp_arrays`` lifecycle). ``map(from:)`` is only legal when the
+    dependence analysis proves the array fully overwritten;
+    ``map(to:)`` on a written array silently discards results.
+``VFY003`` **collapse legality**
+    ``collapse(n)`` must not exceed the perfect-nest depth, must not
+    span non-rectangular loops (inner bounds depending on outer
+    collapsed variables), and must not cross a loop-carried dependence
+    (a collapsed variable read at an offset).
+``VFY004`` **device stack pressure**
+    Estimates the per-thread automatic-array frame of ``declare
+    target`` routines called from the region and replays the NVHPC
+    stack/heap admission rule statically: a frame that exceeds the
+    per-thread stack budget spills to device heap for every resident
+    thread, and a full collapse makes that demand exceed the heap —
+    the paper's ``collapse(3)`` CUDA stack overflow as a static
+    finding (Sec. VI-B).
+``VFY005`` **enter/exit data pairing**
+    Every ``target enter data`` allocation must have a matching
+    ``target exit data`` release somewhere in the translation unit,
+    and vice versa.
+
+The checkers are deliberately conservative in the same spirit as
+`repro.codee.dependence`: anything not provable is reported with an
+actionable reason. Calls inside a region are opaque to the race and
+map checkers (the stack checker resolves them for frame accounting);
+verifying callee bodies interprocedurally is out of scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codee.dependence import analyze_loop, collect_accesses
+from repro.codee.fast import (
+    Assignment,
+    BinOp,
+    CallStmt,
+    Directive,
+    DoLoop,
+    Expr,
+    Literal,
+    Module,
+    RangeExpr,
+    SourceFile,
+    Subroutine,
+    UnaryOp,
+    VarRef,
+    walk_expr,
+    walk_stmts,
+)
+from repro.codee.omp_directives import (
+    DirectiveSyntaxError,
+    SimdDirective,
+    UnknownDirective,
+    parse_omp_directive,
+)
+from repro.core.directives import (
+    DeclareTarget,
+    MapType,
+    TargetEnterData,
+    TargetExitData,
+    TargetTeamsDistributeParallelDo,
+)
+from repro.core.env import OffloadEnv
+from repro.hardware.specs import A100_40GB
+
+#: Stable identifiers of the five verifier checks.
+CHECK_RACE = "VFY001"
+CHECK_MAP = "VFY002"
+CHECK_COLLAPSE = "VFY003"
+CHECK_STACK = "VFY004"
+CHECK_PAIR = "VFY005"
+
+#: check_id -> (title, one-line help) for reports and SARIF rules.
+CHECK_RULES: dict[str, tuple[str, str]] = {
+    CHECK_RACE: (
+        "data race in offload region",
+        "a variable written in a target region must be private, a "
+        "reduction, or indexed by every collapsed loop variable",
+    ),
+    CHECK_MAP: (
+        "incomplete or wrong-direction map clause",
+        "every array referenced in a target region needs a map clause "
+        "or a live 'target enter data' allocation; map(from:) requires "
+        "a proven full overwrite",
+    ),
+    CHECK_COLLAPSE: (
+        "illegal collapse",
+        "collapse(n) must cover a rectangular perfect nest with no "
+        "dependence carried by a collapsed loop",
+    ),
+    CHECK_STACK: (
+        "device stack pressure",
+        "automatic arrays of device routines called under a collapse "
+        "must fit the per-thread stack or the device heap across all "
+        "resident threads",
+    ),
+    CHECK_PAIR: (
+        "unmatched target enter/exit data",
+        "every 'target enter data' allocation needs a matching "
+        "'target exit data' release in the translation unit",
+    ),
+}
+
+#: Reduction-pattern operators recognized by the race checker.
+_REDUCTION_BINOPS = {"+", "-", "*"}
+_REDUCTION_INTRINSICS = {"min", "max"}
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One verifier finding."""
+
+    check_id: str
+    title: str
+    path: str
+    line: int
+    routine: str
+    detail: str
+    #: "error" blocks (nonzero exit / pipeline gate); "warning" reports.
+    severity: str = "error"
+    category: str = "correctness"
+
+    def render(self) -> str:
+        return (
+            f"[{self.check_id}] {self.path}:{self.line} ({self.routine}): "
+            f"{self.title} — {self.detail}"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "check_id": self.check_id,
+            "title": self.title,
+            "path": self.path,
+            "line": self.line,
+            "routine": self.routine,
+            "detail": self.detail,
+            "severity": self.severity,
+            "category": self.category,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class VerifierConfig:
+    """Budgets for the stack-pressure model (defaults: bare NVHPC env)."""
+
+    #: Per-thread device stack budget (NV_ACC_CUDA_STACKSIZE).
+    stack_bytes: int = OffloadEnv().stack_bytes
+    #: Device heap budget for spilled frames (NV_ACC_CUDA_HEAPSIZE).
+    heap_bytes: int = OffloadEnv().heap_bytes
+    #: Trip count assumed for loops whose bounds are not compile-time
+    #: constants (one WRF tile dimension is a reasonable scale).
+    assumed_trip_count: int = 64
+    #: Cap on concurrently resident device threads (A100: 108 SMs x
+    #: 2048 threads).
+    max_resident_threads: int = A100_40GB.num_sms * A100_40GB.max_threads_per_sm
+
+    @classmethod
+    def from_env(cls, env: OffloadEnv) -> "VerifierConfig":
+        """Budgets from an offload environment (e.g. ``PAPER_ENV``)."""
+        return cls(stack_bytes=env.stack_bytes, heap_bytes=env.heap_bytes)
+
+
+@dataclass
+class OffloadRegion:
+    """One combined target construct attached to a loop nest."""
+
+    loop: DoLoop
+    directive: TargetTeamsDistributeParallelDo
+    directive_line: int
+    routine: Subroutine
+    module: Module | None
+
+
+@dataclass
+class _Unit:
+    """Everything the checkers need from one translation unit."""
+
+    sf: SourceFile
+    regions: list[OffloadRegion] = field(default_factory=list)
+    enter_data: list[tuple[TargetEnterData, int, Subroutine]] = field(
+        default_factory=list
+    )
+    exit_data: list[tuple[TargetExitData, int, Subroutine]] = field(
+        default_factory=list
+    )
+    #: name (lower) -> routine, for call resolution.
+    routines: dict[str, Subroutine] = field(default_factory=dict)
+    #: lowercase names of declare-target routines.
+    device_routines: set[str] = field(default_factory=set)
+    #: integer parameter values visible at module scope.
+    parameters: dict[str, int] = field(default_factory=dict)
+    syntax_violations: list[Violation] = field(default_factory=list)
+
+
+# --- expression evaluation (dims and trip counts) --------------------------
+
+
+def _eval_int(expr: Expr | None, params: dict[str, int]) -> int | None:
+    """Compile-time integer value of an expression, or None."""
+    if expr is None:
+        return None
+    if isinstance(expr, Literal):
+        try:
+            return int(expr.value)
+        except ValueError:
+            return None
+    if isinstance(expr, VarRef) and not expr.subscripts:
+        return params.get(expr.lowered)
+    if isinstance(expr, UnaryOp):
+        v = _eval_int(expr.operand, params)
+        if v is None:
+            return None
+        return -v if expr.op == "-" else v
+    if isinstance(expr, BinOp):
+        left = _eval_int(expr.left, params)
+        right = _eval_int(expr.right, params)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/" and right != 0:
+            return left // right
+        return None
+    return None
+
+
+def _dim_extent(dim: Expr, params: dict[str, int]) -> int | None:
+    """Element count along one declared dimension, if statically known."""
+    if isinstance(dim, RangeExpr):
+        lo = _eval_int(dim.lo, params)
+        hi = _eval_int(dim.hi, params)
+        if lo is None or hi is None:
+            return None
+        return max(0, hi - lo + 1)
+    return _eval_int(dim, params)
+
+
+_ELEM_BYTES = {"real": 4, "integer": 4, "logical": 4, "character": 1}
+
+
+def _automatic_frame_bytes(routine: Subroutine, params: dict[str, int]) -> int:
+    """Per-call bytes of automatic (non-pointer, non-dummy) local arrays."""
+    dummies = {a.lower() for a in routine.args}
+    total = 0
+    for d in routine.decls:
+        if d.is_pointer or d.is_parameter or "allocatable" in d.attrs:
+            continue
+        elem = _ELEM_BYTES.get(d.base_type, 4)
+        for e in d.entities:
+            if not e.dims or e.lowered in dummies:
+                continue
+            n = 1
+            for dim in e.dims:
+                extent = _dim_extent(dim, params)
+                if extent is None:
+                    n = 0  # unknown extent: skip conservatively
+                    break
+                n *= extent
+            total += n * elem
+    return total
+
+
+def _trip_count(loop: DoLoop, params: dict[str, int], assumed: int) -> int:
+    start = _eval_int(loop.start, params)
+    stop = _eval_int(loop.stop, params)
+    step = _eval_int(loop.step, params) if loop.step is not None else 1
+    if start is None or stop is None or not step:
+        return assumed
+    return max(0, (stop - start) // step + 1)
+
+
+# --- unit construction ------------------------------------------------------
+
+
+def _gather_parameters(sf: SourceFile) -> dict[str, int]:
+    params: dict[str, int] = {}
+    decl_scopes = [m.decls for m in sf.modules]
+    decl_scopes.extend(r.decls for r in sf.all_routines())
+    for decls in decl_scopes:
+        for d in decls:
+            if not d.is_parameter:
+                continue
+            for e in d.entities:
+                value = _eval_int(e.init, params)
+                if value is not None:
+                    params[e.lowered] = value
+    return params
+
+
+def _routine_directive_stmts(routine: Subroutine) -> list[Directive]:
+    """Spec-part plus executable-part directives, in order."""
+    out = list(routine.directives)
+    for stmt in walk_stmts(routine.body):
+        if isinstance(stmt, Directive):
+            out.append(stmt)
+        elif isinstance(stmt, DoLoop):
+            out.extend(stmt.directives)
+    return out
+
+
+def _build_unit(sf: SourceFile) -> _Unit:
+    unit = _Unit(sf=sf, parameters=_gather_parameters(sf))
+    pairs: list[tuple[Module | None, Subroutine]] = [(None, r) for r in sf.routines]
+    pairs.extend((m, r) for m in sf.modules for r in m.routines)
+    for module, routine in pairs:
+        unit.routines[routine.name.lower()] = routine
+        for d in _routine_directive_stmts(routine):
+            try:
+                parsed = parse_omp_directive(d.text, d.line)
+            except DirectiveSyntaxError as exc:
+                unit.syntax_violations.append(
+                    Violation(
+                        check_id=CHECK_MAP,
+                        title="unparseable !$omp directive",
+                        path=sf.path,
+                        line=d.line,
+                        routine=routine.name,
+                        detail=str(exc),
+                    )
+                )
+                continue
+            if isinstance(parsed, DeclareTarget):
+                unit.device_routines.add(routine.name.lower())
+            elif isinstance(parsed, TargetEnterData):
+                unit.enter_data.append((parsed, d.line, routine))
+            elif isinstance(parsed, TargetExitData):
+                unit.exit_data.append((parsed, d.line, routine))
+        for stmt in walk_stmts(routine.body):
+            if not isinstance(stmt, DoLoop) or not stmt.directives:
+                continue
+            for d in stmt.directives:
+                try:
+                    parsed = parse_omp_directive(d.text, d.line)
+                except DirectiveSyntaxError:
+                    continue  # reported above
+                if isinstance(parsed, TargetTeamsDistributeParallelDo):
+                    unit.regions.append(
+                        OffloadRegion(
+                            loop=stmt,
+                            directive=parsed,
+                            directive_line=d.line or stmt.line,
+                            routine=routine,
+                            module=module,
+                        )
+                    )
+                elif isinstance(parsed, (SimdDirective, UnknownDirective)):
+                    pass  # inner simd / unmodeled sentinels are not errors
+    return unit
+
+
+# --- per-region helpers -----------------------------------------------------
+
+
+def _known_arrays(region: OffloadRegion) -> set[str]:
+    arrays: set[str] = set()
+    scopes = [region.routine.decls]
+    if region.module is not None:
+        scopes.append(region.module.decls)
+    for decls in scopes:
+        for d in decls:
+            for e in d.entities:
+                if e.dims:
+                    arrays.add(e.lowered)
+    return arrays
+
+
+def _collapsed_vars(region: OffloadRegion) -> list[str]:
+    nest = [v.lower() for v in region.loop.nest_vars()]
+    return nest[: min(region.directive.collapse, len(nest))]
+
+
+def _all_loop_vars(loop: DoLoop) -> set[str]:
+    out = {loop.var.lower()}
+    for stmt in walk_stmts(loop.body):
+        if isinstance(stmt, DoLoop):
+            out.add(stmt.var.lower())
+    return out
+
+
+def _scalar_assignments(loop: DoLoop) -> dict[str, list[Assignment]]:
+    """All assignments to unsubscripted variables in the nest body."""
+    out: dict[str, list[Assignment]] = {}
+    for stmt in walk_stmts(loop.body):
+        if isinstance(stmt, Assignment) and not stmt.target.subscripts:
+            out.setdefault(stmt.target.lowered, []).append(stmt)
+    return out
+
+
+def _is_reduction_update(stmt: Assignment) -> bool:
+    """``s = s + expr`` / ``s = expr * s`` / ``s = min(s, expr)``."""
+    name = stmt.target.lowered
+    value = stmt.value
+    if isinstance(value, BinOp) and value.op in _REDUCTION_BINOPS:
+        for side in (value.left, value.right):
+            if isinstance(side, VarRef) and not side.subscripts and side.lowered == name:
+                return True
+        return False
+    if (
+        isinstance(value, VarRef)
+        and value.lowered in _REDUCTION_INTRINSICS
+        and value.subscripts
+    ):
+        return any(
+            isinstance(a, VarRef) and not a.subscripts and a.lowered == name
+            for a in value.subscripts
+        )
+    return False
+
+
+def _clause_names(region: OffloadRegion) -> set[str]:
+    d = region.directive
+    names = {n.lower() for n in d.private}
+    names.update(n.lower() for n in d.firstprivate)
+    for red in d.reductions:
+        names.update(n.lower() for n in red.names)
+    return names
+
+
+def _subscript_has_offset(sub: Expr, var: str) -> bool:
+    """``var`` appears in the subscript but not as a plain index."""
+    if isinstance(sub, VarRef) and not sub.subscripts and sub.lowered == var:
+        return False
+    return any(
+        isinstance(node, VarRef) and not node.subscripts and node.lowered == var
+        for node in walk_expr(sub)
+    )
+
+
+# --- the five checkers ------------------------------------------------------
+
+
+def _check_races(unit: _Unit, region: OffloadRegion) -> list[Violation]:
+    out: list[Violation] = []
+    sf = unit.sf
+    loop_vars = _all_loop_vars(region.loop)
+    clause_private = _clause_names(region)
+    collapsed = _collapsed_vars(region)
+
+    for name, stmts in sorted(_scalar_assignments(region.loop).items()):
+        if name in loop_vars or name in clause_private:
+            continue
+        if all(_is_reduction_update(s) for s in stmts):
+            continue  # recognized reduction pattern
+        out.append(
+            Violation(
+                check_id=CHECK_RACE,
+                title=CHECK_RULES[CHECK_RACE][0],
+                path=sf.path,
+                line=stmts[0].line or region.loop.line,
+                routine=region.routine.name,
+                detail=f"scalar {name} is written by every device thread "
+                "but is neither private, firstprivate, a reduction, nor a "
+                "loop variable — add it to a private clause",
+            )
+        )
+
+    accesses, _, _, _ = collect_accesses(region.loop, _known_arrays(region))
+    reported: set[str] = set()
+    for acc in accesses:
+        if not acc.is_write or acc.name in reported:
+            continue
+        missing = [
+            v
+            for v in collapsed
+            if not any(
+                isinstance(s, VarRef) and not s.subscripts and s.lowered == v
+                for s in acc.subscripts
+            )
+        ]
+        if missing:
+            reported.add(acc.name)
+            out.append(
+                Violation(
+                    check_id=CHECK_RACE,
+                    title=CHECK_RULES[CHECK_RACE][0],
+                    path=sf.path,
+                    line=acc.line or region.loop.line,
+                    routine=region.routine.name,
+                    detail=f"array {acc.name} is written without indexing "
+                    f"by collapsed loop variable(s) {', '.join(missing)}: "
+                    "different device threads write the same element",
+                )
+            )
+    return out
+
+
+def _check_maps(unit: _Unit, region: OffloadRegion) -> list[Violation]:
+    out: list[Violation] = []
+    sf = unit.sf
+    directive = region.directive
+    accesses, _, _, _ = collect_accesses(region.loop, _known_arrays(region))
+    referenced = sorted({a.name for a in accesses})
+    written = {a.name for a in accesses if a.is_write}
+
+    mapped: set[str] = set()
+    for m in directive.maps:
+        mapped.update(n.lower() for n in m.names)
+    device_resident: set[str] = set()
+    for enter, _, _ in unit.enter_data:
+        for m in enter.maps:
+            if m.map_type in (MapType.ALLOC, MapType.TO, MapType.TOFROM):
+                device_resident.update(n.lower() for n in m.names)
+
+    for name in referenced:
+        if name in mapped or name in device_resident:
+            continue
+        out.append(
+            Violation(
+                check_id=CHECK_MAP,
+                title=CHECK_RULES[CHECK_MAP][0],
+                path=sf.path,
+                line=region.directive_line,
+                routine=region.routine.name,
+                detail=f"array {name} is referenced in the target region "
+                "but has no map clause and no live 'target enter data' "
+                "allocation",
+            )
+        )
+
+    # Direction checks need the full-overwrite proof from the
+    # dependence analysis (the paper's map(from:) derivation, Sec. VI-A).
+    report = analyze_loop(region.loop, region.routine, region.module)
+    proven_overwritten = set(report.write_only_arrays)
+    for m in directive.maps:
+        for raw in m.names:
+            name = raw.lower()
+            if m.map_type is MapType.FROM and name not in proven_overwritten:
+                out.append(
+                    Violation(
+                        check_id=CHECK_MAP,
+                        title=CHECK_RULES[CHECK_MAP][0],
+                        path=sf.path,
+                        line=region.directive_line,
+                        routine=region.routine.name,
+                        detail=f"map(from: {raw}) but the dependence "
+                        "analysis cannot prove the region fully overwrites "
+                        "it — stale device data would reach the host; use "
+                        "map(tofrom:)",
+                    )
+                )
+            elif m.map_type is MapType.TO and name in written:
+                out.append(
+                    Violation(
+                        check_id=CHECK_MAP,
+                        title=CHECK_RULES[CHECK_MAP][0],
+                        path=sf.path,
+                        line=region.directive_line,
+                        routine=region.routine.name,
+                        detail=f"map(to: {raw}) but the region writes it — "
+                        "results are discarded on region exit; use "
+                        "map(tofrom:) or map(from:)",
+                    )
+                )
+    return out
+
+
+def _check_collapse(unit: _Unit, region: OffloadRegion) -> list[Violation]:
+    out: list[Violation] = []
+    sf = unit.sf
+    n = region.directive.collapse
+    if n <= 1:
+        return out
+    depth = region.loop.nest_depth()
+    if n > depth:
+        out.append(
+            Violation(
+                check_id=CHECK_COLLAPSE,
+                title=CHECK_RULES[CHECK_COLLAPSE][0],
+                path=sf.path,
+                line=region.directive_line,
+                routine=region.routine.name,
+                detail=f"collapse({n}) exceeds the perfect-nest depth "
+                f"({depth}) at this loop",
+            )
+        )
+        return out
+
+    # Rectangularity: bounds of collapsed levels 2..n must not depend on
+    # outer collapsed variables.
+    collapsed = _collapsed_vars(region)
+    loops = [region.loop]
+    for _ in range(n - 1):
+        body = [s for s in loops[-1].body if not isinstance(s, Directive)]
+        loops.append(body[0])
+    for level, inner in enumerate(loops[1:], start=1):
+        outer_vars = set(collapsed[:level])
+        bound_vars: set[str] = set()
+        for expr in (inner.start, inner.stop, inner.step):
+            if expr is None:
+                continue
+            for node in walk_expr(expr):
+                if isinstance(node, VarRef) and not node.subscripts:
+                    bound_vars.add(node.lowered)
+        offenders = sorted(bound_vars & outer_vars)
+        if offenders:
+            out.append(
+                Violation(
+                    check_id=CHECK_COLLAPSE,
+                    title=CHECK_RULES[CHECK_COLLAPSE][0],
+                    path=sf.path,
+                    line=inner.line,
+                    routine=region.routine.name,
+                    detail=f"collapse({n}) spans a non-rectangular nest: "
+                    f"bounds of loop over {inner.var} depend on outer "
+                    f"collapsed variable(s) {', '.join(offenders)}",
+                )
+            )
+
+    # Carried dependence: a collapsed variable read at an offset on an
+    # array the region also writes.
+    accesses, _, _, _ = collect_accesses(region.loop, _known_arrays(region))
+    written = {a.name for a in accesses if a.is_write}
+    seen: set[tuple[str, str]] = set()
+    for acc in accesses:
+        if acc.is_write or acc.name not in written:
+            continue
+        for v in collapsed:
+            if (acc.name, v) in seen:
+                continue
+            if any(_subscript_has_offset(s, v) for s in acc.subscripts):
+                seen.add((acc.name, v))
+                out.append(
+                    Violation(
+                        check_id=CHECK_COLLAPSE,
+                        title=CHECK_RULES[CHECK_COLLAPSE][0],
+                        path=sf.path,
+                        line=acc.line or region.loop.line,
+                        routine=region.routine.name,
+                        detail=f"collapse({n}) crosses a loop-carried "
+                        f"dependence: {acc.name} is read with collapsed "
+                        f"variable {v} at an offset",
+                    )
+                )
+    return out
+
+
+def _region_frame_bytes(unit: _Unit, region: OffloadRegion) -> tuple[int, list[str]]:
+    """Automatic-array bytes of device routines reachable from the region."""
+    called: list[str] = []
+    for stmt in walk_stmts(region.loop.body):
+        if isinstance(stmt, CallStmt):
+            called.append(stmt.name.lower())
+    frame = 0
+    contributors: list[str] = []
+    visited: set[str] = set()
+    queue = list(dict.fromkeys(called))
+    while queue:
+        name = queue.pop(0)
+        if name in visited:
+            continue
+        visited.add(name)
+        callee = unit.routines.get(name)
+        if callee is None:
+            continue
+        bytes_here = _automatic_frame_bytes(callee, unit.parameters)
+        if bytes_here:
+            frame += bytes_here
+            contributors.append(callee.name)
+        for stmt in walk_stmts(callee.body):
+            if isinstance(stmt, CallStmt):
+                queue.append(stmt.name.lower())
+    return frame, contributors
+
+
+def _check_stack(
+    unit: _Unit, region: OffloadRegion, config: VerifierConfig
+) -> list[Violation]:
+    frame, contributors = _region_frame_bytes(unit, region)
+    if frame == 0 or frame <= config.stack_bytes:
+        return []
+    # Frame spills to device heap for every resident thread — replay the
+    # engine's admission rule with a static thread estimate.
+    parallel_iters = 1
+    loops = [region.loop]
+    for _ in range(min(region.directive.collapse, region.loop.nest_depth()) - 1):
+        body = [s for s in loops[-1].body if not isinstance(s, Directive)]
+        loops.append(body[0])
+    for lp in loops:
+        parallel_iters *= _trip_count(
+            lp, unit.parameters, config.assumed_trip_count
+        )
+    resident = min(parallel_iters, config.max_resident_threads)
+    demand = resident * frame
+    if demand <= config.heap_bytes:
+        return []
+    return [
+        Violation(
+            check_id=CHECK_STACK,
+            title=CHECK_RULES[CHECK_STACK][0],
+            path=unit.sf.path,
+            line=region.directive_line,
+            routine=region.routine.name,
+            detail=(
+                f"per-thread frame of {frame} B of automatic arrays "
+                f"(in {', '.join(contributors)}) exceeds the "
+                f"{config.stack_bytes} B stack budget, and "
+                f"collapse({region.directive.collapse}) makes ~{resident} "
+                f"resident threads demand {demand / 2**20:.1f} MiB of "
+                f"device heap (budget {config.heap_bytes / 2**20:.0f} MiB) "
+                "— raise NV_ACC_CUDA_STACKSIZE, reduce the collapse "
+                "level, or replace the automatic arrays with preallocated "
+                "module arrays (Listing 8)"
+            ),
+        )
+    ]
+
+
+def _check_pairing(unit: _Unit) -> list[Violation]:
+    out: list[Violation] = []
+    entered: dict[str, tuple[int, Subroutine]] = {}
+    released: set[str] = set()
+    for enter, line, routine in unit.enter_data:
+        for m in enter.maps:
+            for raw in m.names:
+                entered.setdefault(raw.lower(), (line, routine))
+    for exit_, line, routine in unit.exit_data:
+        for m in exit_.maps:
+            for raw in m.names:
+                name = raw.lower()
+                released.add(name)
+                if name not in entered:
+                    out.append(
+                        Violation(
+                            check_id=CHECK_PAIR,
+                            title=CHECK_RULES[CHECK_PAIR][0],
+                            path=unit.sf.path,
+                            line=line,
+                            routine=routine.name,
+                            detail=f"'target exit data' releases {raw} but "
+                            "no 'target enter data' in this translation "
+                            "unit allocates it",
+                        )
+                    )
+    for name, (line, routine) in entered.items():
+        if name not in released:
+            out.append(
+                Violation(
+                    check_id=CHECK_PAIR,
+                    title=CHECK_RULES[CHECK_PAIR][0],
+                    path=unit.sf.path,
+                    line=line,
+                    routine=routine.name,
+                    detail=f"'target enter data' allocates {name} but no "
+                    "'target exit data' in this translation unit releases "
+                    "it — device memory leaks across the model run",
+                )
+            )
+    return out
+
+
+# --- entry points -----------------------------------------------------------
+
+
+def sort_violations(violations: list[Violation]) -> list[Violation]:
+    """Deterministic report order: (path, line, check_id, detail)."""
+    return sorted(
+        violations, key=lambda v: (v.path, v.line, v.check_id, v.detail)
+    )
+
+
+def verify_source(
+    sf: SourceFile, config: VerifierConfig | None = None
+) -> list[Violation]:
+    """Run all five checkers over one parsed translation unit."""
+    config = config or VerifierConfig()
+    unit = _build_unit(sf)
+    violations: list[Violation] = list(unit.syntax_violations)
+    for region in unit.regions:
+        violations.extend(_check_races(unit, region))
+        violations.extend(_check_maps(unit, region))
+        violations.extend(_check_collapse(unit, region))
+        violations.extend(_check_stack(unit, region, config))
+    violations.extend(_check_pairing(unit))
+    return sort_violations(violations)
+
+
+def verify_text(
+    text: str, path: str = "<memory>", config: VerifierConfig | None = None
+) -> list[Violation]:
+    """Parse Fortran text and verify it."""
+    from repro.codee.fparser import parse_source
+
+    return verify_source(parse_source(text, path), config)
+
+
+def has_errors(violations: list[Violation]) -> bool:
+    """True when any violation blocks (correctness at error severity)."""
+    return any(
+        v.severity == "error" and v.category == "correctness"
+        for v in violations
+    )
+
+
+def format_verify_report(violations: list[Violation]) -> str:
+    """The ``codee verify`` textual report."""
+    if not violations:
+        return "codee verify: clean (no violations)"
+    lines = [f"codee verify: {len(violations)} violation(s)"]
+    lines.extend(v.render() for v in sort_violations(violations))
+    by_check: dict[str, int] = {}
+    for v in violations:
+        by_check[v.check_id] = by_check.get(v.check_id, 0) + 1
+    lines.append(
+        "summary: "
+        + ", ".join(f"{n} {cid}" for cid, n in sorted(by_check.items()))
+    )
+    return "\n".join(lines)

@@ -62,6 +62,28 @@ def map_alloc(*names: str) -> Map:
     return Map(MapType.ALLOC, tuple(names))
 
 
+#: Reduction operators OpenMP accepts (the subset the verifier knows).
+REDUCTION_OPS = ("+", "-", "*", "min", "max", ".and.", ".or.")
+
+
+@dataclass(frozen=True, slots=True)
+class Reduction:
+    """One ``reduction(<op>: var, ...)`` clause."""
+
+    op: str
+    names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in REDUCTION_OPS:
+            raise ConfigurationError(f"unsupported reduction operator {self.op!r}")
+        if not self.names:
+            raise ConfigurationError("reduction clause needs at least one variable")
+
+    def render(self) -> str:
+        """OpenMP source text of the clause."""
+        return f"reduction({self.op}: {', '.join(self.names)})"
+
+
 @dataclass(frozen=True, slots=True)
 class TargetTeamsDistributeParallelDo:
     """``!$omp target teams distribute parallel do`` combined construct.
@@ -76,6 +98,7 @@ class TargetTeamsDistributeParallelDo:
     maps: tuple[Map, ...] = ()
     private: tuple[str, ...] = ()
     firstprivate: tuple[str, ...] = ()
+    reductions: tuple[Reduction, ...] = ()
     #: Inner ``!$omp simd`` on the innermost loop (Codee adds this on
     #: CPU targets; ignored for GPU launch planning).
     simd_inner: bool = False
@@ -100,6 +123,7 @@ class TargetTeamsDistributeParallelDo:
             clauses.append(f"private({', '.join(self.private)})")
         if self.firstprivate:
             clauses.append(f"firstprivate({', '.join(self.firstprivate)})")
+        clauses.extend(r.render() for r in self.reductions)
         clauses.extend(m.render() for m in self.maps)
         lines = parts + [f"!$omp {c}" for c in clauses]
         return " &\n".join(lines)

@@ -81,3 +81,26 @@ class AnalysisError(CodeeError):
 
 class RewriteError(CodeeError):
     """The autofix rewriter could not apply the requested transformation."""
+
+
+class VerificationError(CodeeError):
+    """``codee verify`` found correctness violations."""
+
+
+class StageVerificationError(ReproError):
+    """The optimization pipeline's static verify gate rejected a stage.
+
+    Raised before a stage *runs*: the verifier found race/mapping/
+    collapse/stack violations in the stage's offload source, so the
+    pipeline refuses to advance — the static equivalent of the paper
+    debugging the ``collapse(3)`` launch failure at runtime (Sec. VI-B).
+    """
+
+    def __init__(self, stage, violations):
+        self.stage = stage
+        self.violations = list(violations)
+        lines = "\n  ".join(v.render() for v in self.violations)
+        super().__init__(
+            f"stage {getattr(stage, 'value', stage)} failed static "
+            f"verification ({len(self.violations)} violation(s)):\n  {lines}"
+        )

@@ -13,9 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.env import PAPER_ENV
+from repro.core.env import PAPER_ENV, OffloadEnv
+from repro.errors import StageVerificationError
 from repro.optim.speedup import SpeedupRow, speedup_table
-from repro.optim.stages import Stage
+from repro.optim.stages import Stage, StageSpec
 from repro.wrf.model import RunResult, WrfModel
 from repro.wrf.namelist import Namelist
 
@@ -66,9 +67,23 @@ def timings_from_result(result: RunResult) -> StageTimings:
 
 
 def run_stage(
-    namelist: Namelist, stage: Stage, num_steps: int
+    namelist: Namelist,
+    stage: Stage,
+    num_steps: int,
+    verify: bool = False,
+    verify_env: OffloadEnv | None = None,
+    stage_spec: StageSpec | None = None,
 ) -> tuple[RunResult, StageTimings]:
-    """Run one code version of the given configuration."""
+    """Run one code version of the given configuration.
+
+    With ``verify=True`` the stage's representative offload source is
+    statically verified (``repro.codee.verifier``) before the model is
+    built, under ``verify_env`` (default: the environment the stage
+    will actually run with). Blocking violations raise
+    :class:`~repro.errors.StageVerificationError` instead of running —
+    the paper's Codee-before-execute workflow. ``stage_spec`` overrides
+    the registered spec for what-if gating.
+    """
     import dataclasses
 
     nl = namelist.with_stage(stage)
@@ -76,6 +91,14 @@ def run_stage(
         # GPU stages run under the paper's Table II environment unless
         # the caller configured one explicitly.
         nl = dataclasses.replace(nl, env=PAPER_ENV)
+    if verify:
+        from repro.optim.verify_gate import verify_stage
+
+        violations = verify_stage(
+            stage, env=verify_env or nl.env, spec=stage_spec
+        )
+        if violations:
+            raise StageVerificationError(stage, violations)
     model = WrfModel(nl)
     try:
         result = model.run(num_steps=num_steps)
@@ -89,6 +112,11 @@ class OptimizationRun:
     """All stage timings plus the paper-style speedup tables."""
 
     timings: dict[Stage, StageTimings] = field(default_factory=dict)
+    #: Stage the verify gate refused to run, if any (later stages are
+    #: skipped; earlier timings are kept).
+    halted_at: Stage | None = None
+    #: The gate's blocking violations for ``halted_at``.
+    gate_violations: list = field(default_factory=list)
 
     def table_rows(
         self, current: Stage, previous: Stage, names: list[str], first: Stage
@@ -157,10 +185,31 @@ def run_optimization_sequence(
     namelist: Namelist,
     num_steps: int,
     stages: tuple[Stage, ...] = OPTIMIZATION_SEQUENCE,
+    verify: bool = False,
+    verify_env: OffloadEnv | None = None,
+    stage_specs: dict[Stage, StageSpec] | None = None,
 ) -> OptimizationRun:
-    """Run every stage of the sequence on one configuration."""
+    """Run every stage of the sequence on one configuration.
+
+    With ``verify=True`` each stage must pass the static verify gate
+    before it runs; a refusal halts the sequence (``halted_at`` and
+    ``gate_violations`` record why) rather than raising, so the stages
+    that did pass keep their timings.
+    """
     out = OptimizationRun()
     for stage in stages:
-        _, timings = run_stage(namelist, stage, num_steps)
+        try:
+            _, timings = run_stage(
+                namelist,
+                stage,
+                num_steps,
+                verify=verify,
+                verify_env=verify_env,
+                stage_spec=(stage_specs or {}).get(stage),
+            )
+        except StageVerificationError as exc:
+            out.halted_at = stage
+            out.gate_violations = exc.violations
+            break
         out.timings[stage] = timings
     return out

@@ -1,0 +1,110 @@
+"""Static verification gate for the optimization pipeline.
+
+The paper's porting loop never ran a rewritten code version before
+Codee's dependence analysis had signed off on it (Sec. V-A, VI-A).
+This module gives our pipeline the same discipline: each stage of the
+optimization sequence has a representative Fortran offload source
+(assembled from the embedded listings), and :func:`verify_stage` runs
+`repro.codee.verifier` over it under the budgets of the environment the
+stage will execute with. `repro.optim.pipeline` refuses to advance to a
+stage whose source does not verify clean — in particular, a
+``collapse(3)`` stage that still carries automatic arrays trips the
+stack-pressure checker *statically* instead of crashing the simulated
+launch with :class:`~repro.errors.CudaStackOverflow`.
+"""
+
+from __future__ import annotations
+
+from repro.codee import sources
+from repro.codee.verifier import VerifierConfig, Violation, verify_text
+from repro.core.env import OffloadEnv
+from repro.optim.stages import STAGE_SPECS, Stage, StageSpec
+
+#: The automatic-array coal_bott_new of Listing 7, as a module routine
+#: (body of ``sources.COAL_BOTT_ORIGINAL_SOURCE`` without the wrapper).
+_COAL_BOTT_AUTOMATIC = sources.COAL_BOTT_ORIGINAL_SOURCE.strip()
+
+#: Listing 8 split into its two program units.
+_TEMP_ARRAYS_MODULE, _COAL_BOTT_POINTER = (
+    part.strip() for part in sources.COAL_BOTT_POINTER_SOURCE.split("\n\n", 1)
+)
+
+
+def stage_offload_source(spec: StageSpec) -> str | None:
+    """Representative offload source of one stage (None for CPU stages).
+
+    GPU stages get the fissioned collision driver (Listing 6) under the
+    stage's ``collapse`` level, calling either the automatic-array
+    ``coal_bott_new`` (Listing 7) or the pointer-based rewrite
+    (Listing 8) according to the spec.
+    """
+    if spec.collapse < 1:
+        return None
+    coal_bott = _COAL_BOTT_POINTER if spec.pointer_based else _COAL_BOTT_AUTOMATIC
+    prelude = f"{_TEMP_ARRAYS_MODULE}\n\n" if spec.pointer_based else ""
+    temp_names = ", ".join(("fl1_temp", "fl2_temp", "g1_temp", "g2_temp"))
+    lifecycle = (
+        "subroutine temp_arrays_setup()\n"
+        "  implicit none\n"
+        f"!$omp target enter data map(alloc: {temp_names})\n"
+        "end subroutine temp_arrays_setup\n"
+        "\n"
+        "subroutine temp_arrays_teardown()\n"
+        "  implicit none\n"
+        f"!$omp target exit data map(release: {temp_names})\n"
+        "end subroutine temp_arrays_teardown\n"
+        "\n"
+        if spec.pointer_based
+        else ""
+    )
+    return (
+        f"{prelude}"
+        "subroutine coal_bott_driver(call_coal_bott_new, its, ite, kts, "
+        "kte, jts, jte)\n"
+        "  implicit none\n"
+        "  integer, intent(in) :: its, ite, kts, kte, jts, jte\n"
+        "  logical, intent(in) :: "
+        "call_coal_bott_new(its:ite, kts:kte, jts:jte)\n"
+        "  integer :: i, k, j\n"
+        f"!$omp target teams distribute parallel do collapse({spec.collapse}) &\n"
+        "!$omp map(to: call_coal_bott_new)\n"
+        "  do j = jts, jte\n"
+        "    do k = kts, kte\n"
+        "      do i = its, ite\n"
+        "        if (call_coal_bott_new(i,k,j)) then\n"
+        "          call coal_bott_new(i, k, j)\n"
+        "        endif\n"
+        "      enddo\n"
+        "    enddo\n"
+        "  enddo\n"
+        "end subroutine coal_bott_driver\n"
+        "\n"
+        f"{lifecycle}"
+        f"{coal_bott}\n"
+    )
+
+
+def verify_stage(
+    stage: Stage,
+    env: OffloadEnv | None = None,
+    spec: StageSpec | None = None,
+) -> list[Violation]:
+    """Blocking violations in one stage's representative offload source.
+
+    ``env`` supplies the stack/heap budgets the stage will run under
+    (defaults to the bare NVHPC environment); ``spec`` overrides the
+    registered :data:`STAGE_SPECS` entry for what-if analysis (e.g. the
+    paper's first ``collapse(3)`` attempt, which still had automatic
+    arrays).
+    """
+    spec = spec or STAGE_SPECS[stage]
+    text = stage_offload_source(spec)
+    if text is None:
+        return []
+    config = VerifierConfig.from_env(env) if env is not None else VerifierConfig()
+    path = f"stage_{spec.stage.value}.f90"
+    return [
+        v
+        for v in verify_text(text, path, config)
+        if v.severity == "error" and v.category == "correctness"
+    ]

@@ -143,6 +143,26 @@ class TestRewrite:
         with pytest.raises(RewriteError):
             offload_rewrite("subroutine s()\nend subroutine s\n", line=1)
 
+    def test_modified_reflects_an_actual_change(self):
+        line = self._loop_line()
+        res = offload_rewrite(sources.KERNALS_KS_SOURCE, line=line)
+        assert res.modified
+        assert res.source != res.original == sources.KERNALS_KS_SOURCE
+
+    def test_modified_false_when_output_equals_input(self):
+        from repro.codee.rewrite import RewriteResult
+
+        line = self._loop_line()
+        res = offload_rewrite(sources.KERNALS_KS_SOURCE, line=line)
+        unchanged = RewriteResult(
+            source=res.source,
+            directive=res.directive,
+            report=res.report,
+            loop_line=res.loop_line,
+            original=res.source,
+        )
+        assert not unchanged.modified
+
 
 class TestCompileCommands:
     def test_load_and_filter(self, tmp_path):

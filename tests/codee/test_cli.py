@@ -44,12 +44,37 @@ def test_screening_with_config(project, capsys):
     assert "module_mp_fast_sbm.f90" in out
 
 
-def test_checks_exit_code_reflects_findings(project, capsys):
+def test_checks_advisory_findings_exit_zero(project, capsys):
+    """Modernization/optimization findings print but do not gate CI."""
     _, _, f_one, _ = project
     rc = main(["checks", str(f_one)])
     out = capsys.readouterr().out
-    assert rc == 2  # findings present
+    assert rc == 0  # only modernization findings
     assert "PWR008" in out
+
+
+def test_checks_correctness_findings_exit_two(project, capsys):
+    """PWR014 (global state written in a parallelizable loop) gates."""
+    _, f_sbm, _, _ = project
+    rc = main(["checks", str(f_sbm)])
+    out = capsys.readouterr().out
+    assert rc == 2
+    assert "PWR014" in out
+
+
+def test_checks_findings_sorted_by_path_line_id(project, capsys):
+    tmp, f_sbm, f_one, db = project
+    main(["checks", "--config", str(db)])
+    out = capsys.readouterr().out
+    keys = []
+    for line in out.splitlines():
+        if line.startswith("["):  # "[PWR008] path:line ..."
+            check_id = line[1 : line.index("]")]
+            loc = line.split()[1]
+            path, _, ln = loc.rpartition(":")
+            keys.append((path, int(ln), check_id))
+    assert len(keys) >= 3
+    assert keys == sorted(keys)
 
 
 def test_checks_clean_file_exits_zero(tmp_path, capsys):
@@ -131,3 +156,62 @@ def test_no_sources_is_an_error(tmp_path, capsys):
     db.write_text(json.dumps([]))
     assert main(["screening", "--config", str(db)]) == 1
     assert "no Fortran sources" in capsys.readouterr().err
+
+
+class TestVerifyCommand:
+    @pytest.fixture
+    def broken(self, tmp_path):
+        f = tmp_path / "broken_offload.f90"
+        f.write_text(sources.BROKEN_OFFLOAD_SOURCE)
+        return f
+
+    def test_broken_file_exits_two_with_all_check_ids(self, broken, capsys):
+        rc = main(["verify", str(broken)])
+        out = capsys.readouterr().out
+        assert rc == 2
+        for check_id in ("VFY001", "VFY002", "VFY003", "VFY004", "VFY005"):
+            assert check_id in out
+
+    def test_all_embedded_sources_verify_clean(self, capsys):
+        assert main(["verify", "--all"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_format(self, broken, capsys):
+        rc = main(["verify", str(broken), "--format", "json"])
+        assert rc == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert [v["check_id"] for v in payload] == sorted(
+            v["check_id"] for v in payload
+        )
+
+    def test_sarif_format(self, broken, capsys):
+        rc = main(["verify", str(broken), "--format", "sarif"])
+        assert rc == 2
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"]
+
+    def test_raised_stack_budget_silences_stack_check(self, broken, capsys):
+        rc = main(["verify", str(broken), "--stack-budget", "64KB"])
+        out = capsys.readouterr().out
+        assert rc == 2  # other violations remain
+        assert "VFY004" not in out
+
+    def test_verify_without_inputs_is_usage_error(self, capsys):
+        assert main(["verify"]) == 1
+        assert "verify needs" in capsys.readouterr().err
+
+    def test_unparseable_fortran_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.f90"
+        bad.write_text("subroutine s\n  do i = 1\nend subroutine s\n")
+        assert main(["verify", str(bad)]) == 1
+
+    def test_bad_budget_string_is_a_usage_error(self, broken, capsys):
+        rc = main(["verify", str(broken), "--stack-budget", "garbage"])
+        assert rc == 1
+        assert "cannot parse size" in capsys.readouterr().err
+
+    def test_argparse_usage_errors_remap_to_one(self, broken, capsys):
+        """argparse exits 2 natively; 2 is reserved for correctness."""
+        assert main(["verify", str(broken), "--format", "xml"]) == 1
+        assert main(["no-such-command"]) == 1

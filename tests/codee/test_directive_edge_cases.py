@@ -1,0 +1,145 @@
+"""Lexer/parser edge cases around ``!$omp`` sentinels and loop nesting."""
+
+import pytest
+
+from repro.codee.fast import DoLoop
+from repro.codee.fparser import parse_source
+from repro.codee.lexer import TokenKind, tokenize
+from repro.codee.omp_directives import (
+    TargetTeamsDistributeParallelDo,
+    parse_omp_directive,
+)
+from repro.core.directives import MapType
+from repro.errors import FortranSyntaxError
+
+
+class TestSentinelContinuations:
+    def test_three_way_continuation_joins_into_one_directive(self):
+        src = (
+            "!$omp target teams distribute &\n"
+            "!$omp parallel do collapse(2) &\n"
+            "!$omp map(to: a) map(from: b)\n"
+            "x = 1\n"
+        )
+        toks = tokenize(src)
+        assert toks[0].kind is TokenKind.DIRECTIVE
+        assert "&" not in toks[0].text
+        d = parse_omp_directive(toks[0].text)
+        assert isinstance(d, TargetTeamsDistributeParallelDo)
+        assert d.collapse == 2 and len(d.maps) == 2
+
+    def test_continued_directive_keeps_first_line_number(self):
+        src = (
+            "subroutine s(a, n)\n"
+            "  implicit none\n"
+            "  integer, intent(in) :: n\n"
+            "  real, intent(inout) :: a(n)\n"
+            "  integer :: i\n"
+            "!$omp target teams distribute &\n"
+            "!$omp parallel do map(tofrom: a)\n"
+            "  do i = 1, n\n"
+            "    a(i) = a(i) + 1.0\n"
+            "  enddo\n"
+            "end subroutine s\n"
+        )
+        toks = [t for t in tokenize(src) if t.kind is TokenKind.DIRECTIVE]
+        assert len(toks) == 1
+        assert toks[0].line == 6
+
+    def test_multi_clause_directive_split_across_lines_attaches_to_loop(self):
+        src = (
+            "subroutine s(a, b, n)\n"
+            "  implicit none\n"
+            "  integer, intent(in) :: n\n"
+            "  real, intent(in) :: a(n, n)\n"
+            "  real, intent(out) :: b(n, n)\n"
+            "  integer :: i, j\n"
+            "  real :: t\n"
+            "!$omp target teams distribute parallel do &\n"
+            "!$omp collapse(2) private(t) &\n"
+            "!$omp map(to: a) &\n"
+            "!$omp map(from: b)\n"
+            "  do j = 1, n\n"
+            "    do i = 1, n\n"
+            "      t = a(i, j)\n"
+            "      b(i, j) = t * 2.0\n"
+            "    enddo\n"
+            "  enddo\n"
+            "end subroutine s\n"
+        )
+        sf = parse_source(src, "split.f90")
+        loop = sf.routines[0].loops()[0]
+        assert len(loop.directives) == 1
+        d = parse_omp_directive(loop.directives[0].text)
+        assert d.collapse == 2
+        assert d.private == ("t",)
+        assert {m.map_type for m in d.maps} == {MapType.TO, MapType.FROM}
+
+    def test_dangling_sentinel_continuation_rejected(self):
+        """A '&' not followed by another sentinel line never joins; the
+        leftover ampersand is a directive syntax error."""
+        from repro.codee.omp_directives import DirectiveSyntaxError
+
+        toks = tokenize("!$omp target teams distribute &\nx = 1\n")
+        assert toks[0].kind is TokenKind.DIRECTIVE
+        assert toks[0].text.endswith("&")
+        with pytest.raises(DirectiveSyntaxError, match="dangling"):
+            parse_omp_directive(toks[0].text)
+
+
+class TestEndDoMatching:
+    NEST = (
+        "subroutine s(a, n)\n"
+        "  implicit none\n"
+        "  integer, intent(in) :: n\n"
+        "  real, intent(inout) :: a(n, n, n)\n"
+        "  integer :: i, k, j\n"
+        "  do j = 1, n\n"
+        "    do k = 1, n\n"
+        "      do i = 1, n\n"
+        "        a(i, k, j) = 0.0\n"
+        "      {end1}\n"
+        "    {end2}\n"
+        "  {end3}\n"
+        "end subroutine s\n"
+    )
+
+    @pytest.mark.parametrize(
+        "ends",
+        [
+            ("enddo", "enddo", "enddo"),
+            ("end do", "end do", "end do"),
+            ("end do", "enddo", "end do"),
+        ],
+    )
+    def test_nested_loops_close_with_either_spelling(self, ends):
+        src = self.NEST.format(end1=ends[0], end2=ends[1], end3=ends[2])
+        sf = parse_source(src, "nest.f90")
+        loop = sf.routines[0].loops()[0]
+        assert loop.nest_depth() == 3
+        assert [l.var for l in _nest_chain(loop)] == ["j", "k", "i"]
+
+    def test_missing_end_do_rejected(self):
+        src = (
+            "subroutine s(a, n)\n"
+            "  implicit none\n"
+            "  integer, intent(in) :: n\n"
+            "  real, intent(inout) :: a(n)\n"
+            "  integer :: i\n"
+            "  do i = 1, n\n"
+            "    a(i) = 0.0\n"
+            "end subroutine s\n"
+        )
+        with pytest.raises(FortranSyntaxError):
+            parse_source(src, "open.f90")
+
+
+def _nest_chain(loop):
+    chain = [loop]
+    cur = loop
+    while True:
+        inner = [s for s in cur.body if isinstance(s, DoLoop)]
+        if len(inner) != 1:
+            return chain
+        cur = inner[0]
+        chain.append(cur)

@@ -1,0 +1,134 @@
+"""Sentinel-text -> directive-object parsing (repro.codee.omp_directives)."""
+
+import pytest
+
+from repro.codee.omp_directives import (
+    DeclareTarget,
+    DirectiveSyntaxError,
+    SimdDirective,
+    TargetEnterData,
+    TargetExitData,
+    TargetTeamsDistributeParallelDo,
+    UnknownDirective,
+    parse_omp_directive,
+)
+from repro.core.directives import MapType
+
+
+class TestCombinedConstruct:
+    def test_listing4_style_directive(self):
+        d = parse_omp_directive(
+            "!$omp target teams distribute parallel do collapse(2) "
+            "private(ckern_1, ckern_2) "
+            "map(to: xl, xi) map(from: cwll) map(tofrom: acc)"
+        )
+        assert isinstance(d, TargetTeamsDistributeParallelDo)
+        assert d.collapse == 2
+        assert d.private == ("ckern_1", "ckern_2")
+        by_type = {m.map_type: m.names for m in d.maps}
+        assert by_type[MapType.TO] == ("xl", "xi")
+        assert by_type[MapType.FROM] == ("cwll",)
+        assert by_type[MapType.TOFROM] == ("acc",)
+
+    def test_defaults_without_clauses(self):
+        d = parse_omp_directive("!$omp target teams distribute parallel do")
+        assert d.collapse == 1
+        assert d.maps == () and d.private == ()
+
+    def test_map_without_type_defaults_tofrom(self):
+        d = parse_omp_directive(
+            "!$omp target teams distribute parallel do map(a, b)"
+        )
+        assert d.maps[0].map_type is MapType.TOFROM
+        assert d.maps[0].names == ("a", "b")
+
+    def test_map_array_sections_stripped_to_base_names(self):
+        d = parse_omp_directive(
+            "!$omp target teams distribute parallel do "
+            "map(to: fl1(1:nkr, 1:icemax))"
+        )
+        assert d.maps[0].names == ("fl1",)
+
+    def test_reduction_clause(self):
+        d = parse_omp_directive(
+            "!$omp target teams distribute parallel do reduction(+: s, t)"
+        )
+        assert d.reductions[0].op == "+"
+        assert d.reductions[0].names == ("s", "t")
+
+    def test_reduction_min(self):
+        d = parse_omp_directive(
+            "!$omp target teams distribute parallel do reduction(min: lo)"
+        )
+        assert d.reductions[0].op == "min"
+
+    def test_render_round_trip(self):
+        text = (
+            "!$omp target teams distribute parallel do collapse(2) "
+            "private(k1) reduction(+: s) map(to: a) map(from: b)"
+        )
+        d = parse_omp_directive(text)
+        again = parse_omp_directive(d.render().replace("&\n!$omp ", ""))
+        assert again == d
+
+    def test_unknown_clause_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_omp_directive(
+                "!$omp target teams distribute parallel do schedule(static)"
+            )
+
+    def test_bad_collapse_argument_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_omp_directive(
+                "!$omp target teams distribute parallel do collapse(two)"
+            )
+
+    def test_bad_reduction_op_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_omp_directive(
+                "!$omp target teams distribute parallel do reduction(xor: s)"
+            )
+
+
+class TestDataDirectives:
+    def test_enter_data(self):
+        d = parse_omp_directive(
+            "!$omp target enter data map(alloc: fl1_temp) map(to: xl)"
+        )
+        assert isinstance(d, TargetEnterData)
+        types = {m.map_type for m in d.maps}
+        assert types == {MapType.ALLOC, MapType.TO}
+
+    def test_exit_data(self):
+        d = parse_omp_directive("!$omp target exit data map(release: fl1_temp)")
+        assert isinstance(d, TargetExitData)
+        assert d.maps[0].map_type is MapType.RELEASE
+
+    def test_enter_data_rejects_non_map_clauses(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_omp_directive("!$omp target enter data private(x)")
+
+
+class TestOtherDirectives:
+    def test_declare_target(self):
+        assert isinstance(
+            parse_omp_directive("!$omp declare target"), DeclareTarget
+        )
+
+    def test_simd(self):
+        assert isinstance(parse_omp_directive("!$omp simd"), SimdDirective)
+
+    def test_unrecognized_directive_is_unknown(self):
+        d = parse_omp_directive("!$omp barrier")
+        assert isinstance(d, UnknownDirective)
+
+    def test_case_insensitive(self):
+        d = parse_omp_directive(
+            "!$OMP TARGET TEAMS DISTRIBUTE PARALLEL DO COLLAPSE(3)"
+        )
+        assert isinstance(d, TargetTeamsDistributeParallelDo)
+        assert d.collapse == 3
+
+    def test_non_sentinel_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_omp_directive("do i = 1, n")

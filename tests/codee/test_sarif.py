@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 emission and schema validation (repro.codee.sarif)."""
+
+import json
+
+import pytest
+
+from repro.codee.sarif import (
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    _structural_errors,
+    to_sarif,
+    validate_sarif,
+)
+from repro.codee.sources import BROKEN_OFFLOAD_SOURCE
+from repro.codee.verifier import CHECK_RULES, VerifierConfig, verify_text
+
+
+@pytest.fixture(scope="module")
+def violations():
+    return verify_text(BROKEN_OFFLOAD_SOURCE, "broken.f90", VerifierConfig())
+
+
+@pytest.fixture(scope="module")
+def doc(violations):
+    return to_sarif(violations)
+
+
+class TestStructure:
+    def test_version_and_schema_uri(self, doc):
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+
+    def test_tool_driver_declares_all_rules(self, doc):
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "codee-verify"
+        assert {r["id"] for r in driver["rules"]} == set(CHECK_RULES)
+
+    def test_one_result_per_violation(self, doc, violations):
+        results = doc["runs"][0]["results"]
+        assert len(results) == len(violations)
+        for res, v in zip(results, violations):
+            assert res["ruleId"] == v.check_id
+            assert res["level"] == "error"
+            assert v.detail in res["message"]["text"]
+            loc = res["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"] == v.path
+            assert loc["region"]["startLine"] == v.line
+
+    def test_rule_index_points_into_rules_array(self, doc):
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        for res in doc["runs"][0]["results"]:
+            assert rules[res["ruleIndex"]]["id"] == res["ruleId"]
+
+    def test_document_is_json_serializable(self, doc):
+        assert json.loads(json.dumps(doc)) == doc
+
+
+class TestValidation:
+    def test_emitted_document_validates(self, doc):
+        assert validate_sarif(doc) == []
+
+    def test_empty_violation_list_validates(self):
+        assert validate_sarif(to_sarif([])) == []
+
+    def test_missing_version_rejected(self, doc):
+        bad = {k: v for k, v in doc.items() if k != "version"}
+        assert validate_sarif(bad) != []
+
+    def test_bad_level_rejected(self, doc):
+        bad = json.loads(json.dumps(doc))
+        bad["runs"][0]["results"][0]["level"] = "catastrophic"
+        assert validate_sarif(bad) != []
+
+    def test_missing_message_rejected(self, doc):
+        bad = json.loads(json.dumps(doc))
+        del bad["runs"][0]["results"][0]["message"]
+        assert validate_sarif(bad) != []
+
+    def test_zero_start_line_rejected(self, doc):
+        bad = json.loads(json.dumps(doc))
+        region = bad["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        region["startLine"] = 0
+        assert validate_sarif(bad) != []
+
+    def test_structural_fallback_agrees_with_jsonschema(self, doc):
+        """The dependency-free validator accepts what jsonschema accepts."""
+        jsonschema = pytest.importorskip("jsonschema")
+        errors = list(
+            jsonschema.Draft7Validator(SARIF_SCHEMA).iter_errors(doc)
+        )
+        assert errors == []
+        assert _structural_errors(doc) == []
+
+    def test_structural_fallback_catches_broken_docs(self, doc):
+        bad = json.loads(json.dumps(doc))
+        bad["runs"][0]["results"][0]["level"] = "catastrophic"
+        assert _structural_errors(bad) != []
+        assert _structural_errors({"runs": []}) != []

@@ -1,0 +1,284 @@
+"""The five static checkers of ``codee verify`` (repro.codee.verifier)."""
+
+import pytest
+
+from repro.codee.fparser import parse_source
+from repro.codee.rewrite import offload_rewrite
+from repro.codee.sources import BROKEN_OFFLOAD_SOURCE, KERNALS_KS_SOURCE
+from repro.codee.verifier import (
+    CHECK_COLLAPSE,
+    CHECK_MAP,
+    CHECK_PAIR,
+    CHECK_RACE,
+    CHECK_STACK,
+    VerifierConfig,
+    has_errors,
+    sort_violations,
+    verify_text,
+)
+from repro.core.env import PAPER_ENV
+
+
+def verify(text, **config):
+    return verify_text(text, "test.f90", VerifierConfig(**config))
+
+
+REGION_TEMPLATE = """\
+module m
+  implicit none
+  integer, parameter :: n = 16
+  real :: a(n, n), b(n, n)
+contains
+  subroutine work()
+    implicit none
+    integer :: i, j
+    real :: s
+{directive}
+    do j = 1, n
+      do i = 1, n
+{body}
+      enddo
+    enddo
+  end subroutine work
+end module m
+"""
+
+
+def region(directive, body):
+    return REGION_TEMPLATE.format(
+        directive="\n".join(f"{d}" for d in directive.splitlines()),
+        body="\n".join(f"        {line}" for line in body.splitlines()),
+    )
+
+
+class TestAcceptance:
+    """The ISSUE's acceptance criteria, verbatim."""
+
+    def test_rewriter_emitted_directive_verifies_clean(self):
+        loop_line = (
+            parse_source(KERNALS_KS_SOURCE)
+            .modules[0]
+            .routines[0]
+            .loops()[0]
+            .line
+        )
+        annotated = offload_rewrite(KERNALS_KS_SOURCE, line=loop_line).source
+        assert verify_text(annotated, "kernals.f90", VerifierConfig()) == []
+
+    def test_broken_fixture_seeds_exactly_the_five_violations(self):
+        violations = verify_text(
+            BROKEN_OFFLOAD_SOURCE, "broken.f90", VerifierConfig()
+        )
+        assert [v.check_id for v in violations] == [
+            CHECK_RACE,
+            CHECK_MAP,
+            CHECK_COLLAPSE,
+            CHECK_STACK,
+            CHECK_PAIR,
+        ]
+        by_id = {v.check_id: v for v in violations}
+        assert by_id[CHECK_RACE].routine == "race_region"
+        assert "shared_tmp" in by_id[CHECK_RACE].detail
+        assert by_id[CHECK_MAP].routine == "missing_map_region"
+        assert "unmapped" in by_id[CHECK_MAP].detail
+        assert by_id[CHECK_COLLAPSE].routine == "triangular_region"
+        assert "non-rectangular" in by_id[CHECK_COLLAPSE].detail
+        assert by_id[CHECK_STACK].routine == "stack_region"
+        assert "big_autos" in by_id[CHECK_STACK].detail
+        assert by_id[CHECK_PAIR].routine == "leaky_setup"
+        assert has_errors(violations)
+
+
+class TestRaceChecker:
+    def test_shared_scalar_write_flagged(self):
+        vs = verify(
+            region(
+                "!$omp target teams distribute parallel do collapse(2) &\n"
+                "!$omp map(tofrom: a)",
+                "s = a(i, j)\na(i, j) = s * 2.0",
+            )
+        )
+        assert [v.check_id for v in vs] == [CHECK_RACE]
+        assert "s" in vs[0].detail
+
+    def test_private_clause_clears_it(self):
+        vs = verify(
+            region(
+                "!$omp target teams distribute parallel do collapse(2) &\n"
+                "!$omp private(s) map(tofrom: a)",
+                "s = a(i, j)\na(i, j) = s * 2.0",
+            )
+        )
+        assert vs == []
+
+    def test_sum_reduction_pattern_recognized(self):
+        vs = verify(
+            region(
+                "!$omp target teams distribute parallel do collapse(2) &\n"
+                "!$omp reduction(+: s) map(to: a)",
+                "s = s + a(i, j)",
+            )
+        )
+        assert vs == []
+
+    def test_min_reduction_pattern_recognized(self):
+        vs = verify(
+            region(
+                "!$omp target teams distribute parallel do collapse(2) &\n"
+                "!$omp reduction(min: s) map(to: a)",
+                "s = min(s, a(i, j))",
+            )
+        )
+        assert vs == []
+
+    def test_array_write_missing_collapsed_index_flagged(self):
+        vs = verify(
+            region(
+                "!$omp target teams distribute parallel do collapse(2) &\n"
+                "!$omp map(to: a) map(tofrom: b)",
+                "b(i, 1) = a(i, j)",
+            )
+        )
+        assert [v.check_id for v in vs] == [CHECK_RACE]
+        assert "b" in vs[0].detail
+
+
+class TestMapChecker:
+    def test_unmapped_array_flagged(self):
+        vs = verify(
+            region(
+                "!$omp target teams distribute parallel do collapse(2) &\n"
+                "!$omp map(tofrom: a)",
+                "a(i, j) = b(i, j)",
+            )
+        )
+        assert [v.check_id for v in vs] == [CHECK_MAP]
+        assert "b" in vs[0].detail
+
+    def test_enter_data_allocation_counts_as_coverage(self):
+        text = region(
+            "!$omp target teams distribute parallel do collapse(2) &\n"
+            "!$omp map(tofrom: a)",
+            "a(i, j) = b(i, j)",
+        ).replace(
+            "  subroutine work()",
+            "  subroutine setup()\n"
+            "    implicit none\n"
+            "!$omp target enter data map(alloc: b)\n"
+            "  end subroutine setup\n"
+            "\n"
+            "  subroutine teardown()\n"
+            "    implicit none\n"
+            "!$omp target exit data map(release: b)\n"
+            "  end subroutine teardown\n"
+            "\n"
+            "  subroutine work()",
+        )
+        assert verify(text) == []
+
+    def test_map_from_without_full_overwrite_flagged(self):
+        vs = verify(
+            region(
+                "!$omp target teams distribute parallel do collapse(2) &\n"
+                "!$omp map(to: a) map(from: b)",
+                "if (a(i, j) > 0.0) then\n  b(i, j) = a(i, j)\nendif",
+            )
+        )
+        assert [v.check_id for v in vs] == [CHECK_MAP]
+        assert "from" in vs[0].detail
+
+    def test_map_from_with_full_overwrite_clean(self):
+        vs = verify(
+            region(
+                "!$omp target teams distribute parallel do collapse(2) &\n"
+                "!$omp map(to: a) map(from: b)",
+                "b(i, j) = a(i, j)",
+            )
+        )
+        assert vs == []
+
+    def test_map_to_written_array_flagged(self):
+        vs = verify(
+            region(
+                "!$omp target teams distribute parallel do collapse(2) &\n"
+                "!$omp map(to: a, b)",
+                "b(i, j) = a(i, j)",
+            )
+        )
+        assert [v.check_id for v in vs] == [CHECK_MAP]
+
+
+class TestCollapseChecker:
+    def test_collapse_deeper_than_nest_flagged(self):
+        vs = verify(
+            region(
+                "!$omp target teams distribute parallel do collapse(3) &\n"
+                "!$omp map(to: a) map(from: b)",
+                "b(i, j) = a(i, j)",
+            )
+        )
+        assert [v.check_id for v in vs] == [CHECK_COLLAPSE]
+        assert "depth" in vs[0].detail
+
+    def test_rectangular_collapse2_clean(self):
+        vs = verify(
+            region(
+                "!$omp target teams distribute parallel do collapse(2) &\n"
+                "!$omp map(to: a) map(from: b)",
+                "b(i, j) = a(i, j)",
+            )
+        )
+        assert vs == []
+
+    def test_inner_carried_dependence_flagged(self):
+        text = (
+            "subroutine smooth(a, n)\n"
+            "  implicit none\n"
+            "  integer, intent(in) :: n\n"
+            "  real, intent(inout) :: a(n, n)\n"
+            "  integer :: i, j\n"
+            "!$omp target teams distribute parallel do collapse(2) &\n"
+            "!$omp map(tofrom: a)\n"
+            "  do j = 1, n\n"
+            "    do i = 2, n\n"
+            "      a(i, j) = a(i - 1, j)\n"
+            "    enddo\n"
+            "  enddo\n"
+            "end subroutine smooth\n"
+        )
+        vs = verify(text)
+        assert CHECK_COLLAPSE in {v.check_id for v in vs}
+
+
+class TestStackChecker:
+    STACK_TEXT = BROKEN_OFFLOAD_SOURCE
+
+    def test_default_env_fires(self):
+        ids = {v.check_id for v in verify(self.STACK_TEXT)}
+        assert CHECK_STACK in ids
+
+    def test_paper_env_budgets_silence_it(self):
+        config = VerifierConfig.from_env(PAPER_ENV)
+        ids = {
+            v.check_id
+            for v in verify_text(self.STACK_TEXT, "broken.f90", config)
+        }
+        assert CHECK_STACK not in ids
+
+    def test_big_heap_budget_silences_it(self):
+        ids = {
+            v.check_id
+            for v in verify(self.STACK_TEXT, heap_bytes=2 * 1024**3)
+        }
+        assert CHECK_STACK not in ids
+
+
+class TestSorting:
+    def test_violations_sorted_by_path_line_check_id(self):
+        vs = verify_text(BROKEN_OFFLOAD_SOURCE, "broken.f90", VerifierConfig())
+        keys = [(v.path, v.line, v.check_id) for v in vs]
+        assert keys == sorted(keys)
+
+    def test_sort_violations_is_deterministic(self):
+        vs = verify_text(BROKEN_OFFLOAD_SOURCE, "broken.f90", VerifierConfig())
+        assert sort_violations(list(reversed(vs))) == vs

@@ -1,0 +1,29 @@
+"""The repo lint gate: every embedded Fortran source must verify clean.
+
+Run just this gate with ``pytest -m verify_sources``; it is also what
+``python -m repro.codee verify --all`` executes from the CLI.
+"""
+
+import pytest
+
+from repro.codee.cli import main
+from repro.codee.sources import BROKEN_OFFLOAD_SOURCE, embedded_sources
+from repro.codee.verifier import VerifierConfig, verify_text
+
+pytestmark = pytest.mark.verify_sources
+
+SOURCES = embedded_sources()
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_embedded_source_verifies_clean(name):
+    violations = verify_text(SOURCES[name], name, VerifierConfig())
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_broken_fixture_is_not_part_of_the_gate():
+    assert BROKEN_OFFLOAD_SOURCE not in SOURCES.values()
+
+
+def test_cli_verify_all_passes():
+    assert main(["verify", "--all"]) == 0

@@ -1,0 +1,132 @@
+"""The static verify gate in front of the optimization pipeline."""
+
+import dataclasses
+
+import pytest
+
+from repro.codee.fparser import parse_source
+from repro.codee.verifier import (
+    CHECK_STACK,
+    VerifierConfig,
+    _automatic_frame_bytes,
+)
+from repro.core.env import PAPER_ENV, OffloadEnv
+from repro.errors import StageVerificationError
+from repro.fsbm import temp_arrays
+from repro.optim.pipeline import run_optimization_sequence, run_stage
+from repro.optim.stages import STAGE_SPECS, Stage
+from repro.optim.verify_gate import stage_offload_source, verify_stage
+from repro.wrf.namelist import conus12km_namelist
+
+
+def collapse3_with_automatic_arrays():
+    """The paper's first (failed) collapse(3) attempt, as a StageSpec."""
+    return dataclasses.replace(
+        STAGE_SPECS[Stage.OFFLOAD_COLLAPSE3],
+        automatic_arrays=True,
+        pointer_based=False,
+    )
+
+
+class TestStageSources:
+    def test_cpu_stages_have_no_offload_source(self):
+        assert stage_offload_source(STAGE_SPECS[Stage.BASELINE]) is None
+        assert stage_offload_source(STAGE_SPECS[Stage.LOOKUP]) is None
+
+    def test_gpu_stage_sources_parse_and_carry_the_collapse_level(self):
+        for stage in (Stage.OFFLOAD_COLLAPSE2, Stage.OFFLOAD_COLLAPSE3):
+            spec = STAGE_SPECS[stage]
+            text = stage_offload_source(spec)
+            parse_source(text, f"{stage.value}.f90")
+            assert f"collapse({spec.collapse})" in text
+
+    def test_pointer_stage_uses_temp_arrays_not_automatics(self):
+        text = stage_offload_source(STAGE_SPECS[Stage.OFFLOAD_COLLAPSE3])
+        assert "fl1_temp" in text
+        assert "target enter data" in text and "target exit data" in text
+
+
+class TestVerifyStage:
+    def test_registered_sequence_is_clean_under_paper_env(self):
+        for stage in Stage:
+            assert verify_stage(stage, env=PAPER_ENV) == []
+
+    def test_collapse2_with_automatics_clean_even_under_bare_env(self):
+        """Sec. VI-B: collapse(2) ran fine before the stack fix."""
+        assert verify_stage(Stage.OFFLOAD_COLLAPSE2, env=OffloadEnv()) == []
+
+    def test_collapse3_with_automatics_trips_the_stack_checker(self):
+        """Sec. VI-B/C: the configuration that crashed at runtime is
+        refused statically."""
+        violations = verify_stage(
+            Stage.OFFLOAD_COLLAPSE3,
+            env=OffloadEnv(),
+            spec=collapse3_with_automatic_arrays(),
+        )
+        assert [v.check_id for v in violations] == [CHECK_STACK]
+        assert "collapse(3)" in violations[0].detail
+
+    def test_raised_stacksize_also_clears_it(self):
+        """The paper's actual fix: NV_ACC_CUDA_STACKSIZE=64KB."""
+        violations = verify_stage(
+            Stage.OFFLOAD_COLLAPSE3,
+            env=PAPER_ENV,
+            spec=collapse3_with_automatic_arrays(),
+        )
+        assert violations == []
+
+    def test_static_frame_estimate_matches_runtime_model(self):
+        """The verifier's byte count for coal_bott_new's automatic
+        arrays equals the runtime engine's accounting."""
+        text = stage_offload_source(collapse3_with_automatic_arrays())
+        sf = parse_source(text, "stage.f90")
+        routines = {
+            r.name.lower(): r
+            for m in sf.modules
+            for r in m.routines
+        }
+        routines.update({r.name.lower(): r for r in sf.routines})
+        frame = _automatic_frame_bytes(routines["coal_bott_new"], {})
+        assert frame == temp_arrays.automatic_frame_bytes()
+
+
+class TestPipelineGate:
+    def test_run_stage_raises_on_gate_violation(self):
+        nl = conus12km_namelist(scale=0.06, num_ranks=2)
+        with pytest.raises(StageVerificationError) as err:
+            run_stage(
+                nl,
+                Stage.OFFLOAD_COLLAPSE3,
+                num_steps=1,
+                verify=True,
+                verify_env=OffloadEnv(),
+                stage_spec=collapse3_with_automatic_arrays(),
+            )
+        assert err.value.stage is Stage.OFFLOAD_COLLAPSE3
+        assert [v.check_id for v in err.value.violations] == [CHECK_STACK]
+        assert "failed static verification" in str(err.value)
+
+    def test_sequence_halts_at_refused_stage_keeping_earlier_timings(self):
+        nl = conus12km_namelist(scale=0.06, num_ranks=2)
+        run = run_optimization_sequence(
+            nl,
+            num_steps=1,
+            verify=True,
+            verify_env=OffloadEnv(),
+            stage_specs={
+                Stage.OFFLOAD_COLLAPSE3: collapse3_with_automatic_arrays()
+            },
+        )
+        assert run.halted_at is Stage.OFFLOAD_COLLAPSE3
+        assert [v.check_id for v in run.gate_violations] == [CHECK_STACK]
+        assert set(run.timings) == {
+            Stage.BASELINE,
+            Stage.LOOKUP,
+            Stage.OFFLOAD_COLLAPSE2,
+        }
+
+    def test_verified_sequence_completes_when_specs_are_sound(self):
+        nl = conus12km_namelist(scale=0.06, num_ranks=2)
+        run = run_optimization_sequence(nl, num_steps=1, verify=True)
+        assert run.halted_at is None
+        assert len(run.timings) == 4
