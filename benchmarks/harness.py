@@ -1,0 +1,383 @@
+"""Wall-clock benchmark harness for the repo's *executed* hot paths.
+
+Everything else under ``benchmarks/`` times the paper's *simulated*
+seconds (Tables III-V etc.); this module times the real Python/numpy
+kernels the reproduction itself spends wall-clock in, so the repo's own
+performance is checkable:
+
+* ``coal_bott`` — one :func:`repro.fsbm.coal_bott.coal_bott_step` call
+  on a realistic mixed-phase state (the repo's hot loop, mirroring the
+  paper's ``coal_bott_new``), in its default, dense-contraction, and
+  sparse-scatter variants;
+* ``model_step_rN`` — one full :meth:`repro.wrf.model.WrfModel.step`
+  at N ranks (physics + halo exchange + transport).
+
+``collect`` produces a JSON-serializable payload with per-kernel median
+seconds and work stats; ``compare_payloads`` implements the regression
+gate used by ``scripts/bench_gate.py`` and ``repro bench --gate``.
+
+Usage::
+
+    PYTHONPATH=src python -m repro bench --quick          # smoke run
+    PYTHONPATH=src python -m repro bench --rev seed       # write BENCH_seed.json
+    PYTHONPATH=src python -m repro bench --gate           # compare vs baseline
+
+Baselines are committed at the repo root as ``BENCH_<rev>.json``;
+``BENCH_seed.json`` is the pre-optimization state and stays fixed, the
+newest ``BENCH_<rev>.json`` is the gate's reference. Refresh a baseline
+by re-running ``repro bench`` on a quiet machine and committing the new
+file.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import statistics
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+#: Kernels the regression gate tracks (others are informational).
+TRACKED_KERNELS = ("coal_bott", "model_step_r1", "model_step_r4")
+
+#: Relative slowdown above which the gate fails (0.15 == 15%).
+DEFAULT_THRESHOLD = 0.15
+
+#: Schema version of the BENCH_*.json payload.
+SCHEMA = 1
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@dataclass
+class KernelBench:
+    """Timing result for one benchmarked kernel."""
+
+    name: str
+    median_s: float
+    mean_s: float
+    min_s: float
+    max_s: float
+    reps: int
+    #: Work stats / configuration details carried into the JSON.
+    extra: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "median_s": self.median_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+            "reps": self.reps,
+            "extra": self.extra,
+        }
+
+
+def _summarize(name: str, samples: list[float], extra: dict) -> KernelBench:
+    return KernelBench(
+        name=name,
+        median_s=statistics.median(samples),
+        mean_s=statistics.fmean(samples),
+        min_s=min(samples),
+        max_s=max(samples),
+        reps=len(samples),
+        extra=extra,
+    )
+
+
+# --- workloads ---------------------------------------------------------------
+
+
+def make_coal_state(
+    npts: int = 1024, nkr: int = 33, seed: int = 2024
+) -> tuple[dict, np.ndarray, np.ndarray]:
+    """A realistic mixed-phase collision workload.
+
+    Warm points carry liquid across the mid bins; cold points add snow,
+    graupel and plate ice so the ice-phase interactions fire too —
+    about the bin occupancy a convective CONUS column produces.
+    """
+    from repro.fsbm.species import Species
+
+    rng = np.random.default_rng(seed)
+    dists = {sp: np.zeros((npts, nkr)) for sp in Species}
+    dists[Species.LIQUID][:, 3:22] = rng.uniform(0.0, 4.0, (npts, 19))
+    cold = np.arange(npts) % 2 == 1
+    ncold = int(cold.sum())
+    dists[Species.SNOW][cold, 6:20] = rng.uniform(0.0, 1.5, (ncold, 14))
+    dists[Species.GRAUPEL][cold, 8:18] = rng.uniform(0.0, 1.0, (ncold, 10))
+    dists[Species.ICE_PLA][cold, 4:14] = rng.uniform(0.0, 0.8, (ncold, 10))
+    temperature = np.where(cold, 258.0, 283.0) + rng.uniform(-3.0, 3.0, npts)
+    pressure_mb = rng.uniform(520.0, 980.0, npts)
+    return dists, temperature, pressure_mb
+
+
+def _occupied_counts(dists: dict) -> dict:
+    from repro.fsbm.state import N_EPS
+
+    out = {}
+    for sp, d in dists.items():
+        present = d > N_EPS
+        rev = present[:, ::-1]
+        first = np.argmax(rev, axis=1)
+        out[sp] = np.where(present.any(axis=1), d.shape[1] - first, 0)
+    return out
+
+
+def bench_coal_bott(
+    mode: str = "default",
+    npts: int = 1024,
+    reps: int = 7,
+    dt: float = 5.0,
+    seed: int = 2024,
+) -> KernelBench:
+    """Time one collision step; ``mode`` selects the contraction path.
+
+    ``"dense"``/``"sparse"`` force the split-tensor contraction variant
+    through ``coal_bott_step``'s ``use_sparse`` flag when the installed
+    code has one; on code that predates the flag (the seed) both fall
+    back to the default path and record ``mode_supported: false``.
+    """
+    from repro.fsbm.coal_bott import coal_bott_step
+    from repro.fsbm.collision_kernels import get_tables
+    from repro.fsbm.species import INTERACTIONS
+
+    dists, temperature, pressure_mb = make_coal_state(npts=npts, seed=seed)
+    occupied = _occupied_counts(dists)
+    tables = get_tables()
+
+    kwargs = dict(occupied=occupied, on_demand=True)
+    supported = True
+    if mode != "default":
+        if "use_sparse" in inspect.signature(coal_bott_step).parameters:
+            kwargs["use_sparse"] = mode == "sparse"
+        else:
+            supported = False
+
+    stats_holder = {}
+
+    def run_once() -> float:
+        work = {sp: d.copy() for sp, d in dists.items()}
+        t0 = time.perf_counter()
+        stats = coal_bott_step(
+            work, temperature, pressure_mb, dt, tables, INTERACTIONS, **kwargs
+        )
+        elapsed = time.perf_counter() - t0
+        stats_holder["stats"] = stats
+        return elapsed
+
+    run_once()  # warmup: builds tables/split caches outside the timing
+    samples = [run_once() for _ in range(reps)]
+    stats = stats_holder["stats"]
+    return _summarize(
+        f"coal_bott_{mode}" if mode != "default" else "coal_bott",
+        samples,
+        extra={
+            "npts": npts,
+            "mode": mode,
+            "mode_supported": supported,
+            "pair_entries": stats.pair_entries,
+            "kernel_entries": stats.kernel_entries,
+            "interactions_used": stats.interactions_used,
+            "flops": stats.flops,
+        },
+    )
+
+
+def bench_model_step(
+    num_ranks: int,
+    scale: float = 0.08,
+    reps: int = 5,
+    seed: int = 2024,
+    rank_batching: str | None = None,
+) -> KernelBench:
+    """Time full ``WrfModel.step`` calls at one rank count.
+
+    One warmup step builds all lazy tables; each subsequent step is one
+    timing sample (the state evolves, but per-step cost is stable at
+    these sizes).
+    """
+    from repro.optim.stages import Stage
+    from repro.wrf.model import WrfModel
+    from repro.wrf.namelist import conus12km_namelist
+
+    kw: dict = dict(num_ranks=num_ranks, stage=Stage.LOOKUP, seed=seed)
+    if rank_batching is not None:
+        try:
+            nl = conus12km_namelist(
+                scale=scale, rank_batching=rank_batching, **kw
+            )
+        except TypeError:  # seed code has no rank_batching field
+            nl = conus12km_namelist(scale=scale, **kw)
+    else:
+        nl = conus12km_namelist(scale=scale, **kw)
+
+    model = WrfModel(nl)
+    try:
+        model.step()  # warmup
+        samples = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            model.step()
+            samples.append(time.perf_counter() - t0)
+    finally:
+        model.close()
+    return _summarize(
+        f"model_step_r{num_ranks}",
+        samples,
+        extra={
+            "num_ranks": num_ranks,
+            "scale": scale,
+            "grid": list(nl.domain.extents)
+            if hasattr(nl.domain, "extents")
+            else [nl.domain.nx, nl.domain.nz, nl.domain.ny],
+            "rank_batching": getattr(nl, "rank_batching", "serial"),
+        },
+    )
+
+
+# --- collection --------------------------------------------------------------
+
+
+def git_revision(short: bool = True) -> str:
+    """Current git revision, or ``"local"`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short" if short else "HEAD", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "local"
+
+
+def collect(quick: bool = False, kernels: list[str] | None = None) -> dict:
+    """Run the benchmark suite and return the BENCH payload."""
+    npts = 256 if quick else 1024
+    reps = 3 if quick else 7
+    model_reps = 2 if quick else 5
+    scale = 0.05 if quick else 0.08
+
+    results: list[KernelBench] = []
+    wanted = set(kernels) if kernels else None
+
+    def want(name: str) -> bool:
+        return wanted is None or name in wanted
+
+    if want("coal_bott"):
+        results.append(bench_coal_bott("default", npts=npts, reps=reps))
+    if want("coal_bott_dense"):
+        results.append(bench_coal_bott("dense", npts=npts, reps=reps))
+    if want("coal_bott_sparse"):
+        results.append(bench_coal_bott("sparse", npts=npts, reps=reps))
+    for ranks in (1, 4):
+        name = f"model_step_r{ranks}"
+        if want(name):
+            results.append(
+                bench_model_step(ranks, scale=scale, reps=model_reps)
+            )
+
+    return {
+        "schema": SCHEMA,
+        "revision": git_revision(),
+        "quick": quick,
+        "config": {"npts": npts, "reps": reps, "scale": scale},
+        "kernels": {r.name: r.to_json() for r in results},
+    }
+
+
+def write_payload(payload: dict, path: Path | str) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_payload(path: Path | str) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def default_output_path(rev: str | None = None) -> Path:
+    return REPO_ROOT / f"BENCH_{rev or git_revision()}.json"
+
+
+def find_baseline(exclude: Path | None = None) -> Path | None:
+    """The committed baseline to gate against.
+
+    Prefers the newest non-seed ``BENCH_*.json`` at the repo root and
+    falls back to ``BENCH_seed.json``.
+    """
+    candidates = [
+        p
+        for p in sorted(REPO_ROOT.glob("BENCH_*.json"))
+        if exclude is None or p.resolve() != Path(exclude).resolve()
+    ]
+    if not candidates:
+        return None
+    non_seed = [p for p in candidates if p.name != "BENCH_seed.json"]
+    if non_seed:
+        return max(non_seed, key=lambda p: p.stat().st_mtime)
+    return candidates[0]
+
+
+# --- the gate ----------------------------------------------------------------
+
+
+@dataclass
+class GateFinding:
+    """One tracked kernel's current-vs-baseline comparison."""
+
+    kernel: str
+    baseline_s: float
+    current_s: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_s == 0:
+            return float("inf")
+        return self.current_s / self.baseline_s
+
+    def render(self, threshold: float) -> str:
+        tag = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.kernel:<20} baseline {self.baseline_s * 1e3:9.3f} ms   "
+            f"current {self.current_s * 1e3:9.3f} ms   "
+            f"x{self.ratio:5.2f}  [{tag}, gate at x{1 + threshold:.2f}]"
+        )
+
+
+def compare_payloads(
+    current: dict,
+    baseline: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    kernels: tuple[str, ...] = TRACKED_KERNELS,
+) -> list[GateFinding]:
+    """Compare tracked kernel medians; only shared kernels are gated."""
+    findings: list[GateFinding] = []
+    for name in kernels:
+        cur = current.get("kernels", {}).get(name)
+        base = baseline.get("kernels", {}).get(name)
+        if cur is None or base is None:
+            continue
+        findings.append(
+            GateFinding(
+                kernel=name,
+                baseline_s=float(base["median_s"]),
+                current_s=float(cur["median_s"]),
+                regressed=float(cur["median_s"])
+                > float(base["median_s"]) * (1.0 + threshold),
+            )
+        )
+    return findings
+
+
+def gate_exit_code(findings: list[GateFinding]) -> int:
+    """0 = no tracked kernel regressed, 2 = at least one did."""
+    return 2 if any(f.regressed for f in findings) else 0

@@ -6,11 +6,14 @@
     python -m repro stages --scale 0.1 --ranks 4 --steps 4
     python -m repro experiments [--quick]
     python -m repro scaling
+    python -m repro bench [--quick] [--gate]
 
 ``run`` executes one configuration and prints the profile; ``stages``
 walks the four optimization stages and prints Tables III-V;
 ``experiments`` regenerates every table/figure; ``scaling`` projects
-the Fig. 4 / Table VII configurations.
+the Fig. 4 / Table VII configurations; ``bench`` times the repo's own
+wall-clock hot kernels and gates them against the committed
+``BENCH_*.json`` baseline.
 """
 
 from __future__ import annotations
@@ -91,6 +94,59 @@ def cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_harness():
+    """Import ``benchmarks.harness`` from an installed or in-tree layout."""
+    import importlib
+
+    try:
+        return importlib.import_module("benchmarks.harness")
+    except ModuleNotFoundError:
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        if str(root) not in sys.path:
+            sys.path.insert(0, str(root))
+        return importlib.import_module("benchmarks.harness")
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Wall-clock benchmarks of the repo's real hot kernels.
+
+    Exit codes follow the ``codee verify`` contract: 0 = ok,
+    1 = could not run (e.g. no baseline), 2 = a tracked kernel
+    regressed past the threshold.
+    """
+    harness = _load_harness()
+    payload = harness.collect(quick=args.quick, kernels=args.kernel or None)
+    for name, k in sorted(payload["kernels"].items()):
+        print(f"{name:<20} median {k['median_s'] * 1e3:9.3f} ms   reps {k['reps']}")
+
+    out = None
+    if not args.no_write:
+        out = harness.default_output_path(args.rev)
+        harness.write_payload(payload, out)
+        print(f"wrote {out}")
+
+    if not args.gate:
+        return 0
+    if args.baseline:
+        baseline_path = args.baseline
+    else:
+        baseline_path = harness.find_baseline(exclude=out)
+    if baseline_path is None:
+        print("bench gate: no committed BENCH_*.json baseline found")
+        return 1
+    baseline = harness.load_payload(baseline_path)
+    print(f"gating against {baseline_path} (rev {baseline.get('revision')})")
+    findings = harness.compare_payloads(payload, baseline, threshold=args.threshold)
+    for f in findings:
+        print(f.render(args.threshold))
+    if not findings:
+        print("bench gate: no tracked kernels shared with the baseline")
+        return 1
+    return harness.gate_exit_code(findings)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=sys.modules["repro"].PAPER
@@ -124,6 +180,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_sc = sub.add_parser("scaling", help="Fig. 4 / Table VII projection")
     p_sc.add_argument("--quick", action="store_true")
     p_sc.set_defaults(func=cmd_scaling)
+
+    p_bm = sub.add_parser(
+        "bench", help="time the repo's real hot kernels / regression gate"
+    )
+    p_bm.add_argument("--quick", action="store_true")
+    p_bm.add_argument(
+        "--gate",
+        action="store_true",
+        help="compare against the committed baseline (exit 2 on regression)",
+    )
+    p_bm.add_argument("--rev", help="revision label for the BENCH_<rev>.json name")
+    p_bm.add_argument("--baseline", help="explicit baseline JSON to gate against")
+    p_bm.add_argument("--threshold", type=float, default=0.15)
+    p_bm.add_argument(
+        "--kernel",
+        action="append",
+        help="benchmark only this kernel (repeatable)",
+    )
+    p_bm.add_argument(
+        "--no-write", action="store_true", help="don't write BENCH_<rev>.json"
+    )
+    p_bm.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -10,6 +10,14 @@ kernels and directives they hand to this engine, exactly as the paper's
 code versions differ only in their directives and array layout.
 """
 
+from repro.core.cache import (
+    CacheInfo,
+    CountingCache,
+    cache_stats,
+    cached,
+    clear_all_caches,
+    get_cache,
+)
 from repro.core.clock import SimClock, TimeBucket
 from repro.core.env import OffloadEnv
 from repro.core.directives import (
@@ -55,4 +63,10 @@ __all__ = [
     "KernelTiming",
     "OffloadEngine",
     "KernelRecord",
+    "CacheInfo",
+    "CountingCache",
+    "cache_stats",
+    "cached",
+    "clear_all_caches",
+    "get_cache",
 ]

@@ -23,6 +23,7 @@ from repro.fsbm.species import (
     INTERACTIONS,
     interactions_for_regime,
 )
+from repro.fsbm.coal_bott import CoalSelection, CoalWorkStats
 from repro.fsbm.collision_kernels import KernelTables, get_tables
 from repro.fsbm.state import MicroState
 from repro.fsbm.fast_sbm import FastSBM, SbmStepStats
@@ -35,6 +36,8 @@ __all__ = [
     "Interaction",
     "INTERACTIONS",
     "interactions_for_regime",
+    "CoalSelection",
+    "CoalWorkStats",
     "KernelTables",
     "get_tables",
     "MicroState",

@@ -15,11 +15,11 @@ so their numerics agree bit-for-bit while their operation counts differ
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
 from repro.constants import KERNEL_P_HIGH_MB, KERNEL_P_LOW_MB
+from repro.core.cache import cached
 from repro.fsbm.fallspeeds import terminal_velocity
 from repro.fsbm.species import INTERACTIONS, INTERACTIONS_BY_NAME, Interaction, Species, species_bins
 
@@ -161,7 +161,27 @@ class KernelTables:
         return total
 
 
-@lru_cache(maxsize=1)
+@cached("fsbm.kernel_tables", maxsize=1)
 def get_tables() -> KernelTables:
     """Shared singleton of the reference tables (expensive to build)."""
     return KernelTables.build()
+
+
+def tables_token(tables: KernelTables) -> tuple:
+    """A cheap content fingerprint of a tables object.
+
+    Caches deriving data *from* a :class:`KernelTables` (the sparse
+    collision operators) key on this instead of object identity, so two
+    independently built but identical tables share entries and a
+    physics change invalidates them. Computed once per instance.
+    """
+    tok = tables.__dict__.get("_content_token")
+    if tok is None:
+        tok = (
+            tables.nkr,
+            len(tables.tables_500),
+            float(sum(t.sum() for t in tables.tables_500.values())),
+            float(sum(t.sum() for t in tables.tables_750.values())),
+        )
+        object.__setattr__(tables, "_content_token", tok)
+    return tok

@@ -30,7 +30,12 @@ from repro.core.directives import (
 from repro.core.engine import KernelRecord, OffloadEngine
 from repro.core.kernel import Kernel, KernelResources, estimate_registers
 from repro.errors import ConfigurationError
-from repro.fsbm.coal_bott import CoalWorkStats, coal_bott_step, predict_coal_work
+from repro.fsbm.coal_bott import (
+    CoalSelection,
+    CoalWorkStats,
+    coal_bott_step,
+    predict_coal_work,
+)
 from repro.fsbm.collision_kernels import KernelTables, get_tables
 from repro.fsbm.condensation import CondWorkStats, onecond1, onecond2
 from repro.fsbm.freezing import FreezeWorkStats, freezing_melting_step
@@ -368,6 +373,9 @@ class FastSBM:
         c_t = g_t[cidx]
         c_p = g_p[cidx]
         occupied = self._occupied(c_dists)
+        # One selection for the whole step: the work prediction and the
+        # update (and its fp64 shadow) all test the same pre-step state.
+        selection = CoalSelection.build(c_dists, c_t)
 
         if not self.stage.uses_gpu:
             work = coal_bott_step(
@@ -379,6 +387,7 @@ class FastSBM:
                 INTERACTIONS,
                 occupied=occupied,
                 on_demand=self.stage.on_demand_kernels,
+                selection=selection,
             )
             self._charge_cpu(
                 work.flops, work.bytes_moved, iterations=int(work.pair_entries)
@@ -386,7 +395,7 @@ class FastSBM:
             record = None
         else:
             work, record = self._collisions_offloaded(
-                state, c_dists, c_t, c_p, occupied
+                state, c_dists, c_t, c_p, occupied, selection
             )
         for sp in g_dists:
             g_dists[sp][cidx] = c_dists[sp]
@@ -411,6 +420,7 @@ class FastSBM:
         c_t: np.ndarray,
         c_p: np.ndarray,
         occupied: dict[Species, np.ndarray],
+        selection: CoalSelection,
     ) -> tuple[CoalWorkStats, KernelRecord]:
         """Stage 2/3: launch the fissioned collision loop on the device."""
         assert self.engine is not None
@@ -423,7 +433,8 @@ class FastSBM:
             self.temp_arrays.allocate(self.engine)
 
         work = predict_coal_work(
-            c_dists, c_t, self.tables, INTERACTIONS, occupied, on_demand=True
+            c_dists, c_t, self.tables, INTERACTIONS, occupied, on_demand=True,
+            selection=selection,
         )
         npts = int(c_t.shape[0])
         resources = self._coal_resources(work, npts, nkr)
@@ -443,6 +454,7 @@ class FastSBM:
                     occupied=occupied,
                     on_demand=True,
                     dtype=np.float64,
+                    selection=selection,
                 )
             coal_bott_step(
                 c_dists,
@@ -454,6 +466,7 @@ class FastSBM:
                 occupied=occupied,
                 on_demand=True,
                 dtype=device_dtype,
+                selection=selection,
             )
             if shadow is not None:
                 from repro.core.autocompare import autocompare_region

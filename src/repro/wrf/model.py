@@ -2,9 +2,13 @@
 
 One :class:`WrfModel` owns the whole simulated job: the decomposition,
 one set of fields + FSBM driver per rank, the per-rank clocks, devices
-for offloaded stages, and the BSP step scheduler. Ranks execute
-sequentially in-process; their *simulated* times overlap per the
-scheduler's rules.
+for offloaded stages, and the BSP step scheduler. Within a step, the
+per-rank CPU stages (physics, transport) are independent between halo
+exchanges and by default execute batched on a thread pool
+(``namelist.rank_batching``); GPU stages run ranks sequentially because
+they contend for the shared simulated GPU pool. Either way the
+*simulated* times overlap per the scheduler's rules and the per-rank
+charges are identical.
 
 Numerics note (documented substitution): transport integrates donor-
 cell upwind with a single Euler stage, while the *cost* charged to
@@ -16,6 +20,8 @@ profiles.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -164,6 +170,23 @@ class WrfModel:
             )
             for r in range(namelist.num_ranks)
         ]
+        # Batched rank execution: per-rank CPU stages share nothing
+        # mutable (fields, FSBM driver, and clock are all per-rank, and
+        # the precompute caches are thread-safe), so they can run
+        # concurrently between the halo-exchange barriers. GPU stages
+        # must stay serial — ranks contend for the shared GpuPool.
+        self._executor: ThreadPoolExecutor | None = None
+        if (
+            namelist.rank_batching
+            and namelist.num_ranks > 1
+            and not namelist.stage.uses_gpu
+            and not namelist.offload_advection
+        ):
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(namelist.num_ranks, os.cpu_count() or 1),
+                thread_name_prefix="rank",
+            )
+
         self.steps_done = 0
         self._sim_time = 0.0
         self._last_history = 0.0
@@ -189,7 +212,11 @@ class WrfModel:
                 src_arr = field_maps[seg.src][name]
                 dst_arr = field_maps[seg.dst][name]
                 dst_arr[dst_sl] = src_arr[src_sl]
-                nbytes += src_arr[src_sl].nbytes
+                # Byte count from the segment geometry instead of
+                # slicing the source a second time; bin fields carry a
+                # trailing (nkr) axis beyond the three spatial ones.
+                trailing = int(np.prod(src_arr.shape[3:], dtype=np.int64))
+                nbytes += seg.num_points * trailing * src_arr.itemsize
             t = self.comm_cost.p2p_time(seg.src, seg.dst, nbytes)
             self.clocks[seg.src].advance(TimeBucket.MPI, t)
             self.clocks[seg.dst].advance(TimeBucket.MPI, t)
@@ -395,19 +422,28 @@ class WrfModel:
 
     # --- the loop -------------------------------------------------------------
 
+    def _run_ranks(self, stage_fn) -> list:
+        """Apply a per-rank stage to every rank, batched when enabled.
+
+        Results come back in rank order either way, and each worker
+        touches only its own rank's state, so serial and batched
+        execution are interchangeable.
+        """
+        ranks = range(self.namelist.num_ranks)
+        if self._executor is None:
+            return [stage_fn(rank) for rank in ranks]
+        return list(self._executor.map(stage_fn, ranks))
+
     def step(self) -> StepTiming:
         """Advance the whole job by one model step."""
         before = [c.snapshot() for c in self.clocks]
-        sbm_stats: list[SbmStepStats] = []
         with_regions = [c.region("solve_em") for c in self.clocks]
         for ctx in with_regions:
             ctx.__enter__()
         try:
-            for rank in range(self.namelist.num_ranks):
-                sbm_stats.append(self._physics(rank))
+            sbm_stats = self._run_ranks(self._physics)
             self._exchange_halos()
-            for rank in range(self.namelist.num_ranks):
-                self._transport(rank)
+            self._run_ranks(self._transport)
         finally:
             for ctx in reversed(with_regions):
                 ctx.__exit__(None, None, None)
@@ -452,7 +488,10 @@ class WrfModel:
         )
 
     def close(self) -> None:
-        """Release device contexts (offloaded stages)."""
+        """Release device contexts and the rank executor."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
         for e in self.engines:
             if e is not None:
                 e.close()

@@ -46,6 +46,14 @@ class Namelist:
     #: instead of the default single-Euler-stage numerics. The charged
     #: cost is RK3 either way; this flag affects only the numerics.
     use_rk3_numerics: bool = False
+    #: Execute per-rank CPU stages on a thread pool between halo
+    #: exchanges. Ranks are independent within a stage (physics and
+    #: transport each touch only their own patch, clock, and FSBM
+    #: driver, and numpy releases the GIL in the hot kernels), so the
+    #: numerics and the per-rank simulated-time charges are identical
+    #: to serial execution — only host wall-clock changes. GPU stages
+    #: always run serial because ranks share the simulated GPU pool.
+    rank_batching: bool = True
     #: History write interval [s] (0 disables history).
     history_interval: float = 0.0
     #: Directory for on-disk wrfout files (None keeps frames in memory).

@@ -1,0 +1,145 @@
+"""The wall-clock benchmark harness and its regression gate.
+
+These run in tier-1 (they live under ``tests/``) and are additionally
+selectable alone with ``pytest -m bench_quick``. They use tiny
+workloads — the full benchmark runs through ``repro bench`` /
+``scripts/bench_gate.py``.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import subprocess
+import sys
+
+import pytest
+
+from benchmarks import harness
+
+pytestmark = pytest.mark.bench_quick
+
+
+@pytest.fixture(scope="module")
+def coal_bench():
+    return harness.bench_coal_bott("default", npts=64, reps=2)
+
+
+class TestHarness:
+    def test_coal_bott_bench_payload(self, coal_bench):
+        assert coal_bench.name == "coal_bott"
+        assert 0 < coal_bench.min_s <= coal_bench.median_s <= coal_bench.max_s
+        assert coal_bench.extra["pair_entries"] > 0
+        assert coal_bench.extra["mode_supported"] is True
+
+    def test_sparse_and_dense_modes_supported(self):
+        sparse = harness.bench_coal_bott("sparse", npts=64, reps=1)
+        dense = harness.bench_coal_bott("dense", npts=64, reps=1)
+        assert sparse.extra["mode_supported"] and dense.extra["mode_supported"]
+        # Same workload, same scalar-code work stats on both engines.
+        assert sparse.extra["pair_entries"] == dense.extra["pair_entries"]
+
+    def test_seed_baseline_is_committed(self):
+        seed = harness.REPO_ROOT / "BENCH_seed.json"
+        assert seed.exists()
+        payload = harness.load_payload(seed)
+        assert payload["schema"] == harness.SCHEMA
+        for name in harness.TRACKED_KERNELS:
+            assert name in payload["kernels"], name
+
+    def test_find_baseline_prefers_non_seed(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(harness, "REPO_ROOT", tmp_path)
+        (tmp_path / "BENCH_seed.json").write_text("{}")
+        assert harness.find_baseline().name == "BENCH_seed.json"
+        (tmp_path / "BENCH_abc123.json").write_text("{}")
+        assert harness.find_baseline().name == "BENCH_abc123.json"
+
+
+def _payload_from(bench: harness.KernelBench, name: str) -> dict:
+    return {
+        "schema": harness.SCHEMA,
+        "revision": "test",
+        "quick": True,
+        "config": {},
+        "kernels": {name: bench.to_json()},
+    }
+
+
+class TestGate:
+    """Exit-code contract: 0 = ok, 2 = regression (mirrors codee verify)."""
+
+    def test_identical_payloads_pass(self, coal_bench):
+        payload = _payload_from(coal_bench, "coal_bott")
+        findings = harness.compare_payloads(payload, payload)
+        assert findings and not any(f.regressed for f in findings)
+        assert harness.gate_exit_code(findings) == 0
+
+    def test_injected_2x_slowdown_fails(self, coal_bench):
+        baseline = _payload_from(coal_bench, "coal_bott")
+        slowed = copy.deepcopy(baseline)
+        slowed["kernels"]["coal_bott"]["median_s"] *= 2.0
+        findings = harness.compare_payloads(slowed, baseline)
+        assert any(f.regressed for f in findings)
+        assert harness.gate_exit_code(findings) == 2
+        # ... and a speedup is not a regression.
+        assert harness.gate_exit_code(
+            harness.compare_payloads(baseline, slowed)
+        ) == 0
+
+    def test_slowdown_inside_threshold_passes(self, coal_bench):
+        baseline = _payload_from(coal_bench, "coal_bott")
+        slowed = copy.deepcopy(baseline)
+        slowed["kernels"]["coal_bott"]["median_s"] *= 1.10  # below 15%
+        assert harness.gate_exit_code(
+            harness.compare_payloads(slowed, baseline)
+        ) == 0
+
+    def test_untracked_kernels_are_ignored(self, coal_bench):
+        baseline = _payload_from(coal_bench, "coal_bott")
+        slowed = copy.deepcopy(baseline)
+        slowed["kernels"]["coal_bott_dense"] = copy.deepcopy(
+            slowed["kernels"]["coal_bott"]
+        )
+        slowed["kernels"]["coal_bott_dense"]["median_s"] *= 10.0
+        assert harness.gate_exit_code(
+            harness.compare_payloads(slowed, baseline)
+        ) == 0
+
+
+class TestGateScript:
+    """scripts/bench_gate.py end to end on saved payloads."""
+
+    def _run(self, *args: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, str(harness.REPO_ROOT / "scripts" / "bench_gate.py"), *args],
+            capture_output=True,
+            text=True,
+        )
+
+    def test_exit_2_on_injected_slowdown(self, tmp_path, coal_bench):
+        baseline = _payload_from(coal_bench, "coal_bott")
+        slowed = copy.deepcopy(baseline)
+        slowed["kernels"]["coal_bott"]["median_s"] *= 2.0
+        base_p = tmp_path / "BENCH_base.json"
+        cur_p = tmp_path / "current.json"
+        base_p.write_text(json.dumps(baseline))
+        cur_p.write_text(json.dumps(slowed))
+        proc = self._run("--baseline", str(base_p), "--current", str(cur_p))
+        assert proc.returncode == 2, proc.stdout + proc.stderr
+        assert "REGRESSION" in proc.stdout
+
+    def test_exit_0_when_clean(self, tmp_path, coal_bench):
+        baseline = _payload_from(coal_bench, "coal_bott")
+        base_p = tmp_path / "BENCH_base.json"
+        cur_p = tmp_path / "current.json"
+        base_p.write_text(json.dumps(baseline))
+        cur_p.write_text(json.dumps(baseline))
+        proc = self._run("--baseline", str(base_p), "--current", str(cur_p))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_exit_1_without_baseline(self, tmp_path):
+        proc = self._run(
+            "--baseline", str(tmp_path / "missing.json"),
+            "--current", str(tmp_path / "missing2.json"),
+        )
+        assert proc.returncode == 1

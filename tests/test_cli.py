@@ -51,3 +51,30 @@ def test_scaling_quick(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["nonsense"])
+
+
+def test_bench_quick_no_write(capsys):
+    rc = main(["bench", "--quick", "--no-write", "--kernel", "coal_bott"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "coal_bott" in out and "median" in out
+    assert "wrote" not in out
+
+
+def test_bench_gate_against_committed_baseline(capsys, tmp_path):
+    rc = main(
+        [
+            "bench",
+            "--quick",
+            "--no-write",
+            "--kernel",
+            "coal_bott",
+            "--gate",
+            "--baseline",
+            "BENCH_seed.json",
+            "--threshold",
+            "1000",  # contract smoke test, not a timing assertion
+        ]
+    )
+    assert rc == 0
+    assert "gating against" in capsys.readouterr().out

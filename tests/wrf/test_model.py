@@ -116,3 +116,64 @@ class TestDeterminism:
         o1, o2 = m1.gather_output(), m2.gather_output()
         for name in o1:
             np.testing.assert_array_equal(o1[name], o2[name])
+
+
+class TestRankBatching:
+    """Batched rank execution: same numerics and charges as serial."""
+
+    def test_batched_matches_serial_exactly(self):
+        nl_serial = conus12km_namelist(
+            scale=0.05, num_ranks=4, seed=17, rank_batching=False
+        )
+        nl_batched = conus12km_namelist(
+            scale=0.05, num_ranks=4, seed=17, rank_batching=True
+        )
+        m_serial = WrfModel(nl_serial)
+        m_batched = WrfModel(nl_batched)
+        try:
+            assert m_serial._executor is None
+            assert m_batched._executor is not None
+            m_serial.run(num_steps=2)
+            m_batched.run(num_steps=2)
+            o_s, o_b = m_serial.gather_output(), m_batched.gather_output()
+            for name in o_s:
+                np.testing.assert_array_equal(o_b[name], o_s[name])
+            # Per-rank simulated charges are execution-order independent.
+            for cs, cb in zip(m_serial.clocks, m_batched.clocks):
+                assert cb.total == pytest.approx(cs.total, rel=1e-12)
+                for region in ("fast_sbm", "rk_scalar_tend"):
+                    assert cb.region_total(region) == pytest.approx(
+                        cs.region_total(region), rel=1e-12
+                    )
+        finally:
+            m_serial.close()
+            m_batched.close()
+
+    def test_single_rank_stays_serial(self):
+        model = WrfModel(conus12km_namelist(scale=0.05, num_ranks=1))
+        try:
+            assert model._executor is None
+            model.step()
+        finally:
+            model.close()
+
+    def test_gpu_stage_stays_serial(self):
+        nl = conus12km_namelist(
+            scale=0.05,
+            num_ranks=2,
+            stage=Stage.OFFLOAD_COLLAPSE2,
+            num_gpus=1,
+            rank_batching=True,
+        )
+        model = WrfModel(nl)
+        try:
+            assert model._executor is None
+            model.step()
+        finally:
+            model.close()
+
+    def test_close_shuts_down_executor(self):
+        model = WrfModel(conus12km_namelist(scale=0.05, num_ranks=2))
+        assert model._executor is not None
+        model.close()
+        assert model._executor is None
