@@ -10,7 +10,12 @@ performance is checkable:
   paper's ``coal_bott_new``), in its default, dense-contraction, and
   sparse-scatter variants;
 * ``model_step_rN`` — one full :meth:`repro.wrf.model.WrfModel.step`
-  at N ranks (physics + halo exchange + transport).
+  at N ranks (physics + halo exchange + transport);
+* ``transport_fused`` / ``transport_per_field`` — the scalar-advection
+  engine in isolation on a fixed-size 234-scalar superblock: the fused
+  path (pack + single fused kernel + unpack) against the per-field
+  reference loop, at the same shape in quick and full mode so the
+  numbers stay comparable.
 
 ``collect`` produces a JSON-serializable payload with per-kernel median
 seconds and work stats; ``compare_payloads`` implements the regression
@@ -42,7 +47,12 @@ from pathlib import Path
 import numpy as np
 
 #: Kernels the regression gate tracks (others are informational).
-TRACKED_KERNELS = ("coal_bott", "model_step_r1", "model_step_r4")
+TRACKED_KERNELS = (
+    "coal_bott",
+    "model_step_r1",
+    "model_step_r4",
+    "transport_fused",
+)
 
 #: Relative slowdown above which the gate fails (0.15 == 15%).
 DEFAULT_THRESHOLD = 0.15
@@ -240,6 +250,98 @@ def bench_model_step(
     )
 
 
+def bench_transport(
+    mode: str = "fused",
+    shape: tuple[int, int, int] = (36, 50, 26),
+    reps: int = 5,
+    seed: int = 2024,
+) -> KernelBench:
+    """Time the scalar-transport engine in isolation at a fixed shape.
+
+    ``mode="fused"`` measures what the model's default path pays end to
+    end — packing all 234 scalars into the workspace superblock, one
+    fused Euler advection, unpacking — while ``mode="per_field"``
+    measures the reference loop (one ``rk_scalar_tend`` + update per
+    field). The shape is fixed regardless of ``--quick`` so quick and
+    full runs of the gate compare like with like.
+    """
+    from repro.fsbm.species import Species
+    from repro.wrf.dynamics import (
+        FLOPS_PER_CELL_TEND,
+        FLOPS_PER_CELL_UPDATE,
+        WindSplit,
+        rk_scalar_tend,
+    )
+    from repro.wrf.transport import (
+        ScalarLayout,
+        fused_euler_advect,
+        get_workspace,
+        pack_superblock,
+        unpack_superblock,
+    )
+
+    nkr = 33
+    ni, nk, nj = shape
+    rng = np.random.default_rng(seed)
+    layout = ScalarLayout(
+        entries=(
+            ("t", 1),
+            ("qv", 1),
+            ("w", 1),
+            *((f"bin_{sp.value}", nkr) for sp in Species),
+        )
+    )
+    fields = {
+        "t": rng.uniform(230.0, 300.0, shape),
+        "qv": rng.uniform(0.0, 0.02, shape),
+        "w": rng.uniform(-8.0, 8.0, shape),
+    }
+    for sp in Species:
+        fields[f"bin_{sp.value}"] = rng.uniform(0.0, 2.0, (*shape, nkr))
+    u = rng.uniform(-20.0, 20.0, shape)
+    v = rng.uniform(-20.0, 20.0, shape)
+    split = WindSplit.build(u, v, fields["w"], 12000.0, 500.0)
+    dt = 30.0
+    ws = get_workspace(shape, layout.nscalars, owner="bench_transport")
+    clip_slices = layout.clip_slices(no_clip=("t", "w"))
+
+    def run_once() -> float:
+        if mode == "fused":
+            t0 = time.perf_counter()
+            block = pack_superblock(fields, layout, ws)
+            result = fused_euler_advect(block, split, dt, ws, clip_slices)
+            unpack_superblock(result, fields, layout)
+            return time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for name, arr in fields.items():
+            tend = rk_scalar_tend(arr, split)
+            arr += dt * tend
+            if name != "t" and name != "w":
+                np.maximum(arr, 0.0, out=arr)
+        return time.perf_counter() - t0
+
+    run_once()  # warmup: workspace pools, compiled stencil, caches
+    samples = [run_once() for _ in range(reps)]
+    cell_scalars = float(ni * nk * nj * layout.nscalars)
+    from repro.wrf.cstencil import load_stencil
+
+    return _summarize(
+        f"transport_{mode}",
+        samples,
+        extra={
+            "shape": list(shape),
+            "nscalars": layout.nscalars,
+            "mode": mode,
+            "compiled_stencil": load_stencil() is not None,
+            # One Euler stage of donor-cell tendency + update.
+            "flops": cell_scalars
+            * (FLOPS_PER_CELL_TEND + FLOPS_PER_CELL_UPDATE),
+            "superblock_bytes": int(cell_scalars * 8),
+            "min_traffic_bytes": int(cell_scalars * 8 * 2),  # 1R + 1W
+        },
+    )
+
+
 # --- collection --------------------------------------------------------------
 
 
@@ -283,6 +385,10 @@ def collect(quick: bool = False, kernels: list[str] | None = None) -> dict:
             results.append(
                 bench_model_step(ranks, scale=scale, reps=model_reps)
             )
+    for mode in ("fused", "per_field"):
+        name = f"transport_{mode}"
+        if want(name):
+            results.append(bench_transport(mode, reps=reps))
 
     return {
         "schema": SCHEMA,

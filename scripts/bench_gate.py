@@ -49,6 +49,12 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         help="gate a previously collected payload instead of re-running",
     )
+    parser.add_argument(
+        "--kernel",
+        action="append",
+        help="collect/gate only this kernel (repeatable); tracked "
+        "kernels absent from the collection are simply not gated",
+    )
     args = parser.parse_args(argv)
 
     baseline_path = args.baseline or harness.find_baseline()
@@ -63,7 +69,7 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         current = harness.load_payload(args.current)
     else:
-        current = harness.collect(quick=args.quick)
+        current = harness.collect(quick=args.quick, kernels=args.kernel or None)
 
     print(f"baseline: {baseline_path} (rev {baseline.get('revision')})")
     print(f"current : rev {current.get('revision')}")

@@ -42,6 +42,8 @@ class CacheInfo:
     evictions: int
     currsize: int
     maxsize: int | None
+    #: Bytes held by current entries (0 unless the cache has a sizer).
+    nbytes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -60,9 +62,18 @@ class CountingCache:
     ranks execute batched on threads.
     """
 
-    def __init__(self, name: str, maxsize: int | None = None):
+    def __init__(
+        self,
+        name: str,
+        maxsize: int | None = None,
+        sizeof: Callable[[Any], int] | None = None,
+    ):
         self.name = name
         self.maxsize = maxsize
+        #: Optional value sizer; when set, :meth:`info` reports the
+        #: total bytes of live entries (used by the transport-workspace
+        #: registry to expose its pinned-buffer footprint).
+        self.sizeof = sizeof
         self._data: OrderedDict[Any, Any] = OrderedDict()
         self._lock = threading.RLock()
         self._hits = 0
@@ -92,6 +103,9 @@ class CountingCache:
 
     def info(self) -> CacheInfo:
         with self._lock:
+            nbytes = 0
+            if self.sizeof is not None:
+                nbytes = sum(int(self.sizeof(v)) for v in self._data.values())
             return CacheInfo(
                 name=self.name,
                 hits=self._hits,
@@ -99,6 +113,7 @@ class CountingCache:
                 evictions=self._evictions,
                 currsize=len(self._data),
                 maxsize=self.maxsize,
+                nbytes=nbytes,
             )
 
     def keys(self) -> list:
@@ -119,16 +134,20 @@ _registry: dict[str, CountingCache] = {}
 _registry_lock = threading.Lock()
 
 
-def get_cache(name: str, maxsize: int | None = None) -> CountingCache:
+def get_cache(
+    name: str,
+    maxsize: int | None = None,
+    sizeof: Callable[[Any], int] | None = None,
+) -> CountingCache:
     """The registered cache called ``name``, created on first use.
 
-    The ``maxsize`` of the first registration wins; later callers get
-    the same instance regardless of the bound they pass.
+    The ``maxsize`` and ``sizeof`` of the first registration win;
+    later callers get the same instance regardless of what they pass.
     """
     with _registry_lock:
         cache = _registry.get(name)
         if cache is None:
-            cache = CountingCache(name, maxsize=maxsize)
+            cache = CountingCache(name, maxsize=maxsize, sizeof=sizeof)
             _registry[name] = cache
         return cache
 

@@ -1,0 +1,217 @@
+"""Runtime-compiled C stencil for the fused transport superblock.
+
+The fused numpy path (:func:`repro.wrf.transport.fused_upwind_tend`)
+still materializes every stencil intermediate — about forty full-block
+memory passes per step — so on one core it stays bandwidth-bound the
+same way the paper's unfused Fortran loops were. This module is the
+host-side version of the paper's final step: collapse the whole
+donor-cell update into *one* loop nest with no temporaries, so each
+advected value is read once and written once.
+
+At first use the C source below is compiled with the system C compiler
+(``cc``/``gcc``/``clang``) into a shared object cached under
+``_cbuild/`` next to this file, keyed by a hash of the source and
+flags, and loaded through :mod:`ctypes`. The kernel's arithmetic
+mirrors the reference operation-for-operation (same per-axis grouping,
+compiled with ``-ffp-contract=off`` so no FMA contraction reorders the
+rounding), which keeps it bitwise identical to the per-field numpy
+path up to the sign of floating-point zeros.
+
+If no compiler is available — or ``REPRO_DISABLE_CSTENCIL=1`` is set —
+:func:`load_stencil` returns ``None`` and callers fall back to the
+sliced numpy kernels. Nothing outside this module needs to know which
+path ran.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import threading
+from pathlib import Path
+
+import numpy as np
+
+#: Environment switch forcing the numpy fallback (used by the
+#: equivalence tests to exercise both paths, and as an escape hatch).
+DISABLE_ENV = "REPRO_DISABLE_CSTENCIL"
+
+C_SOURCE = r"""
+#include <stddef.h>
+
+/* One donor-cell stage over the whole (ni, nk, nj, ns) superblock:
+ *
+ *     out = base + f * tend(s),        tend as in rk_scalar_tend
+ *
+ * with zero-gradient edges (clamped neighbor rows reproduce the
+ * reference's edge handling exactly: the clamped term is s - s = 0).
+ * Euler passes base == s and f == dt; an RK3 stage passes base == phi0
+ * and f == dt * frac. `clip[n]` marks scalars clamped at zero after
+ * the update (only on the stage that `do_clip` enables).
+ *
+ * The tendency is accumulated axis i, then k, then j with the same
+ * expression grouping as the numpy reference, so results match it
+ * bit for bit (modulo signed zeros); see the module docstring.
+ */
+void advect_stage(const double *restrict s,
+                  const double *restrict base,
+                  double *restrict out,
+                  const double *restrict pos_i, const double *restrict neg_i,
+                  const double *restrict pos_k, const double *restrict neg_k,
+                  const double *restrict pos_j, const double *restrict neg_j,
+                  double f,
+                  long ni, long nk, long nj, long ns,
+                  const unsigned char *restrict clip, int do_clip)
+{
+    const size_t si = (size_t)nk * nj * ns;   /* element stride, axis i */
+    const size_t sk = (size_t)nj * ns;        /* element stride, axis k */
+    const size_t sj = (size_t)ns;             /* element stride, axis j */
+    #pragma omp parallel for collapse(2) schedule(static)
+    for (long i = 0; i < ni; i++) {
+        for (long k = 0; k < nk; k++) {
+            for (long j = 0; j < nj; j++) {
+                const size_t c = ((size_t)i * nk + k) * nj + j;
+                const double up = pos_i[c], un = neg_i[c];
+                const double wp = pos_k[c], wn = neg_k[c];
+                const double vp = pos_j[c], vn = neg_j[c];
+                const double *row = s + c * ns;
+                const double *rim = (i > 0)      ? row - si : row;
+                const double *rip = (i < ni - 1) ? row + si : row;
+                const double *rkm = (k > 0)      ? row - sk : row;
+                const double *rkp = (k < nk - 1) ? row + sk : row;
+                const double *rjm = (j > 0)      ? row - sj : row;
+                const double *rjp = (j < nj - 1) ? row + sj : row;
+                const double *brow = base + c * ns;
+                double *orow = out + c * ns;
+                #pragma omp simd
+                for (long n = 0; n < ns; n++) {
+                    const double sv = row[n];
+                    double t = -(up * (sv - rim[n]) + un * (rip[n] - sv));
+                    t += -(wp * (sv - rkm[n]) + wn * (rkp[n] - sv));
+                    t += -(vp * (sv - rjm[n]) + vn * (rjp[n] - sv));
+                    orow[n] = f * t + brow[n];
+                }
+                if (do_clip) {
+                    #pragma omp simd
+                    for (long n = 0; n < ns; n++) {
+                        if (clip[n] && orow[n] < 0.0) orow[n] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+"""
+
+#: ``-ffp-contract=off`` keeps the compiler from fusing multiply-adds,
+#: which would change rounding relative to the numpy reference. -O3
+#: alone never reassociates floating-point math in gcc/clang.
+CFLAGS = (
+    "-O3",
+    "-march=native",
+    "-std=c99",
+    "-fPIC",
+    "-shared",
+    "-fopenmp",
+    "-ffp-contract=off",
+)
+
+_lock = threading.Lock()
+_lib: ctypes.CDLL | None = None
+_load_attempted = False
+#: Why the stencil is unavailable ("" while it is); for diagnostics.
+load_error: str = ""
+
+
+def _build_dir() -> Path:
+    return Path(__file__).resolve().parent / "_cbuild"
+
+
+def _compile() -> ctypes.CDLL:
+    tag = hashlib.sha256(
+        (C_SOURCE + " ".join(CFLAGS)).encode()
+    ).hexdigest()[:16]
+    build = _build_dir()
+    so_path = build / f"stencil_{tag}.so"
+    if not so_path.exists():
+        build.mkdir(parents=True, exist_ok=True)
+        src_path = build / f"stencil_{tag}.c"
+        src_path.write_text(C_SOURCE)
+        compilers = [os.environ.get("CC"), "cc", "gcc", "clang"]
+        last_err: Exception | None = None
+        tmp_path = build / f".stencil_{tag}.{os.getpid()}.so"
+        for cc in compilers:
+            if not cc:
+                continue
+            try:
+                subprocess.run(
+                    [cc, *CFLAGS, str(src_path), "-o", str(tmp_path)],
+                    check=True,
+                    capture_output=True,
+                    timeout=120,
+                )
+                os.replace(tmp_path, so_path)  # atomic vs. other processes
+                last_err = None
+                break
+            except Exception as exc:  # noqa: BLE001 - any compiler failure
+                last_err = exc
+        if last_err is not None:
+            raise RuntimeError(f"no working C compiler: {last_err}")
+    lib = ctypes.CDLL(str(so_path))
+    dp = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
+    bp = np.ctypeslib.ndpointer(dtype=np.uint8, flags="C_CONTIGUOUS")
+    lib.advect_stage.restype = None
+    lib.advect_stage.argtypes = [
+        dp, dp, dp,  # s, base, out
+        dp, dp, dp, dp, dp, dp,  # pos/neg per axis
+        ctypes.c_double,
+        ctypes.c_long, ctypes.c_long, ctypes.c_long, ctypes.c_long,
+        bp, ctypes.c_int,
+    ]
+    return lib
+
+
+def load_stencil() -> ctypes.CDLL | None:
+    """The compiled stencil library, or ``None`` when unavailable.
+
+    Compilation happens once per process (and the shared object is
+    cached on disk across processes); every failure mode — no
+    compiler, sandboxed filesystem, missing OpenMP runtime — degrades
+    to ``None`` so callers take the numpy path.
+    """
+    global _lib, _load_attempted, load_error
+    if os.environ.get(DISABLE_ENV):
+        load_error = f"disabled via {DISABLE_ENV}"
+        return None
+    with _lock:
+        if not _load_attempted:
+            _load_attempted = True
+            try:
+                _lib = _compile()
+            except Exception as exc:  # noqa: BLE001 - fall back to numpy
+                _lib = None
+                load_error = str(exc)
+        return _lib
+
+
+def advect_stage(
+    lib: ctypes.CDLL,
+    s: np.ndarray,
+    base: np.ndarray,
+    out: np.ndarray,
+    pos: tuple[np.ndarray, np.ndarray, np.ndarray],
+    neg: tuple[np.ndarray, np.ndarray, np.ndarray],
+    f: float,
+    clip_mask: np.ndarray,
+    do_clip: bool,
+) -> None:
+    """One fused stage ``out = base + f * tend(s)`` on the superblock."""
+    ni, nk, nj, ns = s.shape
+    lib.advect_stage(
+        s, base, out,
+        pos[0], neg[0], pos[1], neg[1], pos[2], neg[2],
+        float(f), ni, nk, nj, ns,
+        clip_mask, 1 if do_clip else 0,
+    )

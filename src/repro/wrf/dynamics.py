@@ -102,6 +102,7 @@ def rk3_advect(
     split: WindSplit,
     dt: float,
     clip_negative: bool = False,
+    workspace=None,
 ) -> None:
     """WRF-ARW's three-stage Runge-Kutta advection update, in place.
 
@@ -111,13 +112,31 @@ def rk3_advect(
     single Euler stage for speed (the *cost* charged is always the full
     RK3); ``Namelist(use_rk3_numerics=True)`` switches the numerics to
     this function.
+
+    With a :class:`repro.wrf.transport.TransportWorkspace` passed as
+    ``workspace``, the ``phi0`` snapshot and the per-stage state reuse
+    the workspace's preallocated ``phi0``/``stage`` buffers instead of
+    allocating fresh arrays every call; the arithmetic (and hence the
+    result, bit for bit) is identical.
     """
-    phi0 = scalar.copy()
-    stage = scalar
-    for frac in RK3_FRACTIONS:
-        tend = rk_scalar_tend(stage, split)
-        stage = phi0 + (dt * frac) * tend
-    scalar[...] = stage
+    if workspace is None:
+        phi0 = scalar.copy()
+        stage = scalar
+        for frac in RK3_FRACTIONS:
+            tend = rk_scalar_tend(stage, split)
+            stage = phi0 + (dt * frac) * tend
+        scalar[...] = stage
+    else:
+        phi0 = workspace.buffer("phi0", scalar.shape)
+        phi0[...] = scalar
+        stage_buf = workspace.buffer("stage", scalar.shape)
+        stage = scalar
+        for frac in RK3_FRACTIONS:
+            tend = rk_scalar_tend(stage, split)
+            np.multiply(tend, dt * frac, out=stage_buf)
+            stage_buf += phi0
+            stage = stage_buf
+        scalar[...] = stage
     if clip_negative:
         np.maximum(scalar, 0.0, out=scalar)
 

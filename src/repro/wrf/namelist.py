@@ -46,6 +46,14 @@ class Namelist:
     #: instead of the default single-Euler-stage numerics. The charged
     #: cost is RK3 either way; this flag affects only the numerics.
     use_rk3_numerics: bool = False
+    #: Advect all scalars through the fused superblock engine
+    #: (:mod:`repro.wrf.transport`): one sliced in-place stencil sweep
+    #: over the stacked ``(ni, nk, nj, nscalar)`` block using
+    #: preallocated workspace buffers — the host analog of the paper's
+    #: stage-3 ``map(alloc:)`` + full-``collapse`` transformation.
+    #: ``False`` keeps the per-field reference loop; the two agree to
+    #: ~1e-14 and charge identical simulated cost.
+    use_fused_transport: bool = True
     #: Execute per-rank CPU stages on a thread pool between halo
     #: exchanges. Ranks are independent within a stage (physics and
     #: transport each touch only their own patch, clock, and FSBM

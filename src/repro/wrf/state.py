@@ -4,6 +4,14 @@ Arrays are allocated at *memory* extents ``(ims:ime, kms:kme, jms:jme)``
 — the owned patch plus halo — in i-k-j order, as WRF stores microphysics
 fields. Scalar advection reads the halo; microphysics operates on the
 owned interior through views.
+
+Each named field keeps its own contiguous array (physics kernels sweep
+them flat); the fused transport engine packs them into a per-rank
+``(ni, nk, nj, nscalar)`` *superblock* workspace buffer once per step
+(see :mod:`repro.wrf.transport`). :attr:`WrfFields.layout` records the
+trailing-axis packing, and :meth:`advected_fields` hands out a dict
+built once at construction — the entries are the live arrays, so the
+halo exchange and the pack/unpack never rebuild it.
 """
 
 from __future__ import annotations
@@ -12,10 +20,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.constants import GRAVITY, R_D, T_0
+from repro.constants import GRAVITY, NKR, R_D, T_0
+from repro.fsbm.species import Species
 from repro.fsbm.state import MicroState
 from repro.grid.domain import Patch
 from repro.grid.indexing import owned_slice
+from repro.wrf.transport import ScalarLayout
 
 
 def base_state_column(nz: int, dz: float) -> dict[str, np.ndarray]:
@@ -77,6 +87,8 @@ class WrfFields:
     t_base_col: np.ndarray = field(default=None)  # type: ignore[assignment]
     #: Binned microphysics state at memory extents.
     micro: MicroState = field(default=None)  # type: ignore[assignment]
+    #: Trailing-axis packing of the transport superblock.
+    layout: ScalarLayout = field(init=False, repr=False, default=None)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         shape = self.patch.shape
@@ -95,6 +107,29 @@ class WrfFields:
                 setattr(self, name, np.zeros(shape))
         if self.micro is None:
             self.micro = MicroState(shape=shape)
+
+        self.layout = ScalarLayout(
+            entries=(
+                ("t", 1),
+                ("qv", 1),
+                ("w", 1),
+                *(
+                    (f"bin_{sp.value}", d.shape[-1])
+                    for sp, d in self.micro.dists.items()
+                ),
+            )
+        )
+        # Built once; the entries are the live arrays (physics mutates
+        # them in place, never rebinds), so every later consumer — halo
+        # exchange, superblock pack/unpack, per-field transport — walks
+        # this same dict instead of rebuilding it per call.
+        self._advected: dict[str, np.ndarray] = {
+            "t": self.t,
+            "qv": self.qv,
+            "w": self.w,
+        }
+        for sp, dist in self.micro.dists.items():
+            self._advected[f"bin_{sp.value}"] = dist
 
     @property
     def shape(self) -> tuple[int, int, int]:
@@ -119,15 +154,11 @@ class WrfFields:
 
         WRF advects each bin of each hydrometeor as its own 3D scalar —
         this is why ``rk_scalar_tend`` is the second hotspot of Table I.
+        The returned dict is built once at construction (the entries
+        are the live per-field arrays); treat it as read-only.
         """
-        fields: dict[str, np.ndarray] = {"t": self.t, "qv": self.qv, "w": self.w}
-        for sp, dist in self.micro.dists.items():
-            fields[f"bin_{sp.value}"] = dist
-        return fields
+        return self._advected
 
     def scalar_count(self) -> int:
         """Number of advected 3D scalars (bins count individually)."""
-        n = 3  # t, qv, w
-        for dist in self.micro.dists.values():
-            n += dist.shape[-1]
-        return n
+        return self.layout.nscalars

@@ -44,6 +44,15 @@ class TestHarness:
         assert seed.exists()
         payload = harness.load_payload(seed)
         assert payload["schema"] == harness.SCHEMA
+        # Kernels tracked since the seed; tracked kernels added later
+        # (e.g. transport_fused) appear only in newer baselines.
+        for name in ("coal_bott", "model_step_r1", "model_step_r4"):
+            assert name in payload["kernels"], name
+
+    def test_current_baseline_tracks_all_kernels(self):
+        baseline = harness.find_baseline()
+        assert baseline is not None
+        payload = harness.load_payload(baseline)
         for name in harness.TRACKED_KERNELS:
             assert name in payload["kernels"], name
 
@@ -143,3 +152,40 @@ class TestGateScript:
             "--current", str(tmp_path / "missing2.json"),
         )
         assert proc.returncode == 1
+
+
+class TestTransportBench:
+    def test_fused_payload(self):
+        b = harness.bench_transport("fused", shape=(6, 5, 4), reps=2)
+        assert b.name == "transport_fused"
+        assert b.extra["nscalars"] == 234
+        assert b.extra["flops"] > 0
+        assert b.extra["min_traffic_bytes"] == 2 * b.extra["superblock_bytes"]
+        assert 0 < b.min_s <= b.median_s <= b.max_s
+
+    def test_per_field_payload(self):
+        b = harness.bench_transport("per_field", shape=(6, 5, 4), reps=2)
+        assert b.name == "transport_per_field"
+        assert b.extra["mode"] == "per_field"
+
+
+class TestLiveQuickGate:
+    """The wired-in CI gate: a fused-transport regression >15% against
+    the committed baseline fails tier-1 the same way ``codee verify``
+    failures do (exit 2 -> assertion failure here)."""
+
+    def test_transport_quick_gate_is_clean(self):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(harness.REPO_ROOT / "scripts" / "bench_gate.py"),
+                "--quick",
+                "--kernel",
+                "transport_fused",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "transport_fused" in proc.stdout

@@ -1,0 +1,268 @@
+"""The fused superblock transport engine vs. the per-field reference.
+
+The contract under test: the fused path (packed superblock, sliced
+numpy stencil or compiled C stencil) reproduces the per-field
+``rk_scalar_tend``/``rk3_advect`` numerics to ~1e-14, charges the
+per-rank clocks bit-identically, and performs zero heap allocations
+after warmup (the ``map(alloc:)`` analogy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import cache_stats
+from repro.fsbm.species import Species
+from repro.wrf import cstencil
+from repro.wrf.dynamics import (
+    RK3_FRACTIONS,
+    WindSplit,
+    rk3_advect,
+    rk_scalar_tend,
+)
+from repro.wrf.model import WrfModel
+from repro.wrf.namelist import conus12km_namelist
+from repro.wrf.transport import (
+    ScalarLayout,
+    TransportWorkspace,
+    fused_euler_advect,
+    fused_rk3_advect,
+    fused_upwind_tend,
+    get_workspace,
+    pack_superblock,
+    unpack_superblock,
+)
+
+#: Shapes exercising interior stencils and every 1-cell-wide edge case.
+SHAPES = st.tuples(
+    st.integers(1, 7), st.integers(1, 6), st.integers(1, 5), st.integers(1, 4)
+)
+
+
+def _random_problem(rng, shape4):
+    ni, nk, nj, ns = shape4
+    u, v, w = (rng.standard_normal((ni, nk, nj)) * 10.0 for _ in range(3))
+    split = WindSplit.build(u, v, w, 12000.0, 500.0)
+    block = np.ascontiguousarray(rng.uniform(-1.0, 2.0, size=shape4))
+    return split, block
+
+
+def _reference_tend(block, split):
+    return np.stack(
+        [rk_scalar_tend(block[..., n], split) for n in range(block.shape[-1])],
+        axis=-1,
+    )
+
+
+class TestFusedTendProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(shape4=SHAPES, seed=st.integers(0, 2**31 - 1))
+    def test_numpy_fused_tend_matches_reference(self, shape4, seed):
+        rng = np.random.default_rng(seed)
+        split, block = _random_problem(rng, shape4)
+        ws = TransportWorkspace(shape4[:3], shape4[3])
+        out = np.empty_like(block)
+        fused_upwind_tend(block, split, out, ws)
+        ref = _reference_tend(block, split)
+        np.testing.assert_allclose(out, ref, rtol=0.0, atol=1e-14)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        shape4=SHAPES,
+        seed=st.integers(0, 2**31 - 1),
+        rk3=st.booleans(),
+    )
+    def test_fused_advect_matches_per_field(self, shape4, seed, rk3):
+        """Fused Euler/RK3 (whichever stencil backend is active) vs.
+        the per-field reference, including the per-scalar clip mask."""
+        rng = np.random.default_rng(seed)
+        split, block = _random_problem(rng, shape4)
+        ns = shape4[3]
+        layout = ScalarLayout(
+            entries=tuple((f"s{n}", 1) for n in range(ns))
+        )
+        no_clip = tuple(f"s{n}" for n in range(0, ns, 2))
+        clip_slices = layout.clip_slices(no_clip=no_clip)
+        dt = 3.0
+        ref = block.copy()
+        for n in range(ns):
+            col = np.ascontiguousarray(ref[..., n])
+            clip = f"s{n}" not in no_clip
+            if rk3:
+                rk3_advect(col, split, dt, clip_negative=clip)
+            else:
+                col += dt * rk_scalar_tend(col, split)
+                if clip:
+                    np.maximum(col, 0.0, out=col)
+            ref[..., n] = col
+        ws = TransportWorkspace(shape4[:3], ns)
+        advect = fused_rk3_advect if rk3 else fused_euler_advect
+        result = advect(block, split, dt, ws, clip_slices)
+        np.testing.assert_allclose(result, ref, rtol=0.0, atol=1e-13)
+
+
+@pytest.mark.skipif(
+    cstencil.load_stencil() is None,
+    reason=f"compiled stencil unavailable: {cstencil.load_error}",
+)
+class TestCompiledStencil:
+    @settings(max_examples=25, deadline=None)
+    @given(shape4=SHAPES, seed=st.integers(0, 2**31 - 1), rk3=st.booleans())
+    def test_c_path_matches_numpy_path(self, shape4, seed, rk3):
+        import os
+
+        rng = np.random.default_rng(seed)
+        split, block = _random_problem(rng, shape4)
+        ns = shape4[3]
+        clip_slices = (slice(1, ns),) if ns > 1 else ()
+        dt = 3.0
+        advect = fused_rk3_advect if rk3 else fused_euler_advect
+
+        ws_c = TransportWorkspace(shape4[:3], ns)
+        got_c = advect(block.copy(), split, dt, ws_c, clip_slices).copy()
+
+        os.environ[cstencil.DISABLE_ENV] = "1"
+        try:
+            ws_np = TransportWorkspace(shape4[:3], ns)
+            got_np = advect(block.copy(), split, dt, ws_np, clip_slices).copy()
+        finally:
+            os.environ.pop(cstencil.DISABLE_ENV, None)
+        np.testing.assert_allclose(got_c, got_np, rtol=0.0, atol=1e-13)
+
+    def test_disable_env_forces_fallback(self, monkeypatch):
+        monkeypatch.setenv(cstencil.DISABLE_ENV, "1")
+        assert cstencil.load_stencil() is None
+
+
+class TestPackUnpack:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_roundtrip_is_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        shape = (4, 3, 5)
+        layout = ScalarLayout(
+            entries=(("t", 1), ("qv", 1), ("w", 1), ("bin_x", 4), ("bin_y", 2))
+        )
+        fields = {
+            "t": rng.uniform(size=shape),
+            "qv": rng.uniform(size=shape),
+            "w": rng.uniform(size=shape),
+            "bin_x": rng.uniform(size=(*shape, 4)),
+            "bin_y": rng.uniform(size=(*shape, 2)),
+        }
+        originals = {k: v.copy() for k, v in fields.items()}
+        ws = TransportWorkspace(shape, layout.nscalars)
+        block = pack_superblock(fields, layout, ws)
+        assert block.shape == (*shape, layout.nscalars)
+        block *= 2.0
+        unpack_superblock(block, fields, layout)
+        for name, orig in originals.items():
+            np.testing.assert_array_equal(fields[name], 2.0 * orig)
+
+    def test_layout_slices_and_masks(self):
+        layout = ScalarLayout(
+            entries=(("t", 1), ("qv", 1), ("w", 1), ("bin_a", 3), ("bin_b", 2))
+        )
+        assert layout.nscalars == 8
+        sls = layout.slices()
+        assert sls["t"] == slice(0, 1)
+        assert sls["bin_b"] == slice(6, 8)
+        # t and w unclipped -> two merged runs: qv, then both bin blocks.
+        assert layout.clip_slices(no_clip=("t", "w")) == (
+            slice(1, 2),
+            slice(3, 8),
+        )
+        mask = layout.clip_mask(no_clip=("t", "w"))
+        assert mask.tolist() == [0, 1, 0, 1, 1, 1, 1, 1]
+
+
+def _run_model(nl, steps=2):
+    model = WrfModel(nl)
+    try:
+        for _ in range(steps):
+            model.step()
+        out = model.gather_output()
+        clocks = model.clocks
+    finally:
+        model.close()
+    return out, clocks
+
+
+class TestModelEquivalence:
+    @pytest.mark.parametrize("rk3", [False, True])
+    def test_fused_matches_per_field_model(self, rk3):
+        nl = conus12km_namelist(
+            scale=0.04, num_ranks=2, use_rk3_numerics=rk3, seed=7
+        )
+        out_f, clk_f = _run_model(nl)
+        out_p, clk_p = _run_model(replace(nl, use_fused_transport=False))
+        for key in out_f:
+            np.testing.assert_allclose(
+                out_f[key], out_p[key], rtol=0.0, atol=1e-12
+            )
+        # Per-rank simulated charges are bit-exact between the paths.
+        for a, b in zip(clk_f, clk_p):
+            assert a.total == b.total
+            for region in ("solve_em", "rk_scalar_tend", "rk_update_scalar"):
+                assert a.region_total(region) == b.region_total(region)
+
+    def test_narrow_patches_match(self):
+        """Rank decomposition producing 1-cell-wide owned patches."""
+        from repro.grid.domain import DomainSpec
+        from repro.wrf.namelist import Namelist
+
+        nl = Namelist(
+            domain=DomainSpec(nx=2, nz=6, ny=2), num_ranks=2, seed=3
+        )
+        probe = WrfModel(nl)
+        narrow = any(
+            min(p.i.size, p.j.size) == 1
+            for p in probe.decomposition.patches
+        )
+        probe.close()
+        assert narrow
+        out_f, _ = _run_model(nl)
+        out_p, _ = _run_model(replace(nl, use_fused_transport=False))
+        for key in out_f:
+            np.testing.assert_allclose(
+                out_f[key], out_p[key], rtol=0.0, atol=1e-12
+            )
+
+
+class TestWorkspaceReuse:
+    def test_steps_reuse_buffers_without_allocating(self):
+        nl = conus12km_namelist(scale=0.04, num_ranks=1, seed=11)
+        model = WrfModel(nl)
+        try:
+            model.step()  # warmup allocates every pool once
+            ws = model.workspaces[0]
+            allocs = ws.allocations
+            before = cache_stats()["wrf.transport_workspace"]
+            for _ in range(3):
+                model.step()
+            after = cache_stats()["wrf.transport_workspace"]
+        finally:
+            model.close()
+        assert ws.allocations == allocs  # zero new pool allocations
+        assert after.misses == before.misses  # no new workspace builds
+        assert after.currsize == before.currsize
+        assert after.nbytes >= ws.nbytes > 0  # sizer reports pinned bytes
+
+    def test_workspace_registry_keys_by_owner(self):
+        a = get_workspace((4, 3, 2), 5, owner=0)
+        b = get_workspace((4, 3, 2), 5, owner=1)
+        again = get_workspace((4, 3, 2), 5, owner=0)
+        assert a is again
+        assert a is not b
+
+    def test_buffer_views_share_one_pool(self):
+        ws = TransportWorkspace((4, 3, 2), 5)
+        big = ws.buffer("tend", (4, 3, 2, 5))
+        small = ws.buffer("tend", (4, 3, 2))
+        assert ws.allocations == 1
+        assert np.shares_memory(big, small)
