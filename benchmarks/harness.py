@@ -15,7 +15,12 @@ performance is checkable:
   engine in isolation on a fixed-size 234-scalar superblock: the fused
   path (pack + single fused kernel + unpack) against the per-field
   reference loop, at the same shape in quick and full mode so the
-  numbers stay comparable.
+  numbers stay comparable;
+* ``sedimentation`` / ``cond_remap`` / ``coal_apply_batched`` — the
+  native physics layer (PR 5): the fused compiled sedimentation sweep,
+  the compiled condensation KO-remap scatter, and the batched-GEMM
+  collision engine, each at fixed workload shapes in quick and full
+  mode.
 
 ``collect`` produces a JSON-serializable payload with per-kernel median
 seconds and work stats; ``compare_payloads`` implements the regression
@@ -52,6 +57,9 @@ TRACKED_KERNELS = (
     "model_step_r1",
     "model_step_r4",
     "transport_fused",
+    "sedimentation",
+    "cond_remap",
+    "coal_apply_batched",
 )
 
 #: Relative slowdown above which the gate fails (0.15 == 15%).
@@ -242,9 +250,10 @@ def bench_model_step(
         extra={
             "num_ranks": num_ranks,
             "scale": scale,
-            "grid": list(nl.domain.extents)
-            if hasattr(nl.domain, "extents")
-            else [nl.domain.nx, nl.domain.nz, nl.domain.ny],
+            # Always (ni, nk, nj) — DomainSpec has no `extents` attr, and
+            # the old hasattr fallback would have emitted a different
+            # axis order if one were ever added.
+            "grid": [nl.domain.nx, nl.domain.nz, nl.domain.ny],
             "rank_batching": getattr(nl, "rank_batching", "serial"),
         },
     )
@@ -342,6 +351,160 @@ def bench_transport(
     )
 
 
+def bench_sedimentation(
+    shape: tuple[int, int, int] = (16, 50, 12),
+    reps: int = 7,
+    dt: float = 5.0,
+    seed: int = 2024,
+) -> KernelBench:
+    """Time one full-state sedimentation step at a fixed shape.
+
+    Every species is seeded so the sweep has no absent-species
+    shortcuts; the shape is fixed regardless of ``--quick`` so quick
+    and full gate runs compare like with like. Records whether the
+    compiled ``sed_sweep`` kernel (vs the numpy fallback) ran.
+    """
+    from repro.fsbm import ckernels
+    from repro.fsbm.sedimentation import sedimentation_step
+    from repro.fsbm.species import Species
+    from repro.fsbm.state import MicroState
+    from repro.wrf.state import base_state_column
+
+    rng = np.random.default_rng(seed)
+    state = MicroState(shape=shape)
+    nkr = state.nkr
+    for sp in Species:
+        occ = rng.uniform(size=(*shape, nkr)) > 0.5
+        state.dists[sp][...] = np.where(
+            occ, rng.uniform(0.0, 2.0, (*shape, nkr)), 0.0
+        )
+    base = base_state_column(shape[1], 500.0)
+    p_levels = base["pressure_mb"]
+    dz_cm = 500.0 * 100.0
+
+    stats_holder = {}
+
+    def run_once() -> float:
+        work = state.copy()
+        t0 = time.perf_counter()
+        stats_holder["stats"] = sedimentation_step(work, p_levels, dz_cm, dt)
+        return time.perf_counter() - t0
+
+    run_once()  # warmup: courant cache, compiled kernel
+    samples = [run_once() for _ in range(reps)]
+    stats = stats_holder["stats"]
+    return _summarize(
+        "sedimentation",
+        samples,
+        extra={
+            "shape": list(shape),
+            "nkr": nkr,
+            "compiled": ckernels.load_kernels() is not None,
+            "cell_bins": stats.cell_bins,
+            "flops": stats.flops,
+        },
+    )
+
+
+def bench_cond_remap(
+    npts: int = 2048,
+    reps: int = 7,
+    seed: int = 2024,
+) -> KernelBench:
+    """Time the condensation KO-remap at a fixed point count.
+
+    Perturbs a seeded liquid spectrum by a smooth growth increment and
+    times ``_remap_spectrum`` (compiled scatter by default, two-pass
+    ``bincount`` fallback under the kill switches). Fixed ``npts``
+    regardless of ``--quick``.
+    """
+    from repro.fsbm import ckernels
+    from repro.fsbm.condensation import _remap_spectrum
+    from repro.fsbm.species import Species, species_bins
+
+    grid = species_bins()[Species.LIQUID]
+    nkr = grid.masses.shape[0]
+    rng = np.random.default_rng(seed)
+    n = np.where(
+        rng.uniform(size=(npts, nkr)) > 0.4,
+        rng.uniform(0.0, 3.0, (npts, nkr)),
+        0.0,
+    )
+    # Mixed growth/evaporation perturbation, a few points off-ladder.
+    factor = rng.uniform(0.45, 2.2, (npts, 1))
+    new_mass = grid.masses[None, :] * factor
+
+    def run_once() -> float:
+        t0 = time.perf_counter()
+        _remap_spectrum(n, new_mass, grid)
+        return time.perf_counter() - t0
+
+    run_once()  # warmup
+    samples = [run_once() for _ in range(reps)]
+    return _summarize(
+        "cond_remap",
+        samples,
+        extra={
+            "npts": npts,
+            "nkr": nkr,
+            "compiled": ckernels.load_kernels() is not None,
+        },
+    )
+
+
+def bench_coal_apply(
+    npts: int = 1024,
+    reps: int = 7,
+    dt: float = 5.0,
+    seed: int = 2024,
+) -> KernelBench:
+    """Time the batched-GEMM collision engine at a fixed point count.
+
+    Same workload as ``coal_bott`` but forced through
+    ``use_batched=True`` (stacked operators + persistent
+    :class:`repro.fsbm.coal_bott.CoalWorkspace`), so the tracked pair
+    ``coal_bott`` / ``coal_apply_batched`` compares the two sparse
+    engines directly. Fixed ``npts`` regardless of ``--quick``.
+    """
+    from repro.fsbm.coal_bott import coal_bott_step, get_coal_workspace
+    from repro.fsbm.collision_kernels import get_tables
+    from repro.fsbm.species import INTERACTIONS
+
+    dists, temperature, pressure_mb = make_coal_state(npts=npts, seed=seed)
+    occupied = _occupied_counts(dists)
+    tables = get_tables()
+    workspace = get_coal_workspace(owner="bench_coal_apply")
+
+    def run_once() -> float:
+        work = {sp: d.copy() for sp, d in dists.items()}
+        t0 = time.perf_counter()
+        coal_bott_step(
+            work,
+            temperature,
+            pressure_mb,
+            dt,
+            tables,
+            INTERACTIONS,
+            occupied=occupied,
+            on_demand=True,
+            use_batched=True,
+            workspace=workspace,
+        )
+        return time.perf_counter() - t0
+
+    run_once()  # warmup: operators, workspace high-water marks
+    samples = [run_once() for _ in range(reps)]
+    return _summarize(
+        "coal_apply_batched",
+        samples,
+        extra={
+            "npts": npts,
+            "workspace_bytes": workspace.nbytes,
+            "workspace_allocations": workspace.allocations,
+        },
+    )
+
+
 # --- collection --------------------------------------------------------------
 
 
@@ -389,6 +552,12 @@ def collect(quick: bool = False, kernels: list[str] | None = None) -> dict:
         name = f"transport_{mode}"
         if want(name):
             results.append(bench_transport(mode, reps=reps))
+    if want("sedimentation"):
+        results.append(bench_sedimentation(reps=reps))
+    if want("cond_remap"):
+        results.append(bench_cond_remap(reps=reps))
+    if want("coal_apply_batched"):
+        results.append(bench_coal_apply(reps=reps))
 
     return {
         "schema": SCHEMA,

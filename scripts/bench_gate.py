@@ -5,6 +5,10 @@ Runs the benchmark harness (``benchmarks/harness.py``) and compares the
 tracked kernel medians against the committed ``BENCH_*.json`` baseline
 (the newest non-seed file, falling back to ``BENCH_seed.json``).
 
+Tracked kernels (``harness.TRACKED_KERNELS``): ``coal_bott``,
+``model_step_r1``, ``model_step_r4``, ``transport_fused``,
+``sedimentation``, ``cond_remap``, and ``coal_apply_batched``.
+
 Exit codes (the ``codee verify`` contract):
 
 * 0 — no tracked kernel slower than baseline by more than the threshold

@@ -1,0 +1,278 @@
+"""Runtime-compiled C kernels for the FSBM physics column hot spots.
+
+After the fused transport engine (PR 3), profiling shows the numpy
+physics path dominating the model step: the per-species sedimentation
+sweep materializes a full-field ``flux`` temporary per species, and the
+condensation KO-remap runs two full-size ``np.bincount`` passes per
+growth call. Both are the kind of fragmented, temporary-heavy loop the
+paper's stage-3 transformation collapses; this module is their
+host-side analog, built on the shared :mod:`repro.core.cjit`
+infrastructure (source-hash-cached ``.so``, ``-ffp-contract=off``,
+transparent numpy fallback).
+
+Equivalence to the numpy references (asserted by
+``tests/fsbm/test_native_kernels.py``):
+
+* ``sed_sweep`` — the fused all-species sedimentation loop nest over
+  ``(species, i, j, k, bin)``. Per element it performs exactly the
+  reference's ``flux = n*c``; ``n -= flux``; ``n[:, :-1] += flux[:, 1:]``
+  sequence (flux of a level is always computed before that level
+  receives the carry from above), so the distributions match **bit for
+  bit** up to the sign of floating-point zeros. Only the surface
+  precipitation dot product accumulates left-to-right instead of
+  through BLAS, which agrees to <1e-12 relative. Rows whose flux is
+  entirely zero skip their writes, so absent species cost one read
+  pass and no stores — this is what lets the caller drop its
+  per-species ``n.any()`` prescan on the compiled path (the kernel
+  reports per-species presence in ``active``).
+* ``remap_scatter`` — the Kovetz–Olund two-bin deposit. numpy's
+  ``bincount`` accumulates sequentially in flat index order, which the
+  per-point ``lo``/``hi`` accumulators reproduce exactly, so the remap
+  is **bit-identical** to the double-``bincount`` reference.
+
+``REPRO_DISABLE_CPHYS=1`` (this module) or ``REPRO_DISABLE_CJIT=1``
+(all compiled kernels) forces the numpy fallback.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import cjit
+
+#: Environment switch forcing the numpy physics fallback.
+DISABLE_ENV = "REPRO_DISABLE_CPHYS"
+
+#: Stack-buffer capacity of the per-row/per-point accumulators below;
+#: wrappers fall back to numpy for larger bin counts.
+MAX_NKR = 64
+
+C_SOURCE = r"""
+#include <stddef.h>
+
+#define MAX_NKR 64
+
+/* Fused all-species upwind sedimentation sweep.
+ *
+ * dists[sp] points at that species' (ni, nk, nj, nkr) view; all
+ * species share the element strides (si, sk, sj) and a unit bin
+ * stride. courant is (nsp, nk, nkr) and masses (nsp, nkr), both
+ * contiguous. precip is a strided (ni, nj) view with element strides
+ * (psi, psj).
+ *
+ * The loops run in memory-layout order (i, k, j, species): when the
+ * species views are slices of one (i, k, j, scalar) superblock, the
+ * inner j/species loops walk the block's trailing axis contiguously —
+ * streaming with hardware prefetch instead of the 45 KB column jumps
+ * of a per-(species, column) k sweep. The k recurrence is preserved
+ * because each row's update is local: level k's flux is computed from
+ * its pre-update row, the row is decremented, and the flux is carried
+ * to level k - 1 (already decremented during the previous k
+ * iteration, one k-stride back and still cache-resident) — or, at
+ * k == 0, its mass is accumulated into precip. Every element sees
+ * subtract-then-add, the exact operation order of the numpy
+ * reference, and per-element/per-precip accumulation order is
+ * independent of the loop interchange. Rows with all-zero flux skip
+ * their stores (identical up to signed zeros), so absent species are
+ * read-only. active[sp] reports whether any pre-update value of the
+ * species was nonzero.
+ */
+void sed_sweep(double **dists,
+               const double *restrict courant,
+               const double *restrict masses,
+               double *restrict precip,
+               long nsp, long ni, long nk, long nj, long nkr,
+               long si, long sk, long sj,
+               long psi, long psj,
+               unsigned char *restrict active)
+{
+    for (long sp = 0; sp < nsp; sp++)
+        active[sp] = 0;
+    for (long i = 0; i < ni; i++) {
+        for (long k = 0; k < nk; k++) {
+            for (long j = 0; j < nj; j++) {
+                const size_t cell = (size_t)i * si + (size_t)k * sk
+                                  + (size_t)j * sj;
+                for (long sp = 0; sp < nsp; sp++) {
+                    double *row = dists[sp] + cell;
+                    const double *cr = courant
+                        + ((size_t)sp * nk + (size_t)k) * nkr;
+                    double flux[MAX_NKR];
+                    int rownz = 0;
+                    for (long b = 0; b < nkr; b++) {
+                        const double nv = row[b];
+                        flux[b] = nv * cr[b];
+                        if (nv != 0.0) rownz = 1;
+                    }
+                    if (!rownz)
+                        continue;
+                    active[sp] = 1;
+                    for (long b = 0; b < nkr; b++)
+                        row[b] -= flux[b];
+                    if (k == 0) {
+                        const double *mass_sp = masses + (size_t)sp * nkr;
+                        double acc = 0.0;
+                        for (long b = 0; b < nkr; b++)
+                            acc += flux[b] * mass_sp[b];
+                        precip[(size_t)i * psi + (size_t)j * psj] += acc;
+                    } else {
+                        double *below = row - sk;
+                        for (long b = 0; b < nkr; b++)
+                            below[b] += flux[b];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/* Kovetz-Olund remap scatter: deposit n_live[p, b] split between
+ * ladder bins k[p, b] (weight 1 - w_hi) and k[p, b] + 1 (weight
+ * w_hi), writing the (npts, nkr) result to acc. Matches the
+ * two-bincount numpy reference bit for bit: bincount accumulates
+ * sequentially in flat order (here: b ascending per point), and the
+ * final acc is the elementwise lo + hi sum, exactly as the
+ * reference's `acc += bincount(...)` second pass.
+ */
+void remap_scatter(const double *restrict n_live,
+                   const double *restrict w_hi,
+                   const long *restrict k_idx,
+                   double *restrict acc,
+                   long npts, long nkr)
+{
+    for (long p = 0; p < npts; p++) {
+        const double *nl = n_live + (size_t)p * nkr;
+        const double *wh = w_hi + (size_t)p * nkr;
+        const long *kk = k_idx + (size_t)p * nkr;
+        double lo[MAX_NKR];
+        double hi[MAX_NKR];
+        for (long b = 0; b < nkr; b++) { lo[b] = 0.0; hi[b] = 0.0; }
+        for (long b = 0; b < nkr; b++) {
+            const long k = kk[b];
+            lo[k] += nl[b] * (1.0 - wh[b]);
+            hi[k + 1] += nl[b] * wh[b];
+        }
+        double *ap = acc + (size_t)p * nkr;
+        for (long b = 0; b < nkr; b++)
+            ap[b] = lo[b] + hi[b];
+    }
+}
+"""
+
+_c_double_p = ctypes.POINTER(ctypes.c_double)
+
+
+def _declare(lib: ctypes.CDLL) -> None:
+    lib.sed_sweep.restype = None
+    lib.sed_sweep.argtypes = [
+        ctypes.POINTER(_c_double_p),  # dists
+        _c_double_p,  # courant
+        _c_double_p,  # masses
+        _c_double_p,  # precip
+        ctypes.c_long, ctypes.c_long, ctypes.c_long, ctypes.c_long,
+        ctypes.c_long,  # nsp, ni, nk, nj, nkr
+        ctypes.c_long, ctypes.c_long, ctypes.c_long,  # si, sk, sj
+        ctypes.c_long, ctypes.c_long,  # psi, psj
+        ctypes.POINTER(ctypes.c_ubyte),  # active
+    ]
+    lib.remap_scatter.restype = None
+    lib.remap_scatter.argtypes = [
+        _c_double_p, _c_double_p,
+        ctypes.POINTER(ctypes.c_long),
+        _c_double_p,
+        ctypes.c_long, ctypes.c_long,
+    ]
+
+
+_module = cjit.CJitModule(
+    "fsbm_kernels",
+    C_SOURCE,
+    disable_env=DISABLE_ENV,
+    build_dir=Path(__file__).resolve().parent / "_cbuild",
+    setup=_declare,
+)
+
+#: Why the kernels are unavailable ("" while they are); diagnostics.
+load_error: str = ""
+
+
+def load_kernels() -> ctypes.CDLL | None:
+    """The compiled physics kernels, or ``None`` (use numpy)."""
+    global load_error
+    lib = _module.load()
+    load_error = _module.load_error
+    return lib
+
+
+def _dptr(arr: np.ndarray) -> ctypes.POINTER(ctypes.c_double):
+    return arr.ctypes.data_as(_c_double_p)
+
+
+def sed_sweep(
+    lib: ctypes.CDLL,
+    dists: list[np.ndarray],
+    courant: np.ndarray,
+    masses: np.ndarray,
+    precip: np.ndarray,
+) -> np.ndarray | None:
+    """Run the fused sedimentation sweep in place; per-species presence.
+
+    ``dists`` holds every species' ``(ni, nk, nj, nkr)`` array (views
+    are fine as long as the bin axis is unit-stride and all species
+    share strides); ``courant`` is ``(nsp, nk, nkr)`` and ``masses``
+    ``(nsp, nkr)``, both C-contiguous float64. Returns the per-species
+    ``active`` flags, or ``None`` when the layout is unsupported and
+    the caller must take the numpy path.
+    """
+    nsp = len(dists)
+    ref = dists[0]
+    ni, nk, nj, nkr = ref.shape
+    itemsize = ref.itemsize
+    if (
+        nkr > MAX_NKR
+        or ref.dtype != np.float64
+        or precip.dtype != np.float64
+        or ref.strides[3] != itemsize
+        or any(d.shape != ref.shape or d.strides != ref.strides for d in dists)
+    ):
+        return None
+    ptrs = (_c_double_p * nsp)(*[_dptr(d) for d in dists])
+    active = np.zeros(nsp, dtype=np.uint8)
+    lib.sed_sweep(
+        ptrs,
+        _dptr(courant),
+        _dptr(masses),
+        _dptr(precip),
+        nsp, ni, nk, nj, nkr,
+        ref.strides[0] // itemsize,
+        ref.strides[1] // itemsize,
+        ref.strides[2] // itemsize,
+        precip.strides[0] // itemsize,
+        precip.strides[1] // itemsize,
+        active.ctypes.data_as(ctypes.POINTER(ctypes.c_ubyte)),
+    )
+    return active
+
+
+def remap_scatter(
+    lib: ctypes.CDLL,
+    n_live: np.ndarray,
+    w_hi: np.ndarray,
+    k_idx: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """KO-remap deposit of ``(npts, nkr)`` spectra into ``out``."""
+    npts, nkr = n_live.shape
+    n_live = np.ascontiguousarray(n_live, dtype=np.float64)
+    w_hi = np.ascontiguousarray(w_hi, dtype=np.float64)
+    k_idx = np.ascontiguousarray(k_idx, dtype=np.int64)
+    lib.remap_scatter(
+        _dptr(n_live),
+        _dptr(w_hi),
+        k_idx.ctypes.data_as(ctypes.POINTER(ctypes.c_long)),
+        _dptr(out),
+        npts, nkr,
+    )

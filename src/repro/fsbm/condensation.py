@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.fsbm import ckernels
 from repro.fsbm.bins import BinGrid
 from repro.fsbm.species import ICE_HABITS, Species, species_bins
 from repro.fsbm.state import N_EPS
@@ -66,13 +67,20 @@ class CondWorkStats:
 
 
 def _remap_spectrum(
-    n: np.ndarray, new_mass: np.ndarray, grid: BinGrid
+    n: np.ndarray, new_mass: np.ndarray, grid: BinGrid, native: bool = True
 ) -> tuple[np.ndarray, np.ndarray]:
     """KO-remap numbers ``n`` at perturbed masses onto the mass ladder.
 
     Returns ``(n_new, evaporated_number)`` where particles shrinking
     below half the smallest bin mass evaporate completely (their number
     is returned so callers can credit the CCN reservoir).
+
+    The ladder indices and split weights are always derived in numpy
+    (``log2`` rounding must not depend on the libm in play); with
+    ``native`` the two full-size ``bincount`` deposits are replaced by
+    the compiled per-point scatter of
+    :func:`repro.fsbm.ckernels.remap_scatter`, which is bit-identical
+    (bincount accumulates in the same flat order).
     """
     npts, nkr = n.shape
     x = grid.masses
@@ -85,6 +93,11 @@ def _remap_spectrum(
     w_hi = np.clip((m - x[k]) / (x[k + 1] - x[k]), 0.0, 1.0)
 
     n_live = np.where(live, n, 0.0)
+    lib = ckernels.load_kernels() if native else None
+    if lib is not None and nkr <= ckernels.MAX_NKR:
+        acc = np.empty((npts, nkr))
+        ckernels.remap_scatter(lib, n_live, w_hi, k, acc)
+        return acc, evap_number
     rows = np.arange(npts)[:, None] * nkr
     flat_lo = (rows + k).ravel()
     flat_hi = (rows + k + 1).ravel()
@@ -104,6 +117,7 @@ def _grow_species(
     growth_coeff: np.ndarray,
     dt: float,
     grid: BinGrid,
+    native: bool = True,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One species' growth step.
 
@@ -126,7 +140,7 @@ def _grow_species(
     )
     old_mass_content = n @ grid.masses
     new_mass = grid.masses[None, :] + dm
-    n_new, evap = _remap_spectrum(n, new_mass, grid)
+    n_new, evap = _remap_spectrum(n, new_mass, grid, native=native)
     dmass = (n_new @ grid.masses) - old_mass_content
     return n_new, dmass, evap
 
@@ -141,8 +155,17 @@ def _condensation_core(
     rho_air: np.ndarray,
     ccn: np.ndarray,
     dt: float,
+    native: bool = True,
+    species_present: dict[Species, bool] | None = None,
 ) -> CondWorkStats:
-    """Shared growth driver for onecond1/onecond2 (updates in place)."""
+    """Shared growth driver for onecond1/onecond2 (updates in place).
+
+    ``species_present`` lets the caller pass a conservative per-species
+    presence flag (False only when the species is identically zero in
+    the parent arrays); absent species then skip their occupancy probe
+    entirely — the probe would have been False anyway, so the result is
+    unchanged.
+    """
     npts = temperature.shape[0]
     stats = CondWorkStats(points=npts)
     if npts == 0:
@@ -152,13 +175,17 @@ def _condensation_core(
 
     for sp in species:
         n = dists[sp]
+        if species_present is not None and not species_present.get(sp, True):
+            continue
         if not (n.sum(axis=1) > N_EPS).any():
             continue
         qs = saturation_mixing_ratio(temperature, pressure_mb, over[sp])
         s = qv / qs - 1.0
         # Limit condensation so vapor cannot be driven below saturation
         # (nor evaporation above it) in a single explicit step.
-        n_new, dmass, evap = _grow_species(n, sp, s, g_coeff, dt, grids[sp])
+        n_new, dmass, evap = _grow_species(
+            n, sp, s, g_coeff, dt, grids[sp], native=native
+        )
         dq = dmass / rho_air  # condensate increment in mixing ratio
         room = np.where(dq >= 0.0, np.maximum(qv - qs, 0.0), np.maximum(qs - qv, 0.0))
         scale = np.where(np.abs(dq) > room, room / np.maximum(np.abs(dq), 1e-300), 1.0)
@@ -183,6 +210,8 @@ def onecond1(
     rho_air: np.ndarray,
     ccn: np.ndarray,
     dt: float,
+    native: bool = True,
+    species_present: dict[Species, bool] | None = None,
 ) -> CondWorkStats:
     """Liquid-only condensation/evaporation (warm grid points)."""
     return _condensation_core(
@@ -195,6 +224,8 @@ def onecond1(
         rho_air,
         ccn,
         dt,
+        native=native,
+        species_present=species_present,
     )
 
 
@@ -206,10 +237,13 @@ def onecond2(
     rho_air: np.ndarray,
     ccn: np.ndarray,
     dt: float,
+    native: bool = True,
+    species_present: dict[Species, bool] | None = None,
 ) -> CondWorkStats:
     """Mixed-phase condensation/deposition (liquid + all ice species)."""
     species = (Species.LIQUID, *ICE_HABITS, Species.SNOW, Species.GRAUPEL, Species.HAIL)
     over = {sp: ("water" if sp is Species.LIQUID else "ice") for sp in species}
     return _condensation_core(
-        dists, species, over, temperature, pressure_mb, qv, rho_air, ccn, dt
+        dists, species, over, temperature, pressure_mb, qv, rho_air, ccn, dt,
+        native=native, species_present=species_present,
     )

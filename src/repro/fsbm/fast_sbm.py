@@ -104,6 +104,8 @@ class FastSBM:
         precision: str = "fp32",
         offload_condensation: bool = False,
         autocompare: bool = False,
+        use_native_physics: bool = True,
+        use_batched_coal: bool = False,
     ):
         self.stage = stage
         self.spec: StageSpec = STAGE_SPECS[stage]
@@ -120,6 +122,11 @@ class FastSBM:
         #: on the host in fp64 and record the per-step agreement.
         self.autocompare = autocompare
         self.autocompare_reports: list = []
+        #: Route sedimentation/condensation through the compiled kernels
+        #: of :mod:`repro.fsbm.ckernels` (numpy fallback is automatic).
+        self.use_native_physics = use_native_physics
+        #: Route collisions through the batched-GEMM workspace engine.
+        self.use_batched_coal = use_batched_coal
         self.temp_arrays: TempArrays | None = None
         if stage.uses_gpu and engine is None:
             raise ConfigurationError(f"stage {stage} requires an offload engine")
@@ -186,9 +193,15 @@ class FastSBM:
 
                 # --- condensation (onecond1 / onecond2) ----------------------
                 with self.clock.region("onecond"):
+                    # One cheap presence scan per species (post-
+                    # nucleation): an all-zero species contributes
+                    # nothing to the ice gate and can skip every
+                    # per-subset occupancy probe inside the
+                    # condensation core, exactly.
+                    sp_present = {sp: bool(g_dists[sp].any()) for sp in Species}
                     ice_present = np.zeros(g_t.shape[0], dtype=bool)
                     for sp in Species:
-                        if sp is not Species.LIQUID:
+                        if sp is not Species.LIQUID and sp_present[sp]:
                             ice_present |= g_dists[sp].sum(axis=1) > N_EPS
                     warm = (g_t > T_0 - 5.0) & ~ice_present
                     if self.offload_condensation:
@@ -197,7 +210,8 @@ class FastSBM:
                         )
                     else:
                         stats.cond = self._condensation(
-                            g_dists, g_t, g_p, g_qv, g_rho, g_ccn, warm
+                            g_dists, g_t, g_p, g_qv, g_rho, g_ccn, warm,
+                            species_present=sp_present,
                         )
                         self._charge_cpu(stats.cond.flops, stats.cond.bytes_moved)
 
@@ -224,7 +238,10 @@ class FastSBM:
             # --- sedimentation (full field) ----------------------------------
             with self.clock.region("sedimentation"):
                 p_levels = pressure_mb.mean(axis=(0, 2))
-                stats.sed = sedimentation_step(state, p_levels, dz_cm, self.dt)
+                stats.sed = sedimentation_step(
+                    state, p_levels, dz_cm, self.dt,
+                    native=self.use_native_physics,
+                )
                 self._charge_cpu(stats.sed.flops, stats.sed.bytes_moved)
 
         stats.fast_sbm_seconds = self.clock.total - step_start
@@ -241,6 +258,7 @@ class FastSBM:
         g_rho: np.ndarray,
         g_ccn: np.ndarray,
         warm: np.ndarray,
+        species_present: dict[Species, bool] | None = None,
     ) -> CondWorkStats:
         """Route warm points to onecond1 and mixed-phase to onecond2."""
         total = CondWorkStats()
@@ -256,7 +274,13 @@ class FastSBM:
                 g_rho[idx],
                 g_ccn[idx],
             )
-            total.merge(routine(sub, st, sp_, sq, sr, sc, self.dt))
+            total.merge(
+                routine(
+                    sub, st, sp_, sq, sr, sc, self.dt,
+                    native=self.use_native_physics,
+                    species_present=species_present,
+                )
+            )
             for sp in g_dists:
                 g_dists[sp][idx] = sub[sp]
             g_t[idx], g_qv[idx], g_ccn[idx] = st, sq, sc
@@ -360,9 +384,14 @@ class FastSBM:
         g_p: np.ndarray,
     ) -> tuple[CoalWorkStats, int, KernelRecord | None]:
         """Run coal_bott_new per the active stage."""
+        # Per-species row sums serve both the condensate predicate and
+        # the interaction selection below — row sums are row-independent
+        # so slicing them to the called points is bitwise identical to
+        # CoalSelection.build on the gathered copies.
+        sums = {sp: d.sum(axis=1) for sp, d in g_dists.items()}
         condensate = np.zeros(g_t.shape)
-        for d in g_dists.values():
-            condensate += d.sum(axis=1)
+        for s in sums.values():
+            condensate += s
         # The paper's predicate array call_coal_bott_new(i,k,j).
         call_coal = (g_t > T_COAL_CUTOFF) & (condensate > N_EPS)
         cidx = np.flatnonzero(call_coal)
@@ -375,7 +404,7 @@ class FastSBM:
         occupied = self._occupied(c_dists)
         # One selection for the whole step: the work prediction and the
         # update (and its fp64 shadow) all test the same pre-step state.
-        selection = CoalSelection.build(c_dists, c_t)
+        selection = CoalSelection(c_t, {sp: s[cidx] for sp, s in sums.items()}, {})
 
         if not self.stage.uses_gpu:
             work = coal_bott_step(
@@ -388,6 +417,7 @@ class FastSBM:
                 occupied=occupied,
                 on_demand=self.stage.on_demand_kernels,
                 selection=selection,
+                use_batched=self.use_batched_coal,
             )
             self._charge_cpu(
                 work.flops, work.bytes_moved, iterations=int(work.pair_entries)
@@ -455,6 +485,7 @@ class FastSBM:
                     on_demand=True,
                     dtype=np.float64,
                     selection=selection,
+                    use_batched=self.use_batched_coal,
                 )
             coal_bott_step(
                 c_dists,
@@ -467,6 +498,7 @@ class FastSBM:
                 on_demand=True,
                 dtype=device_dtype,
                 selection=selection,
+                use_batched=self.use_batched_coal,
             )
             if shadow is not None:
                 from repro.core.autocompare import autocompare_region

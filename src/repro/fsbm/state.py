@@ -33,6 +33,12 @@ class MicroState:
     ccn: np.ndarray = field(default=None)  # type: ignore[assignment]
     #: Accumulated surface precipitation mass [g/cm^2] (diagnostic).
     precip: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: Optional ``(ni, nk, nj, nsp * nkr)`` view covering every species'
+    #: bins contiguously (set by :meth:`bind_packed` when the dists live
+    #: in a superblock); lets moment reductions run as one contraction.
+    packed: np.ndarray | None = None
+    #: Concatenated per-species bin masses matching ``packed``'s layout.
+    packed_masses: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if len(self.shape) != 3 or min(self.shape) < 1:
@@ -62,8 +68,37 @@ class MicroState:
         grid = bins or species_bins()[sp]
         return self.dists[sp] @ grid.masses
 
+    def bind_packed(self, packed: np.ndarray) -> None:
+        """Register a packed all-species bin view (superblock storage).
+
+        ``packed`` must cover exactly the species distributions in
+        :class:`Species` order, each ``dists[sp]`` being the matching
+        ``nkr``-wide slice of it. Callers that lay the dists out inside
+        a superblock (:meth:`repro.wrf.state.WrfFields.bind_block`) call
+        this so :meth:`total_condensate_mass` can contract all species
+        in one pass.
+        """
+        nsp = len(Species)
+        if packed.shape != (*self.shape, nsp * self.nkr):
+            raise ConfigurationError(
+                f"packed view has shape {packed.shape}, expected "
+                f"{(*self.shape, nsp * self.nkr)}"
+            )
+        grids = species_bins()
+        self.packed = packed
+        self.packed_masses = np.concatenate(
+            [grids[sp].masses for sp in Species]
+        )
+
     def total_condensate_mass(self) -> np.ndarray:
-        """Summed mass content over all species [g/cm^3]."""
+        """Summed mass content over all species [g/cm^3].
+
+        With a packed view bound this is a single matvec over the
+        concatenated bins (same values as the per-species loop to
+        float-summation-order differences, ~1e-15 relative).
+        """
+        if self.packed is not None:
+            return self.packed @ self.packed_masses
         grids = species_bins()
         out = np.zeros(self.shape)
         for sp in Species:
@@ -106,13 +141,17 @@ class MicroState:
         i_sl, k_sl, j_sl = slices
         dists = {sp: d[i_sl, k_sl, j_sl] for sp, d in self.dists.items()}
         shape = next(iter(dists.values())).shape[:3]
-        return MicroState(
+        sub = MicroState(
             shape=shape,
             nkr=self.nkr,
             dists=dists,
             ccn=self.ccn[slices],
             precip=self.precip[i_sl, j_sl],
         )
+        if self.packed is not None:
+            sub.packed = self.packed[i_sl, k_sl, j_sl]
+            sub.packed_masses = self.packed_masses
+        return sub
 
     def clip_negatives(self) -> float:
         """Zero tiny negative concentrations; returns the mass removed."""

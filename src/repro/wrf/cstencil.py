@@ -8,16 +8,18 @@ host-side version of the paper's final step: collapse the whole
 donor-cell update into *one* loop nest with no temporaries, so each
 advected value is read once and written once.
 
-At first use the C source below is compiled with the system C compiler
-(``cc``/``gcc``/``clang``) into a shared object cached under
-``_cbuild/`` next to this file, keyed by a hash of the source and
-flags, and loaded through :mod:`ctypes`. The kernel's arithmetic
-mirrors the reference operation-for-operation (same per-axis grouping,
-compiled with ``-ffp-contract=off`` so no FMA contraction reorders the
-rounding), which keeps it bitwise identical to the per-field numpy
-path up to the sign of floating-point zeros.
+Build, caching, and fallback behavior live in the shared
+:mod:`repro.core.cjit` infrastructure: at first use the C source below
+is compiled with the system C compiler (``cc``/``gcc``/``clang``) into
+a shared object cached under ``_cbuild/`` next to this file, keyed by
+a hash of the source and flags, and loaded through :mod:`ctypes`. The
+kernel's arithmetic mirrors the reference operation-for-operation
+(same per-axis grouping, compiled with ``-ffp-contract=off`` so no FMA
+contraction reorders the rounding), which keeps it bitwise identical
+to the per-field numpy path up to the sign of floating-point zeros.
 
-If no compiler is available — or ``REPRO_DISABLE_CSTENCIL=1`` is set —
+If no compiler is available — or ``REPRO_DISABLE_CSTENCIL=1`` (this
+module) / ``REPRO_DISABLE_CJIT=1`` (every compiled kernel) is set —
 :func:`load_stencil` returns ``None`` and callers fall back to the
 sliced numpy kernels. Nothing outside this module needs to know which
 path ran.
@@ -26,13 +28,11 @@ path ran.
 from __future__ import annotations
 
 import ctypes
-import hashlib
-import os
-import subprocess
-import threading
 from pathlib import Path
 
 import numpy as np
+
+from repro.core import cjit
 
 #: Environment switch forcing the numpy fallback (used by the
 #: equivalence tests to exercise both paths, and as an escape hatch).
@@ -105,61 +105,15 @@ void advect_stage(const double *restrict s,
 }
 """
 
-#: ``-ffp-contract=off`` keeps the compiler from fusing multiply-adds,
-#: which would change rounding relative to the numpy reference. -O3
-#: alone never reassociates floating-point math in gcc/clang.
-CFLAGS = (
-    "-O3",
-    "-march=native",
-    "-std=c99",
-    "-fPIC",
-    "-shared",
-    "-fopenmp",
-    "-ffp-contract=off",
-)
+#: Compile flags (the shared defaults; see :mod:`repro.core.cjit` for
+#: why ``-ffp-contract=off`` is load-bearing).
+CFLAGS = cjit.DEFAULT_CFLAGS
 
-_lock = threading.Lock()
-_lib: ctypes.CDLL | None = None
-_load_attempted = False
 #: Why the stencil is unavailable ("" while it is); for diagnostics.
 load_error: str = ""
 
 
-def _build_dir() -> Path:
-    return Path(__file__).resolve().parent / "_cbuild"
-
-
-def _compile() -> ctypes.CDLL:
-    tag = hashlib.sha256(
-        (C_SOURCE + " ".join(CFLAGS)).encode()
-    ).hexdigest()[:16]
-    build = _build_dir()
-    so_path = build / f"stencil_{tag}.so"
-    if not so_path.exists():
-        build.mkdir(parents=True, exist_ok=True)
-        src_path = build / f"stencil_{tag}.c"
-        src_path.write_text(C_SOURCE)
-        compilers = [os.environ.get("CC"), "cc", "gcc", "clang"]
-        last_err: Exception | None = None
-        tmp_path = build / f".stencil_{tag}.{os.getpid()}.so"
-        for cc in compilers:
-            if not cc:
-                continue
-            try:
-                subprocess.run(
-                    [cc, *CFLAGS, str(src_path), "-o", str(tmp_path)],
-                    check=True,
-                    capture_output=True,
-                    timeout=120,
-                )
-                os.replace(tmp_path, so_path)  # atomic vs. other processes
-                last_err = None
-                break
-            except Exception as exc:  # noqa: BLE001 - any compiler failure
-                last_err = exc
-        if last_err is not None:
-            raise RuntimeError(f"no working C compiler: {last_err}")
-    lib = ctypes.CDLL(str(so_path))
+def _declare(lib: ctypes.CDLL) -> None:
     dp = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
     bp = np.ctypeslib.ndpointer(dtype=np.uint8, flags="C_CONTIGUOUS")
     lib.advect_stage.restype = None
@@ -170,7 +124,16 @@ def _compile() -> ctypes.CDLL:
         ctypes.c_long, ctypes.c_long, ctypes.c_long, ctypes.c_long,
         bp, ctypes.c_int,
     ]
-    return lib
+
+
+_module = cjit.CJitModule(
+    "stencil",
+    C_SOURCE,
+    cflags=CFLAGS,
+    disable_env=DISABLE_ENV,
+    build_dir=Path(__file__).resolve().parent / "_cbuild",
+    setup=_declare,
+)
 
 
 def load_stencil() -> ctypes.CDLL | None:
@@ -181,19 +144,10 @@ def load_stencil() -> ctypes.CDLL | None:
     compiler, sandboxed filesystem, missing OpenMP runtime — degrades
     to ``None`` so callers take the numpy path.
     """
-    global _lib, _load_attempted, load_error
-    if os.environ.get(DISABLE_ENV):
-        load_error = f"disabled via {DISABLE_ENV}"
-        return None
-    with _lock:
-        if not _load_attempted:
-            _load_attempted = True
-            try:
-                _lib = _compile()
-            except Exception as exc:  # noqa: BLE001 - fall back to numpy
-                _lib = None
-                load_error = str(exc)
-        return _lib
+    global load_error
+    lib = _module.load()
+    load_error = _module.load_error
+    return lib
 
 
 def advect_stage(

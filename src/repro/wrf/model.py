@@ -168,6 +168,12 @@ class WrfModel:
             conus12km_case(namelist.domain, patch, dz, seed=namelist.seed)
             for patch in self.decomposition.patches
         ]
+        if namelist.use_superblock_fields:
+            # Persistent residency: the advected fields become views
+            # into one per-rank superblock, so the per-step pack below
+            # degenerates to handing out that block.
+            for f in self.fields:
+                f.bind_block()
         # Transport workspaces: preallocated once per rank (the host
         # analog of `target enter data map(alloc:)`), keyed by (shape,
         # nscalars, dtype, rank) so batched ranks never share buffers
@@ -188,6 +194,8 @@ class WrfModel:
                 engine=self.engines[r],
                 precision=namelist.device_precision,
                 offload_condensation=namelist.offload_condensation,
+                use_native_physics=namelist.use_native_physics,
+                use_batched_coal=namelist.use_batched_coal,
             )
             for r in range(namelist.num_ranks)
         ]
@@ -222,6 +230,11 @@ class WrfModel:
         back into the per-field arrays at the end of transport.
         """
         f = self.fields[rank]
+        if f.block is not None:
+            # Fields are resident in the persistent superblock; physics
+            # already wrote into it, so packing is handing out the block.
+            self._blocks[rank] = f.block
+            return
         self._blocks[rank] = pack_superblock(
             f.advected_fields(), f.layout, self.workspaces[rank]
         )
@@ -317,9 +330,17 @@ class WrfModel:
                 result = fused_rk3_advect(block, split, dt, ws, clip_slices)
             else:
                 result = fused_euler_advect(block, split, dt, ws, clip_slices)
-            unpack_superblock(result, f.advected_fields(), f.layout)
+            if f.block is block:
+                # Resident fields: one block-to-block copy replaces the
+                # per-field unpack (no-op when the numpy fallback
+                # already advected the block in place).
+                if result is not block:
+                    block[...] = result
+            else:
+                unpack_superblock(result, f.advected_fields(), f.layout)
         else:
-            unpack_superblock(block, f.advected_fields(), f.layout)
+            if f.block is not block:
+                unpack_superblock(block, f.advected_fields(), f.layout)
             split = WindSplit.build(f.u, f.v, f.w, dx, dz)
             for name, arr in f.advected_fields().items():
                 clip = name != "t" and name != "w"

@@ -54,6 +54,28 @@ class Namelist:
     #: ``False`` keeps the per-field reference loop; the two agree to
     #: ~1e-14 and charge identical simulated cost.
     use_fused_transport: bool = True
+    #: Keep the advected scalars resident in one persistent per-rank
+    #: superblock (:meth:`repro.wrf.state.WrfFields.bind_block`): the
+    #: fields become views into the ``(ni, nk, nj, nscalar)`` block, so
+    #: the per-step transport pack is a no-op and moment reductions
+    #: contract all species at once — the host analog of keeping data
+    #: mapped on the device between kernels. ``False`` keeps per-field
+    #: storage with an explicit pack/unpack each step.
+    use_superblock_fields: bool = True
+    #: Run the physics hot loops through the compiled C kernels of
+    #: :mod:`repro.fsbm.ckernels` (fused sedimentation sweep, remap
+    #: scatter) when a C compiler is available; falls back to the numpy
+    #: reference transparently (also forced by ``REPRO_DISABLE_CPHYS``
+    #: or ``REPRO_DISABLE_CJIT``). Results are bit-identical.
+    use_native_physics: bool = True
+    #: Batch the sparse collision interactions into stacked GEMMs over
+    #: a persistent :class:`repro.fsbm.coal_bott.CoalWorkspace` instead
+    #: of per-operator matvecs. Agrees with the unbatched path to BLAS
+    #: blocking differences (~1e-12 relative after the cascade).
+    #: Measured neutral-to-slightly-slower on a single core at CONUS
+    #: scale (the widened-operand traffic offsets the dispatch savings)
+    #: so it defaults off; threaded BLAS favors the fewer, wider GEMMs.
+    use_batched_coal: bool = False
     #: Execute per-rank CPU stages on a thread pool between halo
     #: exchanges. Ranks are independent within a stage (physics and
     #: transport each touch only their own patch, clock, and FSBM

@@ -89,6 +89,9 @@ class WrfFields:
     micro: MicroState = field(default=None)  # type: ignore[assignment]
     #: Trailing-axis packing of the transport superblock.
     layout: ScalarLayout = field(init=False, repr=False, default=None)  # type: ignore[assignment]
+    #: Persistent superblock the advected fields live in after
+    #: :meth:`bind_block` (``None`` = per-field storage).
+    block: np.ndarray = field(init=False, repr=False, default=None)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         shape = self.patch.shape
@@ -130,6 +133,44 @@ class WrfFields:
         }
         for sp, dist in self.micro.dists.items():
             self._advected[f"bin_{sp.value}"] = dist
+
+    def bind_block(self) -> np.ndarray:
+        """Move the advected fields into one persistent superblock.
+
+        Allocates a dedicated ``(ni, nk, nj, nscalar)`` block (NOT a
+        shared workspace buffer — two live models of the same shape must
+        never alias storage), copies the current field values in, and
+        rebinds ``t``/``qv``/``w``/all bin distributions as views into
+        it. From then on the transport pack step is a no-op: the fields
+        *are* the superblock columns, so physics writes land directly in
+        transport's input (the resident-data analog of keeping fields
+        mapped on the device between kernels). The contiguous bin region
+        is also registered with :meth:`MicroState.bind_packed` so moment
+        reductions contract all species at once. Idempotent.
+        """
+        if self.block is not None:
+            return self.block
+        shape = self.patch.shape
+        block = np.empty((*shape, self.layout.nscalars))
+        slices = self.layout.slices()
+        for name, arr in list(self._advected.items()):
+            sl = slices[name]
+            view = block[..., sl.start] if arr.ndim == 3 else block[..., sl]
+            view[...] = arr
+            self._advected[name] = view
+        self.t = self._advected["t"]
+        self.qv = self._advected["qv"]
+        self.w = self._advected["w"]
+        bin_names = []
+        for sp in self.micro.dists:
+            name = f"bin_{sp.value}"
+            self.micro.dists[sp] = self._advected[name]
+            bin_names.append(name)
+        start = slices[bin_names[0]].start
+        stop = slices[bin_names[-1]].stop
+        self.micro.bind_packed(block[..., start:stop])
+        self.block = block
+        return block
 
     @property
     def shape(self) -> tuple[int, int, int]:

@@ -1,0 +1,284 @@
+"""Compiled physics kernels vs their numpy references.
+
+The contract of :mod:`repro.fsbm.ckernels` (see its module docstring):
+the fused sedimentation sweep and the KO-remap scatter are **bit
+identical** to the numpy paths; the batched collision engine agrees to
+the ~1e-12 level (its fused GEMM inner dimension reorders the pressure
+interpolation); every compiled path degrades to numpy under
+``REPRO_DISABLE_CPHYS``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fsbm import ckernels
+from repro.fsbm.coal_bott import (
+    CoalWorkspace,
+    coal_bott_step,
+    get_coal_workspace,
+)
+from repro.fsbm.collision_kernels import get_tables
+from repro.fsbm.condensation import _remap_spectrum
+from repro.fsbm.sedimentation import _courant_tables, sedimentation_step
+from repro.fsbm.species import INTERACTIONS, Species, species_bins
+from repro.fsbm.state import MicroState
+from tests.conftest import make_liquid_dists, total_mass
+
+NKR = 33
+SPLIST = list(Species)
+
+
+def test_kernels_compile_in_ci():
+    """The compiled path must actually be exercised by this suite."""
+    assert ckernels.load_kernels() is not None, ckernels.load_error
+
+
+# --- sedimentation -----------------------------------------------------------
+
+
+def _superblock_state(shape=(4, 6, 5), seed=0, species=None):
+    """A MicroState whose dists are strided views into one superblock,
+    exactly the layout :meth:`repro.wrf.state.WrfFields.bind_block`
+    produces (bin axis unit-stride, shared element strides)."""
+    ni, nk, nj = shape
+    block = np.zeros((ni, nk, nj, len(SPLIST) * NKR))
+    dists = {
+        sp: block[..., isp * NKR : (isp + 1) * NKR]
+        for isp, sp in enumerate(SPLIST)
+    }
+    rng = np.random.default_rng(seed)
+    for sp in species or (Species.LIQUID, Species.SNOW, Species.GRAUPEL):
+        mask = rng.random((ni, nk, nj)) < 0.5
+        dists[sp][mask] = rng.uniform(0.0, 5.0, (int(mask.sum()), NKR))
+    return MicroState(shape=shape, dists=dists)
+
+
+P_LEVELS = np.linspace(1000.0, 400.0, 6)
+
+
+class TestSedimentation:
+    def test_native_bitwise_matches_numpy_on_superblock_views(self):
+        state = _superblock_state()
+        ref = state.copy()  # contiguous copy -> numpy path workload
+        stats_nat = sedimentation_step(state, P_LEVELS, 50_000.0, 5.0)
+        stats_ref = sedimentation_step(
+            ref, P_LEVELS, 50_000.0, 5.0, native=False
+        )
+        for sp in SPLIST:
+            np.testing.assert_array_equal(
+                state.dists[sp], ref.dists[sp], err_msg=str(sp)
+            )
+        # Only the precip dot product accumulates in a different order.
+        np.testing.assert_allclose(state.precip, ref.precip, rtol=1e-12)
+        assert stats_nat.cell_bins == stats_ref.cell_bins > 0
+
+    def test_multi_step_stays_bitwise(self):
+        state = _superblock_state(seed=7)
+        ref = state.copy()
+        for _ in range(4):
+            sedimentation_step(state, P_LEVELS, 50_000.0, 5.0)
+            sedimentation_step(ref, P_LEVELS, 50_000.0, 5.0, native=False)
+        for sp in SPLIST:
+            np.testing.assert_array_equal(state.dists[sp], ref.dists[sp])
+
+    def test_cfl_violation_raises_when_species_present(self):
+        state = _superblock_state(species=(Species.HAIL,))
+        tables = _courant_tables(P_LEVELS, 50_000.0, 15.0)
+        assert tables["cmax"][Species.HAIL] > 1.0  # dt=15 breaks hail
+        with pytest.raises(AssertionError, match="CFL violated"):
+            sedimentation_step(state, P_LEVELS, 50_000.0, 15.0)
+
+    @pytest.mark.parametrize("native", [True, False])
+    def test_cfl_violation_ignored_for_absent_species(self, native):
+        # Hail violates CFL at dt=15 but is absent; liquid is present
+        # and stable, so the step must run on both paths.
+        state = _superblock_state(species=(Species.LIQUID,))
+        ref = state.copy()
+        sedimentation_step(state, P_LEVELS, 50_000.0, 15.0, native=native)
+        assert not np.array_equal(
+            state.dists[Species.LIQUID], ref.dists[Species.LIQUID]
+        )
+
+    def test_courant_tables_are_cached(self):
+        a = _courant_tables(P_LEVELS, 50_000.0, 5.0)
+        b = _courant_tables(P_LEVELS.copy(), 50_000.0, 5.0)
+        assert a is b  # CountingCache hit, not a rebuild
+        assert _courant_tables(P_LEVELS, 50_000.0, 2.5) is not a
+
+    def test_mass_conserved_including_precip(self):
+        state = _superblock_state(seed=3)
+        grids = species_bins()
+        before = sum(
+            float((state.dists[sp].reshape(-1, NKR) @ grids[sp].masses).sum())
+            for sp in SPLIST
+        )
+        sedimentation_step(state, P_LEVELS, 50_000.0, 5.0)
+        after = sum(
+            float((state.dists[sp].reshape(-1, NKR) @ grids[sp].masses).sum())
+            for sp in SPLIST
+        )
+        assert after + state.precip.sum() == pytest.approx(before, rel=1e-10)
+
+    def test_disable_env_forces_numpy_path(self, monkeypatch):
+        monkeypatch.setenv(ckernels.DISABLE_ENV, "1")
+        assert ckernels.load_kernels() is None
+        assert ckernels.DISABLE_ENV in ckernels.load_error
+        state = _superblock_state()
+        ref = state.copy()
+        # native=True now silently takes the numpy reference path.
+        sedimentation_step(state, P_LEVELS, 50_000.0, 5.0, native=True)
+        sedimentation_step(ref, P_LEVELS, 50_000.0, 5.0, native=False)
+        for sp in SPLIST:
+            np.testing.assert_array_equal(state.dists[sp], ref.dists[sp])
+        np.testing.assert_array_equal(state.precip, ref.precip)
+
+
+# --- condensation KO-remap ---------------------------------------------------
+
+
+class TestRemapScatter:
+    def _workload(self, npts=32, seed=11):
+        grid = species_bins()[Species.LIQUID]
+        rng = np.random.default_rng(seed)
+        n = rng.uniform(0.0, 3.0, (npts, NKR))
+        factor = rng.uniform(0.45, 2.2, (npts, 1))
+        return grid, n, grid.masses[None, :] * factor
+
+    def test_native_bitwise_matches_bincount(self):
+        grid, n, new_mass = self._workload()
+        n_nat, e_nat = _remap_spectrum(n, new_mass, grid)
+        n_ref, e_ref = _remap_spectrum(n, new_mass, grid, native=False)
+        np.testing.assert_array_equal(n_nat, n_ref)
+        np.testing.assert_array_equal(e_nat, e_ref)
+        assert e_nat.sum() > 0  # the 0.45x tail does evaporate particles
+
+    def test_evaporation_boundary_is_strict(self):
+        """The evaporation cut is ``new_mass < 0.5 * x[0]``: a particle
+        exactly at half the smallest bin mass survives; one ULP below
+        evaporates."""
+        grid = species_bins()[Species.LIQUID]
+        n = np.ones((2, NKR))
+        new_mass = np.tile(grid.masses, (2, 1))
+        boundary = 0.5 * grid.masses[0]
+        new_mass[0, 0] = boundary  # exactly at the cut: survives
+        new_mass[1, 0] = np.nextafter(boundary, 0.0)  # below: evaporates
+        for native in (True, False):
+            n_new, evap = _remap_spectrum(n, new_mass, grid, native=native)
+            assert evap[0] == 0.0
+            assert evap[1] == 1.0
+            # The surviving boundary particle deposits in the lowest bin
+            # (clipped onto the ladder), the evaporated one nowhere.
+            assert n_new[0].sum() == pytest.approx(n[0].sum(), rel=1e-12)
+            assert n_new[1].sum() == pytest.approx(
+                n[1].sum() - 1.0, rel=1e-12
+            )
+
+    def test_disable_env_matches_native_results(self, monkeypatch):
+        grid, n, new_mass = self._workload(seed=5)
+        n_nat, e_nat = _remap_spectrum(n, new_mass, grid)
+        monkeypatch.setenv(ckernels.DISABLE_ENV, "1")
+        n_off, e_off = _remap_spectrum(n, new_mass, grid)
+        np.testing.assert_array_equal(n_nat, n_off)
+        np.testing.assert_array_equal(e_nat, e_off)
+
+
+# --- batched collision engine ------------------------------------------------
+
+
+def _coal_run(dists, t=280.0, dt=5.0, batched=False, workspace=None):
+    npts = next(iter(dists.values())).shape[0]
+    return coal_bott_step(
+        dists,
+        np.full(npts, t),
+        np.full(npts, 700.0),
+        dt,
+        get_tables(),
+        INTERACTIONS,
+        use_batched=batched,
+        workspace=workspace,
+    )
+
+
+def _assert_dists_close(got, want, rtol=1e-12):
+    for sp in Species:
+        scale = float(np.abs(want[sp]).max()) or 1.0
+        np.testing.assert_allclose(
+            got[sp], want[sp], rtol=rtol, atol=rtol * scale, err_msg=str(sp)
+        )
+
+
+class TestBatchedCoal:
+    def test_matches_unbatched_warm_rain(self):
+        a = make_liquid_dists(24, seed=3)
+        b = {sp: d.copy() for sp, d in a.items()}
+        _coal_run(a)
+        _coal_run(b, batched=True, workspace=CoalWorkspace())
+        _assert_dists_close(b, a)
+
+    def test_matches_unbatched_mixed_phase(self):
+        rng = np.random.default_rng(4)
+        a = {sp: np.zeros((16, NKR)) for sp in Species}
+        for sp in (Species.LIQUID, Species.SNOW, Species.GRAUPEL,
+                   Species.ICE_PLA):
+            a[sp][:, 4:20] = rng.uniform(0.0, 2.0, (16, 16))
+        b = {sp: d.copy() for sp, d in a.items()}
+        _coal_run(a, t=258.0)
+        _coal_run(b, t=258.0, batched=True, workspace=CoalWorkspace())
+        _assert_dists_close(b, a)
+
+    def test_matches_unbatched_when_limiter_binds(self):
+        # 100x concentrations at a large dt force the positivity
+        # limiter's rescale branch in nearly every interaction.
+        a = make_liquid_dists(12, seed=9, lo_bin=10, hi_bin=25)
+        a[Species.LIQUID] *= 100.0
+        b = {sp: d.copy() for sp, d in a.items()}
+        _coal_run(a, dt=60.0)
+        _coal_run(b, dt=60.0, batched=True, workspace=CoalWorkspace())
+        _assert_dists_close(b, a)
+        assert (b[Species.LIQUID] >= 0).all()
+
+    def test_mass_conserved(self):
+        dists = make_liquid_dists(20, seed=2)
+        before = total_mass(dists)
+        _coal_run(dists, batched=True, workspace=CoalWorkspace())
+        assert total_mass(dists) == pytest.approx(before, rel=1e-10)
+
+    def test_empty_state_short_circuits(self):
+        dists = {sp: np.zeros((8, NKR)) for sp in Species}
+        ws = CoalWorkspace()
+        stats = _coal_run(dists, batched=True, workspace=ws)
+        assert stats.pair_entries == 0
+        assert ws.allocations == 0  # no interaction ever applied
+        assert total_mass(dists) == 0.0
+
+
+class TestCoalWorkspace:
+    def test_zero_allocations_after_warmup(self):
+        initial = make_liquid_dists(32, seed=6)
+        ws = CoalWorkspace()
+        _coal_run({sp: d.copy() for sp, d in initial.items()},
+                  batched=True, workspace=ws)
+        assert ws.allocations > 0
+        assert ws.nbytes > 0
+        warm = ws.allocations
+        for _ in range(3):
+            _coal_run({sp: d.copy() for sp, d in initial.items()},
+                      batched=True, workspace=ws)
+        assert ws.allocations == warm  # steady state reuses every buffer
+
+    def test_buffers_grow_monotonically(self):
+        ws = CoalWorkspace()
+        a = ws.buffer("x", (4, 8))
+        assert a.shape == (4, 8) and ws.allocations == 1
+        # Smaller request reuses the pool; larger one grows it.
+        ws.buffer("x", (2, 8))
+        assert ws.allocations == 1
+        ws.buffer("x", (8, 8))
+        assert ws.allocations == 2
+
+    def test_registry_keyed_by_owner(self):
+        ws1 = get_coal_workspace(owner="test-owner-a")
+        ws2 = get_coal_workspace(owner="test-owner-a")
+        ws3 = get_coal_workspace(owner="test-owner-b")
+        assert ws1 is ws2
+        assert ws1 is not ws3

@@ -169,6 +169,34 @@ class TestTransportBench:
         assert b.extra["mode"] == "per_field"
 
 
+class TestPhysicsBenches:
+    """Payload sanity for the PR-5 tracked kernels (tiny workloads)."""
+
+    def test_sedimentation_payload(self):
+        b = harness.bench_sedimentation(shape=(4, 8, 3), reps=1)
+        assert b.name == "sedimentation"
+        assert b.extra["cell_bins"] > 0
+        assert b.extra["flops"] > 0
+        assert isinstance(b.extra["compiled"], bool)
+
+    def test_cond_remap_payload(self):
+        b = harness.bench_cond_remap(npts=64, reps=1)
+        assert b.name == "cond_remap"
+        assert b.extra["npts"] == 64
+        assert isinstance(b.extra["compiled"], bool)
+
+    def test_coal_apply_payload(self):
+        b = harness.bench_coal_apply(npts=64, reps=2)
+        assert b.name == "coal_apply_batched"
+        assert b.extra["workspace_bytes"] > 0
+        # The persistent workspace is warm after rep 1: the recorded
+        # allocation count must not grow with reps.
+        again = harness.bench_coal_apply(npts=64, reps=2)
+        assert again.extra["workspace_allocations"] == b.extra[
+            "workspace_allocations"
+        ]
+
+
 class TestLiveQuickGate:
     """The wired-in CI gate: a fused-transport regression >15% against
     the committed baseline fails tier-1 the same way ``codee verify``
@@ -189,3 +217,22 @@ class TestLiveQuickGate:
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "transport_fused" in proc.stdout
+
+    def test_sedimentation_quick_gate_is_clean(self):
+        baseline = harness.load_payload(harness.find_baseline())
+        if "sedimentation" not in baseline["kernels"]:
+            pytest.skip("committed baseline predates the sedimentation kernel")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(harness.REPO_ROOT / "scripts" / "bench_gate.py"),
+                "--quick",
+                "--kernel",
+                "sedimentation",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "sedimentation" in proc.stdout

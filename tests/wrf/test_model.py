@@ -118,6 +118,68 @@ class TestDeterminism:
             np.testing.assert_array_equal(o1[name], o2[name])
 
 
+class TestSuperblockFields:
+    """Persistent superblock residency: same physics, no per-step pack."""
+
+    def test_fields_are_views_into_block(self, baseline_result):
+        model, _ = baseline_result
+        for f in model.fields:
+            assert f.block is not None
+            assert f.t.base is not None  # a view, not its own storage
+            assert np.shares_memory(f.t, f.block)
+
+    def test_superblock_matches_per_field_storage(self):
+        """On/off agree to float-summation-order level: the resident
+        block contracts condensate over all species in one matvec and
+        skips the pack/unpack copies, so results are equivalent but not
+        bitwise (~1e-15 relative per step)."""
+        nl_on = conus12km_namelist(
+            scale=0.05, num_ranks=2, seed=23, use_superblock_fields=True
+        )
+        nl_off = conus12km_namelist(
+            scale=0.05, num_ranks=2, seed=23, use_superblock_fields=False
+        )
+        m_on, m_off = WrfModel(nl_on), WrfModel(nl_off)
+        try:
+            assert all(f.block is not None for f in m_on.fields)
+            assert all(f.block is None for f in m_off.fields)
+            m_on.run(num_steps=2)
+            m_off.run(num_steps=2)
+            o_on, o_off = m_on.gather_output(), m_off.gather_output()
+            for name in o_off:
+                scale = float(np.abs(o_off[name]).max()) or 1.0
+                np.testing.assert_allclose(
+                    o_on[name], o_off[name],
+                    rtol=1e-9, atol=1e-9 * scale, err_msg=name,
+                )
+        finally:
+            m_on.close()
+            m_off.close()
+
+    def test_native_physics_off_matches_default(self):
+        """The compiled physics kernels must not change the model's
+        answer: distributions are bit-identical, so gathered moments
+        agree to reduction-order level."""
+        nl_on = conus12km_namelist(scale=0.05, num_ranks=2, seed=29)
+        nl_off = conus12km_namelist(
+            scale=0.05, num_ranks=2, seed=29, use_native_physics=False
+        )
+        m_on, m_off = WrfModel(nl_on), WrfModel(nl_off)
+        try:
+            m_on.run(num_steps=2)
+            m_off.run(num_steps=2)
+            o_on, o_off = m_on.gather_output(), m_off.gather_output()
+            for name in o_off:
+                scale = float(np.abs(o_off[name]).max()) or 1.0
+                np.testing.assert_allclose(
+                    o_on[name], o_off[name],
+                    rtol=1e-11, atol=1e-11 * scale, err_msg=name,
+                )
+        finally:
+            m_on.close()
+            m_off.close()
+
+
 class TestRankBatching:
     """Batched rank execution: same numerics and charges as serial."""
 
