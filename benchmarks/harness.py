@@ -22,6 +22,14 @@ performance is checkable:
   collision engine, each at fixed workload shapes in quick and full
   mode.
 
+Since PR 6 the compiled transport stencil and fsbm kernels are emitted
+from the loop IR (``repro.codee.loopir`` → ``cgen``) rather than
+handwritten; ``transport_fused``, ``sedimentation`` and ``cond_remap``
+therefore gate the IR-emitted C, and their payload ``extra`` records
+the generating IR kernel (``ir_kernel``) and whether it is registered.
+Gate them individually with ``scripts/bench_gate.py --kernel
+transport_fused --kernel sedimentation``.
+
 ``collect`` produces a JSON-serializable payload with per-kernel median
 seconds and work stats; ``compare_payloads`` implements the regression
 gate used by ``scripts/bench_gate.py`` and ``repro bench --gate``.
@@ -105,6 +113,16 @@ def _summarize(name: str, samples: list[float], extra: dict) -> KernelBench:
         reps=len(samples),
         extra=extra,
     )
+
+
+def _ir_registered(name: str) -> bool:
+    """Whether the loop-IR registry knows this kernel (False on code
+    that predates the IR layer, so payloads stay comparable)."""
+    try:
+        from repro.codee import loopir
+    except ImportError:
+        return False
+    return name in loopir.registered_kernels()
 
 
 # --- workloads ---------------------------------------------------------------
@@ -342,6 +360,8 @@ def bench_transport(
             "nscalars": layout.nscalars,
             "mode": mode,
             "compiled_stencil": load_stencil() is not None,
+            "ir_kernel": "advect_stage",
+            "ir_registered": _ir_registered("advect_stage"),
             # One Euler stage of donor-cell tendency + update.
             "flops": cell_scalars
             * (FLOPS_PER_CELL_TEND + FLOPS_PER_CELL_UPDATE),
@@ -400,6 +420,8 @@ def bench_sedimentation(
             "shape": list(shape),
             "nkr": nkr,
             "compiled": ckernels.load_kernels() is not None,
+            "ir_kernel": "sed_sweep",
+            "ir_registered": _ir_registered("sed_sweep"),
             "cell_bins": stats.cell_bins,
             "flops": stats.flops,
         },
@@ -448,6 +470,8 @@ def bench_cond_remap(
             "npts": npts,
             "nkr": nkr,
             "compiled": ckernels.load_kernels() is not None,
+            "ir_kernel": "remap_scatter",
+            "ir_registered": _ir_registered("remap_scatter"),
         },
     )
 

@@ -76,6 +76,7 @@ def cmd_checks(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.codee import irverify, loopir
     from repro.codee import sources as embedded
     from repro.codee.sarif import to_sarif
     from repro.codee.verifier import (
@@ -88,6 +89,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
     from repro.core.env import parse_size
 
     texts: dict[str, str] = {}
+    ir_names: list[str] = list(args.ir or [])
     if args.all:
         texts.update(embedded.embedded_sources())
         # Also verify the directive-bearing source our own rewriter
@@ -103,10 +105,15 @@ def cmd_verify(args: argparse.Namespace) -> int:
         texts["kernals_ks_offloaded.f90"] = offload_rewrite(
             embedded.KERNALS_KS_SOURCE, line=loop_line
         ).source
+        # ... and every registered IR kernel the lint gate covers, as
+        # transformed (the same kernels the production modules compile).
+        ir_names.extend(
+            name for name in sorted(loopir.gate_kernels()) if name not in ir_names
+        )
     if args.files or args.config:
         texts.update(_gather_sources(args))
-    if not texts:
-        raise CodeeError("verify needs files, --config, or --all")
+    if not texts and not ir_names:
+        raise CodeeError("verify needs files, --config, --ir, or --all")
 
     config = VerifierConfig(
         stack_bytes=parse_size(args.stack_budget),
@@ -115,6 +122,15 @@ def cmd_verify(args: argparse.Namespace) -> int:
     violations = []
     for path, text in sorted(texts.items()):
         violations.extend(verify_text(text, path, config))
+    registry = loopir.registered_kernels() if ir_names else {}
+    for name in ir_names:
+        spec = registry.get(name)
+        if spec is None:
+            raise CodeeError(
+                f"unknown IR kernel {name!r} (known: "
+                f"{', '.join(sorted(registry)) or 'none'})"
+            )
+        violations.extend(irverify.verify_kernel(spec.final_kernel(), config))
     violations = sort_violations(violations)
 
     if args.format == "json":
@@ -124,6 +140,40 @@ def cmd_verify(args: argparse.Namespace) -> int:
     else:
         print(format_verify_report(violations))
     return 2 if has_errors(violations) else 0
+
+
+def cmd_transform(args: argparse.Namespace) -> int:
+    from repro.codee import cgen, loopir
+
+    registry = loopir.registered_kernels()
+    if args.list:
+        for name in sorted(registry):
+            spec = registry[name]
+            tag = "" if spec.gate else "  [fixture, not gated]"
+            print(f"{name}{tag}")
+        return 0
+    names = args.kernels or sorted(
+        name for name, spec in registry.items() if spec.gate
+    )
+    for name in names:
+        spec = registry.get(name)
+        if spec is None:
+            raise CodeeError(
+                f"unknown IR kernel {name!r} (known: "
+                f"{', '.join(sorted(registry))})"
+            )
+        plan = spec.plan()
+        if plan is None:
+            print(f"kernel {name!r} is fixed (no transformation policy)")
+            kernel = spec.build()
+        else:
+            print(plan.summary())
+            kernel = plan.kernel
+        if args.emit:
+            print()
+            print(cgen.emit_kernel(kernel))
+            print()
+    return 0
 
 
 def cmd_rewrite(args: argparse.Namespace) -> int:
@@ -180,7 +230,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver.add_argument(
         "--all",
         action="store_true",
-        help="verify every embedded FSBM source (the repo lint gate)",
+        help="verify every embedded FSBM source and registered IR "
+        "kernel (the repo lint gate)",
+    )
+    p_ver.add_argument(
+        "--ir",
+        action="append",
+        metavar="NAME",
+        help="verify a registered loop-IR kernel (VFY006+; repeatable)",
     )
     p_ver.add_argument(
         "--format",
@@ -200,6 +257,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="device heap budget for spilled frames (NV_ACC_CUDA_HEAPSIZE)",
     )
     p_ver.set_defaults(func=cmd_verify)
+
+    p_tr = sub.add_parser(
+        "transform",
+        help="derive offload transformations for registered IR kernels",
+        description="Run the dependence-driven transformation engine on "
+        "registered loop-IR kernels and print the per-pass derivation "
+        "(and, with --emit, the generated C).",
+    )
+    p_tr.add_argument(
+        "kernels", nargs="*", help="kernel names (default: all gated kernels)"
+    )
+    p_tr.add_argument(
+        "--list", action="store_true", help="list registered IR kernels"
+    )
+    p_tr.add_argument(
+        "--emit", action="store_true", help="also print the generated C"
+    )
+    p_tr.set_defaults(func=cmd_transform)
 
     p_rw = sub.add_parser("rewrite", help="insert OpenMP offload directives")
     p_rw.add_argument("target", help="file.f90:line[:col] of the loop")

@@ -71,6 +71,12 @@ class DependenceReport:
     reasons: tuple[str, ...]
     #: Calls inside the nest (opaque to the analysis unless pure).
     calls: tuple[str, ...]
+    #: Recognized ``(op, name)`` accumulation patterns — scalars or
+    #: array elements updated as ``x = x op expr`` (or ``min``/``max``)
+    #: in every write. Parallelization is legal only under the
+    #: corresponding ``reduction(op: name)`` clause, which
+    #: `repro.codee.rewrite` emits.
+    reductions: tuple[tuple[str, str], ...] = ()
 
     @property
     def globals_overwritten(self) -> tuple[str, ...]:
@@ -165,6 +171,75 @@ def collect_accesses(
     return accesses, calls, scalar_writes, scalar_reads
 
 
+#: Binary accumulation operators and the reduction-clause op they need.
+_REDUCTION_CLAUSE_OPS = {"+": "+", "-": "+", "*": "*"}
+_REDUCTION_INTRINSICS = {"min", "max"}
+
+#: Side-effect-free Fortran intrinsics: calling them never blocks the
+#: parallel proof (they are elemental or pure by the standard).
+_PURE_INTRINSICS = frozenset(
+    {
+        "abs", "min", "max", "mod", "modulo", "sign",
+        "sqrt", "exp", "log", "log10",
+        "sin", "cos", "tan", "asin", "acos", "atan", "atan2",
+        "int", "nint", "floor", "ceiling", "real", "dble",
+        "merge", "huge", "tiny", "epsilon",
+    }
+)
+
+
+def _expr_references(expr: Expr, name: str) -> bool:
+    return any(
+        isinstance(node, VarRef) and node.lowered == name
+        for node in walk_expr(expr)
+    )
+
+
+def _reduction_clause_op(stmt: Assignment) -> str | None:
+    """The reduction-clause operator of one accumulation, or ``None``.
+
+    Recognizes ``x = x op expr`` / ``x = expr + x`` / ``x = expr * x``
+    (``op`` ∈ +, -, *) and ``x = min(x, ...)`` / ``max``, where ``x``
+    is the target reference itself — same name *and* structurally
+    identical subscripts — and the rest of the value never mentions it.
+    """
+    target = stmt.target
+    tname = target.lowered
+    tsubs = target.subscripts
+
+    def is_self(expr: Expr) -> bool:
+        return (
+            isinstance(expr, VarRef)
+            and expr.lowered == tname
+            and expr.subscripts == tsubs
+        )
+
+    value = stmt.value
+    if isinstance(value, BinOp) and value.op in _REDUCTION_CLAUSE_OPS:
+        clause = _REDUCTION_CLAUSE_OPS[value.op]
+        if is_self(value.left) and not _expr_references(value.right, tname):
+            return clause
+        # Commutative forms only: x = expr - x is not an accumulation.
+        if (
+            value.op in ("+", "*")
+            and is_self(value.right)
+            and not _expr_references(value.left, tname)
+        ):
+            return clause
+    if (
+        isinstance(value, VarRef)
+        and value.lowered in _REDUCTION_INTRINSICS
+        and value.subscripts
+    ):
+        self_args = [a for a in value.subscripts if is_self(a)]
+        others = [a for a in value.subscripts if not is_self(a)]
+        if len(self_args) == 1 and not any(
+            _expr_references(a, tname) for a in others
+        ):
+            return value.lowered
+    return None
+
+
 def analyze_loop(
     loop: DoLoop,
     routine: Subroutine,
@@ -197,7 +272,11 @@ def analyze_loop(
             pure_names = {
                 r.name.lower() for r in module.routines if "pure" in r.prefixes
             }
-        blocking = [c for c in unknown_calls if c not in pure_names]
+        blocking = [
+            c
+            for c in unknown_calls
+            if c not in pure_names and c not in _PURE_INTRINSICS
+        ]
         if blocking:
             reasons.append(
                 "calls with unknown side effects inside the nest: "
@@ -207,10 +286,65 @@ def analyze_loop(
     written = {a.name for a in accesses if a.is_write}
     read = {a.name for a in accesses if not a.is_write}
 
+    # Accumulation recognition: group the nest's assignments by target.
+    scalar_assigns: dict[str, list[Assignment]] = {}
+    array_assigns: dict[str, list[Assignment]] = {}
+    for s in walk_stmts(loop.body):
+        if isinstance(s, Assignment):
+            bucket = array_assigns if s.target.subscripts else scalar_assigns
+            bucket.setdefault(s.target.lowered, []).append(s)
+
+    reductions: dict[str, str] = {}
+
+    # A scalar whose every write is the same accumulation pattern is a
+    # reduction, not a privatization candidate (it is read before
+    # written, so privatizing it would drop partial sums).
+    for name, stmts in sorted(scalar_assigns.items()):
+        if name in nest_vars:
+            continue
+        ops = {_reduction_clause_op(s) for s in stmts}
+        if None not in ops and len(ops) == 1:
+            reductions[name] = ops.pop()
+
+    # An array qualifies only when the plain-index test would otherwise
+    # report it (some write misses a loop variable), every write is the
+    # same read-modify-write pattern on structurally identical
+    # subscripts, and the array is never read outside those updates —
+    # then each contested element is a per-element accumulator (the
+    # ``total(1) = total(1) + ...`` idiom) and a reduction clause makes
+    # the nest legal.
+    for name, stmts in sorted(array_assigns.items()):
+        w_accesses = [a for a in accesses if a.name == name and a.is_write]
+        r_accesses = [a for a in accesses if a.name == name and not a.is_write]
+        contested = any(
+            any(
+                not any(_is_plain_index(s, v) for s in acc.subscripts)
+                for v in nest_vars
+            )
+            for acc in w_accesses
+        )
+        if not contested:
+            continue
+        ops = {_reduction_clause_op(s) for s in stmts}
+        if None in ops or len(ops) != 1:
+            continue
+        self_reads = sum(
+            1
+            for s in stmts
+            for node in walk_expr(s.value)
+            if isinstance(node, VarRef)
+            and node.lowered == name
+            and node.subscripts == s.target.subscripts
+        )
+        if len(r_accesses) != self_reads:
+            continue
+        reductions[name] = ops.pop()
+
     # Scalars written each iteration are privatization candidates; a
     # scalar read but never written inside the nest is loop-invariant.
     private = sorted(
-        (scalar_writes - set(nest_vars)) & (scalar_writes | scalar_reads)
+        (scalar_writes - set(nest_vars) - set(reductions))
+        & (scalar_writes | scalar_reads)
     )
 
     write_only: list[str] = []
@@ -218,6 +352,11 @@ def analyze_loop(
     for name in sorted(written):
         w_accesses = [a for a in accesses if a.name == name and a.is_write]
         r_accesses = [a for a in accesses if a.name == name and not a.is_write]
+        if name in reductions:
+            # Every access is part of a recognized accumulation; the
+            # reduction clause, not the plain-index test, makes it legal.
+            readwrite.append(name)
+            continue
         # Each write must be indexed by every parallel loop variable as a
         # plain index (in any subscript position).
         for acc in w_accesses:
@@ -272,6 +411,9 @@ def analyze_loop(
         read_only_arrays=tuple(read_only),
         reasons=tuple(reasons),
         calls=tuple(unknown_calls),
+        reductions=tuple(
+            (op, name) for name, op in sorted(reductions.items())
+        ),
     )
 
 

@@ -18,6 +18,7 @@ from repro.codee.fparser import parse_source
 from repro.core.directives import (
     Map,
     MapType,
+    Reduction,
     TargetTeamsDistributeParallelDo,
 )
 from repro.errors import RewriteError
@@ -31,13 +32,18 @@ class RewriteResult:
     directive: TargetTeamsDistributeParallelDo
     report: DependenceReport
     loop_line: int
-    #: The input text the rewrite started from.
-    original: str = ""
+    #: The input text the rewrite started from (None when the caller
+    #: constructed the result without it).
+    original: str | None = None
 
     @property
     def modified(self) -> bool:
-        """Whether the emitted source actually differs from the input."""
-        return self.source != self.original
+        """Whether the emitted source actually differs from the input.
+
+        False when ``original`` is unknown — a result that cannot show
+        its input never claims to have changed it.
+        """
+        return self.original is not None and self.source != self.original
 
 
 def _locate_loop(
@@ -58,10 +64,28 @@ def _locate_loop(
     return best
 
 
+def _already_annotated(loop: DoLoop) -> bool:
+    """Whether an offload construct is already attached to the loop.
+
+    The parser attaches the ``!$omp`` comment block (including ``&``
+    continuation lines from a previous rewrite) to the loop it
+    precedes, so directive presence — not raw text scanning — decides.
+    """
+    return any(
+        "target" in d.lowered and "distribute" in d.lowered
+        for d in loop.directives
+    )
+
+
 def directive_for_report(
     report: DependenceReport, collapse: int | None = None
 ) -> TargetTeamsDistributeParallelDo:
-    """Build the OpenMP construct the analysis justifies."""
+    """Build the OpenMP construct the analysis justifies.
+
+    The default collapse keeps one serial inner level for ``simd`` and
+    never exceeds the paper's ``collapse(3)`` ceiling, however deep the
+    nest: ``max(1, min(3, depth - 1))``.
+    """
     maps = []
     if report.read_only_arrays:
         maps.append(Map(MapType.TO, report.read_only_arrays))
@@ -69,11 +93,19 @@ def directive_for_report(
         maps.append(Map(MapType.FROM, report.write_only_arrays))
     if report.readwrite_arrays:
         maps.append(Map(MapType.TOFROM, report.readwrite_arrays))
+    by_op: dict[str, list[str]] = {}
+    for op, name in report.reductions:
+        by_op.setdefault(op, []).append(name)
+    reductions = tuple(
+        Reduction(op, tuple(sorted(names)))
+        for op, names in sorted(by_op.items())
+    )
     depth = report.loop.nest_depth()
     return TargetTeamsDistributeParallelDo(
-        collapse=collapse if collapse is not None else max(1, depth - 1),
+        collapse=collapse if collapse is not None else max(1, min(3, depth - 1)),
         maps=tuple(maps),
         private=report.private_scalars,
+        reductions=reductions,
     )
 
 
@@ -101,6 +133,16 @@ def offload_rewrite(
     directive = directive_for_report(report, collapse)
 
     lines = source.splitlines()
+    # Idempotence: rerunning the autofix on already-annotated source is
+    # a no-op — never stack a second copy of the construct.
+    if _already_annotated(loop):
+        return RewriteResult(
+            source=source,
+            directive=directive,
+            report=report,
+            loop_line=loop.line,
+            original=source,
+        )
     indent = " " * (len(lines[loop.line - 1]) - len(lines[loop.line - 1].lstrip()))
     block = ["! Codee: Loop modified"]
     block.extend(directive.render().splitlines())

@@ -82,12 +82,19 @@ from repro.core.directives import (
 from repro.core.env import OffloadEnv
 from repro.hardware.specs import A100_40GB
 
-#: Stable identifiers of the five verifier checks.
+#: Stable identifiers of the five Fortran-source verifier checks.
 CHECK_RACE = "VFY001"
 CHECK_MAP = "VFY002"
 CHECK_COLLAPSE = "VFY003"
 CHECK_STACK = "VFY004"
 CHECK_PAIR = "VFY005"
+
+#: Identifiers of the loop-IR verifier checks (`repro.codee.irverify`).
+CHECK_IR_RACE = "VFY006"
+CHECK_IR_ALIAS = "VFY007"
+CHECK_IR_INTENT = "VFY008"
+CHECK_IR_REDUCTION = "VFY009"
+CHECK_IR_STACK = "VFY010"
 
 #: check_id -> (title, one-line help) for reports and SARIF rules.
 CHECK_RULES: dict[str, tuple[str, str]] = {
@@ -117,6 +124,36 @@ CHECK_RULES: dict[str, tuple[str, str]] = {
         "unmatched target enter/exit data",
         "every 'target enter data' allocation needs a matching "
         "'target exit data' release in the translation unit",
+    ),
+    CHECK_IR_RACE: (
+        "data race in IR parallel nest",
+        "a store in a parallel IR nest must be indexed by every "
+        "collapsed loop variable, and every mutated scalar must be "
+        "declared inside the nest",
+    ),
+    CHECK_IR_ALIAS: (
+        "aliasing under restrict in IR kernel",
+        "array parameters sharing an alias group may refer to the "
+        "same storage; writing one inside a parallel or simd region "
+        "contradicts the emitted restrict qualifiers",
+    ),
+    CHECK_IR_INTENT: (
+        "array intent violated in IR kernel",
+        "a store to an intent(in) parameter, or an intent(out) "
+        "parameter that is never stored, contradicts the declared "
+        "dataflow the map clauses are derived from",
+    ),
+    CHECK_IR_REDUCTION: (
+        "unannotated reduction in IR parallel nest",
+        "an accumulation (+=/-=/scalar update) that is not indexed by "
+        "the collapsed loop variables needs an explicit reduction "
+        "annotation before it can run in parallel",
+    ),
+    CHECK_IR_STACK: (
+        "IR local-array stack pressure",
+        "per-iteration local arrays of a parallel IR nest must fit "
+        "the per-thread stack budget, or the device heap across all "
+        "resident threads",
     ),
 }
 
@@ -482,6 +519,8 @@ def _check_races(unit: _Unit, region: OffloadRegion) -> list[Violation]:
     for acc in accesses:
         if not acc.is_write or acc.name in reported:
             continue
+        if acc.name in clause_private:
+            continue  # privatized or reduced arrays are per-thread
         missing = [
             v
             for v in collapsed

@@ -87,6 +87,30 @@ class VerificationError(CodeeError):
     """``codee verify`` found correctness violations."""
 
 
+class TransformError(CodeeError):
+    """A loop-IR transformation was requested that the dependence
+    analysis cannot prove legal (e.g. ``collapse`` deeper than the
+    nest's provable parallel depth)."""
+
+
+class IRVerificationError(CodeeError):
+    """The IR static verifier found blocking violations in a kernel.
+
+    Raised by ``repro.codee.cgen.build_module`` *before* any C is
+    emitted or compiled: an illegal transformation never reaches the
+    JIT cache.
+    """
+
+    def __init__(self, kernel_name, violations):
+        self.kernel_name = kernel_name
+        self.violations = list(violations)
+        lines = "\n  ".join(v.render() for v in self.violations)
+        super().__init__(
+            f"IR kernel {kernel_name!r} failed static verification "
+            f"({len(self.violations)} violation(s)):\n  {lines}"
+        )
+
+
 class StageVerificationError(ReproError):
     """The optimization pipeline's static verify gate rejected a stage.
 

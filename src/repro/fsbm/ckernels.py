@@ -10,6 +10,19 @@ host-side analog, built on the shared :mod:`repro.core.cjit`
 infrastructure (source-hash-cached ``.so``, ``-ffp-contract=off``,
 transparent numpy fallback).
 
+Since PR 6 both kernels are defined as `repro.codee.loopir` kernels
+(:func:`build_sed_sweep_ir`, :func:`build_remap_scatter_ir`) rather
+than hand-written C strings: the transformation engine
+(`repro.codee.transform`) analyzes them, the static verifier
+(`repro.codee.irverify`) checks the result, and `repro.codee.cgen`
+emits the C that :mod:`repro.core.cjit` compiles. The analysis is
+honest about these loops — the sedimentation nest's ``k``-carried flux
+recurrence and its ``active``/``precip`` accumulations make it
+provably *non*-parallelizable, and the remap's depth-1 nest is below
+the parallel-overhead floor — so both are emitted serial, exactly like
+their hand-written predecessors, and their arithmetic (expressed in
+the IR with the reference's operation order) stays bit-identical.
+
 Equivalence to the numpy references (asserted by
 ``tests/fsbm/test_native_kernels.py``):
 
@@ -41,6 +54,22 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.codee import cgen, loopir, transform
+from repro.codee.loopir import (
+    ArrayParam,
+    Assign,
+    Const,
+    Decl,
+    If,
+    Kernel,
+    Let,
+    Load,
+    LocalArray,
+    Loop,
+    ScalarParam,
+    Store,
+    Sym,
+)
 from repro.core import cjit
 
 #: Environment switch forcing the numpy physics fallback.
@@ -50,117 +79,235 @@ DISABLE_ENV = "REPRO_DISABLE_CPHYS"
 #: wrappers fall back to numpy for larger bin counts.
 MAX_NKR = 64
 
-C_SOURCE = r"""
-#include <stddef.h>
+def build_sed_sweep_ir() -> Kernel:
+    """The fused all-species upwind sedimentation sweep as loop IR.
 
-#define MAX_NKR 64
+    ``dists`` is a pointer table: ``dists[sp]`` points at that
+    species' ``(ni, nk, nj, nkr)`` view; all species share the element
+    strides ``(si, sk, sj)`` and a unit bin stride. ``courant`` is
+    ``(nsp, nk, nkr)`` and ``masses`` ``(nsp, nkr)``, both contiguous;
+    ``precip`` is a strided ``(ni, nj)`` view with element strides
+    ``(psi, psj)``.
 
-/* Fused all-species upwind sedimentation sweep.
- *
- * dists[sp] points at that species' (ni, nk, nj, nkr) view; all
- * species share the element strides (si, sk, sj) and a unit bin
- * stride. courant is (nsp, nk, nkr) and masses (nsp, nkr), both
- * contiguous. precip is a strided (ni, nj) view with element strides
- * (psi, psj).
- *
- * The loops run in memory-layout order (i, k, j, species): when the
- * species views are slices of one (i, k, j, scalar) superblock, the
- * inner j/species loops walk the block's trailing axis contiguously —
- * streaming with hardware prefetch instead of the 45 KB column jumps
- * of a per-(species, column) k sweep. The k recurrence is preserved
- * because each row's update is local: level k's flux is computed from
- * its pre-update row, the row is decremented, and the flux is carried
- * to level k - 1 (already decremented during the previous k
- * iteration, one k-stride back and still cache-resident) — or, at
- * k == 0, its mass is accumulated into precip. Every element sees
- * subtract-then-add, the exact operation order of the numpy
- * reference, and per-element/per-precip accumulation order is
- * independent of the loop interchange. Rows with all-zero flux skip
- * their stores (identical up to signed zeros), so absent species are
- * read-only. active[sp] reports whether any pre-update value of the
- * species was nonzero.
- */
-void sed_sweep(double **dists,
-               const double *restrict courant,
-               const double *restrict masses,
-               double *restrict precip,
-               long nsp, long ni, long nk, long nj, long nkr,
-               long si, long sk, long sj,
-               long psi, long psj,
-               unsigned char *restrict active)
-{
-    for (long sp = 0; sp < nsp; sp++)
-        active[sp] = 0;
-    for (long i = 0; i < ni; i++) {
-        for (long k = 0; k < nk; k++) {
-            for (long j = 0; j < nj; j++) {
-                const size_t cell = (size_t)i * si + (size_t)k * sk
-                                  + (size_t)j * sj;
-                for (long sp = 0; sp < nsp; sp++) {
-                    double *row = dists[sp] + cell;
-                    const double *cr = courant
-                        + ((size_t)sp * nk + (size_t)k) * nkr;
-                    double flux[MAX_NKR];
-                    int rownz = 0;
-                    for (long b = 0; b < nkr; b++) {
-                        const double nv = row[b];
-                        flux[b] = nv * cr[b];
-                        if (nv != 0.0) rownz = 1;
-                    }
-                    if (!rownz)
-                        continue;
-                    active[sp] = 1;
-                    for (long b = 0; b < nkr; b++)
-                        row[b] -= flux[b];
-                    if (k == 0) {
-                        const double *mass_sp = masses + (size_t)sp * nkr;
-                        double acc = 0.0;
-                        for (long b = 0; b < nkr; b++)
-                            acc += flux[b] * mass_sp[b];
-                        precip[(size_t)i * psi + (size_t)j * psj] += acc;
-                    } else {
-                        double *below = row - sk;
-                        for (long b = 0; b < nkr; b++)
-                            below[b] += flux[b];
-                    }
-                }
-            }
-        }
-    }
-}
+    The loops run in memory-layout order (i, k, j, species): when the
+    species views are slices of one (i, k, j, scalar) superblock, the
+    inner j/species loops walk the block's trailing axis contiguously.
+    The k recurrence is preserved because each row's update is local:
+    level k's flux is computed from its pre-update row, the row is
+    decremented, and the flux is carried to level k - 1 (already
+    decremented during the previous k iteration) — or, at k == 0, its
+    mass is accumulated into precip. Every element sees
+    subtract-then-add, the exact operation order of the numpy
+    reference. Rows with all-zero flux skip their stores, so absent
+    species are read-only; ``active[sp]`` reports whether any
+    pre-update value of the species was nonzero.
 
-/* Kovetz-Olund remap scatter: deposit n_live[p, b] split between
- * ladder bins k[p, b] (weight 1 - w_hi) and k[p, b] + 1 (weight
- * w_hi), writing the (npts, nkr) result to acc. Matches the
- * two-bincount numpy reference bit for bit: bincount accumulates
- * sequentially in flat order (here: b ascending per point), and the
- * final acc is the elementwise lo + hi sum, exactly as the
- * reference's `acc += bincount(...)` second pass.
- */
-void remap_scatter(const double *restrict n_live,
-                   const double *restrict w_hi,
-                   const long *restrict k_idx,
-                   double *restrict acc,
-                   long npts, long nkr)
-{
-    for (long p = 0; p < npts; p++) {
-        const double *nl = n_live + (size_t)p * nkr;
-        const double *wh = w_hi + (size_t)p * nkr;
-        const long *kk = k_idx + (size_t)p * nkr;
-        double lo[MAX_NKR];
-        double hi[MAX_NKR];
-        for (long b = 0; b < nkr; b++) { lo[b] = 0.0; hi[b] = 0.0; }
-        for (long b = 0; b < nkr; b++) {
-            const long k = kk[b];
-            lo[k] += nl[b] * (1.0 - wh[b]);
-            hi[k + 1] += nl[b] * wh[b];
-        }
-        double *ap = acc + (size_t)p * nkr;
-        for (long b = 0; b < nkr; b++)
-            ap[b] = lo[b] + hi[b];
-    }
-}
-"""
+    That recurrence is precisely what the dependence analysis sees:
+    the ``k - 1`` accumulation, the ``active``/``precip`` updates, and
+    the conditional row writes each carry a dependence, so
+    `repro.codee.transform` derives ``parallel depth 0`` and the
+    emitted nest is serial — matching the hand-written kernel, which
+    relied on streaming memory order rather than threads.
+    """
+    i, k, j, sp, b = Sym("i"), Sym("k"), Sym("j"), Sym("sp"), Sym("b")
+    nkr = Sym("nkr")
+
+    def dist_at(kk):
+        return (sp, i, kk, j, b)
+
+    bin_loop = lambda body: Loop("b", Const(0), nkr, body)
+
+    flux_fill = bin_loop(
+        [
+            Let("nv", Load("dists", dist_at(k))),
+            Store("flux", (b,), Sym("nv") * Load("courant", (sp, k, b))),
+            If(Sym("nv").ne(Const(0.0)), [Assign("rownz", Const(1))]),
+        ]
+    )
+    subtract = bin_loop([Store("dists", dist_at(k), Load("flux", (b,)), "-=")])
+    to_precip = [
+        Decl("acc", "double", Const(0.0)),
+        bin_loop(
+            [
+                Assign(
+                    "acc",
+                    Sym("acc") + Load("flux", (b,)) * Load("masses", (sp, b)),
+                )
+            ]
+        ),
+        Store("precip", (i, j), Sym("acc"), "+="),
+    ]
+    to_below = [
+        bin_loop([Store("dists", dist_at(k - 1), Load("flux", (b,)), "+=")])
+    ]
+
+    per_row = [
+        LocalArray("flux", MAX_NKR),
+        Decl("rownz", "int", Const(0)),
+        flux_fill,
+        If(
+            Sym("rownz"),
+            [
+                Store("active", (sp,), Const(1)),
+                subtract,
+                If(k.eq(Const(0)), to_precip, to_below),
+            ],
+        ),
+    ]
+
+    main = Loop(
+        "i",
+        Const(0),
+        Sym("ni"),
+        [
+            Loop(
+                "k",
+                Const(0),
+                Sym("nk"),
+                [
+                    Loop(
+                        "j",
+                        Const(0),
+                        Sym("nj"),
+                        [Loop("sp", Const(0), Sym("nsp"), per_row)],
+                    )
+                ],
+            )
+        ],
+    )
+
+    return Kernel(
+        name="sed_sweep",
+        params=(
+            ArrayParam(
+                "dists",
+                strides=(Sym("si"), Sym("sk"), Sym("sj"), Const(1)),
+                intent="inout",
+                ptr_table=True,
+            ),
+            ArrayParam("courant", strides=(Sym("nk") * nkr, nkr, Const(1))),
+            ArrayParam("masses", strides=(nkr, Const(1))),
+            ArrayParam("precip", strides=(Sym("psi"), Sym("psj")), intent="inout"),
+            ScalarParam("nsp", "long"),
+            ScalarParam("ni", "long"),
+            ScalarParam("nk", "long"),
+            ScalarParam("nj", "long"),
+            ScalarParam("nkr", "long"),
+            ScalarParam("si", "long"),
+            ScalarParam("sk", "long"),
+            ScalarParam("sj", "long"),
+            ScalarParam("psi", "long"),
+            ScalarParam("psj", "long"),
+            ArrayParam(
+                "active",
+                strides=(Const(1),),
+                ctype="unsigned char",
+                intent="out",
+            ),
+        ),
+        body=[
+            Loop("sp", Const(0), Sym("nsp"), [Store("active", (sp,), Const(0))]),
+            main,
+        ],
+        doc=(
+            "Fused all-species upwind sedimentation sweep in memory-layout "
+            "order (i, k, j, species); level k's flux is subtracted from "
+            "its row then carried to k - 1 (or precip at the surface), the "
+            "reference's exact operation order."
+        ),
+    )
+
+
+def build_remap_scatter_ir() -> Kernel:
+    """The Kovetz-Olund two-bin deposit as loop IR.
+
+    Deposits ``n_live[p, b]`` split between ladder bins ``k_idx[p, b]``
+    (weight ``1 - w_hi``) and ``k_idx[p, b] + 1`` (weight ``w_hi``),
+    writing the ``(npts, nkr)`` result to ``acc``. Matches the
+    two-bincount numpy reference bit for bit: bincount accumulates
+    sequentially in flat order (here: b ascending per point), and the
+    final ``acc`` is the elementwise ``lo + hi`` sum, exactly as the
+    reference's second ``bincount`` pass.
+
+    The analysis keeps it serial twice over: the scatter through
+    ``k_idx`` is an indirect store (iterations cannot be proven
+    disjoint bin-wise), and the point nest is depth 1 — below the
+    parallel-overhead floor even though the ``p`` loop itself is
+    independent.
+    """
+    p, b = Sym("p"), Sym("b")
+    nkr = Sym("nkr")
+
+    body_p = [
+        LocalArray("lo", MAX_NKR),
+        LocalArray("hi", MAX_NKR),
+        Loop(
+            "b",
+            Const(0),
+            nkr,
+            [Store("lo", (b,), Const(0.0)), Store("hi", (b,), Const(0.0))],
+        ),
+        Loop(
+            "b",
+            Const(0),
+            nkr,
+            [
+                Let("kk", Load("k_idx", (p, b)), ctype="long"),
+                Store(
+                    "lo",
+                    (Sym("kk"),),
+                    Load("n_live", (p, b)) * (Const(1.0) - Load("w_hi", (p, b))),
+                    "+=",
+                ),
+                Store(
+                    "hi",
+                    (Sym("kk") + 1,),
+                    Load("n_live", (p, b)) * Load("w_hi", (p, b)),
+                    "+=",
+                ),
+            ],
+        ),
+        Loop(
+            "b",
+            Const(0),
+            nkr,
+            [Store("acc", (p, b), Load("lo", (b,)) + Load("hi", (b,)))],
+        ),
+    ]
+
+    return Kernel(
+        name="remap_scatter",
+        params=(
+            ArrayParam("n_live", strides=(nkr, Const(1))),
+            ArrayParam("w_hi", strides=(nkr, Const(1))),
+            ArrayParam("k_idx", strides=(nkr, Const(1)), ctype="long"),
+            ArrayParam("acc", strides=(nkr, Const(1)), intent="out"),
+            ScalarParam("npts", "long"),
+            ScalarParam("nkr", "long"),
+        ),
+        body=[Loop("p", Const(0), Sym("npts"), body_p)],
+        doc=(
+            "Kovetz-Olund remap scatter: two-bin deposit of n_live between "
+            "ladder bins k_idx and k_idx + 1, accumulated in the reference "
+            "bincount's flat order."
+        ),
+    )
+
+
+loopir.register_kernel(
+    loopir.KernelSpec(
+        name="sed_sweep",
+        build=build_sed_sweep_ir,
+        transform=transform.plan_offload,
+    )
+)
+loopir.register_kernel(
+    loopir.KernelSpec(
+        name="remap_scatter",
+        build=build_remap_scatter_ir,
+        transform=transform.plan_offload,
+    )
+)
 
 _c_double_p = ctypes.POINTER(ctypes.c_double)
 
@@ -187,13 +334,27 @@ def _declare(lib: ctypes.CDLL) -> None:
     ]
 
 
-_module = cjit.CJitModule(
+# Derive annotations, verify, and emit the C source; an illegal
+# transformation raises IRVerificationError here, at import, before
+# any C exists — loud by design.
+_module = cgen.build_module(
     "fsbm_kernels",
-    C_SOURCE,
+    [
+        transform.plan_offload(build_sed_sweep_ir()).kernel,
+        transform.plan_offload(build_remap_scatter_ir()).kernel,
+    ],
     disable_env=DISABLE_ENV,
     build_dir=Path(__file__).resolve().parent / "_cbuild",
     setup=_declare,
+    banner=(
+        "Generated by repro.codee.cgen from the sed_sweep/remap_scatter "
+        "loop IR; annotations derived by repro.codee.transform. Do not "
+        "edit."
+    ),
 )
+
+#: The generated translation unit (kept for introspection/diagnostics).
+C_SOURCE = _module.source
 
 #: Why the kernels are unavailable ("" while they are); diagnostics.
 load_error: str = ""

@@ -11,6 +11,12 @@ stage whose source does not verify clean — in particular, a
 ``collapse(3)`` stage that still carries automatic arrays trips the
 stack-pressure checker *statically* instead of crashing the simulated
 launch with :class:`~repro.errors.CudaStackOverflow`.
+
+Since PR 6 the gate also covers the compiled-kernel side: every
+registered loop-IR kernel (the generated C the model actually runs)
+is re-verified with the IR rules VFY006–VFY010
+(:func:`verify_ir_kernels`), so an illegal transformation refuses the
+stage before any C is compiled.
 """
 
 from __future__ import annotations
@@ -98,13 +104,36 @@ def verify_stage(
     arrays).
     """
     spec = spec or STAGE_SPECS[stage]
-    text = stage_offload_source(spec)
-    if text is None:
-        return []
     config = VerifierConfig.from_env(env) if env is not None else VerifierConfig()
-    path = f"stage_{spec.stage.value}.f90"
+    text = stage_offload_source(spec)
+    violations: list[Violation] = []
+    if text is not None:
+        path = f"stage_{spec.stage.value}.f90"
+        violations.extend(verify_text(text, path, config))
+    # The stage also runs the generated IR kernels; an illegal
+    # transformation there refuses the stage just like a bad directive.
+    violations.extend(verify_ir_kernels(config))
     return [
         v
-        for v in verify_text(text, path, config)
+        for v in violations
         if v.severity == "error" and v.category == "correctness"
     ]
+
+
+def verify_ir_kernels(config: VerifierConfig | None = None) -> list[Violation]:
+    """All IR-rule findings across the registered (gated) IR kernels.
+
+    Each kernel is verified *as transformed* — the exact form
+    `repro.codee.cgen` would emit — so the gate rejects an illegal
+    derived annotation before `repro.core.cjit` sees any source.
+    """
+    from repro.codee import irverify, loopir
+
+    config = config or VerifierConfig()
+    violations: list[Violation] = []
+    gated = loopir.gate_kernels()
+    for name in sorted(gated):
+        violations.extend(
+            irverify.verify_kernel(gated[name].final_kernel(), config)
+        )
+    return violations

@@ -8,18 +8,24 @@ host-side version of the paper's final step: collapse the whole
 donor-cell update into *one* loop nest with no temporaries, so each
 advected value is read once and written once.
 
-Build, caching, and fallback behavior live in the shared
-:mod:`repro.core.cjit` infrastructure: at first use the C source below
-is compiled with the system C compiler (``cc``/``gcc``/``clang``) into
-a shared object cached under ``_cbuild/`` next to this file, keyed by
-a hash of the source and flags, and loaded through :mod:`ctypes`. The
-kernel's arithmetic mirrors the reference operation-for-operation
-(same per-axis grouping, compiled with ``-ffp-contract=off`` so no FMA
-contraction reorders the rounding), which keeps it bitwise identical
-to the per-field numpy path up to the sign of floating-point zeros.
+Since PR 6 the kernel is no longer a hand-written C string: it is
+defined as a `repro.codee.loopir` kernel (:func:`build_advect_ir`),
+annotated by the dependence-driven transformation engine
+(`repro.codee.transform` derives the ``parallel for collapse(2)`` +
+inner ``simd`` that used to be typed by hand), statically verified
+(`repro.codee.irverify` — an illegal annotation refuses to compile),
+and emitted by `repro.codee.cgen`. The arithmetic is expressed in the
+IR with the reference's exact operation grouping and emitted fully
+parenthesized, which — together with the shared ``-ffp-contract=off``
+flag — keeps the compiled kernel bitwise identical to the per-field
+numpy path up to the sign of floating-point zeros, exactly as the
+hand-written source was.
 
-If no compiler is available — or ``REPRO_DISABLE_CSTENCIL=1`` (this
-module) / ``REPRO_DISABLE_CJIT=1`` (every compiled kernel) is set —
+Build, caching, and fallback behavior are unchanged: the generated
+source goes through :mod:`repro.core.cjit` (source-hash-cached ``.so``
+under ``_cbuild/``, loaded through :mod:`ctypes`). If no compiler is
+available — or ``REPRO_DISABLE_CSTENCIL=1`` (this module) /
+``REPRO_DISABLE_CJIT=1`` (every compiled kernel) is set —
 :func:`load_stencil` returns ``None`` and callers fall back to the
 sliced numpy kernels. Nothing outside this module needs to know which
 path ran.
@@ -32,78 +38,157 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.codee import cgen, loopir, transform
+from repro.codee.loopir import (
+    ArrayParam,
+    Const,
+    If,
+    Kernel,
+    Let,
+    Load,
+    Loop,
+    ScalarParam,
+    Store,
+    Sym,
+)
 from repro.core import cjit
 
 #: Environment switch forcing the numpy fallback (used by the
 #: equivalence tests to exercise both paths, and as an escape hatch).
 DISABLE_ENV = "REPRO_DISABLE_CSTENCIL"
 
-C_SOURCE = r"""
-#include <stddef.h>
 
-/* One donor-cell stage over the whole (ni, nk, nj, ns) superblock:
- *
- *     out = base + f * tend(s),        tend as in rk_scalar_tend
- *
- * with zero-gradient edges (clamped neighbor rows reproduce the
- * reference's edge handling exactly: the clamped term is s - s = 0).
- * Euler passes base == s and f == dt; an RK3 stage passes base == phi0
- * and f == dt * frac. `clip[n]` marks scalars clamped at zero after
- * the update (only on the stage that `do_clip` enables).
- *
- * The tendency is accumulated axis i, then k, then j with the same
- * expression grouping as the numpy reference, so results match it
- * bit for bit (modulo signed zeros); see the module docstring.
- */
-void advect_stage(const double *restrict s,
-                  const double *restrict base,
-                  double *restrict out,
-                  const double *restrict pos_i, const double *restrict neg_i,
-                  const double *restrict pos_k, const double *restrict neg_k,
-                  const double *restrict pos_j, const double *restrict neg_j,
-                  double f,
-                  long ni, long nk, long nj, long ns,
-                  const unsigned char *restrict clip, int do_clip)
-{
-    const size_t si = (size_t)nk * nj * ns;   /* element stride, axis i */
-    const size_t sk = (size_t)nj * ns;        /* element stride, axis k */
-    const size_t sj = (size_t)ns;             /* element stride, axis j */
-    #pragma omp parallel for collapse(2) schedule(static)
-    for (long i = 0; i < ni; i++) {
-        for (long k = 0; k < nk; k++) {
-            for (long j = 0; j < nj; j++) {
-                const size_t c = ((size_t)i * nk + k) * nj + j;
-                const double up = pos_i[c], un = neg_i[c];
-                const double wp = pos_k[c], wn = neg_k[c];
-                const double vp = pos_j[c], vn = neg_j[c];
-                const double *row = s + c * ns;
-                const double *rim = (i > 0)      ? row - si : row;
-                const double *rip = (i < ni - 1) ? row + si : row;
-                const double *rkm = (k > 0)      ? row - sk : row;
-                const double *rkp = (k < nk - 1) ? row + sk : row;
-                const double *rjm = (j > 0)      ? row - sj : row;
-                const double *rjp = (j < nj - 1) ? row + sj : row;
-                const double *brow = base + c * ns;
-                double *orow = out + c * ns;
-                #pragma omp simd
-                for (long n = 0; n < ns; n++) {
-                    const double sv = row[n];
-                    double t = -(up * (sv - rim[n]) + un * (rip[n] - sv));
-                    t += -(wp * (sv - rkm[n]) + wn * (rkp[n] - sv));
-                    t += -(vp * (sv - rjm[n]) + vn * (rjp[n] - sv));
-                    orow[n] = f * t + brow[n];
-                }
-                if (do_clip) {
-                    #pragma omp simd
-                    for (long n = 0; n < ns; n++) {
-                        if (clip[n] && orow[n] < 0.0) orow[n] = 0.0;
-                    }
-                }
-            }
-        }
-    }
-}
-"""
+def build_advect_ir() -> Kernel:
+    """The donor-cell stage ``out = base + f * tend(s)`` as loop IR.
+
+    One stage over the whole ``(ni, nk, nj, ns)`` superblock with
+    zero-gradient edges: each neighbor index is clamped, so the
+    clamped term is ``s - s = 0``, reproducing the reference's edge
+    handling exactly. Euler passes ``base == s`` and ``f == dt``; an
+    RK3 stage passes ``base == phi0`` and ``f == dt * frac``.
+    ``clip[n]`` marks scalars clamped at zero after the update (only
+    on the stage that ``do_clip`` enables).
+
+    The tendency accumulates axis i, then k, then j with the same
+    expression grouping as the numpy reference (three negated upwind
+    pairs summed left to right), so results match it bit for bit
+    modulo signed zeros. The loop nest is defined *bare* — every
+    OpenMP annotation on the compiled kernel is derived by
+    `repro.codee.transform` from its dependence analysis.
+    """
+    ni, nk, nj, ns = Sym("ni"), Sym("nk"), Sym("nj"), Sym("ns")
+    i, k, j, n = Sym("i"), Sym("k"), Sym("j"), Sym("n")
+    sv = Sym("sv")
+
+    s4 = (nk * nj * ns, nj * ns, ns, Const(1))
+    c3 = (nk * nj, nj, Const(1))
+
+    def s_at(ii, kk, jj):
+        return Load("s", (ii, kk, jj, n))
+
+    # One negated upwind pair per axis: -(pos*(sv - s[lo]) + neg*(s[hi] - sv)),
+    # accumulated i, then k, then j — the reference's grouping.
+    tend = None
+    for pos, neg, lo, hi in (
+        ("up", "un", s_at(Sym("im"), k, j), s_at(Sym("ip"), k, j)),
+        ("wp", "wn", s_at(i, Sym("km"), j), s_at(i, Sym("kp"), j)),
+        ("vp", "vn", s_at(i, k, Sym("jm")), s_at(i, k, Sym("jp"))),
+    ):
+        pair = -(Sym(pos) * (sv - lo) + Sym(neg) * (hi - sv))
+        tend = pair if tend is None else tend + pair
+
+    clamp = loopir.Select
+    body_j = [
+        Let("up", Load("pos_i", (i, k, j))),
+        Let("un", Load("neg_i", (i, k, j))),
+        Let("wp", Load("pos_k", (i, k, j))),
+        Let("wn", Load("neg_k", (i, k, j))),
+        Let("vp", Load("pos_j", (i, k, j))),
+        Let("vn", Load("neg_j", (i, k, j))),
+        Let("im", clamp(i.gt(0), i - 1, i), ctype="long"),
+        Let("ip", clamp(i.lt(ni - 1), i + 1, i), ctype="long"),
+        Let("km", clamp(k.gt(0), k - 1, k), ctype="long"),
+        Let("kp", clamp(k.lt(nk - 1), k + 1, k), ctype="long"),
+        Let("jm", clamp(j.gt(0), j - 1, j), ctype="long"),
+        Let("jp", clamp(j.lt(nj - 1), j + 1, j), ctype="long"),
+        Loop(
+            "n",
+            Const(0),
+            ns,
+            [
+                Let("sv", s_at(i, k, j)),
+                Let("t", tend),
+                Store(
+                    "out",
+                    (i, k, j, n),
+                    Sym("f") * Sym("t") + Load("base", (i, k, j, n)),
+                ),
+            ],
+        ),
+        If(
+            Sym("do_clip"),
+            [
+                Loop(
+                    "n",
+                    Const(0),
+                    ns,
+                    [
+                        If(
+                            Load("clip", (n,)).logical_and(
+                                Load("out", (i, k, j, n)).lt(Const(0.0))
+                            ),
+                            [Store("out", (i, k, j, n), Const(0.0))],
+                        )
+                    ],
+                )
+            ],
+        ),
+    ]
+
+    nest = Loop(
+        "i",
+        Const(0),
+        ni,
+        [Loop("k", Const(0), nk, [Loop("j", Const(0), nj, body_j)])],
+    )
+
+    return Kernel(
+        name="advect_stage",
+        params=(
+            ArrayParam("s", strides=s4),
+            ArrayParam("base", strides=s4),
+            ArrayParam("out", strides=s4, intent="out"),
+            ArrayParam("pos_i", strides=c3),
+            ArrayParam("neg_i", strides=c3),
+            ArrayParam("pos_k", strides=c3),
+            ArrayParam("neg_k", strides=c3),
+            ArrayParam("pos_j", strides=c3),
+            ArrayParam("neg_j", strides=c3),
+            ScalarParam("f", "double"),
+            ScalarParam("ni", "long"),
+            ScalarParam("nk", "long"),
+            ScalarParam("nj", "long"),
+            ScalarParam("ns", "long"),
+            ArrayParam("clip", strides=(Const(1),), ctype="unsigned char"),
+            ScalarParam("do_clip", "int"),
+        ),
+        body=[nest],
+        doc=(
+            "One donor-cell stage out = base + f * tend(s) over the "
+            "(ni, nk, nj, ns) superblock with zero-gradient (clamped) "
+            "edges; tendency accumulated axis i, then k, then j in the "
+            "reference's grouping."
+        ),
+    )
+
+
+loopir.register_kernel(
+    loopir.KernelSpec(
+        name="advect_stage",
+        build=build_advect_ir,
+        transform=transform.plan_offload,
+    )
+)
 
 #: Compile flags (the shared defaults; see :mod:`repro.core.cjit` for
 #: why ``-ffp-contract=off`` is load-bearing).
@@ -126,14 +211,24 @@ def _declare(lib: ctypes.CDLL) -> None:
     ]
 
 
-_module = cjit.CJitModule(
+# Derive the OpenMP annotations, verify them, and emit the C source.
+# An illegal transformation raises IRVerificationError here, at import,
+# before any C exists — loud by design.
+_module = cgen.build_module(
     "stencil",
-    C_SOURCE,
+    [transform.plan_offload(build_advect_ir()).kernel],
     cflags=CFLAGS,
     disable_env=DISABLE_ENV,
     build_dir=Path(__file__).resolve().parent / "_cbuild",
     setup=_declare,
+    banner=(
+        "Generated by repro.codee.cgen from the advect_stage loop IR; "
+        "annotations derived by repro.codee.transform. Do not edit."
+    ),
 )
+
+#: The generated translation unit (kept for introspection/diagnostics).
+C_SOURCE = _module.source
 
 
 def load_stencil() -> ctypes.CDLL | None:

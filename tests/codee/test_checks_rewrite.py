@@ -149,6 +149,88 @@ class TestRewrite:
         assert res.modified
         assert res.source != res.original == sources.KERNALS_KS_SOURCE
 
+    def test_reduction_clause_emitted(self):
+        src = (
+            "subroutine s(a, total, n)\n"
+            "  implicit none\n"
+            "  integer, intent(in) :: n\n"
+            "  real, intent(in) :: a(n)\n"
+            "  real, intent(inout) :: total\n"
+            "  integer :: i\n"
+            "  do i = 1, n\n"
+            "    total = total + a(i)\n"
+            "  enddo\n"
+            "end subroutine s\n"
+        )
+        res = offload_rewrite(src, line=7)
+        assert "reduction(+: total)" in res.source
+        assert "total" not in res.directive.private
+
+    def test_rewrite_is_idempotent(self):
+        first = offload_rewrite(
+            sources.KERNALS_KS_SOURCE, line=self._loop_line()
+        )
+        new_line = (
+            parse_source(first.source).modules[0].routines[0].loops()[0].line
+        )
+        second = offload_rewrite(first.source, line=new_line)
+        assert not second.modified
+        assert second.source == first.source
+        assert first.source.count("!$omp target teams") == 1
+
+    def test_collapse_default_capped_at_three(self):
+        """A 4-deep nest still defaults to the paper's collapse(3)."""
+        src = (
+            "subroutine s(a, n)\n"
+            "  implicit none\n"
+            "  integer, intent(in) :: n\n"
+            "  real, intent(out) :: a(n, n, n, n)\n"
+            "  integer :: i, j, k, l\n"
+            "  do i = 1, n\n"
+            "    do j = 1, n\n"
+            "      do k = 1, n\n"
+            "        do l = 1, n\n"
+            "          a(l, k, j, i) = 0.0\n"
+            "        enddo\n"
+            "      enddo\n"
+            "    enddo\n"
+            "  enddo\n"
+            "end subroutine s\n"
+        )
+        res = offload_rewrite(src, line=6)
+        assert res.directive.collapse == 3
+
+    def test_line_before_first_loop_rejected(self):
+        """_locate_loop only searches at-or-above the given line."""
+        with pytest.raises(RewriteError, match="no do-loop"):
+            offload_rewrite(sources.KERNALS_KS_SOURCE, line=1)
+
+    def test_line_inside_inner_nest_selects_inner_loop(self):
+        sf = parse_source(sources.KERNALS_KS_SOURCE)
+        outer = sf.modules[0].routines[0].loops()[0]
+        inner = outer.innermost()
+        res = offload_rewrite(
+            sources.KERNALS_KS_SOURCE, line=inner.line + 1
+        )
+        assert res.loop_line == inner.line
+
+    def test_bare_routine_loop_located(self):
+        """_locate_loop also covers routines outside any module."""
+        src = (
+            "subroutine s(a, n)\n"
+            "  implicit none\n"
+            "  integer, intent(in) :: n\n"
+            "  real, intent(inout) :: a(n)\n"
+            "  integer :: i\n"
+            "  do i = 1, n\n"
+            "    a(i) = a(i) * 2.0\n"
+            "  enddo\n"
+            "end subroutine s\n"
+        )
+        res = offload_rewrite(src, line=6)
+        assert res.loop_line == 6
+        assert res.modified
+
     def test_modified_false_when_output_equals_input(self):
         from repro.codee.rewrite import RewriteResult
 

@@ -63,6 +63,8 @@ class TestNegativeCases:
         assert any("loop-carried flow dependence" in r for r in rep.reasons)
 
     def test_reduction_to_fixed_element_detected(self):
+        """``total(1) = total(1) + ...`` is a per-element accumulator:
+        parallel under ``reduction(+: total)``, not a race."""
         src = (
             "subroutine s(a, total, n)\n"
             "  implicit none\n"
@@ -76,7 +78,26 @@ class TestNegativeCases:
             "end subroutine s\n"
         )
         rep = _analyze(src)
+        assert rep.parallelizable
+        assert rep.reductions == (("+", "total"),)
+        assert "total" in rep.readwrite_arrays
+
+    def test_non_rmw_fixed_element_write_is_still_a_race(self):
+        """A contested write that is NOT an accumulation stays blocked."""
+        src = (
+            "subroutine s(total, n)\n"
+            "  implicit none\n"
+            "  integer, intent(in) :: n\n"
+            "  real, intent(inout) :: total(1)\n"
+            "  integer :: i\n"
+            "  do i = 1, n\n"
+            "    total(1) = i * 1.0\n"
+            "  enddo\n"
+            "end subroutine s\n"
+        )
+        rep = _analyze(src)
         assert not rep.parallelizable
+        assert rep.reductions == ()
         assert any("same element" in r for r in rep.reasons)
 
     def test_partial_indexing_in_nest_detected(self):
@@ -89,13 +110,59 @@ class TestNegativeCases:
             "  integer :: i, j\n"
             "  do j = 1, n\n"
             "    do i = 1, n\n"
-            "      b(j) = b(j) + 1.0\n"
+            "      b(j) = i * 1.0\n"
             "    enddo\n"
             "  enddo\n"
             "end subroutine s\n"
         )
         rep = _analyze(src)
         assert not rep.parallelizable
+
+
+class TestReductions:
+    """Accumulation recognition (satellite of the loop-IR PR)."""
+
+    SUM = (
+        "subroutine s(a, total, n)\n"
+        "  implicit none\n"
+        "  integer, intent(in) :: n\n"
+        "  real, intent(in) :: a(n)\n"
+        "  real, intent(inout) :: total\n"
+        "  integer :: i\n"
+        "  do i = 1, n\n"
+        "    total = total + a(i)\n"
+        "  enddo\n"
+        "end subroutine s\n"
+    )
+
+    def test_scalar_sum_is_a_reduction_not_private(self):
+        rep = _analyze(self.SUM)
+        assert rep.parallelizable
+        assert rep.reductions == (("+", "total"),)
+        assert "total" not in rep.private_scalars
+
+    def test_subtraction_reduces_with_plus(self):
+        rep = _analyze(self.SUM.replace("total + a(i)", "total - a(i)"))
+        assert rep.reductions == (("+", "total"),)
+
+    def test_minmax_intrinsic_recognized(self):
+        rep = _analyze(self.SUM.replace("total + a(i)", "max(total, a(i))"))
+        assert rep.parallelizable
+        assert rep.reductions == (("max", "total"),)
+
+    def test_reversed_subtraction_is_not_a_reduction(self):
+        """``x = expr - x`` is not an accumulation; x stays private
+        (it is overwritten each iteration from the thread's view)."""
+        rep = _analyze(self.SUM.replace("total + a(i)", "a(i) - total"))
+        assert rep.reductions == ()
+
+    def test_mixed_operators_not_recognized(self):
+        src = self.SUM.replace(
+            "    total = total + a(i)\n",
+            "    total = total + a(i)\n    total = total * 2.0\n",
+        )
+        rep = _analyze(src)
+        assert rep.reductions == ()
 
 
 class TestMapClassification:

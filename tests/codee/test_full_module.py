@@ -63,16 +63,18 @@ class TestChecks:
 
 
 class TestDependence:
-    def test_kernals_ks_parallel_coal_reads_blocked(self, module):
+    def test_kernals_ks_parallel_coal_pair_loop_is_a_reduction(self, module):
         _, mod = module
         kern = mod.routine("kernals_ks")
         assert analyze_loop(kern.loops()[0], kern, mod).parallelizable
-        # coal_bott_new's pair loop: g1(i) written under a j loop ->
-        # not provably parallel over the full (i, j) nest.
+        # coal_bott_new's pair loop writes g1(i) under a j loop — a
+        # race without a clause, but every write is g1(i) = g1(i) +
+        # events, so the analysis proves it parallel as a reduction.
         coal = mod.routine("coal_bott_new")
         pair_loop = coal.loops()[1]
         report = analyze_loop(pair_loop, coal, mod)
-        assert not report.parallelizable
+        assert report.parallelizable
+        assert report.reductions == (("+", "g1"),)
 
     def test_melt_column_recurrence_caught(self, module):
         _, mod = module

@@ -1,0 +1,180 @@
+"""IR static verification rules VFY006-VFY010."""
+
+from repro.codee import irverify
+from repro.codee.loopir import (
+    ArrayParam,
+    Assign,
+    Const,
+    Kernel,
+    Load,
+    LocalArray,
+    Loop,
+    ScalarParam,
+    Store,
+    Sym,
+    broken_offload_kernel,
+)
+from repro.codee.verifier import VerifierConfig
+
+
+def _ids(violations):
+    return [v.check_id for v in violations]
+
+
+class TestRaces:
+    def test_broken_fixture_is_vfy006_at_its_preorder_line(self):
+        violations = irverify.verify_kernel(broken_offload_kernel())
+        assert _ids(violations) == ["VFY006"]
+        v = violations[0]
+        assert v.path == "<ir:broken_offload_ir>"
+        assert v.line == 3  # outer loop=1, inner loop=2, store=3
+        assert v.severity == "error"
+
+    def test_outside_scalar_write_is_vfy006(self):
+        nest = Loop(
+            "i",
+            Const(0),
+            Sym("n"),
+            [Assign("flag", Const(1))],
+            parallel=True,
+        )
+        k = Kernel("f", (ScalarParam("n", "long"),), [nest])
+        assert "VFY006" in _ids(irverify.verify_kernel(k))
+
+    def test_serial_kernel_is_exempt(self):
+        nest = Loop("i", Const(0), Sym("n"), [Assign("flag", Const(1))])
+        k = Kernel("f", (ScalarParam("n", "long"),), [nest])
+        assert irverify.verify_kernel(k) == []
+
+
+class TestReductions:
+    def _accum(self, reductions=()):
+        i = Sym("i")
+        nest = Loop(
+            "i",
+            Const(0),
+            Sym("n"),
+            [Store("acc", (Const(0),), Load("a", (i,)), op="+=")],
+            parallel=True,
+            reductions=tuple(reductions),
+        )
+        return Kernel(
+            "accum",
+            (
+                ArrayParam("a", strides=(Const(1),)),
+                ArrayParam("acc", strides=(Const(1),), intent="inout"),
+                ScalarParam("n", "long"),
+            ),
+            [nest],
+        )
+
+    def test_unannotated_accumulation_is_vfy009(self):
+        violations = irverify.verify_kernel(self._accum())
+        assert _ids(violations) == ["VFY009"]
+
+    def test_reduction_annotation_silences_vfy009(self):
+        violations = irverify.verify_kernel(self._accum([("+", "acc")]))
+        assert violations == []
+
+
+class TestAliasAndIntent:
+    def test_aliased_write_in_parallel_region_is_vfy007(self):
+        i = Sym("i")
+        nest = Loop(
+            "i",
+            Const(0),
+            Sym("n"),
+            [Store("dst", (i,), Load("other", (i,)))],
+            parallel=True,
+        )
+        k = Kernel(
+            "alias",
+            (
+                ArrayParam(
+                    "dst", strides=(Const(1),), intent="out", alias_group="g"
+                ),
+                ArrayParam("other", strides=(Const(1),), alias_group="g"),
+                ScalarParam("n", "long"),
+            ),
+            [nest],
+        )
+        assert "VFY007" in _ids(irverify.verify_kernel(k))
+
+    def test_store_to_intent_in_is_a_vfy008_error(self):
+        i = Sym("i")
+        nest = Loop("i", Const(0), Sym("n"), [Store("a", (i,), Const(0))])
+        k = Kernel(
+            "badintent",
+            (ArrayParam("a", strides=(Const(1),)),  # intent defaults to in
+             ScalarParam("n", "long")),
+            [nest],
+        )
+        violations = irverify.verify_kernel(k)
+        assert _ids(violations) == ["VFY008"]
+        assert violations[0].severity == "error"
+
+    def test_never_stored_intent_out_is_a_vfy008_warning(self):
+        k = Kernel(
+            "unset",
+            (ArrayParam("a", strides=(Const(1),), intent="out"),),
+            [],
+        )
+        violations = irverify.verify_kernel(k)
+        assert _ids(violations) == ["VFY008"]
+        assert violations[0].severity == "warning"
+
+
+class TestStack:
+    def _frame(self, size):
+        nest = Loop(
+            "i",
+            Const(0),
+            Sym("n"),
+            [LocalArray("buf", size), Store("buf", (Const(0),), Const(0))],
+            parallel=True,
+        )
+        return Kernel("frame", (ScalarParam("n", "long"),), [nest])
+
+    def test_frame_within_budget_is_clean(self):
+        config = VerifierConfig(stack_bytes=1024)
+        assert irverify.verify_kernel(self._frame(64), config) == []
+
+    def test_overflow_that_spills_to_heap_is_a_warning(self):
+        config = VerifierConfig(
+            stack_bytes=64, heap_bytes=1 << 30, max_resident_threads=16
+        )
+        violations = irverify.verify_kernel(self._frame(64), config)
+        assert _ids(violations) == ["VFY010"]
+        assert violations[0].severity == "warning"
+
+    def test_overflow_beyond_heap_is_an_error(self):
+        config = VerifierConfig(
+            stack_bytes=64, heap_bytes=1024, max_resident_threads=1 << 20
+        )
+        violations = irverify.verify_kernel(self._frame(64), config)
+        assert _ids(violations) == ["VFY010"]
+        assert violations[0].severity == "error"
+
+
+class TestOrdering:
+    def test_findings_are_deterministically_sorted(self):
+        i = Sym("i")
+        nest = Loop(
+            "i",
+            Const(0),
+            Sym("n"),
+            [
+                Assign("flag", Const(1)),
+                Store("a", (i,), Const(0)),
+            ],
+            parallel=True,
+        )
+        k = Kernel(
+            "multi",
+            (ArrayParam("a", strides=(Const(1),)), ScalarParam("n", "long")),
+            [nest],
+        )
+        first = irverify.verify_kernel(k)
+        second = irverify.verify_kernel(k)
+        assert [v.render() for v in first] == [v.render() for v in second]
+        assert [v.line for v in first] == sorted(v.line for v in first)
