@@ -11,6 +11,14 @@ performance is checkable:
   sparse-scatter variants;
 * ``model_step_rN`` — one full :meth:`repro.wrf.model.WrfModel.step`
   at N ranks (physics + halo exchange + transport);
+* ``model_step_multirank`` — the same full step with ranks as real
+  worker processes (``use_process_ranks``: shared-memory superblocks,
+  pull-model halo exchange), at a fixed 2-worker workload so quick and
+  full gate runs compare like with like;
+* ``rank_scaling_wN`` — the strong-scaling sweep of the multiprocess
+  engine (``repro bench --workers N ...``), informational: fixed
+  CONUS-like domain split across 1/2/4/8 workers with ``cpu_count``
+  and ``speedup_vs_w1`` recorded per entry;
 * ``transport_fused`` / ``transport_per_field`` — the scalar-advection
   engine in isolation on a fixed-size 234-scalar superblock: the fused
   path (pack + single fused kernel + unpack) against the per-field
@@ -64,6 +72,7 @@ TRACKED_KERNELS = (
     "coal_bott",
     "model_step_r1",
     "model_step_r4",
+    "model_step_multirank",
     "transport_fused",
     "sedimentation",
     "cond_remap",
@@ -275,6 +284,96 @@ def bench_model_step(
             "rank_batching": getattr(nl, "rank_batching", "serial"),
         },
     )
+
+
+def bench_model_step_multirank(
+    workers: int = 2,
+    scale: float = 0.05,
+    reps: int = 3,
+    seed: int = 2024,
+    name: str | None = None,
+) -> KernelBench:
+    """Time full steps with ranks as real worker processes.
+
+    Exercises the multiprocess rank engine (``use_process_ranks``):
+    shared-memory superblocks, pull-model halo exchange, command-pipe
+    lockstep. The workload shape and rep count are fixed regardless of
+    ``--quick`` so quick and full gate runs compare like with like. On
+    code that predates the engine (or under ``REPRO_DISABLE_PROCPOOL``)
+    the model falls back to thread batching and ``process_ranks`` in
+    the extras records which path actually ran.
+    """
+    import os
+
+    from repro.optim.stages import Stage
+    from repro.wrf.model import WrfModel
+    from repro.wrf.namelist import conus12km_namelist
+
+    kw: dict = dict(
+        num_ranks=workers, stage=Stage.LOOKUP, seed=seed
+    )
+    try:
+        nl = conus12km_namelist(scale=scale, use_process_ranks=True, **kw)
+    except TypeError:  # code predating process ranks: thread fallback
+        nl = conus12km_namelist(scale=scale, **kw)
+
+    model = WrfModel(nl)
+    used_procs = getattr(model, "_pool", None) is not None
+    try:
+        model.step()  # warmup: worker startup cost stays out of samples
+        samples = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            model.step()
+            samples.append(time.perf_counter() - t0)
+    finally:
+        model.close()
+    return _summarize(
+        name or "model_step_multirank",
+        samples,
+        extra={
+            "workers": workers,
+            "scale": scale,
+            "grid": [nl.domain.nx, nl.domain.nz, nl.domain.ny],
+            "process_ranks": used_procs,
+            "cpu_count": os.cpu_count(),
+        },
+    )
+
+
+def bench_rank_scaling(
+    worker_counts: tuple[int, ...] = (1, 2, 4, 8),
+    scale: float = 0.12,
+    reps: int = 3,
+    seed: int = 2024,
+) -> list[KernelBench]:
+    """Strong-scaling sweep of the multiprocess rank engine.
+
+    One ``rank_scaling_wN`` entry per worker count at a fixed
+    CONUS-like domain (``scale=0.12`` ~ 51x36x50, split across
+    workers), so the per-step medians measure strong scaling: same
+    global work, more processes. Counts above ``os.cpu_count()``
+    deliberately probe the contention regime — every entry records
+    ``cpu_count`` and ``speedup_vs_w1`` so the numbers are honest about
+    the host they ran on. Informational (not gated): wall-clock scaling
+    is host-dependent.
+    """
+    results = [
+        bench_model_step_multirank(
+            workers=n,
+            scale=scale,
+            reps=reps,
+            seed=seed,
+            name=f"rank_scaling_w{n}",
+        )
+        for n in worker_counts
+    ]
+    base = results[0].median_s if results else 0.0
+    for r in results:
+        r.extra["speedup_vs_w1"] = (
+            base / r.median_s if r.median_s > 0 else float("inf")
+        )
+    return results
 
 
 def bench_transport(
@@ -547,8 +646,18 @@ def git_revision(short: bool = True) -> str:
         return "local"
 
 
-def collect(quick: bool = False, kernels: list[str] | None = None) -> dict:
-    """Run the benchmark suite and return the BENCH payload."""
+def collect(
+    quick: bool = False,
+    kernels: list[str] | None = None,
+    workers: list[int] | None = None,
+) -> dict:
+    """Run the benchmark suite and return the BENCH payload.
+
+    ``workers`` adds a strong-scaling sweep of the multiprocess rank
+    engine at those worker counts (``repro bench --workers N``); the
+    sweep is expensive and host-dependent, so it only runs when asked
+    for explicitly (or when ``kernels`` names ``rank_scaling``).
+    """
     npts = 256 if quick else 1024
     reps = 3 if quick else 7
     model_reps = 2 if quick else 5
@@ -576,12 +685,22 @@ def collect(quick: bool = False, kernels: list[str] | None = None) -> dict:
         name = f"transport_{mode}"
         if want(name):
             results.append(bench_transport(mode, reps=reps))
+    if want("model_step_multirank"):
+        results.append(bench_model_step_multirank())
     if want("sedimentation"):
         results.append(bench_sedimentation(reps=reps))
     if want("cond_remap"):
         results.append(bench_cond_remap(reps=reps))
     if want("coal_apply_batched"):
         results.append(bench_coal_apply(reps=reps))
+    if workers or (wanted is not None and "rank_scaling" in wanted):
+        results.extend(
+            bench_rank_scaling(
+                worker_counts=tuple(workers) if workers else (1, 2, 4, 8),
+                scale=0.08 if quick else 0.12,
+                reps=2 if quick else 3,
+            )
+        )
 
     return {
         "schema": SCHEMA,

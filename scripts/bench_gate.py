@@ -6,8 +6,11 @@ tracked kernel medians against the committed ``BENCH_*.json`` baseline
 (the newest non-seed file, falling back to ``BENCH_seed.json``).
 
 Tracked kernels (``harness.TRACKED_KERNELS``): ``coal_bott``,
-``model_step_r1``, ``model_step_r4``, ``transport_fused``,
-``sedimentation``, ``cond_remap``, and ``coal_apply_batched``.
+``model_step_r1``, ``model_step_r4``, ``model_step_multirank`` (the
+multiprocess rank engine at a fixed 2-worker workload),
+``transport_fused``, ``sedimentation``, ``cond_remap``, and
+``coal_apply_batched``. Gate one in isolation with e.g.
+``--kernel model_step_multirank``.
 
 Exit codes (the ``codee verify`` contract):
 

@@ -6,7 +6,7 @@
     python -m repro stages --scale 0.1 --ranks 4 --steps 4
     python -m repro experiments [--quick]
     python -m repro scaling
-    python -m repro bench [--quick] [--gate]
+    python -m repro bench [--quick] [--gate] [--workers N ...]
 
 ``run`` executes one configuration and prints the profile; ``stages``
 walks the four optimization stages and prints Tables III-V;
@@ -117,9 +117,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
     regressed past the threshold.
     """
     harness = _load_harness()
-    payload = harness.collect(quick=args.quick, kernels=args.kernel or None)
+    payload = harness.collect(
+        quick=args.quick,
+        kernels=args.kernel or None,
+        workers=getattr(args, "workers", None) or None,
+    )
     for name, k in sorted(payload["kernels"].items()):
-        print(f"{name:<20} median {k['median_s'] * 1e3:9.3f} ms   reps {k['reps']}")
+        line = f"{name:<20} median {k['median_s'] * 1e3:9.3f} ms   reps {k['reps']}"
+        speedup = k.get("extra", {}).get("speedup_vs_w1")
+        if speedup is not None:
+            line += f"   speedup x{speedup:.2f}"
+        print(line)
 
     out = None
     if not args.no_write:
@@ -200,6 +208,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bm.add_argument(
         "--no-write", action="store_true", help="don't write BENCH_<rev>.json"
+    )
+    p_bm.add_argument(
+        "--workers",
+        action="append",
+        type=int,
+        help="also run the multiprocess strong-scaling sweep at this "
+        "worker count (repeatable, e.g. --workers 1 --workers 4)",
     )
     p_bm.set_defaults(func=cmd_bench)
     return parser

@@ -101,6 +101,20 @@ class CountingCache:
         with self._lock:
             self._data.clear()
 
+    def discard(self, key: Any) -> bool:
+        """Drop one entry if present; returns whether it existed.
+
+        Used by registries whose values own external resources (e.g.
+        the shared-memory superblock segments) and must leave the cache
+        when the resource is released, without clearing unrelated
+        entries. Not counted as an eviction.
+        """
+        with self._lock:
+            if key in self._data:
+                del self._data[key]
+                return True
+            return False
+
     def info(self) -> CacheInfo:
         with self._lock:
             nbytes = 0

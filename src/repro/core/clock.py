@@ -94,6 +94,31 @@ class SimClock:
         """Bucket totals keyed by bucket value (stable for reports)."""
         return {b.value: self.buckets.get(b, 0.0) for b in TimeBucket}
 
+    def restore(
+        self, buckets: dict[str, float], regions: dict[str, float]
+    ) -> None:
+        """Replace all accumulations with externally recorded totals.
+
+        Used by the multiprocess rank engine: each worker process owns
+        the authoritative clock for its rank and ships bucket/region
+        totals back after every step; the driver-side mirror adopts them
+        verbatim (no arithmetic, so the mirror is bit-identical to the
+        worker's accumulation).
+        """
+        self.buckets = defaultdict(
+            float, {TimeBucket(k): float(v) for k, v in buckets.items()}
+        )
+        self.regions = defaultdict(
+            float, {k: float(v) for k, v in regions.items()}
+        )
+
+    def state(self) -> tuple[dict[str, float], dict[str, float]]:
+        """Pickleable totals for :meth:`restore` (buckets by value)."""
+        return (
+            {b.value: t for b, t in self.buckets.items()},
+            dict(self.regions),
+        )
+
     def reset(self) -> None:
         """Zero all accumulations."""
         self.buckets.clear()

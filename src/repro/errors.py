@@ -60,6 +60,17 @@ class MpiError(ReproError):
     """Simulated MPI runtime error."""
 
 
+class ProcPoolError(ReproError):
+    """The multiprocess rank pool failed (worker crash, timeout, misuse).
+
+    Raised by :mod:`repro.wrf.procpool` when a worker process dies or
+    stops responding mid-step, or when the pool is driven after close.
+    The pool tears down every worker and unlinks all shared-memory
+    segments before raising, so a crashed run never leaks ``/dev/shm``
+    space.
+    """
+
+
 class CodeeError(ReproError):
     """Base class for the static-analysis front end."""
 

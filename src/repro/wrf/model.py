@@ -44,7 +44,6 @@ from repro.wrf.dynamics import (
     buoyancy_w_update,
     rk3_advect,
     rk_scalar_tend,
-    rk_update_scalar,
 )
 from repro.wrf.namelist import Namelist
 from repro.wrf.state import WrfFields
@@ -67,6 +66,257 @@ ACOUSTIC_FIELDS = 5
 #: History write bandwidth to scratch [B/s] (serial netCDF through the
 #: I/O rank, well below raw filesystem speed).
 IO_BANDWIDTH = 0.5e9
+
+
+# --- per-rank stage functions -------------------------------------------------
+#
+# Each stage below touches exactly one rank's state, so the same code
+# runs in three execution modes: serial, batched on the thread pool,
+# and inside a persistent worker process (repro.wrf.procpool). Keeping
+# them module-level (not methods) is what lets the process workers
+# reuse them verbatim — the bit-exactness of the multiprocess path
+# against the thread path rests on all modes running these exact
+# functions in the same per-rank order.
+
+
+def cost_models(namelist: Namelist) -> tuple[CommCostModel, CpuCostModel]:
+    """The (comm, cpu) cost models one namelist implies.
+
+    Deterministic in the namelist alone, so driver and worker
+    processes construct bit-identical models independently.
+    """
+    if namelist.stage.uses_gpu:
+        ranks_per_node = min(namelist.num_ranks, 4 * 4)  # 4 GPUs, <=4 ranks each
+        cpu = EPYC_MILAN
+    else:
+        ranks_per_node = min(namelist.num_ranks, PERLMUTTER_CPU_NODE.cpu.cores)
+        cpu = PERLMUTTER_CPU_NODE.cpu
+    comm_cost = CommCostModel(ranks_per_node=ranks_per_node)
+    active_cores = min(namelist.num_ranks, ranks_per_node)
+    cpu_cost = CpuCostModel(
+        cpu=cpu,
+        active_cores_on_socket=active_cores,
+        threads=namelist.numtiles,
+    )
+    return comm_cost, cpu_cost
+
+
+def build_rank_fields(namelist: Namelist, rank: int, patch) -> WrfFields:
+    """Construct one rank's initial fields (deterministic per seed)."""
+    return conus12km_case(
+        namelist.domain, patch, namelist.domain.dz, seed=namelist.seed
+    )
+
+
+def build_rank_sbm(
+    namelist: Namelist,
+    clock: SimClock,
+    cpu_cost: CpuCostModel,
+    engine: OffloadEngine | None = None,
+) -> FastSBM:
+    """Construct one rank's FSBM driver with the namelist's switches."""
+    return FastSBM(
+        stage=namelist.stage,
+        dt=namelist.dt,
+        clock=clock,
+        cpu_cost=cpu_cost,
+        engine=engine,
+        precision=namelist.device_precision,
+        offload_condensation=namelist.offload_condensation,
+        use_native_physics=namelist.use_native_physics,
+        use_batched_coal=namelist.use_batched_coal,
+    )
+
+
+def physics_rank(namelist: Namelist, fields: WrfFields, sbm: FastSBM) -> SbmStepStats:
+    """Run the microphysics on one rank's *owned* cells (the tile).
+
+    Halo cells are excluded — WRF's physics run on tiles inside the
+    patch; halos are refreshed by the exchange afterwards.
+    """
+    from repro.grid.indexing import owned_slice
+
+    f = fields
+    sl = owned_slice(f.patch)
+    return sbm.step(
+        state=f.micro.view(sl),
+        temperature=f.t[sl],
+        pressure_mb=f.pressure_mb[sl],
+        qv=f.qv[sl],
+        rho_air=f.rho[sl],
+        dz_cm=namelist.domain.dz * 100.0,
+    )
+
+
+def pack_rank(
+    fields: WrfFields,
+    workspace: TransportWorkspace,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Pack one rank's advected fields into its superblock buffer.
+
+    Runs batched after physics; the halo exchange and the fused
+    transport then operate on the packed block, which is unpacked back
+    into the per-field arrays at the end of transport. With resident
+    fields (``bind_block``) packing is handing out the block; ``out``
+    targets an explicit buffer (the worker processes pass their
+    shared-memory block so non-resident runs still exchange halos
+    through shared memory).
+    """
+    if fields.block is not None:
+        # Fields are resident in the persistent superblock; physics
+        # already wrote into it, so packing is handing out the block.
+        return fields.block
+    return pack_superblock(
+        fields.advected_fields(), fields.layout, workspace, out=out
+    )
+
+
+def charge_halo_mpi(
+    plan: HaloExchangePlan,
+    comm_cost: CommCostModel,
+    clock: SimClock,
+    rank: int,
+    nscalars: int,
+    itemsize: int,
+    num_ranks: int,
+) -> None:
+    """Charge one rank's MPI time for a full halo refresh.
+
+    Walks the plan in global segment order charging every segment the
+    rank participates in (either end pays the p2p time), then the
+    acoustic-substep traffic WRF's split-explicit solver would add plus
+    per-step sync noise. The per-clock advance sequence is identical
+    whether the driver charges all ranks in one pass (thread path) or
+    each worker process charges only itself, so the accumulated floats
+    are bit-equal across execution modes.
+    """
+    for seg in plan.segments:
+        if seg.src != rank and seg.dst != rank:
+            continue
+        nbytes = seg.num_points * nscalars * itemsize
+        t = comm_cost.p2p_time(seg.src, seg.dst, nbytes)
+        clock.advance(TimeBucket.MPI, t)
+    # Acoustic-substep halo traffic and per-step sync noise
+    # (charged, not simulated).
+    noise = comm_cost.step_sync_noise(num_ranks)
+    per_exchange = sum(
+        comm_cost.p2p_time(s.src, s.dst, s.num_points * 4)
+        for s in plan.segments_from(rank)
+    )
+    n_exchanges = len(RK3_FRACTIONS) * ACOUSTIC_SUBSTEPS * ACOUSTIC_FIELDS
+    clock.advance(TimeBucket.MPI, per_exchange * n_exchanges + noise)
+
+
+def transport_charges(
+    namelist: Namelist,
+    cpu_cost: CpuCostModel,
+    fields: WrfFields,
+    clock: SimClock,
+) -> DynWorkStats:
+    """Charge the CPU-path RK3 scalar-loop cost for one rank's patch."""
+    ni, nk, nj = fields.shape
+    cells = ni * nk * nj
+    nscalars = fields.scalar_count()
+    work = DynWorkStats(
+        cell_scalar_stages=float(cells * nscalars * len(RK3_FRACTIONS))
+    )
+    with clock.region("rk_scalar_tend"):
+        clock.advance(
+            TimeBucket.CPU_COMPUTE,
+            cpu_cost.time(
+                work.tend_flops,
+                work.tend_bytes,
+                iterations=int(work.cell_scalar_stages),
+            ),
+        )
+    with clock.region("rk_update_scalar"):
+        clock.advance(
+            TimeBucket.CPU_COMPUTE,
+            cpu_cost.time(work.update_flops, work.update_bytes),
+        )
+    return work
+
+
+def transport_numerics(
+    namelist: Namelist,
+    fields: WrfFields,
+    workspace: TransportWorkspace,
+    block: np.ndarray,
+) -> None:
+    """Advect one rank's scalars and apply the buoyancy update.
+
+    Numerics: donor-cell update of every field, with the wind
+    decomposition hoisted out of the scalar loop. The namelist selects
+    single-Euler-stage (default, fast) or full RK3, and fused
+    superblock advection (default) or the per-field reference loop; all
+    four combinations agree to ~1e-14. The exchanged halos live in the
+    packed superblock, so both paths start from it: the fused kernels
+    advect the block directly and unpack the result, while the
+    reference path unpacks first and then walks the per-field dict
+    exactly as the seed did.
+    """
+    f = fields
+    ws = workspace
+    dt = namelist.dt
+    dx = namelist.domain.dx
+    dz = namelist.domain.dz
+    if namelist.use_fused_transport:
+        # The freshly exchanged w halo lives in the block; advect
+        # with that wind, exactly as the reference path sees it.
+        w_col = block[..., f.layout.slices()["w"].start]
+        split = WindSplit.build(f.u, f.v, w_col, dx, dz)
+        clip_slices = f.layout.clip_slices(no_clip=("t", "w"))
+        if namelist.use_rk3_numerics:
+            result = fused_rk3_advect(block, split, dt, ws, clip_slices)
+        else:
+            result = fused_euler_advect(block, split, dt, ws, clip_slices)
+        if f.block is block:
+            # Resident fields: one block-to-block copy replaces the
+            # per-field unpack (no-op when the numpy fallback
+            # already advected the block in place).
+            if result is not block:
+                block[...] = result
+        else:
+            unpack_superblock(result, f.advected_fields(), f.layout)
+    else:
+        if f.block is not block:
+            unpack_superblock(block, f.advected_fields(), f.layout)
+        split = WindSplit.build(f.u, f.v, f.w, dx, dz)
+        for name, arr in f.advected_fields().items():
+            clip = name != "t" and name != "w"
+            if namelist.use_rk3_numerics:
+                rk3_advect(arr, split, dt, clip_negative=clip, workspace=ws)
+            else:
+                tend = rk_scalar_tend(arr, split)
+                arr += dt * tend
+                if clip:
+                    np.maximum(arr, 0.0, out=arr)
+
+    condensate = f.micro.total_condensate_mass()
+    buoyancy_w_update(f.w, f.t, f.t_base_col, condensate, f.rho, dt)
+
+
+def rank_output_frame(fields: WrfFields) -> dict[str, np.ndarray]:
+    """One rank's owned contribution to the domain-wide output frame.
+
+    Contiguous copies, so worker processes can ship frames over the
+    command pipe without dragging whole memory-extent arrays along.
+    """
+    f = fields
+    patch = f.patch
+    precip_owned = f.micro.precip[
+        patch.i.to_slice(patch.im.start), patch.j.to_slice(patch.jm.start)
+    ]
+    return {
+        "T": np.ascontiguousarray(f.owned(f.t)),
+        "QVAPOR": np.ascontiguousarray(f.owned(f.qv)),
+        "W": np.ascontiguousarray(f.owned(f.w)),
+        "QCLOUD_TOTAL": np.ascontiguousarray(
+            f.owned(f.micro.total_condensate_mass())
+        ),
+        "RAINNC": np.ascontiguousarray(precip_owned),
+    }
 
 
 @dataclass
@@ -126,20 +376,24 @@ class WrfModel:
         self.decomposition = decompose_domain(namelist.domain, namelist.num_ranks)
         self.halo_plan: HaloExchangePlan = build_halo_plan(self.decomposition)
         self.clocks = [SimClock() for _ in range(namelist.num_ranks)]
+        self.comm_cost, self.cpu_cost = cost_models(namelist)
 
-        if namelist.stage.uses_gpu:
-            ranks_per_node = min(namelist.num_ranks, 4 * 4)  # 4 GPUs, <=4 ranks each
-            cpu = EPYC_MILAN
-        else:
-            ranks_per_node = min(namelist.num_ranks, PERLMUTTER_CPU_NODE.cpu.cores)
-            cpu = PERLMUTTER_CPU_NODE.cpu
-        self.comm_cost = CommCostModel(ranks_per_node=ranks_per_node)
-        active_cores = min(namelist.num_ranks, ranks_per_node)
-        self.cpu_cost = CpuCostModel(
-            cpu=cpu,
-            active_cores_on_socket=active_cores,
-            threads=namelist.numtiles,
-        )
+        # Multiprocess rank execution: forked before any heavyweight
+        # driver-side state exists, so workers stay lean. Falls back to
+        # the thread pool for GPU/offload stages (ranks contend for the
+        # shared simulated GPU pool) and under REPRO_DISABLE_PROCPOOL.
+        self._pool = None
+        if (
+            namelist.use_process_ranks
+            and not namelist.stage.uses_gpu
+            and not namelist.offload_advection
+        ):
+            from repro.wrf import procpool
+
+            if procpool.procpool_disabled() is None:
+                self._pool = procpool.ProcRankPool(
+                    namelist, self.decomposition
+                )
 
         self.gpu_pool: GpuPool | None = None
         self.engines: list[OffloadEngine | None] = [None] * namelist.num_ranks
@@ -163,17 +417,22 @@ class WrfModel:
             nranks=namelist.num_ranks, gpu_pool=self.gpu_pool
         )
 
-        dz = namelist.domain.dz
         self.fields: list[WrfFields] = [
-            conus12km_case(namelist.domain, patch, dz, seed=namelist.seed)
+            build_rank_fields(namelist, patch.rank, patch)
             for patch in self.decomposition.patches
         ]
         if namelist.use_superblock_fields:
             # Persistent residency: the advected fields become views
             # into one per-rank superblock, so the per-step pack below
-            # degenerates to handing out that block.
-            for f in self.fields:
-                f.bind_block()
+            # degenerates to handing out that block. Under process
+            # ranks the block is the rank's shared-memory segment, so
+            # the driver's views stay live mirrors of worker state.
+            for rank, f in enumerate(self.fields):
+                f.bind_block(
+                    buffer=self._pool.block_view(rank)
+                    if self._pool is not None
+                    else None
+                )
         # Transport workspaces: preallocated once per rank (the host
         # analog of `target enter data map(alloc:)`), keyed by (shape,
         # nscalars, dtype, rank) so batched ranks never share buffers
@@ -186,16 +445,8 @@ class WrfModel:
         ]
         self._blocks: list[np.ndarray | None] = [None] * namelist.num_ranks
         self.sbm: list[FastSBM] = [
-            FastSBM(
-                stage=namelist.stage,
-                dt=namelist.dt,
-                clock=self.clocks[r],
-                cpu_cost=self.cpu_cost,
-                engine=self.engines[r],
-                precision=namelist.device_precision,
-                offload_condensation=namelist.offload_condensation,
-                use_native_physics=namelist.use_native_physics,
-                use_batched_coal=namelist.use_batched_coal,
+            build_rank_sbm(
+                namelist, self.clocks[r], self.cpu_cost, self.engines[r]
             )
             for r in range(namelist.num_ranks)
         ]
@@ -206,7 +457,8 @@ class WrfModel:
         # must stay serial — ranks contend for the shared GpuPool.
         self._executor: ThreadPoolExecutor | None = None
         if (
-            namelist.rank_batching
+            self._pool is None
+            and namelist.rank_batching
             and namelist.num_ranks > 1
             and not namelist.stage.uses_gpu
             and not namelist.offload_advection
@@ -223,20 +475,9 @@ class WrfModel:
     # --- pieces of one step ------------------------------------------------------
 
     def _pack(self, rank: int) -> None:
-        """Pack one rank's advected fields into its superblock buffer.
-
-        Runs batched after physics; the halo exchange and the fused
-        transport then operate on the packed block, which is unpacked
-        back into the per-field arrays at the end of transport.
-        """
-        f = self.fields[rank]
-        if f.block is not None:
-            # Fields are resident in the persistent superblock; physics
-            # already wrote into it, so packing is handing out the block.
-            self._blocks[rank] = f.block
-            return
-        self._blocks[rank] = pack_superblock(
-            f.advected_fields(), f.layout, self.workspaces[rank]
+        """Pack one rank's advected fields into its superblock buffer."""
+        self._blocks[rank] = pack_rank(
+            self.fields[rank], self.workspaces[rank]
         )
 
     def _exchange_halos(self) -> None:
@@ -256,104 +497,41 @@ class WrfModel:
         patches = self.decomposition.patches
         blocks = self._blocks
         nscalars = blocks[0].shape[-1]
+        itemsize = blocks[0].itemsize
         for seg in self.halo_plan.segments:
-            src_p, dst_p = patches[seg.src], patches[seg.dst]
-            src_sl = seg.src_slices(src_p)
-            dst_sl = seg.dst_slices(dst_p)
+            src_sl = seg.src_slices(patches[seg.src])
+            dst_sl = seg.dst_slices(patches[seg.dst])
             blocks[seg.dst][dst_sl] = blocks[seg.src][src_sl]
-            nbytes = seg.num_points * nscalars * blocks[seg.src].itemsize
-            t = self.comm_cost.p2p_time(seg.src, seg.dst, nbytes)
-            self.clocks[seg.src].advance(TimeBucket.MPI, t)
-            self.clocks[seg.dst].advance(TimeBucket.MPI, t)
-        # Acoustic-substep halo traffic and per-step sync noise
-        # (charged, not simulated).
-        noise = self.comm_cost.step_sync_noise(self.namelist.num_ranks)
         for rank in range(self.namelist.num_ranks):
-            segs = self.halo_plan.segments_from(rank)
-            per_exchange = sum(
-                self.comm_cost.p2p_time(s.src, s.dst, s.num_points * 4)
-                for s in segs
-            )
-            n_exchanges = len(RK3_FRACTIONS) * ACOUSTIC_SUBSTEPS * ACOUSTIC_FIELDS
-            self.clocks[rank].advance(
-                TimeBucket.MPI, per_exchange * n_exchanges + noise
+            charge_halo_mpi(
+                self.halo_plan,
+                self.comm_cost,
+                self.clocks[rank],
+                rank,
+                nscalars,
+                itemsize,
+                self.namelist.num_ranks,
             )
 
     def _transport(self, rank: int) -> None:
         """Advect all scalars on one rank's patch; charge RK3 cost."""
         f = self.fields[rank]
-        clock = self.clocks[rank]
-        dt = self.namelist.dt
-        dx = self.namelist.domain.dx
-        dz = self.namelist.domain.dz
-        ni, nk, nj = f.shape
-        cells = ni * nk * nj
-        nscalars = f.scalar_count()
-        work = DynWorkStats(
-            cell_scalar_stages=float(cells * nscalars * len(RK3_FRACTIONS))
-        )
         if self.namelist.offload_advection and self.engines[rank] is not None:
+            ni, nk, nj = f.shape
+            nscalars = f.scalar_count()
+            work = DynWorkStats(
+                cell_scalar_stages=float(
+                    ni * nk * nj * nscalars * len(RK3_FRACTIONS)
+                )
+            )
             self._transport_offloaded(rank, work, nscalars)
         else:
-            with clock.region("rk_scalar_tend"):
-                clock.advance(
-                    TimeBucket.CPU_COMPUTE,
-                    self.cpu_cost.time(
-                        work.tend_flops,
-                        work.tend_bytes,
-                        iterations=int(work.cell_scalar_stages),
-                    ),
-                )
-            with clock.region("rk_update_scalar"):
-                clock.advance(
-                    TimeBucket.CPU_COMPUTE,
-                    self.cpu_cost.time(work.update_flops, work.update_bytes),
-                )
-        # Numerics: donor-cell update of every field, with the wind
-        # decomposition hoisted out of the scalar loop. The namelist
-        # selects single-Euler-stage (default, fast) or full RK3, and
-        # fused superblock advection (default) or the per-field
-        # reference loop; all four combinations agree to ~1e-14. The
-        # exchanged halos live in the packed superblock, so both paths
-        # start from it: the fused kernels advect the block directly
-        # and unpack the result, while the reference path unpacks first
-        # and then walks the per-field dict exactly as the seed did.
-        ws = self.workspaces[rank]
-        block = self._blocks[rank]
-        if self.namelist.use_fused_transport:
-            # The freshly exchanged w halo lives in the block; advect
-            # with that wind, exactly as the reference path sees it.
-            w_col = block[..., f.layout.slices()["w"].start]
-            split = WindSplit.build(f.u, f.v, w_col, dx, dz)
-            clip_slices = f.layout.clip_slices(no_clip=("t", "w"))
-            if self.namelist.use_rk3_numerics:
-                result = fused_rk3_advect(block, split, dt, ws, clip_slices)
-            else:
-                result = fused_euler_advect(block, split, dt, ws, clip_slices)
-            if f.block is block:
-                # Resident fields: one block-to-block copy replaces the
-                # per-field unpack (no-op when the numpy fallback
-                # already advected the block in place).
-                if result is not block:
-                    block[...] = result
-            else:
-                unpack_superblock(result, f.advected_fields(), f.layout)
-        else:
-            if f.block is not block:
-                unpack_superblock(block, f.advected_fields(), f.layout)
-            split = WindSplit.build(f.u, f.v, f.w, dx, dz)
-            for name, arr in f.advected_fields().items():
-                clip = name != "t" and name != "w"
-                if self.namelist.use_rk3_numerics:
-                    rk3_advect(arr, split, dt, clip_negative=clip, workspace=ws)
-                else:
-                    tend = rk_scalar_tend(arr, split)
-                    arr += dt * tend
-                    if clip:
-                        np.maximum(arr, 0.0, out=arr)
-
-        condensate = f.micro.total_condensate_mass()
-        buoyancy_w_update(f.w, f.t, f.t_base_col, condensate, f.rho, dt)
+            transport_charges(
+                self.namelist, self.cpu_cost, f, self.clocks[rank]
+            )
+        transport_numerics(
+            self.namelist, f, self.workspaces[rank], self._blocks[rank]
+        )
 
     def _transport_offloaded(
         self, rank: int, work: DynWorkStats, nscalars: int
@@ -429,6 +607,25 @@ class WrfModel:
             dz_cm=self.namelist.domain.dz * 100.0,
         )
 
+    def _charge_io(self, charges: list[list[float]]) -> None:
+        """Apply per-rank ordered I/O charges on the authoritative clocks.
+
+        ``charges[rank]`` is the ordered list of seconds to advance that
+        rank's ``IO`` bucket by. Under process ranks the workers own the
+        clocks, so the charges ship over the command pipe, each worker
+        applies its list in order, and the driver mirrors re-adopt the
+        totals — the per-clock advance sequence (and therefore the float
+        accumulation) is identical to applying them locally.
+        """
+        if self._pool is not None:
+            states = self._pool.charge_io(charges)
+            for clock, state in zip(self.clocks, states):
+                clock.restore(*state)
+            return
+        for clock, rank_charges in zip(self.clocks, charges):
+            for seconds in rank_charges:
+                clock.advance(TimeBucket.IO, seconds)
+
     def _maybe_history(self, force: bool = False) -> dict[str, np.ndarray] | None:
         """Write history if due; charges I/O time and returns the frame."""
         interval = self.namelist.history_interval
@@ -454,13 +651,13 @@ class WrfModel:
             )
         nbytes = sum(a.nbytes for a in frame.values())
         # Patches funnel to rank 0, which writes.
-        for rank, clock in enumerate(self.clocks):
-            local = nbytes / self.namelist.num_ranks
-            clock.advance(
-                TimeBucket.IO,
-                self.comm_cost.p2p_time(rank, 0, int(local)),
-            )
-        self.clocks[0].advance(TimeBucket.IO, nbytes / IO_BANDWIDTH)
+        local = int(nbytes / self.namelist.num_ranks)
+        charges = [
+            [self.comm_cost.p2p_time(rank, 0, local)]
+            for rank in range(self.namelist.num_ranks)
+        ]
+        charges[0].append(nbytes / IO_BANDWIDTH)
+        self._charge_io(charges)
         return frame
 
     def gather_output(self) -> dict[str, np.ndarray]:
@@ -473,23 +670,23 @@ class WrfModel:
             "QCLOUD_TOTAL": np.zeros((dom.nx, dom.nz, dom.ny)),
             "RAINNC": np.zeros((dom.nx, dom.ny)),
         }
-        for rank, patch in enumerate(self.decomposition.patches):
-            f = self.fields[rank]
+        if self._pool is not None:
+            # Workers own the authoritative state (precip accumulates in
+            # their address space); they ship owned-region frames back.
+            frames = self._pool.gather()
+        else:
+            frames = [rank_output_frame(f) for f in self.fields]
+        for patch, frame in zip(self.decomposition.patches, frames):
             sl = (
                 patch.i.to_slice(1),
                 patch.k.to_slice(1),
                 patch.j.to_slice(1),
             )
-            out["T"][sl] = f.owned(f.t)
-            out["QVAPOR"][sl] = f.owned(f.qv)
-            out["W"][sl] = f.owned(f.w)
-            out["QCLOUD_TOTAL"][sl] = f.owned(f.micro.total_condensate_mass())
-            ii = patch.i.to_slice(1)
-            jj = patch.j.to_slice(1)
-            precip_owned = f.micro.precip[
-                patch.i.to_slice(patch.im.start), patch.j.to_slice(patch.jm.start)
+            for name in ("T", "QVAPOR", "W", "QCLOUD_TOTAL"):
+                out[name][sl] = frame[name]
+            out["RAINNC"][patch.i.to_slice(1), patch.j.to_slice(1)] = frame[
+                "RAINNC"
             ]
-            out["RAINNC"][ii, jj] = precip_owned
         return out
 
     # --- the loop -------------------------------------------------------------
@@ -509,17 +706,20 @@ class WrfModel:
     def step(self) -> StepTiming:
         """Advance the whole job by one model step."""
         before = [c.snapshot() for c in self.clocks]
-        with_regions = [c.region("solve_em") for c in self.clocks]
-        for ctx in with_regions:
-            ctx.__enter__()
-        try:
-            sbm_stats = self._run_ranks(self._physics)
-            self._run_ranks(self._pack)
-            self._exchange_halos()
-            self._run_ranks(self._transport)
-        finally:
-            for ctx in reversed(with_regions):
-                ctx.__exit__(None, None, None)
+        if self._pool is not None:
+            sbm_stats = self._step_procs()
+        else:
+            with_regions = [c.region("solve_em") for c in self.clocks]
+            for ctx in with_regions:
+                ctx.__enter__()
+            try:
+                sbm_stats = self._run_ranks(self._physics)
+                self._run_ranks(self._pack)
+                self._exchange_halos()
+                self._run_ranks(self._transport)
+            finally:
+                for ctx in reversed(with_regions):
+                    ctx.__exit__(None, None, None)
         self._sim_time += self.namelist.dt
         self.steps_done += 1
         self._maybe_history()
@@ -532,6 +732,25 @@ class WrfModel:
         return StepTiming(
             step=self.steps_done, elapsed=elapsed, charges=charges, sbm_stats=sbm_stats
         )
+
+    def _step_procs(self) -> list[SbmStepStats]:
+        """One step across the worker processes (the multiprocess path).
+
+        Each worker runs the identical per-rank stage sequence
+        (physics, pack, pull-model halo exchange through the shared
+        superblocks, transport) under its authoritative clock, then
+        ships back its step stats and clock totals; the driver-side
+        mirror clocks adopt the totals verbatim, so every downstream
+        consumer (scheduler charges, profilers, history I/O) sees
+        bit-identical simulated time.
+        """
+        assert self._pool is not None
+        results = self._pool.step()
+        stats: list[SbmStepStats] = []
+        for clock, (rank_stats, buckets, regions) in zip(self.clocks, results):
+            clock.restore(buckets, regions)
+            stats.append(rank_stats)
+        return stats
 
     def run(
         self, num_steps: int | None = None, final_history: bool = False
@@ -561,10 +780,13 @@ class WrfModel:
         )
 
     def close(self) -> None:
-        """Release device contexts and the rank executor."""
+        """Release device contexts, the rank executor, and the worker pool."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
         for e in self.engines:
             if e is not None:
                 e.close()

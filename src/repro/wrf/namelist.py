@@ -84,6 +84,18 @@ class Namelist:
     #: to serial execution — only host wall-clock changes. GPU stages
     #: always run serial because ranks share the simulated GPU pool.
     rank_batching: bool = True
+    #: Promote ranks to real OS processes: each rank becomes a
+    #: persistent worker owning its patch of a shared-memory superblock
+    #: pool (:mod:`repro.wrf.procpool`), stepped in lockstep over a
+    #: command-pipe/barrier protocol, with halo exchange performed as
+    #: strided copies directly between neighboring ranks' shared
+    #: blocks. Numerics and per-rank simulated-clock charges are
+    #: bit-identical to the thread-pool path; only host wall-clock
+    #: changes (CPU stages actually run concurrently across cores
+    #: instead of time-slicing one interpreter). GPU/offload stages
+    #: fall back to the thread path (ranks share the simulated GPU
+    #: pool), as does ``REPRO_DISABLE_PROCPOOL=1``.
+    use_process_ranks: bool = False
     #: History write interval [s] (0 disables history).
     history_interval: float = 0.0
     #: Directory for on-disk wrfout files (None keeps frames in memory).

@@ -1,0 +1,554 @@
+"""True multiprocess rank execution over shared-memory superblocks.
+
+The thread-pool rank batching in :mod:`repro.wrf.model` time-slices one
+interpreter: numpy releases the GIL in the hot kernels, but the pure-
+Python glue between them serializes, so host wall-clock barely improves
+past two ranks. This module promotes ranks to real OS processes:
+
+* each rank's transport superblock lives in a
+  ``multiprocessing.shared_memory`` segment created (and later
+  unlinked) by the driver — one ``(ni, nk, nj, nscalar)`` float64 block
+  per rank, registered with the ``"wrf.shared_superblocks"``
+  :class:`~repro.core.cache.CountingCache` so its footprint is
+  observable like every other pinned buffer;
+* each rank is a persistent worker process (forked before any
+  heavyweight driver state exists) that builds its own fields, FSBM
+  driver, and authoritative :class:`~repro.core.clock.SimClock`, binds
+  its resident fields directly into its shared segment, and then steps
+  in lockstep with its peers;
+* the per-step halo exchange is the pull half of the
+  :class:`~repro.grid.halo.HaloExchangePlan` executed as direct strided
+  copies between neighboring ranks' shared blocks — no serialization,
+  no driver round-trip — barriered before (all owners packed) and
+  after (all halos filled);
+* the driver talks to workers over one command pipe per rank
+  (``step`` / ``charge_io`` / ``gather`` / ``close``) and mirrors each
+  worker's clock totals wholesale after every command, so scheduler
+  charges, profilers, and history I/O see simulated time bit-identical
+  to the thread path.
+
+Bit-exactness: workers run the *same* module-level per-rank stage
+functions as the serial and thread paths (physics, pack, halo-MPI
+charging, transport), in the same per-rank order, against
+deterministically reconstructed cost models — so both the numerics and
+every per-clock float accumulation sequence are identical across all
+three execution modes.
+
+Failure containment: any worker crash, timeout, or protocol error
+tears down the whole pool — remaining workers are terminated and every
+shared segment is unlinked — before :class:`~repro.errors.ProcPoolError`
+reaches the caller. Segments that somehow survive (e.g. the driver was
+SIGKILLed between create and unlink) are reaped by an ``atexit`` hook,
+and ``REPRO_DISABLE_PROCPOOL=1`` disables the pool entirely (the model
+falls back to thread batching).
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+import os
+import time
+import traceback
+from multiprocessing import get_context
+from multiprocessing.shared_memory import SharedMemory
+from threading import BrokenBarrierError
+
+import numpy as np
+
+from repro.core.cache import get_cache
+from repro.core.clock import SimClock, TimeBucket
+from repro.errors import ProcPoolError
+from repro.fsbm import ckernels
+from repro.fsbm.collision_kernels import get_tables
+from repro.grid.decomposition import Decomposition
+from repro.grid.halo import build_halo_plan
+from repro.wrf import cstencil
+from repro.wrf.model import (
+    build_rank_fields,
+    build_rank_sbm,
+    charge_halo_mpi,
+    cost_models,
+    pack_rank,
+    physics_rank,
+    rank_output_frame,
+    transport_charges,
+    transport_numerics,
+)
+from repro.wrf.namelist import Namelist
+from repro.wrf.state import superblock_scalar_count
+from repro.wrf.transport import get_workspace
+
+#: Default seconds a pool waits on a worker reply or a halo barrier
+#: before declaring the step dead (``REPRO_PROCPOOL_TIMEOUT`` overrides).
+DEFAULT_TIMEOUT = 120.0
+
+#: Cache registering the live shared segments (value = SharedMemory, so
+#: ``cache_stats()`` reports the pool's /dev/shm footprint in bytes).
+SEGMENT_CACHE = "wrf.shared_superblocks"
+
+
+def procpool_disabled() -> str | None:
+    """Why process ranks are disabled in this environment, or ``None``.
+
+    ``REPRO_DISABLE_PROCPOOL`` is the kill switch: any non-empty value
+    makes every model fall back to the thread-pool rank path (numerics
+    and simulated time are identical either way).
+    """
+    if os.environ.get("REPRO_DISABLE_PROCPOOL", ""):
+        return "REPRO_DISABLE_PROCPOOL is set"
+    return None
+
+
+def _pool_timeout() -> float:
+    raw = os.environ.get("REPRO_PROCPOOL_TIMEOUT", "")
+    try:
+        return float(raw) if raw else DEFAULT_TIMEOUT
+    except ValueError:
+        return DEFAULT_TIMEOUT
+
+
+# --- leak protection ---------------------------------------------------------
+#
+# Every segment the driver creates is recorded here until it is
+# unlinked. Normal teardown (pool.close(), or any pool failure) empties
+# the registry; the atexit hook is the last line of defense for drivers
+# that die between create and unlink, so a crashed run never strands
+# blocks in /dev/shm.
+
+_live_segments: dict[str, SharedMemory] = {}
+
+
+def leaked_segments() -> list[str]:
+    """Names of shared segments created but not yet unlinked."""
+    return sorted(_live_segments)
+
+
+def _reap_leaked() -> None:
+    """Unlink every still-live segment (atexit; also test-invokable)."""
+    for name in list(_live_segments):
+        shm = _live_segments.pop(name)
+        get_cache(SEGMENT_CACHE).discard(name)
+        try:
+            shm.close()
+        except BufferError:
+            pass  # live numpy views keep the mapping; unlink still works
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+atexit.register(_reap_leaked)
+
+
+class SharedSuperblocks:
+    """Driver-owned pool of per-rank shared-memory superblock segments.
+
+    One float64 ``(ni, nk, nj, nscalar)`` segment per rank, created at
+    construction and destroyed by :meth:`unlink` (idempotent — double
+    unlink and unlink-after-reap are no-ops). Workers attach by name
+    and only ever ``close()`` their mapping; the driver is the sole
+    owner of segment lifetime.
+    """
+
+    def __init__(
+        self,
+        decomposition: Decomposition,
+        nscalars: int,
+        dtype=np.float64,
+    ):
+        self.nscalars = nscalars
+        self.dtype = np.dtype(dtype)
+        self.names: list[str] = []
+        self._shms: list[SharedMemory] = []
+        self._views: list[np.ndarray] = []
+        cache = get_cache(SEGMENT_CACHE, sizeof=lambda shm: shm.size)
+        try:
+            for patch in decomposition.patches:
+                shape = (*patch.shape, nscalars)
+                size = math.prod(shape) * self.dtype.itemsize
+                shm = SharedMemory(create=True, size=size)
+                self._shms.append(shm)
+                self.names.append(shm.name)
+                _live_segments[shm.name] = shm
+                cache.get_or_build(shm.name, lambda s=shm: s)
+                view = np.ndarray(shape, dtype=self.dtype, buffer=shm.buf)
+                view[...] = 0.0
+                self._views.append(view)
+        except Exception:
+            self.unlink()
+            raise
+
+    def view(self, rank: int) -> np.ndarray:
+        """The driver-side numpy view over one rank's segment."""
+        return self._views[rank]
+
+    def unlink(self) -> None:
+        """Destroy every segment (idempotent)."""
+        cache = get_cache(SEGMENT_CACHE)
+        self._views = []
+        shms, self._shms = self._shms, []
+        self.names = []
+        for shm in shms:
+            _live_segments.pop(shm.name, None)
+            cache.discard(shm.name)
+            try:
+                shm.close()
+            except BufferError:
+                # Model fields may still view the block; the mapping
+                # stays valid until they are garbage collected, and
+                # unlink below removes the name regardless.
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def _preload_compiled(namelist: Namelist) -> None:
+    """Build the compiled kernels and lookup tables before forking.
+
+    Workers inherit the loaded shared objects and warm caches through
+    fork instead of racing to compile them (the cjit build is atomic,
+    so a race is safe — just slow).
+    """
+    if namelist.use_fused_transport:
+        cstencil.load_stencil()
+    if namelist.use_native_physics:
+        ckernels.load_kernels()
+    get_tables()
+
+
+# --- worker side -------------------------------------------------------------
+
+
+class _RankContext:
+    """Everything one worker process owns for its rank."""
+
+    def __init__(
+        self,
+        rank: int,
+        namelist: Namelist,
+        decomposition: Decomposition,
+        seg_names: list[str],
+        nscalars: int,
+        barrier,
+        timeout: float,
+    ):
+        self.rank = rank
+        self.namelist = namelist
+        self.barrier = barrier
+        self.timeout = timeout
+        self.num_ranks = namelist.num_ranks
+        self.clock = SimClock()
+        self.comm_cost, self.cpu_cost = cost_models(namelist)
+        self.plan = build_halo_plan(decomposition)
+        # Attach (never create, never unlink) every rank's segment: the
+        # pull-model exchange reads neighbors' owned boxes directly.
+        self._shms = [SharedMemory(name=n) for n in seg_names]
+        self.blocks = [
+            np.ndarray(
+                (*patch.shape, nscalars), dtype=np.float64, buffer=shm.buf
+            )
+            for patch, shm in zip(decomposition.patches, self._shms)
+        ]
+        self.fields = build_rank_fields(
+            namelist, rank, decomposition.patches[rank]
+        )
+        if namelist.use_superblock_fields:
+            self.fields.bind_block(buffer=self.blocks[rank])
+        self.workspace = get_workspace(
+            self.fields.shape, nscalars, np.dtype(np.float64), owner=rank
+        )
+        self.sbm = build_rank_sbm(namelist, self.clock, self.cpu_cost)
+
+    def step(self):
+        """One model step for this rank; peers step concurrently.
+
+        Identical stage sequence (and so identical per-clock charge
+        order) to the serial/thread paths: physics, pack, halo MPI
+        charges, transport. The two barriers bracket the shared-memory
+        exchange: the first guarantees every owner finished packing its
+        owned box before anyone pulls, the second that every halo is
+        filled before anyone's transport starts mutating its block.
+        """
+        with self.clock.region("solve_em"):
+            stats = physics_rank(self.namelist, self.fields, self.sbm)
+            block = pack_rank(
+                self.fields, self.workspace, out=self.blocks[self.rank]
+            )
+            self.barrier.wait(self.timeout)
+            self.plan.apply_pull(self.rank, self.blocks)
+            charge_halo_mpi(
+                self.plan,
+                self.comm_cost,
+                self.clock,
+                self.rank,
+                nscalars=block.shape[-1],
+                itemsize=block.itemsize,
+                num_ranks=self.num_ranks,
+            )
+            self.barrier.wait(self.timeout)
+            transport_charges(
+                self.namelist, self.cpu_cost, self.fields, self.clock
+            )
+            transport_numerics(
+                self.namelist, self.fields, self.workspace, block
+            )
+        return (stats, *self.clock.state())
+
+    def charge_io(self, charges: list[float]):
+        """Apply ordered I/O charges; return the updated clock totals."""
+        for seconds in charges:
+            self.clock.advance(TimeBucket.IO, seconds)
+        return self.clock.state()
+
+    def gather(self) -> dict[str, np.ndarray]:
+        return rank_output_frame(self.fields)
+
+    def close(self) -> None:
+        for shm in self._shms:
+            try:
+                shm.close()
+            except BufferError:  # views die with the process anyway
+                pass
+
+
+def _worker_main(
+    rank: int,
+    namelist: Namelist,
+    decomposition: Decomposition,
+    seg_names: list[str],
+    nscalars: int,
+    barrier,
+    conn,
+    timeout: float,
+) -> None:
+    """Worker process entry: build rank state, then serve commands.
+
+    Replies are ``("ok", payload)`` or ``("error", traceback_text)``;
+    any error (including a broken halo barrier when a peer died) is
+    fatal to the worker — the driver treats it as a pool failure and
+    tears everything down.
+    """
+    ctx = None
+    try:
+        ctx = _RankContext(
+            rank, namelist, decomposition, seg_names, nscalars, barrier, timeout
+        )
+        conn.send(("ready", rank))
+        while True:
+            cmd = conn.recv()
+            op = cmd[0]
+            if op == "close":
+                conn.send(("ok", None))
+                break
+            if op == "crash":  # test hook: die without cleanup
+                os._exit(1)
+            if op == "step":
+                conn.send(("ok", ctx.step()))
+            elif op == "charge_io":
+                conn.send(("ok", ctx.charge_io(cmd[1])))
+            elif op == "gather":
+                conn.send(("ok", ctx.gather()))
+            else:
+                conn.send(("error", f"unknown command {op!r}"))
+                break
+    except (EOFError, KeyboardInterrupt):
+        pass  # driver went away; exit quietly
+    except BrokenBarrierError:
+        _try_send(conn, ("error", f"rank {rank}: halo barrier broken (peer died or timed out)"))
+    except BaseException:
+        _try_send(conn, ("error", traceback.format_exc()))
+    finally:
+        if ctx is not None:
+            ctx.close()
+        conn.close()
+
+
+def _try_send(conn, payload) -> None:
+    try:
+        conn.send(payload)
+    except OSError:
+        pass
+
+
+# --- driver side -------------------------------------------------------------
+
+
+class ProcRankPool:
+    """Persistent worker processes, one per rank, stepped in lockstep.
+
+    Created by :class:`~repro.wrf.model.WrfModel` when
+    ``namelist.use_process_ranks`` holds (CPU stages only). Fork happens
+    at construction — before the driver builds its own heavyweight
+    state — so workers start lean and inherit the preloaded compiled
+    kernels and lookup tables.
+    """
+
+    def __init__(
+        self,
+        namelist: Namelist,
+        decomposition: Decomposition,
+        timeout: float | None = None,
+    ):
+        self.namelist = namelist
+        self.num_ranks = namelist.num_ranks
+        self.timeout = _pool_timeout() if timeout is None else float(timeout)
+        self._closed = False
+        self._procs: list = []
+        self._conns: list = []
+        nscalars = superblock_scalar_count()
+        _preload_compiled(namelist)
+        self.blocks = SharedSuperblocks(decomposition, nscalars)
+        start = os.environ.get("REPRO_PROCPOOL_START", "") or "fork"
+        ctx = get_context(start)
+        self._barrier = ctx.Barrier(self.num_ranks)
+        try:
+            for rank in range(self.num_ranks):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        rank,
+                        namelist,
+                        decomposition,
+                        self.blocks.names,
+                        nscalars,
+                        self._barrier,
+                        child_conn,
+                        self.timeout,
+                    ),
+                    name=f"wrf-rank-{rank}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+            # Workers build their rank state concurrently; wait for all.
+            for rank in range(self.num_ranks):
+                reply = self._recv(rank)
+                if reply[0] != "ready":
+                    raise ProcPoolError(
+                        f"rank {rank} worker sent {reply[0]!r} during startup"
+                    )
+        except Exception:
+            self._teardown()
+            raise
+
+    # -- plumbing --
+
+    def block_view(self, rank: int) -> np.ndarray:
+        """Driver-side live view over one rank's shared superblock."""
+        return self.blocks.view(rank)
+
+    def _recv(self, rank: int):
+        """One reply from one worker, with liveness + timeout checks."""
+        conn, proc = self._conns[rank], self._procs[rank]
+        deadline = time.monotonic() + self.timeout
+        while not conn.poll(0.05):
+            if not proc.is_alive():
+                raise ProcPoolError(
+                    f"rank {rank} worker died (exit code {proc.exitcode})"
+                )
+            if time.monotonic() > deadline:
+                raise ProcPoolError(
+                    f"rank {rank} worker unresponsive after "
+                    f"{self.timeout:.0f}s"
+                )
+        try:
+            reply = conn.recv()
+        except EOFError:
+            raise ProcPoolError(
+                f"rank {rank} worker died mid-reply "
+                f"(exit code {proc.exitcode})"
+            ) from None
+        if reply[0] == "error":
+            raise ProcPoolError(f"rank {rank} worker failed:\n{reply[1]}")
+        return reply
+
+    def _command(self, payloads: list) -> list:
+        """Broadcast one command per rank; collect replies in rank order.
+
+        Any failure — dead worker, timeout, error reply, broken pipe —
+        tears the whole pool down (workers terminated, segments
+        unlinked) before the :class:`ProcPoolError` propagates.
+        """
+        if self._closed:
+            raise ProcPoolError("pool is closed")
+        try:
+            for conn, payload in zip(self._conns, payloads):
+                conn.send(payload)
+            return [self._recv(rank) for rank in range(self.num_ranks)]
+        except (ProcPoolError, OSError) as err:
+            self._teardown()
+            if isinstance(err, ProcPoolError):
+                raise
+            raise ProcPoolError(f"pool command failed: {err}") from err
+
+    # -- commands --
+
+    def step(self) -> list:
+        """Step every rank once; returns per-rank
+        ``(SbmStepStats, clock_buckets, clock_regions)``."""
+        replies = self._command([("step",)] * self.num_ranks)
+        return [r[1] for r in replies]
+
+    def charge_io(self, charges: list[list[float]]) -> list:
+        """Apply per-rank ordered I/O charges on the worker clocks;
+        returns every rank's updated ``(buckets, regions)`` totals."""
+        replies = self._command(
+            [("charge_io", charges[r]) for r in range(self.num_ranks)]
+        )
+        return [r[1] for r in replies]
+
+    def gather(self) -> list[dict[str, np.ndarray]]:
+        """Every rank's owned-region output frame, in rank order."""
+        replies = self._command([("gather",)] * self.num_ranks)
+        return [r[1] for r in replies]
+
+    def crash(self, rank: int) -> None:
+        """Test hook: make one worker exit hard mid-protocol."""
+        self._conns[rank].send(("crash",))
+
+    # -- lifecycle --
+
+    def close(self) -> None:
+        """Orderly shutdown: drain workers, join, unlink segments.
+
+        Idempotent; also safe after a failure already tore the pool
+        down.
+        """
+        if self._closed:
+            self.blocks.unlink()  # double-close/unlink stays a no-op
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except OSError:
+                pass
+        self._join_and_unlink(grace=5.0)
+
+    def _teardown(self) -> None:
+        """Failure-path shutdown: terminate everything, unlink segments."""
+        self._closed = True
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        self._join_and_unlink(grace=5.0)
+
+    def _join_and_unlink(self, grace: float) -> None:
+        for proc in self._procs:
+            proc.join(timeout=grace)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=grace)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self.blocks.unlink()

@@ -21,11 +21,22 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.constants import GRAVITY, NKR, R_D, T_0
+from repro.errors import ConfigurationError
 from repro.fsbm.species import Species
 from repro.fsbm.state import MicroState
 from repro.grid.domain import Patch
 from repro.grid.indexing import owned_slice
 from repro.wrf.transport import ScalarLayout
+
+
+def superblock_scalar_count(nkr: int = NKR) -> int:
+    """Scalars in one transport superblock (t, qv, w + all species bins).
+
+    Matches ``WrfFields.layout.nscalars`` without constructing fields —
+    the multiprocess rank engine sizes its shared-memory segments from
+    this before any rank state exists.
+    """
+    return 3 + len(Species) * nkr
 
 
 def base_state_column(nz: int, dz: float) -> dict[str, np.ndarray]:
@@ -134,7 +145,7 @@ class WrfFields:
         for sp, dist in self.micro.dists.items():
             self._advected[f"bin_{sp.value}"] = dist
 
-    def bind_block(self) -> np.ndarray:
+    def bind_block(self, buffer: np.ndarray | None = None) -> np.ndarray:
         """Move the advected fields into one persistent superblock.
 
         Allocates a dedicated ``(ni, nk, nj, nscalar)`` block (NOT a
@@ -147,11 +158,31 @@ class WrfFields:
         mapped on the device between kernels). The contiguous bin region
         is also registered with :meth:`MicroState.bind_packed` so moment
         reductions contract all species at once. Idempotent.
+
+        ``buffer`` supplies external storage of the exact block shape
+        instead of a fresh allocation — the multiprocess rank engine
+        passes a view over the rank's ``multiprocessing.shared_memory``
+        segment here, so the resident fields live directly in shared
+        memory and neighboring worker processes can pull halos out of
+        them without any serialization.
         """
-        if self.block is not None:
-            return self.block
         shape = self.patch.shape
-        block = np.empty((*shape, self.layout.nscalars))
+        expected = (*shape, self.layout.nscalars)
+        if self.block is not None:
+            if buffer is not None and buffer is not self.block:
+                raise ConfigurationError(
+                    "fields are already bound to a different superblock"
+                )
+            return self.block
+        if buffer is None:
+            block = np.empty(expected)
+        else:
+            if buffer.shape != expected or buffer.dtype != np.float64:
+                raise ConfigurationError(
+                    f"superblock buffer must be float64 {expected}, got "
+                    f"{buffer.dtype} {buffer.shape}"
+                )
+            block = buffer
         slices = self.layout.slices()
         for name, arr in list(self._advected.items()):
             sl = slices[name]

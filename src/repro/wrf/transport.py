@@ -193,16 +193,24 @@ def pack_superblock(
     fields_map: dict[str, np.ndarray],
     layout: ScalarLayout,
     ws: TransportWorkspace,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Pack the advected fields into the workspace superblock.
 
     Returns the persistent ``(ni, nk, nj, nscalar)`` buffer with every
     field copied into its layout slot — one strided copy per field,
     once per step. The halo exchange and the fused kernels then see
-    all 234 scalars as a single contiguous block.
+    all 234 scalars as a single contiguous block. ``out`` substitutes
+    an explicit destination for the workspace buffer — the multiprocess
+    rank engine packs straight into its shared-memory segment so
+    neighbor processes can pull halos from it.
     """
     shape3 = next(iter(fields_map.values())).shape[:3]
-    block = ws.buffer("block", (*shape3, layout.nscalars))
+    block = (
+        out
+        if out is not None
+        else ws.buffer("block", (*shape3, layout.nscalars))
+    )
     for name, sl in layout.slices().items():
         arr = fields_map[name]
         if arr.ndim == 3:
