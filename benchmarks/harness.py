@@ -59,6 +59,8 @@ from __future__ import annotations
 
 import inspect
 import json
+import os
+import socket
 import statistics
 import subprocess
 import time
@@ -705,6 +707,8 @@ def collect(
     return {
         "schema": SCHEMA,
         "revision": git_revision(),
+        "hostname": socket.gethostname(),
+        "cpu_count": os.cpu_count(),
         "quick": quick,
         "config": {"npts": npts, "reps": reps, "scale": scale},
         "kernels": {r.name: r.to_json() for r in results},

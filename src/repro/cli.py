@@ -94,6 +94,105 @@ def cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a few steps with the wall-clock tracer on; export the trace.
+
+    Writes a Chrome/Perfetto-loadable ``trace.json`` (open it at
+    https://ui.perfetto.dev) with one process timeline per model rank,
+    roofline-annotated kernel spans, and cache counter tracks, then
+    prints the top-N self-time table. ``--overhead`` additionally times
+    the same run with tracing off and reports the tracer's wall-clock
+    cost.
+    """
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.obs import export, metrics, tracer
+    from repro.wrf.model import WrfModel
+    from repro.wrf.namelist import conus12km_namelist
+
+    cfg = {}
+    if args.config:
+        cfg = json.loads(Path(args.config).read_text())
+
+    def pick(cli_value, key, default):
+        if cli_value is not None:
+            return cli_value
+        return cfg.get(key, default)
+
+    scale = pick(args.scale, "scale", 0.12)
+    ranks = pick(args.ranks, "ranks", 2)
+    steps = pick(args.steps, "steps", 3)
+    stage = Stage(pick(args.stage, "stage", "lookup"))
+    procs = bool(pick(
+        False if args.serial else None, "process_ranks", True
+    ))
+
+    def build(trace: bool) -> "WrfModel":
+        kw = dict(
+            scale=scale,
+            num_ranks=ranks,
+            stage=stage,
+            trace=trace,
+            use_process_ranks=procs,
+        )
+        if stage.uses_gpu:
+            kw["num_gpus"] = ranks
+        return WrfModel(conus12km_namelist(**kw))
+
+    def timed_run(trace: bool) -> float:
+        model = build(trace)
+        try:
+            model.step()  # warm JIT/caches outside the timed window
+            t0 = time.perf_counter()
+            for _ in range(steps):
+                model.step()
+            return (time.perf_counter() - t0) / steps
+        finally:
+            model.close()
+
+    print(
+        f"tracing {stage.value} at scale {scale}, {ranks} "
+        f"{'process' if procs else 'thread'} ranks, {steps} steps"
+    )
+    tracer.configure(clear=True)
+    model = build(trace=True)
+    try:
+        model.run(num_steps=steps)
+    finally:
+        model.close()  # flushes worker-side spans through the pool
+    metrics.emit_cache_counters(tracer.DRIVER_RANK)
+    events = tracer.drain()
+    annotated = metrics.annotate(events)
+
+    out = Path(args.output)
+    export.write_trace(events, out)
+    spans = sum(1 for e in events if e.ph == "X")
+    counters = sum(1 for e in events if e.ph == "C")
+    print(
+        f"wrote {out}: {spans} spans / {counters} counter samples, "
+        f"ranks {export.rank_ids(events)}, {annotated} spans "
+        "roofline-annotated (load in https://ui.perfetto.dev)"
+    )
+    if args.jsonl:
+        print(f"wrote {export.write_jsonl(events, args.jsonl)}")
+    print()
+    print(export.self_time_table(events, top=args.top))
+
+    if args.overhead:
+        tracer.configure(enabled=False, clear=True)
+        base = timed_run(trace=False)
+        traced = timed_run(trace=True)
+        tracer.configure(enabled=False, clear=True)
+        pct = 100.0 * (traced - base) / base if base > 0 else 0.0
+        print(
+            f"\ntracing overhead: {base * 1e3:.2f} ms/step off vs "
+            f"{traced * 1e3:.2f} ms/step on ({pct:+.2f}%)"
+        )
+    return 0
+
+
 def _load_harness():
     """Import ``benchmarks.harness`` from an installed or in-tree layout."""
     import importlib
@@ -117,11 +216,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
     regressed past the threshold.
     """
     harness = _load_harness()
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        from repro.obs import tracer
+
+        tracer.configure(enabled=True, clear=True)
     payload = harness.collect(
         quick=args.quick,
         kernels=args.kernel or None,
         workers=getattr(args, "workers", None) or None,
     )
+    if trace_path:
+        from repro.obs import export, metrics, tracer
+
+        metrics.emit_cache_counters(tracer.DRIVER_RANK)
+        events = tracer.drain()
+        tracer.disable()
+        metrics.annotate(events)
+        print(f"wrote {export.write_trace(events, trace_path)}")
     for name, k in sorted(payload["kernels"].items()):
         line = f"{name:<20} median {k['median_s'] * 1e3:9.3f} ms   reps {k['reps']}"
         speedup = k.get("extra", {}).get("speedup_vs_w1")
@@ -216,7 +328,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the multiprocess strong-scaling sweep at this "
         "worker count (repeatable, e.g. --workers 1 --workers 4)",
     )
+    p_bm.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record the benchmark run with the wall-clock tracer and "
+        "write a Perfetto trace.json to PATH",
+    )
     p_bm.set_defaults(func=cmd_bench)
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="run a few traced steps; export a Perfetto trace + self-times",
+    )
+    p_tr.add_argument(
+        "config",
+        nargs="?",
+        help="JSON config (e.g. examples/trace_smoke.json) with "
+        "scale/ranks/steps/stage/process_ranks; flags override it",
+    )
+    p_tr.add_argument("--scale", type=float)
+    p_tr.add_argument("--ranks", type=int)
+    p_tr.add_argument("--steps", type=int)
+    p_tr.add_argument("--stage", choices=[s.value for s in Stage])
+    p_tr.add_argument(
+        "--serial",
+        action="store_true",
+        help="keep ranks in-process (thread batching) instead of the "
+        "multiprocess pool",
+    )
+    p_tr.add_argument("-o", "--output", default="trace.json")
+    p_tr.add_argument("--jsonl", metavar="PATH", help="also write flat JSONL")
+    p_tr.add_argument("--top", type=int, default=12)
+    p_tr.add_argument(
+        "--overhead",
+        action="store_true",
+        help="also time the identical run untraced and report the delta",
+    )
+    p_tr.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -51,6 +51,14 @@ class CacheInfo:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def counter_values(self) -> dict[str, int]:
+        """The numeric series a trace counter track samples per cache.
+
+        Consumed by :func:`repro.obs.metrics.emit_cache_counters`, which
+        snapshots every registered cache onto the span timeline.
+        """
+        return {"hits": self.hits, "misses": self.misses, "nbytes": self.nbytes}
+
 
 class CountingCache:
     """A named, bounded, thread-safe memo table with hit/miss counters.

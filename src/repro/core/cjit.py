@@ -38,6 +38,8 @@ import threading
 from pathlib import Path
 from typing import Callable
 
+from repro.obs import tracer
+
 #: Environment switch disabling every runtime-compiled kernel at once.
 DISABLE_ALL_ENV = "REPRO_DISABLE_CJIT"
 
@@ -135,19 +137,22 @@ class CJitModule:
             src_path.write_text(self.source)
             last_err: Exception | None = None
             tmp_path = build / f".{self.name}_{self.tag}.{os.getpid()}.so"
-            for cc in compiler_candidates():
-                try:
-                    subprocess.run(
-                        [cc, *self.cflags, str(src_path), "-o", str(tmp_path)],
-                        check=True,
-                        capture_output=True,
-                        timeout=120,
-                    )
-                    os.replace(tmp_path, so_path)  # atomic vs. other processes
-                    last_err = None
-                    break
-                except Exception as exc:  # noqa: BLE001 - any compiler failure
-                    last_err = exc
+            with tracer.span("cjit.compile", cat="jit") as sp:
+                if sp is not None:
+                    sp.set(module=self.name, tag=self.tag)
+                for cc in compiler_candidates():
+                    try:
+                        subprocess.run(
+                            [cc, *self.cflags, str(src_path), "-o", str(tmp_path)],
+                            check=True,
+                            capture_output=True,
+                            timeout=120,
+                        )
+                        os.replace(tmp_path, so_path)  # atomic vs. others
+                        last_err = None
+                        break
+                    except Exception as exc:  # noqa: BLE001 - any cc failure
+                        last_err = exc
             if last_err is not None:
                 raise RuntimeError(f"no working C compiler: {last_err}")
         lib = ctypes.CDLL(str(so_path))
@@ -170,10 +175,19 @@ class CJitModule:
         with self._lock:
             if not self._attempted:
                 self._attempted = True
-                try:
-                    self._lib = self._compile()
-                    self.load_error = ""
-                except Exception as exc:  # noqa: BLE001 - fall back to numpy
-                    self._lib = None
-                    self.load_error = str(exc)
+                # The one-time build/dlopen is the only load() call worth
+                # a span; the steady-state calls return the cached lib.
+                with tracer.span("cjit.load", cat="jit") as sp:
+                    try:
+                        self._lib = self._compile()
+                        self.load_error = ""
+                    except Exception as exc:  # noqa: BLE001 - use numpy
+                        self._lib = None
+                        self.load_error = str(exc)
+                    if sp is not None:
+                        sp.set(
+                            module=self.name,
+                            ok=self._lib is not None,
+                            error=self.load_error,
+                        )
             return self._lib

@@ -71,6 +71,7 @@ from repro.codee.loopir import (
     Sym,
 )
 from repro.core import cjit
+from repro.obs import tracer
 
 #: Environment switch forcing the numpy physics fallback.
 DISABLE_ENV = "REPRO_DISABLE_CPHYS"
@@ -359,12 +360,27 @@ C_SOURCE = _module.source
 #: Why the kernels are unavailable ("" while they are); diagnostics.
 load_error: str = ""
 
+_path_traced = False
+
 
 def load_kernels() -> ctypes.CDLL | None:
-    """The compiled physics kernels, or ``None`` (use numpy)."""
-    global load_error
+    """The compiled physics kernels, or ``None`` (use numpy).
+
+    The underlying :class:`~repro.core.cjit.CJitModule` records the
+    one-time ``cjit.compile``/``cjit.load`` spans; this wrapper adds a
+    single instant event marking which path (compiled vs numpy
+    fallback) the physics resolved to, so traces are self-describing.
+    """
+    global load_error, _path_traced
     lib = _module.load()
     load_error = _module.load_error
+    if not _path_traced and tracer.enabled():
+        _path_traced = True
+        tracer.instant(
+            "fsbm_kernels.path",
+            cat="jit",
+            attrs={"compiled": lib is not None, "error": load_error},
+        )
     return lib
 
 

@@ -1,0 +1,19 @@
+"""Wall-clock observability: span tracer, Perfetto export, kernel metrics.
+
+Everything under :mod:`repro.profiling` *simulates* profiler reports
+from :class:`~repro.core.clock.SimClock` buckets; this package measures
+where the reproduction's real wall-clock goes. The two share region
+names (``solve_em``, ``physics``, ``transport``, ...) so a simulated
+gprof table and a measured Perfetto timeline can be read side by side.
+
+* :mod:`repro.obs.tracer` — the low-overhead monotonic-clock span
+  tracer (off by default; ``REPRO_TRACE=1`` or ``namelist.trace``);
+* :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON and
+  flat JSONL export, plus the top-N self-time text table;
+* :mod:`repro.obs.metrics` — per-span achieved GB/s / GFLOP/s and
+  roofline-ceiling percentages, and CountingCache counter snapshots.
+"""
+
+from repro.obs import export, metrics, tracer
+
+__all__ = ["export", "metrics", "tracer"]

@@ -1,0 +1,127 @@
+"""Measured per-span kernel metrics against the roofline model.
+
+The engine's instrumented spans carry the work they did (``bytes``
+moved, ``flops`` executed — the same accounting the benchmark harness
+records in its ``extra`` payloads and the halo plan charges as MPI
+bytes); combined with the measured span duration that yields achieved
+GB/s and GFLOP/s, which :func:`annotate` places against a
+:class:`~repro.hardware.roofline.RooflineModel` ceiling:
+
+* ``gb_s`` / ``gflop_s`` — achieved bandwidth and throughput;
+* ``ai`` — arithmetic intensity [FLOP/B];
+* ``roofline_pct`` — percent of the attainable ceiling at that
+  intensity (compute- and bandwidth-aware);
+* ``bw_pct`` — percent of the bandwidth ceiling alone (set for pure
+  data-movement spans like halo exchange, where ``flops == 0``).
+
+The default ceiling is :func:`host_roofline` — a *nominal* model of
+the paper's host socket (EPYC 7763: sustained FLOP rate x cores, and
+the socket's memory bandwidth), reusing the existing
+:class:`RooflineModel` machinery. It is a yardstick, not a measurement
+of the machine the trace ran on; traces record which model annotated
+them.
+
+:func:`emit_cache_counters` snapshots every registered
+:class:`~repro.core.cache.CountingCache` into Perfetto counter tracks
+(hits / misses / bytes held), so cache behavior lines up with the span
+timeline.
+"""
+
+from __future__ import annotations
+
+from repro.core.cache import cache_stats
+from repro.hardware.roofline import RooflineModel
+from repro.hardware.specs import EPYC_MILAN, CpuSpec, GpuSpec
+from repro.obs import tracer
+from repro.obs.tracer import Event
+
+
+def host_nominal_spec(cpu: CpuSpec = EPYC_MILAN) -> GpuSpec:
+    """A nominal host-socket 'roofline device' built from a CpuSpec.
+
+    :class:`RooflineModel` speaks :class:`GpuSpec`, so the socket is
+    expressed in those terms: fp64 peak = sustained scalar rate x
+    cores (the calibrated branchy-Fortran rate, not LINPACK), fp32
+    twice that, and the socket's memory bandwidth as the 'DRAM'
+    ceiling.
+    """
+    peak64 = cpu.sustained_flops_per_core * cpu.cores
+    return GpuSpec(
+        name=f"host-nominal ({cpu.name})",
+        num_sms=cpu.cores,
+        peak_flops_fp64=peak64,
+        peak_flops_fp32=2.0 * peak64,
+        dram_bandwidth=cpu.mem_bandwidth,
+        memory_bytes=256 * 1024**3,
+    )
+
+
+def host_roofline(cpu: CpuSpec = EPYC_MILAN) -> RooflineModel:
+    """The default (nominal host-socket) roofline for trace annotation."""
+    return RooflineModel(gpu=host_nominal_spec(cpu))
+
+
+def annotate(
+    events: list[Event],
+    model: RooflineModel | None = None,
+    precision: str = "fp64",
+) -> int:
+    """Derive achieved-rate/roofline attributes on work-carrying spans.
+
+    Mutates the ``attrs`` of every span event that recorded ``bytes``
+    or ``flops``; returns how many spans were annotated. Idempotent
+    (re-annotation overwrites the derived keys).
+    """
+    if model is None:
+        model = host_roofline()
+    n = 0
+    for e in events:
+        if e.ph != "X" or not e.attrs or e.dur <= 0:
+            continue
+        nbytes = float(e.attrs.get("bytes", 0.0) or 0.0)
+        flops = float(e.attrs.get("flops", 0.0) or 0.0)
+        if nbytes <= 0.0 and flops <= 0.0:
+            continue
+        dur_s = e.dur * 1e-9
+        if nbytes > 0.0:
+            gb_s = nbytes / dur_s / 1e9
+            e.attrs["gb_s"] = round(gb_s, 3)
+            e.attrs["bw_pct"] = round(
+                100.0 * nbytes / dur_s / model.gpu.dram_bandwidth, 3
+            )
+        if flops > 0.0:
+            e.attrs["gflop_s"] = round(flops / dur_s / 1e9, 3)
+        if flops > 0.0 and nbytes > 0.0:
+            ai = flops / nbytes
+            ceiling = model.ceiling(ai, precision)
+            e.attrs["ai"] = round(ai, 4)
+            if ceiling > 0.0:
+                e.attrs["roofline_pct"] = round(
+                    100.0 * (flops / dur_s) / ceiling, 3
+                )
+        e.attrs["roofline_model"] = model.gpu.name
+        n += 1
+    return n
+
+
+def emit_cache_counters(rank: int | None = None, prefix: str = "cache/") -> int:
+    """Snapshot every registered CountingCache as trace counters.
+
+    One counter track per cache (``cache/<name>``) carrying hits,
+    misses and bytes held. No-op (returns 0) while tracing is off.
+    """
+    if not tracer.enabled():
+        return 0
+    n = 0
+    for name, info in sorted(cache_stats().items()):
+        tracer.counter(f"{prefix}{name}", info.counter_values(), rank=rank)
+        n += 1
+    return n
+
+
+__all__ = [
+    "annotate",
+    "emit_cache_counters",
+    "host_nominal_spec",
+    "host_roofline",
+]

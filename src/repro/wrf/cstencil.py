@@ -52,6 +52,7 @@ from repro.codee.loopir import (
     Sym,
 )
 from repro.core import cjit
+from repro.obs import tracer
 
 #: Environment switch forcing the numpy fallback (used by the
 #: equivalence tests to exercise both paths, and as an escape hatch).
@@ -231,17 +232,30 @@ _module = cgen.build_module(
 C_SOURCE = _module.source
 
 
+_path_traced = False
+
+
 def load_stencil() -> ctypes.CDLL | None:
     """The compiled stencil library, or ``None`` when unavailable.
 
     Compilation happens once per process (and the shared object is
     cached on disk across processes); every failure mode — no
     compiler, sandboxed filesystem, missing OpenMP runtime — degrades
-    to ``None`` so callers take the numpy path.
+    to ``None`` so callers take the numpy path. The underlying
+    :class:`~repro.core.cjit.CJitModule` records the one-time
+    ``cjit.compile``/``cjit.load`` spans; a single instant event here
+    marks which path (compiled vs numpy) the transport resolved to.
     """
-    global load_error
+    global load_error, _path_traced
     lib = _module.load()
     load_error = _module.load_error
+    if not _path_traced and tracer.enabled():
+        _path_traced = True
+        tracer.instant(
+            "advect_stencil.path",
+            cat="jit",
+            attrs={"compiled": lib is not None, "error": load_error},
+        )
     return lib
 
 

@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.clock import SimClock, TimeBucket
 from repro.core.costmodel import CpuCostModel
 from repro.core.engine import OffloadEngine
+from repro.obs import tracer
 from repro.fsbm.fast_sbm import FastSBM, SbmStepStats
 from repro.grid.decomposition import Decomposition, decompose_domain
 from repro.grid.halo import HaloExchangePlan, build_halo_plan
@@ -39,6 +40,8 @@ from repro.mpi.scheduler import RankStepCharge, StepScheduler
 from repro.wrf.cases import conus12km_case
 from repro.wrf.dynamics import (
     DynWorkStats,
+    FLOPS_PER_CELL_TEND,
+    FLOPS_PER_CELL_UPDATE,
     RK3_FRACTIONS,
     WindSplit,
     buoyancy_w_update,
@@ -138,14 +141,18 @@ def physics_rank(namelist: Namelist, fields: WrfFields, sbm: FastSBM) -> SbmStep
 
     f = fields
     sl = owned_slice(f.patch)
-    return sbm.step(
-        state=f.micro.view(sl),
-        temperature=f.t[sl],
-        pressure_mb=f.pressure_mb[sl],
-        qv=f.qv[sl],
-        rho_air=f.rho[sl],
-        dz_cm=namelist.domain.dz * 100.0,
-    )
+    with tracer.span("physics", cat="physics") as sp:
+        stats = sbm.step(
+            state=f.micro.view(sl),
+            temperature=f.t[sl],
+            pressure_mb=f.pressure_mb[sl],
+            qv=f.qv[sl],
+            rho_air=f.rho[sl],
+            dz_cm=namelist.domain.dz * 100.0,
+        )
+        if sp is not None:
+            sp.set(mp_points=stats.mp_points, coal_points=stats.coal_points)
+    return stats
 
 
 def pack_rank(
@@ -167,9 +174,13 @@ def pack_rank(
         # Fields are resident in the persistent superblock; physics
         # already wrote into it, so packing is handing out the block.
         return fields.block
-    return pack_superblock(
-        fields.advected_fields(), fields.layout, workspace, out=out
-    )
+    with tracer.span("pack") as sp:
+        block = pack_superblock(
+            fields.advected_fields(), fields.layout, workspace, out=out
+        )
+        if sp is not None:
+            sp.set(bytes=block.nbytes)
+    return block
 
 
 def charge_halo_mpi(
@@ -239,6 +250,36 @@ def transport_charges(
 
 
 def transport_numerics(
+    namelist: Namelist,
+    fields: WrfFields,
+    workspace: TransportWorkspace,
+    block: np.ndarray,
+) -> None:
+    """Traced wrapper over :func:`_transport_numerics`.
+
+    The span mirrors the ``rk_scalar_tend``/``rk_update_scalar`` clock
+    regions' work under one measured name; ``flops`` counts the single
+    Euler donor-cell stage actually executed (tendency + update per
+    cell-scalar) and ``bytes`` the superblock's minimum traffic (one
+    read + one write), the same accounting the benchmark harness
+    records for ``transport_fused``.
+    """
+    with tracer.span("transport", cat="transport") as sp:
+        _transport_numerics(namelist, fields, workspace, block)
+        if sp is not None:
+            ni, nk, nj = fields.shape
+            cell_scalars = float(ni * nk * nj * block.shape[-1])
+            stages = len(RK3_FRACTIONS) if namelist.use_rk3_numerics else 1
+            sp.set(
+                flops=cell_scalars
+                * stages
+                * (FLOPS_PER_CELL_TEND + FLOPS_PER_CELL_UPDATE),
+                bytes=2.0 * stages * cell_scalars * block.itemsize,
+                fused=namelist.use_fused_transport,
+            )
+
+
+def _transport_numerics(
     namelist: Namelist,
     fields: WrfFields,
     workspace: TransportWorkspace,
@@ -373,6 +414,10 @@ class WrfModel:
 
     def __init__(self, namelist: Namelist):
         self.namelist = namelist
+        if namelist.trace:
+            # Before the worker fork below, so driver-side spans from
+            # construction (JIT builds, cache warms) are captured too.
+            tracer.enable()
         self.decomposition = decompose_domain(namelist.domain, namelist.num_ranks)
         self.halo_plan: HaloExchangePlan = build_halo_plan(self.decomposition)
         self.clocks = [SimClock() for _ in range(namelist.num_ranks)]
@@ -476,9 +521,10 @@ class WrfModel:
 
     def _pack(self, rank: int) -> None:
         """Pack one rank's advected fields into its superblock buffer."""
-        self._blocks[rank] = pack_rank(
-            self.fields[rank], self.workspaces[rank]
-        )
+        with tracer.rank_scope(rank):
+            self._blocks[rank] = pack_rank(
+                self.fields[rank], self.workspaces[rank]
+            )
 
     def _exchange_halos(self) -> None:
         """Refresh halos of every advected field; charge MPI per rank.
@@ -498,10 +544,28 @@ class WrfModel:
         blocks = self._blocks
         nscalars = blocks[0].shape[-1]
         itemsize = blocks[0].itemsize
-        for seg in self.halo_plan.segments:
-            src_sl = seg.src_slices(patches[seg.src])
-            dst_sl = seg.dst_slices(patches[seg.dst])
-            blocks[seg.dst][dst_sl] = blocks[seg.src][src_sl]
+        # Segments are grouped by destination rank: halo writes are
+        # disjoint (owned regions partition the domain, so each halo
+        # point has exactly one source) and reads touch only owned
+        # regions, making per-rank grouping bit-identical to plan
+        # order — while attributing each rank's halo fill to its own
+        # trace timeline, exactly like the worker processes' pull loops.
+        for rank in range(self.namelist.num_ranks):
+            incoming = self.halo_plan.segments_to(rank)
+            with tracer.rank_scope(rank):
+                with tracer.span("halo_exchange", cat="mpi") as sp:
+                    for seg in incoming:
+                        src_sl = seg.src_slices(patches[seg.src])
+                        dst_sl = seg.dst_slices(patches[rank])
+                        blocks[rank][dst_sl] = blocks[seg.src][src_sl]
+                    if sp is not None:
+                        sp.set(
+                            bytes=sum(
+                                s.num_points * nscalars * itemsize
+                                for s in incoming
+                            ),
+                            segments=len(incoming),
+                        )
         for rank in range(self.namelist.num_ranks):
             charge_halo_mpi(
                 self.halo_plan,
@@ -516,22 +580,26 @@ class WrfModel:
     def _transport(self, rank: int) -> None:
         """Advect all scalars on one rank's patch; charge RK3 cost."""
         f = self.fields[rank]
-        if self.namelist.offload_advection and self.engines[rank] is not None:
-            ni, nk, nj = f.shape
-            nscalars = f.scalar_count()
-            work = DynWorkStats(
-                cell_scalar_stages=float(
-                    ni * nk * nj * nscalars * len(RK3_FRACTIONS)
+        with tracer.rank_scope(rank):
+            if (
+                self.namelist.offload_advection
+                and self.engines[rank] is not None
+            ):
+                ni, nk, nj = f.shape
+                nscalars = f.scalar_count()
+                work = DynWorkStats(
+                    cell_scalar_stages=float(
+                        ni * nk * nj * nscalars * len(RK3_FRACTIONS)
+                    )
                 )
+                self._transport_offloaded(rank, work, nscalars)
+            else:
+                transport_charges(
+                    self.namelist, self.cpu_cost, f, self.clocks[rank]
+                )
+            transport_numerics(
+                self.namelist, f, self.workspaces[rank], self._blocks[rank]
             )
-            self._transport_offloaded(rank, work, nscalars)
-        else:
-            transport_charges(
-                self.namelist, self.cpu_cost, f, self.clocks[rank]
-            )
-        transport_numerics(
-            self.namelist, f, self.workspaces[rank], self._blocks[rank]
-        )
 
     def _transport_offloaded(
         self, rank: int, work: DynWorkStats, nscalars: int
@@ -591,21 +659,14 @@ class WrfModel:
     def _physics(self, rank: int) -> SbmStepStats:
         """Run the microphysics on one rank's *owned* cells (the tile).
 
-        Halo cells are excluded — WRF's physics run on tiles inside the
-        patch; halos are refreshed by the exchange afterwards.
+        Delegates to the shared :func:`physics_rank` stage — the same
+        function the worker processes run — inside this rank's tracer
+        scope, so all three execution modes record identical spans.
         """
-        f = self.fields[rank]
-        from repro.grid.indexing import owned_slice
-
-        sl = owned_slice(f.patch)
-        return self.sbm[rank].step(
-            state=f.micro.view(sl),
-            temperature=f.t[sl],
-            pressure_mb=f.pressure_mb[sl],
-            qv=f.qv[sl],
-            rho_air=f.rho[sl],
-            dz_cm=self.namelist.domain.dz * 100.0,
-        )
+        with tracer.rank_scope(rank):
+            return physics_rank(
+                self.namelist, self.fields[rank], self.sbm[rank]
+            )
 
     def _charge_io(self, charges: list[list[float]]) -> None:
         """Apply per-rank ordered I/O charges on the authoritative clocks.
@@ -635,21 +696,27 @@ class WrfModel:
         if not due:
             return None
         self._last_history = self._sim_time
-        frame = self.gather_output()
-        if self.namelist.history_path is not None:
-            from repro.wrf.io import write_wrfout
+        with tracer.span("history_io", cat="io") as sp:
+            frame = self.gather_output()
+            if self.namelist.history_path is not None:
+                from repro.wrf.io import write_wrfout
 
-            write_wrfout(
-                f"{self.namelist.history_path}/wrfout_d01_{self.steps_done:06d}",
-                frame,
-                attrs={
-                    "title": "repro CONUS-12km",
-                    "sim_seconds": self._sim_time,
-                    "stage": self.namelist.stage.value,
-                    "dx": self.namelist.domain.dx,
-                },
-            )
-        nbytes = sum(a.nbytes for a in frame.values())
+                write_wrfout(
+                    f"{self.namelist.history_path}/wrfout_d01_{self.steps_done:06d}",
+                    frame,
+                    attrs={
+                        "title": "repro CONUS-12km",
+                        "sim_seconds": self._sim_time,
+                        "stage": self.namelist.stage.value,
+                        "dx": self.namelist.domain.dx,
+                    },
+                )
+            nbytes = sum(a.nbytes for a in frame.values())
+            if sp is not None:
+                sp.set(
+                    bytes=nbytes,
+                    on_disk=self.namelist.history_path is not None,
+                )
         # Patches funnel to rank 0, which writes.
         local = int(nbytes / self.namelist.num_ranks)
         charges = [
@@ -706,20 +773,23 @@ class WrfModel:
     def step(self) -> StepTiming:
         """Advance the whole job by one model step."""
         before = [c.snapshot() for c in self.clocks]
-        if self._pool is not None:
-            sbm_stats = self._step_procs()
-        else:
-            with_regions = [c.region("solve_em") for c in self.clocks]
-            for ctx in with_regions:
-                ctx.__enter__()
-            try:
-                sbm_stats = self._run_ranks(self._physics)
-                self._run_ranks(self._pack)
-                self._exchange_halos()
-                self._run_ranks(self._transport)
-            finally:
-                for ctx in reversed(with_regions):
-                    ctx.__exit__(None, None, None)
+        with tracer.span("solve_em", attrs=None) as sp:
+            if sp is not None:
+                sp.set(step=self.steps_done + 1)
+            if self._pool is not None:
+                sbm_stats = self._step_procs()
+            else:
+                with_regions = [c.region("solve_em") for c in self.clocks]
+                for ctx in with_regions:
+                    ctx.__enter__()
+                try:
+                    sbm_stats = self._run_ranks(self._physics)
+                    self._run_ranks(self._pack)
+                    self._exchange_halos()
+                    self._run_ranks(self._transport)
+                finally:
+                    for ctx in reversed(with_regions):
+                        ctx.__exit__(None, None, None)
         self._sim_time += self.namelist.dt
         self.steps_done += 1
         self._maybe_history()

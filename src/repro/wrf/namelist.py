@@ -96,6 +96,13 @@ class Namelist:
     #: fall back to the thread path (ranks share the simulated GPU
     #: pool), as does ``REPRO_DISABLE_PROCPOOL=1``.
     use_process_ranks: bool = False
+    #: Record wall-clock spans into the :mod:`repro.obs` tracer
+    #: (physics/pack/halo/transport per rank, JIT builds, history I/O),
+    #: mirroring the SimClock region names so simulated and measured
+    #: time line up. Off by default; ``REPRO_TRACE=1`` also enables it
+    #: process-wide. Tracing never touches numerics or simulated
+    #: clocks — the exact-equality suites pass with it on.
+    trace: bool = False
     #: History write interval [s] (0 disables history).
     history_interval: float = 0.0
     #: Directory for on-disk wrfout files (None keeps frames in memory).

@@ -63,6 +63,7 @@ from repro.fsbm import ckernels
 from repro.fsbm.collision_kernels import get_tables
 from repro.grid.decomposition import Decomposition
 from repro.grid.halo import build_halo_plan
+from repro.obs import metrics, tracer
 from repro.wrf import cstencil
 from repro.wrf.model import (
     build_rank_fields,
@@ -241,6 +242,9 @@ class _RankContext:
         self.barrier = barrier
         self.timeout = timeout
         self.num_ranks = namelist.num_ranks
+        # Re-arm the tracer for this process: clear fork-inherited
+        # driver events, stamp this rank on everything recorded here.
+        tracer.configure_worker(rank, trace=namelist.trace)
         self.clock = SimClock()
         self.comm_cost, self.cpu_cost = cost_models(namelist)
         self.plan = build_halo_plan(decomposition)
@@ -279,7 +283,13 @@ class _RankContext:
                 self.fields, self.workspace, out=self.blocks[self.rank]
             )
             self.barrier.wait(self.timeout)
-            self.plan.apply_pull(self.rank, self.blocks)
+            with tracer.span("halo_exchange", cat="mpi") as sp:
+                points = self.plan.apply_pull(self.rank, self.blocks)
+                if sp is not None:
+                    sp.set(
+                        bytes=points * block.shape[-1] * block.itemsize,
+                        pull=True,
+                    )
             charge_halo_mpi(
                 self.plan,
                 self.comm_cost,
@@ -296,6 +306,9 @@ class _RankContext:
             transport_numerics(
                 self.namelist, self.fields, self.workspace, block
             )
+        # Per-step cache snapshots ride the trace as counter tracks
+        # (no-op while tracing is off).
+        metrics.emit_cache_counters(self.rank)
         return (stats, *self.clock.state())
 
     def charge_io(self, charges: list[float]):
@@ -327,40 +340,53 @@ def _worker_main(
 ) -> None:
     """Worker process entry: build rank state, then serve commands.
 
-    Replies are ``("ok", payload)`` or ``("error", traceback_text)``;
-    any error (including a broken halo barrier when a peer died) is
-    fatal to the worker — the driver treats it as a pool failure and
-    tears everything down.
+    Replies are ``("ok", payload, spans)`` or
+    ``("error", traceback_text, spans)`` — every reply piggybacks the
+    worker's drained tracer events (the empty list while tracing is
+    off), so rank-local spans reach the driver on the same pipe and
+    cadence as the clock mirror, and the containment path flushes a
+    failing worker's spans with its traceback. Any error (including a
+    broken halo barrier when a peer died) is fatal to the worker — the
+    driver treats it as a pool failure and tears everything down.
     """
     ctx = None
     try:
         ctx = _RankContext(
             rank, namelist, decomposition, seg_names, nscalars, barrier, timeout
         )
-        conn.send(("ready", rank))
+        conn.send(("ready", rank, tracer.drain_state()))
         while True:
             cmd = conn.recv()
             op = cmd[0]
             if op == "close":
-                conn.send(("ok", None))
+                conn.send(("ok", None, tracer.drain_state()))
                 break
             if op == "crash":  # test hook: die without cleanup
                 os._exit(1)
+            if op == "raise":  # test hook: fail through containment
+                raise RuntimeError(f"rank {rank}: induced worker error")
             if op == "step":
-                conn.send(("ok", ctx.step()))
+                conn.send(("ok", ctx.step(), tracer.drain_state()))
             elif op == "charge_io":
-                conn.send(("ok", ctx.charge_io(cmd[1])))
+                conn.send(("ok", ctx.charge_io(cmd[1]), tracer.drain_state()))
             elif op == "gather":
-                conn.send(("ok", ctx.gather()))
+                conn.send(("ok", ctx.gather(), tracer.drain_state()))
             else:
-                conn.send(("error", f"unknown command {op!r}"))
+                conn.send(("error", f"unknown command {op!r}", []))
                 break
     except (EOFError, KeyboardInterrupt):
         pass  # driver went away; exit quietly
     except BrokenBarrierError:
-        _try_send(conn, ("error", f"rank {rank}: halo barrier broken (peer died or timed out)"))
+        _try_send(
+            conn,
+            (
+                "error",
+                f"rank {rank}: halo barrier broken (peer died or timed out)",
+                tracer.drain_state(),
+            ),
+        )
     except BaseException:
-        _try_send(conn, ("error", traceback.format_exc()))
+        _try_send(conn, ("error", traceback.format_exc(), tracer.drain_state()))
     finally:
         if ctx is not None:
             ctx.close()
@@ -465,6 +491,11 @@ class ProcRankPool:
                 f"rank {rank} worker died mid-reply "
                 f"(exit code {proc.exitcode})"
             ) from None
+        # Every reply piggybacks the worker's drained spans; adopt them
+        # before any error propagates so a failing worker's trace
+        # survives the teardown.
+        if len(reply) > 2 and reply[2]:
+            tracer.ingest(reply[2])
         if reply[0] == "error":
             raise ProcPoolError(f"rank {rank} worker failed:\n{reply[1]}")
         return reply
@@ -512,6 +543,21 @@ class ProcRankPool:
     def crash(self, rank: int) -> None:
         """Test hook: make one worker exit hard mid-protocol."""
         self._conns[rank].send(("crash",))
+
+    def induce_error(self, rank: int) -> None:
+        """Test hook: make one worker fail through its containment path.
+
+        Unlike :meth:`crash` (``os._exit``, nothing flushed), the
+        worker raises inside its command loop, so the error reply
+        carries its buffered trace spans back before the pool tears
+        down.
+        """
+        self._conns[rank].send(("raise",))
+        try:
+            self._recv(rank)  # error reply: spans ingested, then raises
+        except ProcPoolError:
+            self._teardown()
+            raise
 
     # -- lifecycle --
 

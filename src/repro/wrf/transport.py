@@ -41,6 +41,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.core.cache import get_cache
+from repro.obs import tracer
 from repro.wrf import cstencil
 from repro.wrf.dynamics import RK3_FRACTIONS, WindSplit
 
@@ -349,20 +350,23 @@ def fused_euler_advect(
     unpacks from the returned array.
     """
     lib = cstencil.load_stencil()
-    if lib is not None:
-        out = ws.buffer("tend", block.shape)
-        mask = _mask_from_slices(block.shape[-1], clip_slices)
-        cstencil.advect_stage(
-            lib, block, block, out, split.pos, split.neg, dt, mask,
-            do_clip=bool(clip_slices),
-        )
-        return out
-    tend = ws.buffer("tend", block.shape)
-    fused_upwind_tend(block, split, tend, ws)
-    np.multiply(tend, dt, out=tend)
-    block += tend
-    _clip(block, clip_slices)
-    return block
+    with tracer.span("advect_euler", cat="kernel") as sp:
+        if sp is not None:
+            sp.set(compiled=lib is not None, nscalars=block.shape[-1])
+        if lib is not None:
+            out = ws.buffer("tend", block.shape)
+            mask = _mask_from_slices(block.shape[-1], clip_slices)
+            cstencil.advect_stage(
+                lib, block, block, out, split.pos, split.neg, dt, mask,
+                do_clip=bool(clip_slices),
+            )
+            return out
+        tend = ws.buffer("tend", block.shape)
+        fused_upwind_tend(block, split, tend, ws)
+        np.multiply(tend, dt, out=tend)
+        block += tend
+        _clip(block, clip_slices)
+        return block
 
 
 def fused_rk3_advect(
@@ -382,31 +386,37 @@ def fused_rk3_advect(
     on the numpy fallback).
     """
     lib = cstencil.load_stencil()
-    if lib is not None:
-        # `block` stays untouched and serves as phi0; the two stage
-        # outputs ping-pong between the stage/tend buffers.
-        mask = _mask_from_slices(block.shape[-1], clip_slices)
-        bufs = (ws.buffer("stage", block.shape), ws.buffer("tend", block.shape))
-        stage: np.ndarray = block
-        for idx, frac in enumerate(RK3_FRACTIONS):
-            out = bufs[idx % 2]
-            last = idx == len(RK3_FRACTIONS) - 1
-            cstencil.advect_stage(
-                lib, stage, block, out, split.pos, split.neg, dt * frac,
-                mask, do_clip=last and bool(clip_slices),
+    with tracer.span("advect_rk3", cat="kernel") as sp:
+        if sp is not None:
+            sp.set(compiled=lib is not None, nscalars=block.shape[-1])
+        if lib is not None:
+            # `block` stays untouched and serves as phi0; the two stage
+            # outputs ping-pong between the stage/tend buffers.
+            mask = _mask_from_slices(block.shape[-1], clip_slices)
+            bufs = (
+                ws.buffer("stage", block.shape),
+                ws.buffer("tend", block.shape),
             )
-            stage = out
-        return stage
-    phi0 = ws.buffer("phi0", block.shape)
-    phi0[...] = block
-    stage_buf = ws.buffer("stage", block.shape)
-    tend = ws.buffer("tend", block.shape)
-    stage = block
-    for frac in RK3_FRACTIONS:
-        fused_upwind_tend(stage, split, tend, ws)
-        np.multiply(tend, dt * frac, out=stage_buf)
-        stage_buf += phi0
-        stage = stage_buf
-    block[...] = stage
-    _clip(block, clip_slices)
-    return block
+            stage: np.ndarray = block
+            for idx, frac in enumerate(RK3_FRACTIONS):
+                out = bufs[idx % 2]
+                last = idx == len(RK3_FRACTIONS) - 1
+                cstencil.advect_stage(
+                    lib, stage, block, out, split.pos, split.neg, dt * frac,
+                    mask, do_clip=last and bool(clip_slices),
+                )
+                stage = out
+            return stage
+        phi0 = ws.buffer("phi0", block.shape)
+        phi0[...] = block
+        stage_buf = ws.buffer("stage", block.shape)
+        tend = ws.buffer("tend", block.shape)
+        stage = block
+        for frac in RK3_FRACTIONS:
+            fused_upwind_tend(stage, split, tend, ws)
+            np.multiply(tend, dt * frac, out=stage_buf)
+            stage_buf += phi0
+            stage = stage_buf
+        block[...] = stage
+        _clip(block, clip_slices)
+        return block

@@ -1,0 +1,180 @@
+"""Unit tests for the wall-clock span tracer.
+
+The contract under test: off by default with a zero-allocation hot
+path, rich spans when enabled, thread-safe rank attribution, ring
+bounded, and pickle-round-trippable for the worker pipes.
+"""
+
+from __future__ import annotations
+
+import threading
+import tracemalloc
+
+import pytest
+
+from repro.obs import tracer
+
+
+@pytest.fixture(autouse=True)
+def _reset_tracer():
+    """Every test starts and ends with a clean, disabled tracer."""
+    tracer.configure(enabled=False, rank=tracer.DRIVER_RANK, clear=True)
+    yield
+    tracer.configure(
+        enabled=False,
+        rank=tracer.DRIVER_RANK,
+        capacity=tracer.DEFAULT_CAPACITY,
+        clear=True,
+    )
+
+
+class TestDisabledPath:
+    def test_disabled_by_default_records_nothing(self):
+        assert not tracer.enabled()
+        with tracer.span("x") as sp:
+            assert sp is None
+        tracer.instant("marker")
+        tracer.counter("c", {"v": 1})
+        assert tracer.events() == []
+
+    def test_disabled_span_is_shared_singleton(self):
+        # The no-op context manager must be one shared object — the
+        # disabled hot path allocates nothing per call.
+        a = tracer.span("a")
+        b = tracer.span("b", rank=3, cat="kernel")
+        assert a is b
+        assert a is tracer.rank_scope(7)
+
+    def test_disabled_path_allocates_nothing(self):
+        # Warm everything once, then assert the instrumented pattern
+        # performs zero allocations attributable to the tracer module.
+        def hot(n: int) -> None:
+            for _ in range(n):
+                with tracer.span("k", cat="kernel") as sp:
+                    if sp is not None:
+                        sp.set(bytes=1)
+
+        hot(4)
+        tracemalloc.start()
+        try:
+            hot(512)
+            snap = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        tracer_allocs = [
+            s
+            for s in snap.statistics("filename")
+            if s.traceback and "tracer.py" in str(s.traceback[0])
+        ]
+        assert sum(s.size for s in tracer_allocs) == 0, tracer_allocs
+
+
+class TestEnabledRecording:
+    def test_span_records_duration_and_attrs(self):
+        tracer.enable()
+        with tracer.span("work", rank=2, cat="physics") as sp:
+            assert sp is not None
+            sp.set(bytes=100, flops=200)
+        (e,) = tracer.events()
+        assert e.name == "work" and e.ph == "X" and e.cat == "physics"
+        assert e.rank == 2 and e.dur >= 0
+        assert e.attrs == {"bytes": 100, "flops": 200}
+
+    def test_nested_spans_share_thread_and_order(self):
+        tracer.enable()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.events()  # completion order: inner first
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.tid == outer.tid
+        assert outer.ts <= inner.ts
+        assert outer.ts + outer.dur >= inner.ts + inner.dur
+
+    def test_rank_resolution_precedence(self):
+        tracer.configure(enabled=True, rank=9)
+        with tracer.span("default"):
+            pass
+        with tracer.rank_scope(4):
+            with tracer.span("scoped"):
+                pass
+            with tracer.span("explicit", rank=1):
+                pass
+        ranks = {e.name: e.rank for e in tracer.events()}
+        assert ranks == {"default": 9, "scoped": 4, "explicit": 1}
+
+    def test_rank_scope_is_thread_local(self):
+        tracer.enable()
+        seen = {}
+
+        def record(rank: int) -> None:
+            with tracer.rank_scope(rank):
+                with tracer.span(f"r{rank}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=record, args=(r,)) for r in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        seen = {e.name: e.rank for e in tracer.events()}
+        assert seen == {f"r{r}": r for r in range(4)}
+
+    def test_ring_buffer_keeps_newest(self):
+        tracer.configure(enabled=True, capacity=8, clear=True)
+        for i in range(20):
+            with tracer.span(f"s{i}"):
+                pass
+        names = [e.name for e in tracer.events()]
+        assert names == [f"s{i}" for i in range(12, 20)]
+
+    def test_counter_snapshots_values(self):
+        tracer.enable()
+        tracer.counter("cache/x", {"hits": 3, "misses": 1}, rank=0)
+        (e,) = tracer.events()
+        assert e.ph == "C" and e.attrs == {"hits": 3, "misses": 1}
+
+    def test_span_survives_exceptions(self):
+        tracer.enable()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        (e,) = tracer.events()
+        assert e.name == "boom"
+
+
+class TestShipping:
+    def test_drain_state_round_trips(self):
+        tracer.enable()
+        with tracer.span("a", rank=1) as sp:
+            sp.set(bytes=7)
+        tracer.instant("m", rank=0)
+        state = tracer.drain_state()
+        assert tracer.events() == []  # drained
+        n = tracer.ingest(state)
+        assert n == 2
+        a, m = tracer.events()
+        assert (a.name, a.rank, a.attrs) == ("a", 1, {"bytes": 7})
+        assert (m.name, m.ph) == ("m", "I")
+
+    def test_configure_worker_clears_inherited_events(self):
+        tracer.enable()
+        with tracer.span("driver-side"):
+            pass
+        tracer.configure_worker(rank=3, trace=True)
+        assert tracer.events() == []  # fork inheritance dropped
+        assert tracer.enabled()
+        assert tracer.default_rank() == 3
+        with tracer.span("worker-side"):
+            pass
+        (e,) = tracer.events()
+        assert e.rank == 3
+
+    def test_configure_worker_without_trace_stays_disabled(self):
+        tracer.configure_worker(rank=1, trace=False)
+        assert not tracer.enabled()
+        with tracer.span("x") as sp:
+            assert sp is None
+        assert tracer.events() == []

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import copy
 import json
+import os
 import subprocess
 import sys
 
@@ -18,6 +19,35 @@ import pytest
 from benchmarks import harness
 
 pytestmark = pytest.mark.bench_quick
+
+
+def _quick_gate_skip_reason() -> str | None:
+    """Why the live wall-clock quick gates can't run meaningfully here.
+
+    The gate subprocess times real kernels against the committed
+    baseline; on a single-core host it time-slices against the test
+    runner itself, and on a saturated host against everything else —
+    either way the measurement is noise, not a regression signal. The
+    honest outcome is a skip with this reason, not a threshold widened
+    until noise passes.
+    """
+    ncpu = os.cpu_count() or 1
+    if ncpu < 2:
+        return (
+            "wall-clock quick gate needs a dedicated core "
+            f"(os.cpu_count() == {ncpu}; the gate subprocess would "
+            "time-slice against the suite)"
+        )
+    try:
+        load1 = os.getloadavg()[0]
+    except (OSError, AttributeError):  # pragma: no cover - exotic hosts
+        return None
+    if load1 >= ncpu - 0.5:
+        return (
+            f"host is saturated (1-min load {load1:.1f} on {ncpu} "
+            "cores); wall-clock gating would measure contention"
+        )
+    return None
 
 
 @pytest.fixture(scope="module")
@@ -55,6 +85,15 @@ class TestHarness:
         payload = harness.load_payload(baseline)
         for name in harness.TRACKED_KERNELS:
             assert name in payload["kernels"], name
+
+    def test_payload_header_records_host(self):
+        # Header only: name a kernel that doesn't exist so no benches
+        # run, but the BENCH header is still assembled.
+        payload = harness.collect(quick=True, kernels=["__header_only__"])
+        assert payload["kernels"] == {}
+        assert payload["cpu_count"] == os.cpu_count()
+        assert isinstance(payload["hostname"], str) and payload["hostname"]
+        assert payload["revision"]
 
     def test_find_baseline_prefers_non_seed(self, tmp_path, monkeypatch):
         monkeypatch.setattr(harness, "REPO_ROOT", tmp_path)
@@ -203,11 +242,13 @@ class TestLiveQuickGate:
     failures do (exit 2 -> assertion failure here)."""
 
     def test_transport_quick_gate_is_clean(self):
-        # The ~70 ms kernel needs more headroom than the default 15%
-        # when the whole suite loads the core (a single-core host
-        # time-slices the gate subprocess against the test runner);
-        # losing the compiled stencil to the numpy fallback is a >2x
-        # regression, well past this gate.
+        reason = _quick_gate_skip_reason()
+        if reason:
+            pytest.skip(reason)
+        # With contended hosts skipped above, the moderate headroom
+        # below covers scheduler jitter only; losing the compiled
+        # stencil to the numpy fallback is a >2x regression, well past
+        # this gate either way.
         proc = subprocess.run(
             [
                 sys.executable,
@@ -216,7 +257,7 @@ class TestLiveQuickGate:
                 "--kernel",
                 "transport_fused",
                 "--threshold",
-                "0.5",
+                "0.3",
             ],
             capture_output=True,
             text=True,
@@ -226,13 +267,17 @@ class TestLiveQuickGate:
         assert "transport_fused" in proc.stdout
 
     def test_multirank_quick_gate_is_clean(self):
+        reason = _quick_gate_skip_reason()
+        if reason:
+            pytest.skip(reason)
         baseline = harness.load_payload(harness.find_baseline())
         if "model_step_multirank" not in baseline["kernels"]:
             pytest.skip("committed baseline predates the multirank kernel")
-        # Same suite-load headroom as the other quick gates; the real
-        # protection is a broken process path (crash -> exit 2 with a
-        # ProcPoolError traceback, or silent fallback to threads, which
-        # the smoke test below catches via the payload flag).
+        # Scheduler-jitter headroom only (contended hosts skip above);
+        # the real protection is a broken process path (crash -> exit 2
+        # with a ProcPoolError traceback, or silent fallback to
+        # threads, which the smoke test below catches via the payload
+        # flag).
         proc = subprocess.run(
             [
                 sys.executable,
@@ -241,7 +286,7 @@ class TestLiveQuickGate:
                 "--kernel",
                 "model_step_multirank",
                 "--threshold",
-                "0.5",
+                "0.3",
             ],
             capture_output=True,
             text=True,
@@ -272,12 +317,15 @@ class TestMultirankBench:
         assert results[1].extra["speedup_vs_w1"] > 0
 
     def test_sedimentation_quick_gate_is_clean(self):
+        reason = _quick_gate_skip_reason()
+        if reason:
+            pytest.skip(reason)
         baseline = harness.load_payload(harness.find_baseline())
         if "sedimentation" not in baseline["kernels"]:
             pytest.skip("committed baseline predates the sedimentation kernel")
-        # The ~2 ms kernel needs more headroom than the default 15% when
-        # the suite itself loads the core; losing the compiled path to
-        # the numpy fallback is a >2x regression, well past this gate.
+        # Scheduler-jitter headroom only (contended hosts skip above);
+        # losing the compiled path to the numpy fallback is a >2x
+        # regression, well past this gate.
         proc = subprocess.run(
             [
                 sys.executable,
@@ -286,7 +334,7 @@ class TestMultirankBench:
                 "--kernel",
                 "sedimentation",
                 "--threshold",
-                "0.5",
+                "0.3",
             ],
             capture_output=True,
             text=True,
