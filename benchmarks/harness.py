@@ -19,6 +19,13 @@ performance is checkable:
   engine (``repro bench --workers N ...``), informational: fixed
   CONUS-like domain split across 1/2/4/8 workers with ``cpu_count``
   and ``speedup_vs_w1`` recorded per entry;
+* ``model_step_membersN`` / ``transport_membersN`` — the member-batched
+  ensemble engine (PR 10): N perturbed scenarios stepped in one fused
+  sweep over a ``(N, ni, nk, nj, nscalar)`` superblock, compared
+  against N sequential solo runs (``per_member_ms``,
+  ``speedup_vs_solo`` in the extras). ``model_step_members4`` and
+  ``transport_members4`` are gated; ``repro bench --members N`` adds
+  informational sweep entries at other member counts;
 * ``transport_fused`` / ``transport_per_field`` — the scalar-advection
   engine in isolation on a fixed-size 234-scalar superblock: the fused
   path (pack + single fused kernel + unpack) against the per-field
@@ -75,7 +82,9 @@ TRACKED_KERNELS = (
     "model_step_r1",
     "model_step_r4",
     "model_step_multirank",
+    "model_step_members4",
     "transport_fused",
+    "transport_members4",
     "sedimentation",
     "cond_remap",
     "coal_apply_batched",
@@ -341,6 +350,221 @@ def bench_model_step_multirank(
             "cpu_count": os.cpu_count(),
         },
     )
+
+
+def _member_deltas(members: int) -> tuple:
+    """Distinct-but-cheap scenario deltas: member 0 is the control run,
+    member m>0 perturbs the warm-bubble amplitude and RNG stream so the
+    batched sweep sees genuinely divergent states."""
+    out = [()]
+    for m in range(1, members):
+        out.append(
+            (("bubble_dtheta", 3.0 + 0.25 * m), ("seed_offset", m))
+        )
+    return tuple(out)
+
+
+def bench_model_step_members(
+    members: int = 4,
+    scale: float = 0.05,
+    reps: int = 3,
+    seed: int = 2024,
+    name: str | None = None,
+) -> KernelBench:
+    """Time member-batched ensemble steps against sequential solo runs.
+
+    One ``EnsembleModel`` holds ``members`` perturbed scenarios in a
+    single ``(N, ni, nk, nj, nscalar)`` superblock and steps them in one
+    fused sweep; the reference is the same scenarios run one after
+    another through solo ``WrfModel`` instances. Extras record
+    ``per_member_ms`` for both paths and ``speedup_vs_solo`` (batched
+    step vs the summed solo steps) — the amortization the member axis
+    buys from shared tables, one transport kernel invocation, and one
+    pass over the step machinery. The workload is fixed regardless of
+    ``--quick`` so quick and full gate runs compare like with like.
+    """
+    from repro.optim.stages import Stage
+    from repro.wrf.ensemble import EnsembleModel
+    from repro.wrf.model import WrfModel
+    from repro.wrf.namelist import conus12km_namelist, member_namelist
+
+    nl = conus12km_namelist(
+        scale=scale,
+        num_ranks=1,
+        stage=Stage.LOOKUP,
+        seed=seed,
+        members=members,
+        member_deltas=_member_deltas(members),
+    )
+
+    ens = EnsembleModel(nl)
+    batched = getattr(ens, "_solo", None) is None
+    solos = [WrfModel(member_namelist(nl, m)) for m in range(members)]
+    try:
+        # Interleave batched and solo reps: on a shared host, frequency
+        # and cache state drift over seconds, so timing one path first
+        # and the other after biases whichever ran during the quieter
+        # window. Alternating reps exposes both paths to the same drift.
+        ens.step()  # warmup: tables, compiled kernels, workspaces
+        for solo in solos:
+            solo.step()
+        samples = []
+        solo_totals = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            ens.step()
+            samples.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            for solo in solos:
+                solo.step()
+            solo_totals.append(time.perf_counter() - t0)
+    finally:
+        ens.close()
+        for solo in solos:
+            solo.close()
+    solo_total = statistics.median(solo_totals)
+
+    bench = _summarize(name or f"model_step_members{members}", samples, {})
+    bench.extra = {
+        "members": members,
+        "scale": scale,
+        "grid": [nl.domain.nx, nl.domain.nz, nl.domain.ny],
+        "batched": batched,
+        "per_member_ms": bench.median_s / members * 1e3,
+        "solo_per_member_ms": solo_total / members * 1e3,
+        "solo_total_s": solo_total,
+        "speedup_vs_solo": (
+            solo_total / bench.median_s
+            if bench.median_s > 0
+            else float("inf")
+        ),
+    }
+    return bench
+
+
+def bench_transport_members(
+    members: int = 4,
+    shape: tuple[int, int, int] = (36, 50, 26),
+    reps: int = 5,
+    seed: int = 2024,
+    name: str | None = None,
+) -> KernelBench:
+    """Time the member-batched advection kernel against a member loop.
+
+    One stacked ``(N, ni, nk, nj, nscalar)`` superblock advected by
+    ``fused_euler_advect_members`` (single kernel invocation, member
+    loop inside the compiled stencil) versus the same work issued as
+    ``N`` separate ``fused_euler_advect`` calls. Fixed shape regardless
+    of ``--quick``.
+    """
+    from repro.fsbm.species import Species
+    from repro.wrf.dynamics import (
+        FLOPS_PER_CELL_TEND,
+        FLOPS_PER_CELL_UPDATE,
+        WindSplit,
+    )
+    from repro.wrf.transport import (
+        ScalarLayout,
+        fused_euler_advect,
+        fused_euler_advect_members,
+        get_workspace,
+    )
+
+    nkr = 33
+    ni, nk, nj = shape
+    rng = np.random.default_rng(seed)
+    layout = ScalarLayout(
+        entries=(
+            ("t", 1),
+            ("qv", 1),
+            ("w", 1),
+            *((f"bin_{sp.value}", nkr) for sp in Species),
+        )
+    )
+    ns = layout.nscalars
+    slices = layout.slices()
+    block = np.zeros((members, *shape, ns))
+    block[..., slices["t"]] = rng.uniform(
+        230.0, 300.0, (members, *shape, 1)
+    )
+    block[..., slices["qv"]] = rng.uniform(
+        0.0, 0.02, (members, *shape, 1)
+    )
+    block[..., slices["w"]] = rng.uniform(
+        -8.0, 8.0, (members, *shape, 1)
+    )
+    for sp in Species:
+        block[..., slices[f"bin_{sp.value}"]] = rng.uniform(
+            0.0, 2.0, (members, *shape, nkr)
+        )
+    u = rng.uniform(-20.0, 20.0, (members, *shape))
+    v = rng.uniform(-20.0, 20.0, (members, *shape))
+    w = np.ascontiguousarray(block[..., slices["w"].start])
+    dt = 30.0
+    clip_slices = layout.clip_slices(no_clip=("t", "w"))
+    split = WindSplit.build(u, v, w, 12000.0, 500.0)
+    member_splits = [
+        WindSplit.build(u[m], v[m], w[m], 12000.0, 500.0)
+        for m in range(members)
+    ]
+    ws = get_workspace(
+        (members, *shape), ns, owner="bench_transport_members"
+    )
+    member_ws = get_workspace(
+        shape, ns, owner="bench_transport_members_solo"
+    )
+
+    batched_block = block.copy()
+    solo_block = block.copy()
+
+    def run_batched() -> float:
+        t0 = time.perf_counter()
+        result = fused_euler_advect_members(
+            batched_block, split, dt, ws, clip_slices
+        )
+        if result is not batched_block:
+            batched_block[...] = result
+        return time.perf_counter() - t0
+
+    def run_solo() -> float:
+        t0 = time.perf_counter()
+        for m in range(members):
+            result = fused_euler_advect(
+                solo_block[m], member_splits[m], dt, member_ws, clip_slices
+            )
+            if result is not solo_block[m]:
+                solo_block[m][...] = result
+        return time.perf_counter() - t0
+
+    run_batched()  # warmup: compiled stencil, workspace pools
+    run_solo()
+    samples = [run_batched() for _ in range(reps)]
+    solo_samples = [run_solo() for _ in range(reps)]
+    solo_median = statistics.median(solo_samples)
+
+    from repro.wrf.cstencil import load_stencil
+
+    cell_scalars = float(members * ni * nk * nj * ns)
+    bench = _summarize(name or f"transport_members{members}", samples, {})
+    bench.extra = {
+        "members": members,
+        "shape": list(shape),
+        "nscalars": ns,
+        "compiled_stencil": load_stencil() is not None,
+        "ir_kernel": "advect_stage_members",
+        "ir_registered": _ir_registered("advect_stage_members"),
+        "per_member_ms": bench.median_s / members * 1e3,
+        "solo_per_member_ms": solo_median / members * 1e3,
+        "speedup_vs_solo": (
+            solo_median / bench.median_s
+            if bench.median_s > 0
+            else float("inf")
+        ),
+        "flops": cell_scalars
+        * (FLOPS_PER_CELL_TEND + FLOPS_PER_CELL_UPDATE),
+        "superblock_bytes": int(cell_scalars * 8),
+    }
+    return bench
 
 
 def bench_rank_scaling(
@@ -652,6 +876,7 @@ def collect(
     quick: bool = False,
     kernels: list[str] | None = None,
     workers: list[int] | None = None,
+    members: list[int] | None = None,
 ) -> dict:
     """Run the benchmark suite and return the BENCH payload.
 
@@ -659,6 +884,9 @@ def collect(
     engine at those worker counts (``repro bench --workers N``); the
     sweep is expensive and host-dependent, so it only runs when asked
     for explicitly (or when ``kernels`` names ``rank_scaling``).
+    ``members`` likewise adds an ensemble-batching sweep: one
+    ``model_step_membersN`` entry per requested member count, each with
+    ``per_member_ms`` and ``speedup_vs_solo`` in its extras.
     """
     npts = 256 if quick else 1024
     reps = 3 if quick else 7
@@ -689,6 +917,18 @@ def collect(
             results.append(bench_transport(mode, reps=reps))
     if want("model_step_multirank"):
         results.append(bench_model_step_multirank())
+    ran_members: set[int] = set()
+    if want("model_step_members4"):
+        results.append(bench_model_step_members(4, reps=model_reps))
+        ran_members.add(4)
+    if want("transport_members4"):
+        results.append(bench_transport_members(4, reps=reps))
+    if members:
+        for n in members:
+            if n in ran_members:
+                continue
+            results.append(bench_model_step_members(n, reps=model_reps))
+            ran_members.add(n)
     if want("sedimentation"):
         results.append(bench_sedimentation(reps=reps))
     if want("cond_remap"):

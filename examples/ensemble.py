@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Ensemble quickstart: N perturbed scenarios in one fused sweep.
+
+Builds a 4-member ensemble — same CONUS-12km case, each member
+perturbed through its namelist (warm-bubble strength, RNG seed) — and
+steps all members together through the member-batched superblock
+engine: one `(N, ni, nk, nj, nscalar)` resident block per rank, one
+transport stencil invocation, one microphysics gather, shared lookup
+tables. Then re-runs member 0 solo and verifies the batched result is
+bit-identical, which is the engine's contract (`np.array_equal`, not
+`allclose`).
+
+Run:  python examples/ensemble.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.wrf.ensemble import EnsembleModel
+from repro.wrf.model import WrfModel
+from repro.wrf.namelist import conus12km_namelist, member_namelist
+
+SCALE = 0.05  # fraction of the full 425 x 300 horizontal extents
+STEPS = 3
+MEMBERS = 4
+
+# Per-member namelist perturbations: member 0 is the control.
+DELTAS = (
+    (),
+    (("bubble_dtheta", 3.25), ("seed_offset", 1)),
+    (("bubble_dtheta", 3.50), ("seed_offset", 2)),
+    (("bubble_dtheta", 3.75), ("seed_offset", 3)),
+)
+
+
+def main() -> None:
+    nl = conus12km_namelist(
+        scale=SCALE, num_ranks=1, members=MEMBERS, member_deltas=DELTAS
+    )
+    print(
+        f"CONUS-12km (scaled): {nl.domain.nx} x {nl.domain.ny} x "
+        f"{nl.domain.nz} grid, {MEMBERS} ensemble members"
+    )
+
+    print(f"\nStepping all {MEMBERS} members batched ...")
+    ens = EnsembleModel(nl)
+    t0 = time.perf_counter()
+    results = ens.run(num_steps=STEPS, final_history=True)
+    batched_s = time.perf_counter() - t0
+    frames = [ens.gather_output(m) for m in range(MEMBERS)]
+    ens.close()
+    print(f"  wall-clock: {batched_s * 1e3:8.1f} ms "
+          f"({batched_s / MEMBERS * 1e3:.1f} ms/member)")
+    for m, res in enumerate(results):
+        rain = float(frames[m]["RAINNC"].sum())
+        print(f"  member {m}: simulated elapsed {res.elapsed * 1e3:8.2f} ms, "
+              f"total RAINNC {rain:10.4f}")
+
+    print("\nRe-running member 0 solo for the bit-identity check ...")
+    solo = WrfModel(member_namelist(nl, 0))
+    t0 = time.perf_counter()
+    solo_res = solo.run(num_steps=STEPS, final_history=True)
+    solo_s = time.perf_counter() - t0
+    solo_frame = solo.gather_output()
+    solo.close()
+    print(f"  wall-clock: {solo_s * 1e3:8.1f} ms (one member)")
+
+    exact = all(
+        np.array_equal(frames[0][name], solo_frame[name])
+        for name in solo_frame
+    ) and solo_res.elapsed == results[0].elapsed
+    print(f"  member 0 fields + clocks bit-identical to solo: {exact}")
+    if not exact:
+        raise SystemExit("ensemble engine violated its exactness contract")
+
+    print(
+        "\nThe member axis amortizes Python dispatch, packing, and table\n"
+        "lookups; the per-member arithmetic (including per-member BLAS\n"
+        "calls, which exact equality requires) is unchanged. See\n"
+        "`repro bench --members 4` for the tracked measurement."
+    )
+
+
+if __name__ == "__main__":
+    main()

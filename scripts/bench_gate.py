@@ -8,9 +8,15 @@ tracked kernel medians against the committed ``BENCH_*.json`` baseline
 Tracked kernels (``harness.TRACKED_KERNELS``): ``coal_bott``,
 ``model_step_r1``, ``model_step_r4``, ``model_step_multirank`` (the
 multiprocess rank engine at a fixed 2-worker workload),
-``transport_fused``, ``sedimentation``, ``cond_remap``, and
+``model_step_members4`` (the member-batched ensemble engine stepping 4
+perturbed scenarios in one fused sweep, with interleaved sequential
+solo runs for the ``speedup_vs_solo`` extra), ``transport_fused``,
+``transport_members4``, ``sedimentation``, ``cond_remap``, and
 ``coal_apply_batched``. Gate one in isolation with e.g.
-``--kernel model_step_multirank``.
+``--kernel model_step_multirank``. ``--members N`` (repeatable) adds
+informational ensemble sweep entries (``model_step_membersN``) beyond
+the tracked 4-member point — sweep entries ride along in the payload
+but only baseline-shared kernels gate.
 
 Exit codes (the ``codee verify`` contract):
 
@@ -62,6 +68,14 @@ def main(argv: list[str] | None = None) -> int:
         help="collect/gate only this kernel (repeatable); tracked "
         "kernels absent from the collection are simply not gated",
     )
+    parser.add_argument(
+        "--members",
+        action="append",
+        type=int,
+        help="also run the member-batched ensemble bench at this member "
+        "count (repeatable); sweep entries are informational unless the "
+        "baseline tracks them",
+    )
     args = parser.parse_args(argv)
 
     baseline_path = args.baseline or harness.find_baseline()
@@ -76,7 +90,11 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         current = harness.load_payload(args.current)
     else:
-        current = harness.collect(quick=args.quick, kernels=args.kernel or None)
+        current = harness.collect(
+            quick=args.quick,
+            kernels=args.kernel or None,
+            members=args.members or None,
+        )
 
     print(f"baseline: {baseline_path} (rev {baseline.get('revision')})")
     print(f"current : rev {current.get('revision')}")

@@ -14,7 +14,12 @@ will actually load and that its event stream is internally consistent:
   events mean a merge bug);
 * every event's ``pid`` is declared by a ``process_name`` metadata
   record (rank timelines the UI would otherwise show as bare numbers);
-* counter (``C``) events carry numeric series values.
+* counter (``C``) events carry numeric series values;
+* ensemble attrs are well-formed: a span's ``member`` arg (which
+  member a per-member span belongs to, e.g. ``history_io``) must be a
+  non-negative integer, and ``members`` (how many members a batched
+  span covered, e.g. ``solve_em``/``physics``/``transport``) must be a
+  positive integer.
 
 Exit codes (the ``bench_gate``/``codee verify`` contract):
 
@@ -67,6 +72,27 @@ def validate_events(events: list[dict]) -> list[str]:
             )
         last_ts[key] = ts
         if ph == "B":
+            args_ = e.get("args", {})
+            member = args_.get("member")
+            if member is not None and not (
+                isinstance(member, int)
+                and not isinstance(member, bool)
+                and member >= 0
+            ):
+                errors.append(
+                    f"event {i}: span {e.get('name')!r} has non-integer "
+                    f"or negative member attr {member!r}"
+                )
+            members = args_.get("members")
+            if members is not None and not (
+                isinstance(members, int)
+                and not isinstance(members, bool)
+                and members >= 1
+            ):
+                errors.append(
+                    f"event {i}: span {e.get('name')!r} has invalid "
+                    f"members attr {members!r} (want int >= 1)"
+                )
             stacks.setdefault(key, []).append(e)
         elif ph == "E":
             stack = stacks.get(key, [])
@@ -106,7 +132,9 @@ def validate_events(events: list[dict]) -> list[str]:
     return errors
 
 
-def check_file(path: Path, min_ranks: int = 0) -> tuple[int, list[str]]:
+def check_file(
+    path: Path, min_ranks: int = 0, min_members: int = 0
+) -> tuple[int, list[str]]:
     """Validate one trace file; returns ``(exit_code, messages)``."""
     if not path.exists():
         return 1, [f"no such file: {path}"]
@@ -128,12 +156,32 @@ def check_file(path: Path, min_ranks: int = 0) -> tuple[int, list[str]]:
             f"expected >= {min_ranks} rank timelines, found "
             f"{len(rank_pids)} ({rank_pids})"
         )
+
+    # Ensemble coverage: distinct per-member span ids seen in the trace.
+    member_ids = sorted(
+        {
+            e["args"]["member"]
+            for e in events
+            if e.get("ph") == "B"
+            and isinstance(e.get("args", {}).get("member"), int)
+            and not isinstance(e.get("args", {}).get("member"), bool)
+        }
+    )
+    if min_members and len(member_ids) < min_members:
+        errors.append(
+            f"expected per-member spans from >= {min_members} members, "
+            f"found {len(member_ids)} ({member_ids})"
+        )
     if errors:
         return 2, errors
     nspans = sum(1 for e in events if e.get("ph") == "B")
+    member_note = (
+        f", member spans from {member_ids}" if member_ids else ""
+    )
     return 0, [
         f"{path}: OK — {nspans} spans, {len(rank_pids)} rank timelines "
         f"{rank_pids}, pids all declared, B/E balanced, ts monotonic"
+        f"{member_note}"
     ]
 
 
@@ -146,8 +194,19 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="fail unless at least this many rank timelines carry spans",
     )
+    parser.add_argument(
+        "--min-members",
+        type=int,
+        default=0,
+        help=(
+            "fail unless per-member spans (a ``member`` arg) from at "
+            "least this many distinct ensemble members appear"
+        ),
+    )
     args = parser.parse_args(argv)
-    code, messages = check_file(args.trace, min_ranks=args.min_ranks)
+    code, messages = check_file(
+        args.trace, min_ranks=args.min_ranks, min_members=args.min_members
+    )
     for m in messages:
         print(m)
     print("trace_check:", {0: "OK", 1: "SKIP", 2: "INVALID"}[code])

@@ -6,7 +6,7 @@
     python -m repro stages --scale 0.1 --ranks 4 --steps 4
     python -m repro experiments [--quick]
     python -m repro scaling
-    python -m repro bench [--quick] [--gate] [--workers N ...]
+    python -m repro bench [--quick] [--gate] [--workers N ...] [--members N ...]
 
 ``run`` executes one configuration and prints the profile; ``stages``
 walks the four optimization stages and prints Tables III-V;
@@ -225,6 +225,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         quick=args.quick,
         kernels=args.kernel or None,
         workers=getattr(args, "workers", None) or None,
+        members=getattr(args, "members", None) or None,
     )
     if trace_path:
         from repro.obs import export, metrics, tracer
@@ -236,7 +237,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"wrote {export.write_trace(events, trace_path)}")
     for name, k in sorted(payload["kernels"].items()):
         line = f"{name:<20} median {k['median_s'] * 1e3:9.3f} ms   reps {k['reps']}"
-        speedup = k.get("extra", {}).get("speedup_vs_w1")
+        extra = k.get("extra", {})
+        speedup = extra.get("speedup_vs_w1", extra.get("speedup_vs_solo"))
         if speedup is not None:
             line += f"   speedup x{speedup:.2f}"
         print(line)
@@ -327,6 +329,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         help="also run the multiprocess strong-scaling sweep at this "
         "worker count (repeatable, e.g. --workers 1 --workers 4)",
+    )
+    p_bm.add_argument(
+        "--members",
+        action="append",
+        type=int,
+        help="also run the member-batched ensemble bench at this member "
+        "count (repeatable, e.g. --members 2 --members 8)",
     )
     p_bm.add_argument(
         "--trace",

@@ -21,7 +21,11 @@ recurrence and its ``active``/``precip`` accumulations make it
 provably *non*-parallelizable, and the remap's depth-1 nest is below
 the parallel-overhead floor — so both are emitted serial, exactly like
 their hand-written predecessors, and their arithmetic (expressed in
-the IR with the reference's operation order) stays bit-identical.
+the IR with the reference's operation order) stays bit-identical. The
+member-batched ``sed_sweep_members`` (PR 10) has a provably
+independent member loop but is *policy*-serial (`_plan_serial`):
+rank-level threads/processes own the cores, so every fsbm kernel
+stays an `omp`-free translation unit.
 
 Equivalence to the numpy references (asserted by
 ``tests/fsbm/test_native_kernels.py``):
@@ -219,6 +223,153 @@ def build_sed_sweep_ir() -> Kernel:
     )
 
 
+def build_sed_sweep_members_ir() -> Kernel:
+    """The sedimentation sweep batched over ensemble members.
+
+    Identical arithmetic to :func:`build_sed_sweep_ir` wrapped in one
+    outer member loop: ``dists[sp]`` now points at a
+    ``(nm, ni, nk, nj, nkr)`` view (member element stride ``sm``),
+    ``precip`` is ``(nm, ni, nj)``, and the presence flags become
+    per-member — ``active[m, sp]`` — which is what keeps the per-member
+    work stats (and therefore the per-member clock charges) identical
+    to a solo run of each member. The k-carried flux recurrence is
+    member-local, so the member loop adds no new dependences; the nest
+    stays serial for the same reasons the solo kernel does.
+    """
+    m, i, k, j, sp, b = Sym("m"), Sym("i"), Sym("k"), Sym("j"), Sym("sp"), Sym("b")
+    nkr = Sym("nkr")
+
+    def dist_at(kk):
+        return (sp, m, i, kk, j, b)
+
+    bin_loop = lambda body: Loop("b", Const(0), nkr, body)
+
+    flux_fill = bin_loop(
+        [
+            Let("nv", Load("dists", dist_at(k))),
+            Store("flux", (b,), Sym("nv") * Load("courant", (sp, k, b))),
+            If(Sym("nv").ne(Const(0.0)), [Assign("rownz", Const(1))]),
+        ]
+    )
+    subtract = bin_loop([Store("dists", dist_at(k), Load("flux", (b,)), "-=")])
+    to_precip = [
+        Decl("acc", "double", Const(0.0)),
+        bin_loop(
+            [
+                Assign(
+                    "acc",
+                    Sym("acc") + Load("flux", (b,)) * Load("masses", (sp, b)),
+                )
+            ]
+        ),
+        Store("precip", (m, i, j), Sym("acc"), "+="),
+    ]
+    to_below = [
+        bin_loop([Store("dists", dist_at(k - 1), Load("flux", (b,)), "+=")])
+    ]
+
+    per_row = [
+        LocalArray("flux", MAX_NKR),
+        Decl("rownz", "int", Const(0)),
+        flux_fill,
+        If(
+            Sym("rownz"),
+            [
+                Store("active", (m, sp), Const(1)),
+                subtract,
+                If(k.eq(Const(0)), to_precip, to_below),
+            ],
+        ),
+    ]
+
+    main = Loop(
+        "m",
+        Const(0),
+        Sym("nm"),
+        [
+            Loop(
+                "i",
+                Const(0),
+                Sym("ni"),
+                [
+                    Loop(
+                        "k",
+                        Const(0),
+                        Sym("nk"),
+                        [
+                            Loop(
+                                "j",
+                                Const(0),
+                                Sym("nj"),
+                                [Loop("sp", Const(0), Sym("nsp"), per_row)],
+                            )
+                        ],
+                    )
+                ],
+            )
+        ],
+    )
+
+    return Kernel(
+        name="sed_sweep_members",
+        params=(
+            ArrayParam(
+                "dists",
+                strides=(Sym("sm"), Sym("si"), Sym("sk"), Sym("sj"), Const(1)),
+                intent="inout",
+                ptr_table=True,
+            ),
+            ArrayParam("courant", strides=(Sym("nk") * nkr, nkr, Const(1))),
+            ArrayParam("masses", strides=(nkr, Const(1))),
+            ArrayParam(
+                "precip",
+                strides=(Sym("pm"), Sym("psi"), Sym("psj")),
+                intent="inout",
+            ),
+            ScalarParam("nm", "long"),
+            ScalarParam("nsp", "long"),
+            ScalarParam("ni", "long"),
+            ScalarParam("nk", "long"),
+            ScalarParam("nj", "long"),
+            ScalarParam("nkr", "long"),
+            ScalarParam("sm", "long"),
+            ScalarParam("si", "long"),
+            ScalarParam("sk", "long"),
+            ScalarParam("sj", "long"),
+            ScalarParam("pm", "long"),
+            ScalarParam("psi", "long"),
+            ScalarParam("psj", "long"),
+            ArrayParam(
+                "active",
+                strides=(Sym("nsp"), Const(1)),
+                ctype="unsigned char",
+                intent="out",
+            ),
+        ),
+        body=[
+            Loop(
+                "m",
+                Const(0),
+                Sym("nm"),
+                [
+                    Loop(
+                        "sp",
+                        Const(0),
+                        Sym("nsp"),
+                        [Store("active", (m, sp), Const(0))],
+                    )
+                ],
+            ),
+            main,
+        ],
+        doc=(
+            "Fused sedimentation sweep over a member-stacked superblock "
+            "(m, i, k, j, species); arithmetic identical to sed_sweep per "
+            "member, with per-member active flags."
+        ),
+    )
+
+
 def build_remap_scatter_ir() -> Kernel:
     """The Kovetz-Olund two-bin deposit as loop IR.
 
@@ -302,6 +453,29 @@ loopir.register_kernel(
         transform=transform.plan_offload,
     )
 )
+def _plan_serial(kernel):
+    """Offload derivation with parallel annotations off.
+
+    The member loop of ``sed_sweep_members`` is provably independent,
+    but fsbm physics kernels are emitted serial by convention: the
+    model's parallelism lives at the rank level (threads in 8.3,
+    processes in 8.8), and an ``omp parallel`` region inside every
+    rank's physics would oversubscribe the very cores the ranks own.
+    The rest of the derivation (normalize, fission, automatic-array
+    hoisting) still runs.
+    """
+    return transform.plan_offload(
+        kernel, transform.TransformPolicy(parallel=False)
+    )
+
+
+loopir.register_kernel(
+    loopir.KernelSpec(
+        name="sed_sweep_members",
+        build=build_sed_sweep_members_ir,
+        transform=_plan_serial,
+    )
+)
 loopir.register_kernel(
     loopir.KernelSpec(
         name="remap_scatter",
@@ -326,6 +500,20 @@ def _declare(lib: ctypes.CDLL) -> None:
         ctypes.c_long, ctypes.c_long,  # psi, psj
         ctypes.POINTER(ctypes.c_ubyte),  # active
     ]
+    lib.sed_sweep_members.restype = None
+    lib.sed_sweep_members.argtypes = [
+        ctypes.POINTER(_c_double_p),  # dists
+        _c_double_p,  # courant
+        _c_double_p,  # masses
+        _c_double_p,  # precip
+        ctypes.c_long, ctypes.c_long,  # nm, nsp
+        ctypes.c_long, ctypes.c_long, ctypes.c_long, ctypes.c_long,
+        # ni, nk, nj, nkr
+        ctypes.c_long, ctypes.c_long, ctypes.c_long, ctypes.c_long,
+        # sm, si, sk, sj
+        ctypes.c_long, ctypes.c_long, ctypes.c_long,  # pm, psi, psj
+        ctypes.POINTER(ctypes.c_ubyte),  # active
+    ]
     lib.remap_scatter.restype = None
     lib.remap_scatter.argtypes = [
         _c_double_p, _c_double_p,
@@ -342,6 +530,7 @@ _module = cgen.build_module(
     "fsbm_kernels",
     [
         transform.plan_offload(build_sed_sweep_ir()).kernel,
+        _plan_serial(build_sed_sweep_members_ir()).kernel,
         transform.plan_offload(build_remap_scatter_ir()).kernel,
     ],
     disable_env=DISABLE_ENV,
@@ -429,6 +618,59 @@ def sed_sweep(
         ref.strides[2] // itemsize,
         precip.strides[0] // itemsize,
         precip.strides[1] // itemsize,
+        active.ctypes.data_as(ctypes.POINTER(ctypes.c_ubyte)),
+    )
+    return active
+
+
+def sed_sweep_members(
+    lib: ctypes.CDLL,
+    dists: list[np.ndarray],
+    courant: np.ndarray,
+    masses: np.ndarray,
+    precip: np.ndarray,
+) -> np.ndarray | None:
+    """Member-batched sedimentation sweep; per-(member, species) flags.
+
+    ``dists`` holds every species' ``(nm, ni, nk, nj, nkr)`` view into
+    the member-stacked superblock (all species must share shapes and
+    strides, bin axis unit-stride); ``precip`` is ``(nm, ni, nj)``
+    float64. Tables are the same step-invariant ``(nsp, nk, nkr)`` /
+    ``(nsp, nkr)`` stacks the solo sweep uses — shared across members.
+    Returns the ``(nm, nsp)`` ``active`` flags, or ``None`` when the
+    layout is unsupported and the caller must fall back to per-member
+    sweeps.
+    """
+    nsp = len(dists)
+    ref = dists[0]
+    nm, ni, nk, nj, nkr = ref.shape
+    itemsize = ref.itemsize
+    if (
+        nkr > MAX_NKR
+        or ref.dtype != np.float64
+        or precip.dtype != np.float64
+        or precip.shape != (nm, ni, nj)
+        or ref.strides[4] != itemsize
+        or any(d.shape != ref.shape or d.strides != ref.strides for d in dists)
+    ):
+        return None
+    ptrs = (_c_double_p * nsp)(*[_dptr(d) for d in dists])
+    active = np.zeros((nm, nsp), dtype=np.uint8)
+    # Policy-serial emission (_plan_serial) keeps the per-row flux
+    # LocalArray on the stack — no hoisted scratch param.
+    lib.sed_sweep_members(
+        ptrs,
+        _dptr(courant),
+        _dptr(masses),
+        _dptr(precip),
+        nm, nsp, ni, nk, nj, nkr,
+        ref.strides[0] // itemsize,
+        ref.strides[1] // itemsize,
+        ref.strides[2] // itemsize,
+        ref.strides[3] // itemsize,
+        precip.strides[0] // itemsize,
+        precip.strides[1] // itemsize,
+        precip.strides[2] // itemsize,
         active.ctypes.data_as(ctypes.POINTER(ctypes.c_ubyte)),
     )
     return active

@@ -374,6 +374,59 @@ def predict_coal_work(
     return stats
 
 
+def predict_coal_work_members(
+    dists: dict[Species, np.ndarray],
+    temperature: np.ndarray,
+    tables: KernelTables,
+    interactions: tuple[Interaction, ...],
+    occupied: dict[Species, np.ndarray] | None,
+    on_demand: bool,
+    segments: list[tuple[int, int]],
+    selection: CoalSelection | None = None,
+) -> list[CoalWorkStats]:
+    """Per-member work counts for one member-concatenated collision call.
+
+    ``segments[m]`` is member ``m``'s row range in the concatenated
+    point arrays. Masks are row-local (temperature gate and per-row
+    sums), so slicing the shared mask to a member's segment equals the
+    mask a solo :func:`predict_coal_work` of that member computes; the
+    per-member sums and counts below therefore accumulate exactly the
+    solo numbers, in the solo interaction order.
+    """
+    nkr = next(iter(dists.values())).shape[1]
+    out = [
+        CoalWorkStats(active_points=(e - s)) for (s, e) in segments
+    ]
+    if temperature.shape[0] == 0:
+        return out
+    if selection is None:
+        selection = CoalSelection.build(dists, temperature)
+    if not on_demand:
+        for st, (s, e) in zip(out, segments):
+            if e > s:
+                st.kernel_entries += float(e - s) * tables.baseline_entry_count()
+    for ix in interactions:
+        sel = selection.mask(ix)
+        for st, (s, e) in zip(out, segments):
+            if e == s:
+                continue
+            sub = sel[s:e]
+            count = int(sub.sum())
+            if count == 0:
+                continue
+            if occupied is not None:
+                occ_a = occupied[ix.collector][s:e][sub]
+                occ_b = occupied[ix.collected][s:e][sub]
+                touched = float((occ_a * occ_b).sum())
+            else:
+                touched = float(count) * nkr * nkr
+            st.pair_entries += touched
+            st.interactions_used += float(count)
+            if on_demand:
+                st.kernel_entries += touched
+    return out
+
+
 def _apply_dense(
     dists: dict[Species, np.ndarray],
     ix: Interaction,
@@ -893,6 +946,110 @@ def coal_bott_step(
                 dists, ix, idx, a_full, b_full, na, nb, ws, dt, dtype, tables,
                 nkr, g_split,
             )
+        live.refresh(dists, {ix.collector, ix.collected, ix.product}, idx)
+
+    return stats
+
+
+def coal_bott_step_members(
+    dists: dict[Species, np.ndarray],
+    temperature: np.ndarray,
+    pressure_mb: np.ndarray,
+    dt: float,
+    tables: KernelTables,
+    interactions: tuple[Interaction, ...],
+    segments: list[tuple[int, int]],
+    occupied: dict[Species, np.ndarray] | None = None,
+    on_demand: bool = False,
+    dtype: np.dtype | type = np.float64,
+    selection: CoalSelection | None = None,
+    use_sparse: bool = True,
+    use_batched: bool = False,
+    workspace: CoalWorkspace | None = None,
+) -> list[CoalWorkStats]:
+    """One collision step over member-concatenated points, in place.
+
+    ``dists`` holds every member's active points concatenated
+    member-major; ``segments[m]`` is member ``m``'s row range. Returns
+    the per-member work stats a solo :func:`coal_bott_step` of each
+    member would report.
+
+    What is shared across members is everything row-local: the
+    temperature-gate cache, the per-row sums, the interaction masks,
+    ``flatnonzero``, the pressure weights, and the post-apply
+    ``refresh`` — one Python sweep over the interaction list instead of
+    N. The operator applications themselves stay per member: BLAS
+    GEMM/GEMV results for a given row depend on the call's total row
+    count (kernel/blocking selection), so concatenating members' rows
+    into one apply would perturb rows at the ulp level — and the
+    occupied-bin rectangle ``(na, nb)`` is member-specific anyway (the
+    solo step takes the *member's* max, and the rectangle sets the BLAS
+    inner dimension). Each member's apply therefore runs on exactly its
+    own rows at exactly its solo rectangle, which reproduces the solo
+    update bit-for-bit; members write disjoint row sets, so their order
+    is immaterial.
+    """
+    npts = temperature.shape[0]
+    if selection is None and npts:
+        selection = CoalSelection.build(dists, temperature)
+    stats = predict_coal_work_members(
+        dists, temperature, tables, interactions, occupied, on_demand,
+        segments, selection=selection,
+    )
+    if npts == 0:
+        return stats
+
+    nkr = next(iter(dists.values())).shape[1]
+    dtype = np.dtype(dtype)
+    w_full = (
+        (np.asarray(pressure_mb) - KERNEL_P_LOW_MB)
+        / (KERNEL_P_HIGH_MB - KERNEL_P_LOW_MB)
+    ).astype(dtype)
+    use_sparse = use_sparse and _pair_split(nkr).triangular
+    g_split = None if use_sparse else _split_tensor(nkr)
+    if use_sparse and use_batched and workspace is None:
+        workspace = get_coal_workspace(dtype)
+    live = selection.fork()
+    starts = np.asarray([s for s, _ in segments])
+    stops = np.asarray([e for _, e in segments])
+
+    for ix in interactions:
+        sel = live.mask(ix)
+        if not sel.any():
+            continue
+        idx = np.flatnonzero(sel)
+        occ_a = occupied[ix.collector] if occupied is not None else None
+        occ_b = occupied[ix.collected] if occupied is not None else None
+        los = np.searchsorted(idx, starts)
+        his = np.searchsorted(idx, stops)
+
+        for lo, hi in zip(los, his):
+            if hi == lo:
+                continue
+            rows = idx[lo:hi]
+            if occ_a is not None:
+                na = max(1, int(occ_a[rows].max()))
+                nb = max(1, int(occ_b[rows].max()))
+            else:
+                na = nb = nkr
+            a_full = dists[ix.collector][rows]
+            b_full = dists[ix.collected][rows]
+            ws = w_full[rows]
+            if use_sparse and use_batched:
+                _apply_sparse_batched(
+                    dists, ix, rows, a_full, b_full, na, nb, ws, dt, dtype,
+                    tables, nkr, workspace,
+                )
+            elif use_sparse:
+                _apply_sparse(
+                    dists, ix, rows, a_full, b_full, na, nb, ws, dt, dtype,
+                    tables, nkr,
+                )
+            else:
+                _apply_dense(
+                    dists, ix, rows, a_full, b_full, na, nb, ws, dt, dtype,
+                    tables, nkr, g_split,
+                )
         live.refresh(dists, {ix.collector, ix.collected, ix.product}, idx)
 
     return stats

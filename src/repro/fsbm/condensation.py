@@ -110,6 +110,27 @@ def _remap_spectrum(
     return acc.reshape(npts, nkr), evap_number
 
 
+def _segmented_rowdot(
+    a: np.ndarray, v: np.ndarray, segments: list[tuple[int, int]] | None
+) -> np.ndarray:
+    """Row-wise ``a @ v``, issued one BLAS call per row segment.
+
+    BLAS matvec results for a given row are *not* independent of how
+    many other rows share the call (kernel/blocking selection depends on
+    the row count), so batching several members' rows into one ``a @ v``
+    can perturb single rows at the ulp level. Splitting the call at
+    member boundaries reproduces each member's solo contraction
+    bit-for-bit; with ``segments=None`` this is exactly ``a @ v``.
+    """
+    if segments is None:
+        return a @ v
+    out = np.empty(a.shape[0], dtype=np.result_type(a, v))
+    for s, e in segments:
+        if e > s:
+            out[s:e] = a[s:e] @ v
+    return out
+
+
 def _grow_species(
     n: np.ndarray,
     sp: Species,
@@ -118,12 +139,15 @@ def _grow_species(
     dt: float,
     grid: BinGrid,
     native: bool = True,
+    row_segments: list[tuple[int, int]] | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One species' growth step.
 
     Returns ``(n_new, dmass_per_point, evaporated_number)`` with
     ``dmass`` the condensate mass change [g/cm^3] (positive while
-    condensing).
+    condensing). ``row_segments`` splits the mass contractions at
+    member boundaries when the rows are an ensemble concatenation (see
+    :func:`_segmented_rowdot`).
     """
     r = grid.radii
     factor = _HABIT_FACTOR.get(sp, 1.0)
@@ -138,10 +162,10 @@ def _grow_species(
         * supersat[:, None]
         * dt
     )
-    old_mass_content = n @ grid.masses
+    old_mass_content = _segmented_rowdot(n, grid.masses, row_segments)
     new_mass = grid.masses[None, :] + dm
     n_new, evap = _remap_spectrum(n, new_mass, grid, native=native)
-    dmass = (n_new @ grid.masses) - old_mass_content
+    dmass = _segmented_rowdot(n_new, grid.masses, row_segments) - old_mass_content
     return n_new, dmass, evap
 
 
@@ -202,6 +226,126 @@ def _condensation_core(
     return stats
 
 
+def _condensation_core_members(
+    dists: dict[Species, np.ndarray],
+    species: tuple[Species, ...],
+    over: dict[Species, str],
+    temperature: np.ndarray,
+    pressure_mb: np.ndarray,
+    qv: np.ndarray,
+    rho_air: np.ndarray,
+    ccn: np.ndarray,
+    dt: float,
+    segments: list[tuple[int, int]],
+    species_present: list[dict[Species, bool]] | None = None,
+    native: bool = True,
+) -> list[CondWorkStats]:
+    """Member-batched growth driver; per-member bit-identical to solo.
+
+    The call arrays are per-member gathers concatenated member-major;
+    ``segments[m]`` is member ``m``'s ``(start, stop)`` row range (empty
+    ranges allowed). Elementwise thermodynamics and the per-point
+    KO-remap scatter are row-local, so they run once over the
+    concatenation and produce each member's rows bit-for-bit. The
+    ``n @ masses`` contractions are the exception — BLAS matvec results
+    depend on the call's row count — so those are issued one BLAS call
+    per member segment (:func:`_segmented_rowdot`), matching each solo
+    contraction exactly.
+
+    The one member-sensitive part is the per-species skip logic: solo
+    runs skip a species when the member's presence flag is off or none
+    of its rows exceed ``N_EPS``, and a skipped species must not touch
+    that member's rows (they may hold tiny sub-threshold values a grow
+    step would perturb) nor its work stats. Each species therefore
+    processes only the row ranges of members that pass their own gates,
+    and per-member ``bin_updates`` accumulate only for those members —
+    exactly the solo accounting.
+    """
+    nm = len(segments)
+    stats = [
+        CondWorkStats(points=(e - s)) if e > s else CondWorkStats()
+        for (s, e) in segments
+    ]
+    npts = temperature.shape[0]
+    if npts == 0:
+        return stats
+    grids = species_bins()
+    g_coeff = condensational_growth_coefficient(temperature, pressure_mb)
+
+    for sp in species:
+        n = dists[sp]
+        nkr = n.shape[1]
+        rowsum_hot = n.sum(axis=1) > N_EPS
+        passing = []
+        for m, (s, e) in enumerate(segments):
+            if e == s:
+                continue
+            if species_present is not None and not species_present[m].get(
+                sp, True
+            ):
+                continue
+            if not rowsum_hot[s:e].any():
+                continue
+            passing.append(m)
+        if not passing:
+            continue
+        seg_pass = [segments[m] for m in passing]
+        # Segment boundaries within the subset rows (for the per-member
+        # BLAS splits below).
+        sub_segments, off = [], 0
+        for s, e in seg_pass:
+            sub_segments.append((off, off + (e - s)))
+            off += e - s
+        if off == npts:
+            idx = None
+            nn, t_s, p_s = n, temperature, pressure_mb
+            qv_s, rho_s, ccn_s, gc_s = qv, rho_air, ccn, g_coeff
+        else:
+            idx = np.concatenate([np.arange(s, e) for s, e in seg_pass])
+            nn, t_s, p_s = n[idx], temperature[idx], pressure_mb[idx]
+            qv_s, rho_s, ccn_s = qv[idx], rho_air[idx], ccn[idx]
+            gc_s = g_coeff[idx]
+
+        qs = saturation_mixing_ratio(t_s, p_s, over[sp])
+        s_sat = qv_s / qs - 1.0
+        n_new, dmass, evap = _grow_species(
+            nn, sp, s_sat, gc_s, dt, grids[sp], native=native,
+            row_segments=sub_segments,
+        )
+        dq = dmass / rho_s
+        room = np.where(
+            dq >= 0.0, np.maximum(qv_s - qs, 0.0), np.maximum(qs - qv_s, 0.0)
+        )
+        scale = np.where(
+            np.abs(dq) > room, room / np.maximum(np.abs(dq), 1e-300), 1.0
+        )
+        scale = np.clip(scale, 0.0, 1.0)
+        blended = nn + scale[:, None] * (n_new - nn)
+        dmass = _segmented_rowdot(blended - nn, grids[sp].masses, sub_segments)
+        dq = dmass / rho_s
+        process = "condensation" if sp is Species.LIQUID else "deposition"
+        if idx is None:
+            dists[sp][...] = blended
+            qv -= dq
+            temperature += latent_heating(dq, process)
+            ccn += scale * evap if sp is Species.LIQUID else 0.0
+        else:
+            dists[sp][idx] = blended
+            qv_s -= dq
+            qv[idx] = qv_s
+            t_s += latent_heating(dq, process)
+            temperature[idx] = t_s
+            if sp is Species.LIQUID:
+                ccn_s += scale * evap
+                ccn[idx] = ccn_s
+            # Non-liquid species add an exact scalar 0.0 to ccn in the
+            # reference — a bitwise no-op on the non-negative reservoir.
+        for m in passing:
+            s, e = segments[m]
+            stats[m].bin_updates += float((e - s) * nkr)
+    return stats
+
+
 def onecond1(
     dists: dict[Species, np.ndarray],
     temperature: np.ndarray,
@@ -246,4 +390,54 @@ def onecond2(
     return _condensation_core(
         dists, species, over, temperature, pressure_mb, qv, rho_air, ccn, dt,
         native=native, species_present=species_present,
+    )
+
+
+def onecond1_members(
+    dists: dict[Species, np.ndarray],
+    temperature: np.ndarray,
+    pressure_mb: np.ndarray,
+    qv: np.ndarray,
+    rho_air: np.ndarray,
+    ccn: np.ndarray,
+    dt: float,
+    segments: list[tuple[int, int]],
+    species_present: list[dict[Species, bool]] | None = None,
+    native: bool = True,
+) -> list[CondWorkStats]:
+    """Member-batched :func:`onecond1` (liquid-only, warm points)."""
+    return _condensation_core_members(
+        dists,
+        (Species.LIQUID,),
+        {Species.LIQUID: "water"},
+        temperature,
+        pressure_mb,
+        qv,
+        rho_air,
+        ccn,
+        dt,
+        segments,
+        species_present=species_present,
+        native=native,
+    )
+
+
+def onecond2_members(
+    dists: dict[Species, np.ndarray],
+    temperature: np.ndarray,
+    pressure_mb: np.ndarray,
+    qv: np.ndarray,
+    rho_air: np.ndarray,
+    ccn: np.ndarray,
+    dt: float,
+    segments: list[tuple[int, int]],
+    species_present: list[dict[Species, bool]] | None = None,
+    native: bool = True,
+) -> list[CondWorkStats]:
+    """Member-batched :func:`onecond2` (mixed-phase points)."""
+    species = (Species.LIQUID, *ICE_HABITS, Species.SNOW, Species.GRAUPEL, Species.HAIL)
+    over = {sp: ("water" if sp is Species.LIQUID else "ice") for sp in species}
+    return _condensation_core_members(
+        dists, species, over, temperature, pressure_mb, qv, rho_air, ccn, dt,
+        segments, species_present=species_present, native=native,
     )

@@ -15,6 +15,7 @@ collision part dispatched per optimization stage:
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,13 +35,24 @@ from repro.fsbm.coal_bott import (
     CoalSelection,
     CoalWorkStats,
     coal_bott_step,
+    coal_bott_step_members,
     predict_coal_work,
 )
 from repro.fsbm.collision_kernels import KernelTables, get_tables
-from repro.fsbm.condensation import CondWorkStats, onecond1, onecond2
+from repro.fsbm.condensation import (
+    CondWorkStats,
+    onecond1,
+    onecond1_members,
+    onecond2,
+    onecond2_members,
+)
 from repro.fsbm.freezing import FreezeWorkStats, freezing_melting_step
 from repro.fsbm.nucleation import NuclWorkStats, jernucl01_ks
-from repro.fsbm.sedimentation import SedWorkStats, sedimentation_step
+from repro.fsbm.sedimentation import (
+    SedWorkStats,
+    sedimentation_step,
+    sedimentation_step_members,
+)
 from repro.fsbm.species import INTERACTIONS, Species
 from repro.fsbm.state import MicroState, N_EPS
 from repro.fsbm.temp_arrays import (
@@ -601,3 +613,309 @@ def coal_kernel_resources(
         compute_efficiency=0.10,
         precision=precision,
     )
+
+
+# --- ensemble member batching -------------------------------------------------
+#
+# One fused microphysics sweep over N members resident in one stacked
+# block. The batching discipline, derived from what is and is not
+# bitwise row-stable on this host:
+#
+# * elementwise ufuncs, boolean-mask gathers/scatters in C order, and
+#   per-row ``sum(axis=1)`` reductions run once over the member
+#   concatenation (each member's rows come out bit-for-bit);
+# * anything BLAS (`@`) and any branch whose predicate spans rows runs
+#   per member (see ``coal_bott_step_members`` /
+#   ``_condensation_core_members`` for the per-phase argument);
+# * the compiled C kernels (sedimentation sweep) carry an explicit
+#   member loop, which only moves the base pointer per member.
+#
+# Per-member ``SimClock`` charges replicate the solo step's region keys
+# and amounts exactly: a ``region`` context that charges nothing leaves
+# no trace, so only charge placement matters.
+
+
+def _occupied_rows(dists: dict[Species, np.ndarray]) -> dict[Species, np.ndarray]:
+    """Occupied-bin counts per species (row-local; any member mix)."""
+    out: dict[Species, np.ndarray] = {}
+    for sp, d in dists.items():
+        present = d > N_EPS
+        rev = present[:, ::-1]
+        first = np.argmax(rev, axis=1)
+        out[sp] = np.where(present.any(axis=1), d.shape[1] - first, 0)
+    return out
+
+
+def _condensation_members(
+    sbms: list[FastSBM],
+    g_dists: dict[Species, np.ndarray],
+    g_t: np.ndarray,
+    g_p: np.ndarray,
+    g_qv: np.ndarray,
+    g_rho: np.ndarray,
+    g_ccn: np.ndarray,
+    warm: np.ndarray,
+    segments: list[tuple[int, int]],
+    sp_present: list[dict[Species, bool]],
+) -> list[CondWorkStats]:
+    """Warm/mixed-phase routing over the member concatenation.
+
+    Mirrors :meth:`FastSBM._condensation`: the warm and cold subsets
+    are gathered over all members at once (member-major order is
+    preserved by ``flatnonzero``), and the member-batched onecond cores
+    handle the per-member gates and BLAS splits.
+    """
+    nm = len(segments)
+    totals = [CondWorkStats() for _ in range(nm)]
+    starts = [s for s, _ in segments]
+    stops = [e for _, e in segments]
+    for mask, routine in ((warm, onecond1_members), (~warm, onecond2_members)):
+        idx = np.flatnonzero(mask)
+        if idx.size == 0:
+            continue
+        los = np.searchsorted(idx, starts)
+        his = np.searchsorted(idx, stops)
+        sub_segments = [(int(lo), int(hi)) for lo, hi in zip(los, his)]
+        sub = {sp: d[idx] for sp, d in g_dists.items()}
+        st, sp_, sq, sr, sc = (
+            g_t[idx],
+            g_p[idx],
+            g_qv[idx],
+            g_rho[idx],
+            g_ccn[idx],
+        )
+        part = routine(
+            sub, st, sp_, sq, sr, sc, sbms[0].dt, sub_segments,
+            species_present=sp_present,
+            native=sbms[0].use_native_physics,
+        )
+        for m in range(nm):
+            totals[m].merge(part[m])
+        for sp in g_dists:
+            g_dists[sp][idx] = sub[sp]
+        g_t[idx], g_qv[idx], g_ccn[idx] = st, sq, sc
+    return totals
+
+
+def step_members(
+    sbms: list[FastSBM],
+    states: list[MicroState],
+    dists_stacked: dict[Species, np.ndarray],
+    ccn_stacked: np.ndarray,
+    precip_stacked: np.ndarray,
+    temperature: np.ndarray,
+    pressure_mb: np.ndarray,
+    qv: np.ndarray,
+    rho_air: np.ndarray,
+    dz_cm: float,
+    pressure_levels: list[np.ndarray] | None = None,
+) -> list[SbmStepStats]:
+    """Advance N ensemble members' microphysics in one fused sweep.
+
+    ``sbms[m]``/``states[m]`` are member ``m``'s driver (own clock) and
+    micro state; the stacked arrays are ``(nm, ...)`` member-major
+    views whose slice ``[m]`` aliases that member's patch arrays.
+    ``pressure_levels`` optionally supplies each member's base-state
+    pressure column exactly as the solo step derives it (callers whose
+    stacked ``pressure_mb`` is a materialized copy should pass it so
+    the column mean is taken over the member's own layout).
+
+    Member ``m``'s fields, work stats, and per-rank clock charges are
+    bit-identical to a solo :meth:`FastSBM.step` of that member.
+    """
+    nm = len(sbms)
+    lead = sbms[0]
+    if any(s.stage.uses_gpu or s.offload_condensation for s in sbms):
+        raise ConfigurationError(
+            "ensemble member batching supports CPU stages only"
+        )
+    ni, nk, nj = states[0].shape
+    npatch = ni * nk * nj
+    dt = lead.dt
+    stats_list = [SbmStepStats() for _ in range(nm)]
+    step_start = [sbm.clock.total for sbm in sbms]
+
+    from repro.fsbm.thermo import saturation_mixing_ratio
+
+    with ExitStack() as stack:
+        for sbm in sbms:
+            stack.enter_context(sbm.clock.region("fast_sbm"))
+        for sbm in sbms:
+            sbm._charge_cpu(2.0 * npatch, 8.0 * npatch, iterations=npatch)
+
+        qs = saturation_mixing_ratio(temperature, pressure_mb)
+        condensate = np.empty(temperature.shape)
+        for m, state in enumerate(states):
+            condensate[m] = state.total_condensate_mass()
+        mp_mask = (temperature > T_FREEZE_CUTOFF) & (
+            (condensate > N_EPS) | (qv > 0.98 * qs)
+        )
+        counts = mp_mask.reshape(nm, -1).sum(axis=1)
+        offs = np.zeros(nm + 1, dtype=np.int64)
+        np.cumsum(counts, out=offs[1:])
+        segments = [(int(offs[m]), int(offs[m + 1])) for m in range(nm)]
+        total_pts = int(offs[-1])
+        for m in range(nm):
+            stats_list[m].mp_points = int(counts[m])
+
+        if total_pts:
+            # Integer-tuple indexing: one np.nonzero, then every gather and
+            # scatter fans out from the precomputed coordinate arrays.  On
+            # the strided superblock views this measures ~1.3x faster than
+            # repeated boolean masking (which re-scans the mask per field)
+            # and yields bit-identical results: same elements, same
+            # member-major C order.
+            midx = np.nonzero(mp_mask)
+            g_dists = {
+                sp: dists_stacked[sp][midx] for sp in states[0].dists
+            }
+            g_t = temperature[midx]
+            g_p = pressure_mb[midx]
+            g_qv = qv[midx]
+            g_rho = rho_air[midx]
+            g_ccn = ccn_stacked[midx]
+
+            # --- nucleation (one elementwise pass over all members) ----
+            jernucl01_ks(g_dists, g_t, g_p, g_qv, g_rho, g_ccn, dt)
+            for m, (s, e) in enumerate(segments):
+                if e == s:
+                    continue
+                stats_list[m].nucl = NuclWorkStats(points=e - s)
+                with sbms[m].clock.region("jernucl01_ks"):
+                    sbms[m]._charge_cpu(
+                        stats_list[m].nucl.flops,
+                        stats_list[m].nucl.bytes_moved,
+                    )
+
+            # --- condensation ------------------------------------------
+            sp_present = [
+                {sp: bool(g_dists[sp][s:e].any()) for sp in Species}
+                for (s, e) in segments
+            ]
+            ice_present = np.zeros(total_pts, dtype=bool)
+            for sp in Species:
+                if sp is Species.LIQUID:
+                    continue
+                hot = None
+                for m, (s, e) in enumerate(segments):
+                    if e > s and sp_present[m][sp]:
+                        if hot is None:
+                            hot = g_dists[sp].sum(axis=1) > N_EPS
+                        ice_present[s:e] |= hot[s:e]
+            warm = (g_t > T_0 - 5.0) & ~ice_present
+            cond_list = _condensation_members(
+                sbms, g_dists, g_t, g_p, g_qv, g_rho, g_ccn, warm,
+                segments, sp_present,
+            )
+            for m, (s, e) in enumerate(segments):
+                if e == s:
+                    continue
+                stats_list[m].cond = cond_list[m]
+                with sbms[m].clock.region("onecond"):
+                    sbms[m]._charge_cpu(
+                        cond_list[m].flops, cond_list[m].bytes_moved
+                    )
+
+            # --- freezing / melting (cross-row gates: per member) ------
+            for m, (s, e) in enumerate(segments):
+                if e == s:
+                    continue
+                seg_dists = {sp: d[s:e] for sp, d in g_dists.items()}
+                with sbms[m].clock.region("freezing"):
+                    stats_list[m].freeze = freezing_melting_step(
+                        seg_dists, g_t[s:e], g_rho[s:e], dt
+                    )
+                    sbms[m]._charge_cpu(
+                        stats_list[m].freeze.flops,
+                        stats_list[m].freeze.bytes_moved,
+                    )
+
+            # --- collision–coalescence ---------------------------------
+            sums = {sp: d.sum(axis=1) for sp, d in g_dists.items()}
+            condensate_g = np.zeros(total_pts)
+            for s_arr in sums.values():
+                condensate_g += s_arr
+            call_coal = (g_t > T_COAL_CUTOFF) & (condensate_g > N_EPS)
+            cidx = np.flatnonzero(call_coal)
+            clos = np.searchsorted(cidx, [s for s, _ in segments])
+            chis = np.searchsorted(cidx, [e for _, e in segments])
+            works = None
+            if cidx.size:
+                c_dists = {sp: d[cidx] for sp, d in g_dists.items()}
+                c_t = g_t[cidx]
+                c_p = g_p[cidx]
+                occupied = _occupied_rows(c_dists)
+                selection = CoalSelection(
+                    c_t, {sp: s_arr[cidx] for sp, s_arr in sums.items()}, {}
+                )
+                coal_segments = [
+                    (int(lo), int(hi)) for lo, hi in zip(clos, chis)
+                ]
+                works = coal_bott_step_members(
+                    c_dists, c_t, c_p, dt, lead.tables, INTERACTIONS,
+                    coal_segments, occupied=occupied,
+                    on_demand=lead.stage.on_demand_kernels,
+                    selection=selection, use_batched=lead.use_batched_coal,
+                )
+                for sp in g_dists:
+                    g_dists[sp][cidx] = c_dists[sp]
+            for m, (s, e) in enumerate(segments):
+                if e == s:
+                    continue
+                clock = sbms[m].clock
+                with clock.region("coal_bott_new"):
+                    before = clock.total
+                    if works is not None and chis[m] > clos[m]:
+                        w = works[m]
+                        stats_list[m].coal = w
+                        stats_list[m].coal_points = int(chis[m] - clos[m])
+                        sbms[m]._charge_cpu(
+                            w.flops, w.bytes_moved,
+                            iterations=int(w.pair_entries),
+                        )
+                    stats_list[m].coal_seconds = clock.total - before
+
+            for sp in g_dists:
+                dists_stacked[sp][midx] = g_dists[sp]
+            temperature[midx] = g_t
+            qv[midx] = g_qv
+            ccn_stacked[midx] = g_ccn
+
+        # --- sedimentation (full field, compiled member loop) ----------
+        if pressure_levels is None:
+            pressure_levels = [
+                pressure_mb[m].mean(axis=(0, 2)) for m in range(nm)
+            ]
+        shared_col = all(
+            np.array_equal(pressure_levels[0], pl)
+            for pl in pressure_levels[1:]
+        )
+        if shared_col and lead.use_native_physics:
+            with ExitStack() as sed_stack:
+                for sbm in sbms:
+                    sed_stack.enter_context(sbm.clock.region("sedimentation"))
+                sed_list = sedimentation_step_members(
+                    states, dists_stacked, precip_stacked,
+                    pressure_levels[0], dz_cm, dt, native=True,
+                )
+                for m, sbm in enumerate(sbms):
+                    stats_list[m].sed = sed_list[m]
+                    sbm._charge_cpu(
+                        sed_list[m].flops, sed_list[m].bytes_moved
+                    )
+        else:
+            # Divergent base-state columns: per-member solo sweeps (the
+            # courant table is column-specific).
+            for m, sbm in enumerate(sbms):
+                with sbm.clock.region("sedimentation"):
+                    stats_list[m].sed = sedimentation_step(
+                        states[m], pressure_levels[m], dz_cm, dt,
+                        native=sbm.use_native_physics,
+                    )
+                    sbm._charge_cpu(
+                        stats_list[m].sed.flops, stats_list[m].sed.bytes_moved
+                    )
+
+    for m, sbm in enumerate(sbms):
+        stats_list[m].fast_sbm_seconds = sbm.clock.total - step_start[m]
+    return stats_list

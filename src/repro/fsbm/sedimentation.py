@@ -156,3 +156,61 @@ def sedimentation_step(
         state.precip += flux[:, 0, :, :] @ species_bins()[sp].masses
         stats.cell_bins += float(n.size)
     return stats
+
+
+def sedimentation_step_members(
+    states: list[MicroState],
+    dists_stacked: dict[Species, np.ndarray],
+    precip_stacked: np.ndarray,
+    pressure_mb_levels: np.ndarray,
+    dz_cm: float,
+    dt: float,
+    native: bool = True,
+) -> list[SedWorkStats]:
+    """One sedimentation sweep over every ensemble member, in place.
+
+    ``dists_stacked[sp]`` is the member-stacked ``(nm, ni, nk, nj,
+    nkr)`` view of each species (all members resident in one
+    superblock) and ``precip_stacked`` the ``(nm, ni, nj)`` surface
+    accumulator whose member rows are the states' ``precip`` arrays.
+    The courant/fall-speed tables are step-invariant and shared across
+    members through the ``fsbm.sed_courant`` cache, so N members pay
+    for one table build. Per-member stats come from the kernel's
+    per-(member, species) ``active`` flags and are identical to what a
+    solo :func:`sedimentation_step` of each member reports; the sweep
+    itself is bit-identical per member (the member loop only changes
+    the base pointer). Falls back to per-member solo sweeps when the
+    compiled kernel is unavailable or the stacked layout is
+    unsupported.
+    """
+    nm = len(states)
+    tables = _courant_tables(pressure_mb_levels, dz_cm, dt)
+
+    lib = ckernels.load_kernels() if native else None
+    if lib is not None and tables["stack"].shape[2] == states[0].nkr:
+        for sp in tables["species"]:
+            if tables["cmax"][sp] > 1.0 and any(
+                st.dists[sp].any() for st in states
+            ):
+                _check_cfl(sp, tables["cmax"][sp])
+        dists = [dists_stacked[sp] for sp in tables["species"]]
+        active = ckernels.sed_sweep_members(
+            lib, dists, tables["stack"], tables["masses"], precip_stacked
+        )
+        if active is not None:
+            out = []
+            for m, state in enumerate(states):
+                stats = SedWorkStats()
+                for isp, sp in enumerate(tables["species"]):
+                    if active[m, isp]:
+                        stats.cell_bins += float(state.dists[sp].size)
+                out.append(stats)
+            return out
+        # Unsupported stacked layout: per-member solo sweeps below.
+
+    return [
+        sedimentation_step(
+            state, pressure_mb_levels, dz_cm, dt, native=native
+        )
+        for state in states
+    ]

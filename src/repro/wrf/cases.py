@@ -16,9 +16,11 @@ active cells, others few.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields as dataclass_fields, replace
 
 import numpy as np
+
+from repro.errors import ConfigurationError
 
 from repro.fsbm.state import MicroState
 from repro.grid.domain import DomainSpec, Patch
@@ -54,6 +56,35 @@ class CaseConfig:
     #: Background westerlies [m/s] and vertical shear [m/s per level].
     u_base: float = 8.0
     u_shear: float = 0.25
+    #: Background CCN reservoir [cm^-3] (continental default; ensemble
+    #: members perturb it to explore aerosol sensitivity).
+    ccn_background: float = 100.0
+
+
+def member_case_config(deltas: tuple) -> tuple["CaseConfig", int]:
+    """Resolve one ensemble member's ``(CaseConfig, seed_offset)``.
+
+    ``deltas`` is a tuple of ``(name, value)`` pairs: names are
+    :class:`CaseConfig` fields (sounding/bubble/moisture/CCN knobs) or
+    the special ``seed_offset`` key, which shifts the namelist seed so
+    the member draws a different storm population. An empty tuple is
+    the unperturbed base case — bit-identical to passing no config.
+    """
+    valid = {f.name for f in dataclass_fields(CaseConfig)}
+    kwargs: dict[str, float] = {}
+    seed_offset = 0
+    for name, value in deltas:
+        if name == "seed_offset":
+            seed_offset = int(value)
+        elif name in valid:
+            kwargs[name] = value
+        else:
+            raise ConfigurationError(
+                f"unknown member delta {name!r} (CaseConfig fields or "
+                f"'seed_offset')"
+            )
+    cfg = replace(CaseConfig(), **kwargs) if kwargs else CaseConfig()
+    return cfg, seed_offset
 
 
 def _bubble_centers(
@@ -120,6 +151,7 @@ def conus12km_case(
     # Seed cloud droplets where bubbles are strong (incipient cells).
     cloud_mask = (dtheta[:, None, :] * vert[None, :, None]) > cfg.cloud_threshold
     fields.micro.seed_cloud(cloud_mask, lwc=cfg.cloud_lwc)
+    fields.micro.ccn[...] = cfg.ccn_background
 
     # Give the strongest cores an initial updraft so collisions begin
     # within the short timing runs, as in the mature-storm restart the

@@ -183,10 +183,146 @@ def build_advect_ir() -> Kernel:
     )
 
 
+def build_advect_members_ir() -> Kernel:
+    """The donor-cell stage over an ensemble-stacked superblock.
+
+    Identical per-point arithmetic to :func:`build_advect_ir` wrapped
+    in an explicit outer member loop: the block is ``(nm, ni, nk, nj,
+    ns)`` member-major and the winds ``(nm, ni, nk, nj)``, so iteration
+    ``m`` reads and writes exactly member ``m``'s arrays with member-
+    local edge clamps (the i/k/j Select clamps never cross a member
+    boundary because ``m`` is a separate index, not folded into ``i``).
+    Every output element is written exactly once by a deterministic
+    scalar expression, so each member's slice is bit-identical to a
+    solo :func:`build_advect_ir` sweep of that member — regardless of
+    how the derived OpenMP annotations schedule the loops.
+    """
+    nm, ni, nk, nj, ns = (
+        Sym("nm"), Sym("ni"), Sym("nk"), Sym("nj"), Sym("ns")
+    )
+    m, i, k, j, n = Sym("m"), Sym("i"), Sym("k"), Sym("j"), Sym("n")
+    sv = Sym("sv")
+
+    s5 = (ni * nk * nj * ns, nk * nj * ns, nj * ns, ns, Const(1))
+    c4 = (ni * nk * nj, nk * nj, nj, Const(1))
+
+    def s_at(ii, kk, jj):
+        return Load("s", (m, ii, kk, jj, n))
+
+    tend = None
+    for pos, neg, lo, hi in (
+        ("up", "un", s_at(Sym("im"), k, j), s_at(Sym("ip"), k, j)),
+        ("wp", "wn", s_at(i, Sym("km"), j), s_at(i, Sym("kp"), j)),
+        ("vp", "vn", s_at(i, k, Sym("jm")), s_at(i, k, Sym("jp"))),
+    ):
+        pair = -(Sym(pos) * (sv - lo) + Sym(neg) * (hi - sv))
+        tend = pair if tend is None else tend + pair
+
+    clamp = loopir.Select
+    body_j = [
+        Let("up", Load("pos_i", (m, i, k, j))),
+        Let("un", Load("neg_i", (m, i, k, j))),
+        Let("wp", Load("pos_k", (m, i, k, j))),
+        Let("wn", Load("neg_k", (m, i, k, j))),
+        Let("vp", Load("pos_j", (m, i, k, j))),
+        Let("vn", Load("neg_j", (m, i, k, j))),
+        Let("im", clamp(i.gt(0), i - 1, i), ctype="long"),
+        Let("ip", clamp(i.lt(ni - 1), i + 1, i), ctype="long"),
+        Let("km", clamp(k.gt(0), k - 1, k), ctype="long"),
+        Let("kp", clamp(k.lt(nk - 1), k + 1, k), ctype="long"),
+        Let("jm", clamp(j.gt(0), j - 1, j), ctype="long"),
+        Let("jp", clamp(j.lt(nj - 1), j + 1, j), ctype="long"),
+        Loop(
+            "n",
+            Const(0),
+            ns,
+            [
+                Let("sv", s_at(i, k, j)),
+                Let("t", tend),
+                Store(
+                    "out",
+                    (m, i, k, j, n),
+                    Sym("f") * Sym("t") + Load("base", (m, i, k, j, n)),
+                ),
+            ],
+        ),
+        If(
+            Sym("do_clip"),
+            [
+                Loop(
+                    "n",
+                    Const(0),
+                    ns,
+                    [
+                        If(
+                            Load("clip", (n,)).logical_and(
+                                Load("out", (m, i, k, j, n)).lt(Const(0.0))
+                            ),
+                            [Store("out", (m, i, k, j, n), Const(0.0))],
+                        )
+                    ],
+                )
+            ],
+        ),
+    ]
+
+    nest = Loop(
+        "m",
+        Const(0),
+        nm,
+        [
+            Loop(
+                "i",
+                Const(0),
+                ni,
+                [Loop("k", Const(0), nk, [Loop("j", Const(0), nj, body_j)])],
+            )
+        ],
+    )
+
+    return Kernel(
+        name="advect_stage_members",
+        params=(
+            ArrayParam("s", strides=s5),
+            ArrayParam("base", strides=s5),
+            ArrayParam("out", strides=s5, intent="out"),
+            ArrayParam("pos_i", strides=c4),
+            ArrayParam("neg_i", strides=c4),
+            ArrayParam("pos_k", strides=c4),
+            ArrayParam("neg_k", strides=c4),
+            ArrayParam("pos_j", strides=c4),
+            ArrayParam("neg_j", strides=c4),
+            ScalarParam("f", "double"),
+            ScalarParam("nm", "long"),
+            ScalarParam("ni", "long"),
+            ScalarParam("nk", "long"),
+            ScalarParam("nj", "long"),
+            ScalarParam("ns", "long"),
+            ArrayParam("clip", strides=(Const(1),), ctype="unsigned char"),
+            ScalarParam("do_clip", "int"),
+        ),
+        body=[nest],
+        doc=(
+            "One donor-cell stage out = base + f * tend(s) over an "
+            "ensemble-stacked (nm, ni, nk, nj, ns) superblock; the "
+            "member loop only rebases the pointers, so each member's "
+            "slice matches a solo advect_stage sweep bit for bit."
+        ),
+    )
+
+
 loopir.register_kernel(
     loopir.KernelSpec(
         name="advect_stage",
         build=build_advect_ir,
+        transform=transform.plan_offload,
+    )
+)
+
+loopir.register_kernel(
+    loopir.KernelSpec(
+        name="advect_stage_members",
+        build=build_advect_members_ir,
         transform=transform.plan_offload,
     )
 )
@@ -210,6 +346,15 @@ def _declare(lib: ctypes.CDLL) -> None:
         ctypes.c_long, ctypes.c_long, ctypes.c_long, ctypes.c_long,
         bp, ctypes.c_int,
     ]
+    lib.advect_stage_members.restype = None
+    lib.advect_stage_members.argtypes = [
+        dp, dp, dp,  # s, base, out (member-stacked)
+        dp, dp, dp, dp, dp, dp,  # pos/neg per axis (member-stacked)
+        ctypes.c_double,
+        ctypes.c_long,  # nm
+        ctypes.c_long, ctypes.c_long, ctypes.c_long, ctypes.c_long,
+        bp, ctypes.c_int,
+    ]
 
 
 # Derive the OpenMP annotations, verify them, and emit the C source.
@@ -217,7 +362,10 @@ def _declare(lib: ctypes.CDLL) -> None:
 # before any C exists — loud by design.
 _module = cgen.build_module(
     "stencil",
-    [transform.plan_offload(build_advect_ir()).kernel],
+    [
+        transform.plan_offload(build_advect_ir()).kernel,
+        transform.plan_offload(build_advect_members_ir()).kernel,
+    ],
     cflags=CFLAGS,
     disable_env=DISABLE_ENV,
     build_dir=Path(__file__).resolve().parent / "_cbuild",
@@ -276,5 +424,32 @@ def advect_stage(
         s, base, out,
         pos[0], neg[0], pos[1], neg[1], pos[2], neg[2],
         float(f), ni, nk, nj, ns,
+        clip_mask, 1 if do_clip else 0,
+    )
+
+
+def advect_stage_members(
+    lib: ctypes.CDLL,
+    s: np.ndarray,
+    base: np.ndarray,
+    out: np.ndarray,
+    pos: tuple[np.ndarray, np.ndarray, np.ndarray],
+    neg: tuple[np.ndarray, np.ndarray, np.ndarray],
+    f: float,
+    clip_mask: np.ndarray,
+    do_clip: bool,
+) -> None:
+    """One fused stage over the ``(nm, ni, nk, nj, ns)`` member stack.
+
+    ``pos``/``neg`` are the member-stacked ``(nm, ni, nk, nj)`` wind
+    decompositions. One C call advances every member; each member's
+    slice of ``out`` equals a solo :func:`advect_stage` call bit for
+    bit.
+    """
+    nm, ni, nk, nj, ns = s.shape
+    lib.advect_stage_members(
+        s, base, out,
+        pos[0], neg[0], pos[1], neg[1], pos[2], neg[2],
+        float(f), nm, ni, nk, nj, ns,
         clip_mask, 1 if do_clip else 0,
     )

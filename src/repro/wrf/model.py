@@ -104,10 +104,26 @@ def cost_models(namelist: Namelist) -> tuple[CommCostModel, CpuCostModel]:
     return comm_cost, cpu_cost
 
 
-def build_rank_fields(namelist: Namelist, rank: int, patch) -> WrfFields:
-    """Construct one rank's initial fields (deterministic per seed)."""
+def build_rank_fields(
+    namelist: Namelist, rank: int, patch, member: int = 0
+) -> WrfFields:
+    """Construct one rank's initial fields (deterministic per seed).
+
+    ``member`` selects which ensemble member's perturbed scenario to
+    build (``namelist.member_deltas``); the default — member 0 of a
+    delta-free namelist — is the unperturbed base case, bit-identical
+    to what this function always built.
+    """
+    from repro.wrf.cases import member_case_config
+    from repro.wrf.namelist import deltas_for_member
+
+    cfg, seed_offset = member_case_config(deltas_for_member(namelist, member))
     return conus12km_case(
-        namelist.domain, patch, namelist.domain.dz, seed=namelist.seed
+        namelist.domain,
+        patch,
+        namelist.domain.dz,
+        seed=namelist.seed + seed_offset,
+        cfg=cfg,
     )
 
 
@@ -413,6 +429,12 @@ class WrfModel:
     """A configured, runnable WRF job."""
 
     def __init__(self, namelist: Namelist):
+        if namelist.members > 1:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "members > 1 runs through repro.wrf.ensemble.EnsembleModel"
+            )
         self.namelist = namelist
         if namelist.trace:
             # Before the worker fork below, so driver-side spans from

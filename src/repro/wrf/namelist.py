@@ -109,12 +109,40 @@ class Namelist:
     history_path: str | None = None
     #: Random seed for the synthetic case (shared by all ranks).
     seed: int = 2024
+    #: Ensemble members stepped together. ``1`` is a plain run;
+    #: ``N > 1`` runs through :class:`repro.wrf.ensemble.EnsembleModel`,
+    #: which stacks all members into one per-rank ``(N, ni, nk, nj,
+    #: nscalar)`` superblock and sweeps them in fused member-batched
+    #: kernels. Member ``m`` of a batched run is bit-identical to a
+    #: solo run of :func:`member_namelist`\ ``(nl, m)``.
+    members: int = 1
+    #: Per-member scenario perturbations: entry ``m`` is a tuple of
+    #: ``(name, value)`` pairs applied to member ``m``'s synthetic case
+    #: (:class:`repro.wrf.cases.CaseConfig` fields such as
+    #: ``bubble_dtheta``/``moisture_boost``/``ccn_background``, or the
+    #: special key ``seed_offset`` added to :attr:`seed`). Members past
+    #: the end of the tuple run the unperturbed base case. Tuples (not
+    #: dicts) keep the namelist hashable.
+    member_deltas: tuple = ()
 
     def __post_init__(self) -> None:
         if self.dt <= 0 or self.run_seconds <= 0:
             raise ConfigurationError("dt and run_seconds must be positive")
         if self.num_ranks < 1:
             raise ConfigurationError("need at least one rank")
+        if self.members < 1:
+            raise ConfigurationError("need at least one ensemble member")
+        if len(self.member_deltas) > self.members:
+            raise ConfigurationError(
+                f"{len(self.member_deltas)} member_deltas entries for "
+                f"{self.members} members"
+            )
+        for deltas in self.member_deltas:
+            for pair in deltas:
+                if len(pair) != 2 or not isinstance(pair[0], str):
+                    raise ConfigurationError(
+                        "member_deltas entries must be (name, value) pairs"
+                    )
         if self.stage.uses_gpu and self.num_gpus < 1:
             raise ConfigurationError(
                 f"stage {self.stage.value} needs at least one GPU"
@@ -147,6 +175,33 @@ class Namelist:
             num_ranks=num_ranks,
             num_gpus=self.num_gpus if num_gpus is None else num_gpus,
         )
+
+
+def deltas_for_member(namelist: Namelist, member: int) -> tuple:
+    """Member ``member``'s case perturbations (empty past the tuple)."""
+    if member < 0 or member >= namelist.members:
+        raise ConfigurationError(
+            f"member {member} out of range for {namelist.members} members"
+        )
+    if member < len(namelist.member_deltas):
+        return tuple(namelist.member_deltas[member])
+    return ()
+
+
+def member_namelist(base: Namelist, member: int) -> Namelist:
+    """The solo (``members=1``) namelist equivalent to one member.
+
+    A plain :class:`repro.wrf.model.WrfModel` run of the returned
+    namelist is the bitwise reference for member ``member`` of the
+    batched ensemble — same perturbed case, same switches, same
+    charges.
+    """
+    deltas = deltas_for_member(base, member)
+    return replace(
+        base,
+        members=1,
+        member_deltas=(deltas,) if deltas else (),
+    )
 
 
 def conus12km_namelist(scale: float = 1.0, **overrides) -> Namelist:

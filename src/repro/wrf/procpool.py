@@ -150,7 +150,9 @@ class SharedSuperblocks:
     construction and destroyed by :meth:`unlink` (idempotent — double
     unlink and unlink-after-reap are no-ops). Workers attach by name
     and only ever ``close()`` their mapping; the driver is the sole
-    owner of segment lifetime.
+    owner of segment lifetime. ``members > 1`` sizes each segment for
+    an ensemble's member-stacked ``(members, ni, nk, nj, nscalar)``
+    block instead (the solo shape is unchanged at ``members=1``).
     """
 
     def __init__(
@@ -158,8 +160,10 @@ class SharedSuperblocks:
         decomposition: Decomposition,
         nscalars: int,
         dtype=np.float64,
+        members: int = 1,
     ):
         self.nscalars = nscalars
+        self.members = members
         self.dtype = np.dtype(dtype)
         self.names: list[str] = []
         self._shms: list[SharedMemory] = []
@@ -168,6 +172,8 @@ class SharedSuperblocks:
         try:
             for patch in decomposition.patches:
                 shape = (*patch.shape, nscalars)
+                if members > 1:
+                    shape = (members, *shape)
                 size = math.prod(shape) * self.dtype.itemsize
                 shm = SharedMemory(create=True, size=size)
                 self._shms.append(shm)
@@ -351,7 +357,13 @@ def _worker_main(
     """
     ctx = None
     try:
-        ctx = _RankContext(
+        if namelist.members > 1:
+            # Ensemble runs: the rank's segment holds the member-
+            # stacked block and the worker steps all members batched.
+            from repro.wrf.ensemble import EnsembleRankContext as ctx_cls
+        else:
+            ctx_cls = _RankContext
+        ctx = ctx_cls(
             rank, namelist, decomposition, seg_names, nscalars, barrier, timeout
         )
         conn.send(("ready", rank, tracer.drain_state()))
@@ -368,9 +380,11 @@ def _worker_main(
             if op == "step":
                 conn.send(("ok", ctx.step(), tracer.drain_state()))
             elif op == "charge_io":
-                conn.send(("ok", ctx.charge_io(cmd[1]), tracer.drain_state()))
+                conn.send(
+                    ("ok", ctx.charge_io(*cmd[1:]), tracer.drain_state())
+                )
             elif op == "gather":
-                conn.send(("ok", ctx.gather(), tracer.drain_state()))
+                conn.send(("ok", ctx.gather(*cmd[1:]), tracer.drain_state()))
             else:
                 conn.send(("error", f"unknown command {op!r}", []))
                 break
@@ -427,7 +441,9 @@ class ProcRankPool:
         self._conns: list = []
         nscalars = superblock_scalar_count()
         _preload_compiled(namelist)
-        self.blocks = SharedSuperblocks(decomposition, nscalars)
+        self.blocks = SharedSuperblocks(
+            decomposition, nscalars, members=namelist.members
+        )
         start = os.environ.get("REPRO_PROCPOOL_START", "") or "fork"
         ctx = get_context(start)
         self._barrier = ctx.Barrier(self.num_ranks)
@@ -527,17 +543,27 @@ class ProcRankPool:
         replies = self._command([("step",)] * self.num_ranks)
         return [r[1] for r in replies]
 
-    def charge_io(self, charges: list[list[float]]) -> list:
+    def charge_io(
+        self, charges: list[list[float]], member: int | None = None
+    ) -> list:
         """Apply per-rank ordered I/O charges on the worker clocks;
-        returns every rank's updated ``(buckets, regions)`` totals."""
+        returns every rank's updated ``(buckets, regions)`` totals.
+        ``member`` selects which ensemble member's clock to charge
+        (ensemble pools only)."""
+        extra = () if member is None else (member,)
         replies = self._command(
-            [("charge_io", charges[r]) for r in range(self.num_ranks)]
+            [("charge_io", charges[r], *extra) for r in range(self.num_ranks)]
         )
         return [r[1] for r in replies]
 
-    def gather(self) -> list[dict[str, np.ndarray]]:
-        """Every rank's owned-region output frame, in rank order."""
-        replies = self._command([("gather",)] * self.num_ranks)
+    def gather(self, member: int | None = None) -> list[dict[str, np.ndarray]]:
+        """Every rank's owned-region output frame, in rank order.
+
+        ``member`` slices one ensemble member's frames out of the
+        workers' stacked state over the same pipes (ensemble pools
+        only; solo pools take no member argument)."""
+        payload = ("gather",) if member is None else ("gather", member)
+        replies = self._command([payload] * self.num_ranks)
         return [r[1] for r in replies]
 
     def crash(self, rank: int) -> None:

@@ -369,6 +369,114 @@ def fused_euler_advect(
         return block
 
 
+def _member_split(split: WindSplit, m: int) -> WindSplit:
+    """Member ``m``'s view of a member-stacked wind decomposition."""
+    return WindSplit(
+        pos=tuple(p[m] for p in split.pos),  # type: ignore[arg-type]
+        neg=tuple(n[m] for n in split.neg),  # type: ignore[arg-type]
+    )
+
+
+def fused_euler_advect_members(
+    block: np.ndarray,
+    split: WindSplit,
+    dt: float,
+    ws: TransportWorkspace,
+    clip_slices: tuple[slice, ...] = (),
+) -> np.ndarray:
+    """Euler donor-cell update of an ``(nm, ni, nk, nj, ns)`` stack.
+
+    ``split`` holds member-stacked ``(nm, ni, nk, nj)`` wind
+    decompositions (``WindSplit.build`` is elementwise, so building it
+    on stacked winds equals the per-member builds bit for bit). With
+    the compiled stencil this is ONE C call for all members; member
+    ``m`` of the returned stack equals a solo
+    :func:`fused_euler_advect` of that member exactly. The numpy
+    fallback loops members over the solo path (same arrays, same ops).
+    ``ws`` must be the ensemble workspace sized for the stacked block.
+    """
+    lib = cstencil.load_stencil()
+    nm = block.shape[0]
+    with tracer.span("advect_euler_members", cat="kernel") as sp:
+        if sp is not None:
+            sp.set(
+                compiled=lib is not None,
+                nscalars=block.shape[-1],
+                members=nm,
+            )
+        if lib is not None:
+            out = ws.buffer("tend", block.shape)
+            mask = _mask_from_slices(block.shape[-1], clip_slices)
+            cstencil.advect_stage_members(
+                lib, block, block, out, split.pos, split.neg, dt, mask,
+                do_clip=bool(clip_slices),
+            )
+            return out
+        for m in range(nm):
+            fused_euler_advect(
+                block[m], _member_split(split, m), dt,
+                _member_fallback_workspace(ws, m), clip_slices,
+            )
+        return block
+
+
+def fused_rk3_advect_members(
+    block: np.ndarray,
+    split: WindSplit,
+    dt: float,
+    ws: TransportWorkspace,
+    clip_slices: tuple[slice, ...] = (),
+) -> np.ndarray:
+    """RK3 update of an ensemble-stacked superblock (see Euler variant)."""
+    lib = cstencil.load_stencil()
+    nm = block.shape[0]
+    with tracer.span("advect_rk3_members", cat="kernel") as sp:
+        if sp is not None:
+            sp.set(
+                compiled=lib is not None,
+                nscalars=block.shape[-1],
+                members=nm,
+            )
+        if lib is not None:
+            mask = _mask_from_slices(block.shape[-1], clip_slices)
+            bufs = (
+                ws.buffer("stage", block.shape),
+                ws.buffer("tend", block.shape),
+            )
+            stage: np.ndarray = block
+            for idx, frac in enumerate(RK3_FRACTIONS):
+                out = bufs[idx % 2]
+                last = idx == len(RK3_FRACTIONS) - 1
+                cstencil.advect_stage_members(
+                    lib, stage, block, out, split.pos, split.neg, dt * frac,
+                    mask, do_clip=last and bool(clip_slices),
+                )
+                stage = out
+            return stage
+        for m in range(nm):
+            fused_rk3_advect(
+                block[m], _member_split(split, m), dt,
+                _member_fallback_workspace(ws, m), clip_slices,
+            )
+        return block
+
+
+def _member_fallback_workspace(
+    ws: TransportWorkspace, m: int
+) -> TransportWorkspace:
+    """A per-member workspace for the numpy fallback of the member path.
+
+    The fallback must run the exact solo numpy kernels per member;
+    giving each member its own registered workspace (keyed off the
+    ensemble workspace's identity) keeps the buffer handling identical
+    to a solo run.
+    """
+    shape3 = ws.shape[1:] if len(ws.shape) == 4 else ws.shape
+    return get_workspace(
+        shape3, ws.nscalars, dtype=ws.dtype, owner=("member", id(ws), m)
+    )
+
+
 def fused_rk3_advect(
     block: np.ndarray,
     split: WindSplit,

@@ -342,3 +342,57 @@ class TestMultirankBench:
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "sedimentation" in proc.stdout
+
+
+class TestEnsembleBench:
+    """Member-batched ensemble bench payloads and the PR-10 quick gate."""
+
+    def test_members_payload(self):
+        b = harness.bench_model_step_members(members=2, scale=0.02, reps=1)
+        assert b.name == "model_step_members2"
+        assert b.extra["members"] == 2
+        assert b.extra["batched"] is True
+        assert b.extra["per_member_ms"] > 0
+        assert b.extra["solo_per_member_ms"] > 0
+        assert b.extra["speedup_vs_solo"] > 0
+        assert 0 < b.min_s <= b.median_s <= b.max_s
+
+    def test_transport_members_payload(self):
+        b = harness.bench_transport_members(
+            members=2, shape=(6, 5, 4), reps=2
+        )
+        assert b.name == "transport_members2"
+        assert b.extra["members"] == 2
+        assert b.extra["ir_kernel"] == "advect_stage_members"
+        assert b.extra["speedup_vs_solo"] > 0
+        assert 0 < b.min_s <= b.median_s <= b.max_s
+
+    def test_members_quick_gate_is_clean(self):
+        reason = _quick_gate_skip_reason()
+        if reason:
+            pytest.skip(reason)
+        baseline = harness.load_payload(harness.find_baseline())
+        if "model_step_members4" not in baseline["kernels"]:
+            pytest.skip(
+                "committed baseline predates the member-batched kernel"
+            )
+        # Scheduler-jitter headroom only (contended hosts skip above);
+        # the real protection is the batched engine silently falling
+        # back to sequential solo models, which the payload's
+        # ``batched`` flag catches in test_members_payload.
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(harness.REPO_ROOT / "scripts" / "bench_gate.py"),
+                "--quick",
+                "--kernel",
+                "model_step_members4",
+                "--threshold",
+                "0.3",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "model_step_members4" in proc.stdout

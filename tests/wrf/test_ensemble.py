@@ -1,0 +1,175 @@
+"""Exact-equality contract of the member-batched ensemble engine.
+
+Bit-identity is the contract under test, not tolerance: for every
+member, an :class:`~repro.wrf.ensemble.EnsembleModel` run must produce
+*exactly* the fields, per-rank :class:`~repro.core.simclock.SimClock`
+charges, and history frames of a solo :class:`~repro.wrf.model.WrfModel`
+run of that member's :func:`~repro.wrf.namelist.member_namelist`
+(``np.array_equal`` / ``==``, never ``allclose``). ``members=1`` must
+degenerate to today's solo layout — one superblock slab, fields bound
+as views — and ``REPRO_DISABLE_ENSEMBLE=1`` must fall back to
+sequential solo models with identical results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.wrf.ensemble import EnsembleModel, ensemble_disabled
+from repro.wrf.model import WrfModel
+from repro.wrf.namelist import conus12km_namelist, member_namelist
+
+DELTAS = (
+    (),
+    (("bubble_dtheta", 3.5), ("ccn_background", 140.0)),
+    (("seed_offset", 7), ("moisture_boost", 1.45)),
+    (("bubble_dtheta", 2.25), ("seed_offset", 3)),
+)
+
+
+def _namelist(members: int, num_ranks: int = 1, **kw):
+    return conus12km_namelist(
+        scale=0.02,
+        num_ranks=num_ranks,
+        members=members,
+        member_deltas=DELTAS[:members],
+        history_interval=0.0,
+        **kw,
+    )
+
+
+def _solo_result(nl, member: int, num_steps: int):
+    solo = WrfModel(member_namelist(nl, member))
+    try:
+        return solo.run(num_steps=num_steps, final_history=True)
+    finally:
+        solo.close()
+
+
+def _assert_member_exact(ens_res, solo_res, member: int):
+    """Every observable of one member equals its solo run, bitwise."""
+    assert len(ens_res.history) == len(solo_res.history)
+    for fe, fs in zip(ens_res.history, solo_res.history):
+        assert fe.keys() == fs.keys()
+        for name in fe:
+            assert np.array_equal(fe[name], fs[name]), (
+                f"member {member} history field {name} differs"
+            )
+    for rank, (ce, cs) in enumerate(
+        zip(ens_res.rank_clocks, solo_res.rank_clocks)
+    ):
+        assert dict(ce.buckets) == dict(cs.buckets), (
+            f"member {member} rank {rank} bucket charges differ"
+        )
+        assert dict(ce.regions) == dict(cs.regions), (
+            f"member {member} rank {rank} region charges differ"
+        )
+    assert ens_res.elapsed == solo_res.elapsed
+    for te, ts in zip(ens_res.step_timings, solo_res.step_timings):
+        assert te.elapsed == ts.elapsed
+        for se, ss in zip(te.sbm_stats, ts.sbm_stats):
+            assert se.mp_points == ss.mp_points
+            assert se.coal_points == ss.coal_points
+            assert se.coal_seconds == ss.coal_seconds
+            assert se.fast_sbm_seconds == ss.fast_sbm_seconds
+
+
+class TestBatchedVsSolo:
+    @pytest.mark.parametrize("members", [1, 2, 4])
+    def test_members_bit_identical_to_solo(self, members):
+        nl = _namelist(members)
+        ens = EnsembleModel(nl)
+        try:
+            assert ens._solo is None  # actually batched, not fallback
+            results = ens.run(num_steps=2, final_history=True)
+        finally:
+            ens.close()
+        assert len(results) == members
+        for m in range(members):
+            _assert_member_exact(results[m], _solo_result(nl, m, 2), m)
+
+    def test_two_ranks_bit_identical(self):
+        nl = _namelist(2, num_ranks=2)
+        ens = EnsembleModel(nl)
+        try:
+            results = ens.run(num_steps=2, final_history=True)
+        finally:
+            ens.close()
+        for m in range(2):
+            _assert_member_exact(results[m], _solo_result(nl, m, 2), m)
+
+
+class TestMembersOneDegenerates:
+    def test_single_member_layout_is_solo_layout(self):
+        """members=1 keeps today's resident-superblock field binding."""
+        nl = _namelist(1)
+        ens = EnsembleModel(nl)
+        try:
+            (rank,) = ens.ranks
+            assert rank.block.shape[0] == 1
+            (fields,) = rank.fields
+            # The member's advected scalars are views into the slab —
+            # the same aliasing a solo WrfModel's superblock binding
+            # produces, so members=1 adds a leading axis and nothing
+            # else.
+            assert fields.block.base is rank.block or np.shares_memory(
+                fields.block, rank.block
+            )
+            solo = WrfModel(member_namelist(nl, 0))
+            try:
+                assert fields.block.shape == solo.fields[0].block.shape
+            finally:
+                solo.close()
+        finally:
+            ens.close()
+
+
+class TestKillSwitch:
+    def test_disabled_env_reports_reason(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_ENSEMBLE", "1")
+        assert ensemble_disabled() is not None
+
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DISABLE_ENSEMBLE", raising=False)
+        assert ensemble_disabled() is None
+
+    def test_kill_switch_equivalent_results(self, monkeypatch):
+        nl = _namelist(2)
+        monkeypatch.setenv("REPRO_DISABLE_ENSEMBLE", "1")
+        fallback = EnsembleModel(nl)
+        try:
+            assert fallback._solo is not None
+            fb_results = fallback.run(num_steps=2, final_history=True)
+        finally:
+            fallback.close()
+        monkeypatch.delenv("REPRO_DISABLE_ENSEMBLE")
+        batched = EnsembleModel(nl)
+        try:
+            assert batched._solo is None
+            b_results = batched.run(num_steps=2, final_history=True)
+        finally:
+            batched.close()
+        for m in range(2):
+            _assert_member_exact(b_results[m], fb_results[m], m)
+
+
+class TestProcPoolMembers:
+    def test_two_ranks_two_members_member_sliced_gather(self):
+        """Worker processes step all members; gather slices one out."""
+        nl = _namelist(2, num_ranks=2, use_process_ranks=True)
+        ens = EnsembleModel(nl)
+        try:
+            if ens._pool is None:
+                pytest.skip("procpool unavailable in this environment")
+            results = ens.run(num_steps=2, final_history=True)
+            frames = [ens.gather_output(m) for m in range(2)]
+        finally:
+            ens.close()
+        for m in range(2):
+            solo_res = _solo_result(nl, m, 2)
+            _assert_member_exact(results[m], solo_res, m)
+            for name, arr in frames[m].items():
+                assert np.array_equal(arr, solo_res.history[-1][name]), (
+                    f"member {m} gathered field {name} differs"
+                )
